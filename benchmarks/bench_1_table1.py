@@ -1,0 +1,49 @@
+"""Table I — index metrics per dataset and precision.
+
+Reproduces the paper's Table I rows: indexed cells [M], ACT size [MB],
+lookup-table size [MB], and the two build-phase times, for
+boroughs / neighborhoods / census at 60 m / 15 m / 4 m.
+
+Each cell of the table is one benchmark (the build runs once; later
+benchmark files reuse the cached index). The assembled table prints after
+the pytest-benchmark summary.
+"""
+
+import pytest
+
+from repro.bench import DATASETS, PRECISIONS
+from repro.bench.reporting import record_row
+
+_COLUMNS = [
+    "dataset", "precision [m]", "indexed cells [M]", "ACT [MB]",
+    "lookup table [MB]", "build coverings [s]", "build super [s]",
+    "polygons", "covering cells [M]",
+]
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("precision", PRECISIONS)
+def test_table1_build(benchmark, cache, dataset, precision):
+    benchmark.pedantic(
+        lambda: cache.get(dataset, precision), rounds=1, iterations=1
+    )
+    index = cache.get(dataset, precision)
+    stats = index.stats
+    benchmark.extra_info.update(
+        dataset=dataset,
+        precision_m=precision,
+        indexed_cells=stats.indexed_cells,
+        act_mb=stats.trie_bytes / 1e6,
+        lookup_mb=stats.lookup_table_bytes / 1e6,
+    )
+    record_row("Table I: index metrics", _COLUMNS, [
+        dataset,
+        precision,
+        stats.indexed_cells / 1e6,
+        stats.trie_bytes / 1e6,
+        stats.lookup_table_bytes / 1e6,
+        stats.build_coverings_seconds,
+        stats.build_super_seconds,
+        stats.num_polygons,
+        stats.raw_cells / 1e6,
+    ])

@@ -1,0 +1,99 @@
+"""Figure 3 — single-threaded join throughput vs the R-tree baseline.
+
+The paper joins taxi points against each polygon dataset and counts
+points per polygon, comparing ACT-60m/15m/4m against the boost R-tree's
+pure lookup throughput (dashed lines). Here:
+
+* **ACT (vectorized)** — the numpy batch engine, our headline number;
+* **ACT (scalar)** — per-point trie descents, the like-for-like
+  comparison against the per-point R-tree probe;
+* **R-tree lookup** — candidate counting without refinement, exactly the
+  paper's baseline measurement.
+
+The report table prints throughput in M points/s plus the ACT/R-tree
+factor (the paper reports 3.54x / 5.86x / 10.3x for 4 m).
+"""
+
+import pytest
+
+from repro.baselines.rtree import RTreeJoinBaseline
+from repro.bench import DATASETS, PRECISIONS, dataset_polygons, throughput_mpts
+from repro.bench.reporting import record_row
+
+_COLUMNS = ["dataset", "variant", "M points/s", "vs R-tree"]
+
+#: per-dataset R-tree scalar throughput, filled by the baseline bench
+_RTREE_MPTS = {}
+
+_BASELINES = {}
+
+
+def _rtree(dataset):
+    if dataset not in _BASELINES:
+        _BASELINES[dataset] = RTreeJoinBaseline(dataset_polygons(dataset))
+    return _BASELINES[dataset]
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_figure3_rtree_baseline(benchmark, probe_points, dataset):
+    """The dashed line: R-tree MBR lookups, counting candidates."""
+    lngs, lats = probe_points
+    baseline = _rtree(dataset)
+    result = benchmark.pedantic(
+        lambda: baseline.count_points(lngs, lats),
+        rounds=2, iterations=1,
+    )
+    assert result.sum() >= 0
+    mpts = throughput_mpts(len(lngs), benchmark.stats.stats.min)
+    _RTREE_MPTS[dataset] = mpts
+    benchmark.extra_info.update(dataset=dataset, mpts=mpts)
+    record_row("Figure 3: throughput", _COLUMNS,
+               [dataset, "R-tree lookup (scalar)", mpts, 1.0])
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("precision", PRECISIONS)
+def test_figure3_act_scalar(benchmark, cache, probe_points, dataset,
+                            precision):
+    """Per-point ACT lookups — like-for-like against the R-tree probe."""
+    lngs, lats = probe_points
+    index = cache.get(dataset, precision)
+    trie = index.trie
+    grid = index.grid
+    cells = grid.leaf_cells_batch(lngs, lats).tolist()
+
+    def run():
+        lookup = trie.lookup_entry
+        hits = 0
+        for cell in cells:
+            if cell and lookup(cell):
+                hits += 1
+        return hits
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+    mpts = throughput_mpts(len(lngs), benchmark.stats.stats.min)
+    factor = mpts / _RTREE_MPTS.get(dataset, mpts)
+    benchmark.extra_info.update(dataset=dataset, precision_m=precision,
+                                mpts=mpts, vs_rtree=factor)
+    record_row("Figure 3: throughput", _COLUMNS,
+               [dataset, f"ACT-{precision:g}m (scalar)", mpts, factor])
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("precision", PRECISIONS)
+def test_figure3_act_vectorized(benchmark, cache, join_points, dataset,
+                                precision):
+    """The batch engine: count points per polygon over the full workload."""
+    lngs, lats = join_points
+    index = cache.get(dataset, precision)
+    result = benchmark.pedantic(
+        lambda: index.count_points(lngs, lats),
+        rounds=2, iterations=1,
+    )
+    assert result.sum() >= 0
+    mpts = throughput_mpts(len(lngs), benchmark.stats.stats.min)
+    factor = mpts / _RTREE_MPTS.get(dataset, mpts)
+    benchmark.extra_info.update(dataset=dataset, precision_m=precision,
+                                mpts=mpts, vs_rtree=factor)
+    record_row("Figure 3: throughput", _COLUMNS,
+               [dataset, f"ACT-{precision:g}m (vectorized)", mpts, factor])

@@ -1,0 +1,70 @@
+"""Ablation A4 — execution strategy and grid backend.
+
+Quantifies (a) what the numpy batch engine buys over per-point Python
+descents (the paper's C++ enjoys this for free), and (b) the planar grid
+vs the S2-like spherical grid as the cell substrate (same trie, different
+projection/metrics).
+"""
+
+import pytest
+
+from repro import ACTIndex
+from repro.bench import dataset_polygons, throughput_mpts
+from repro.bench.reporting import record_row
+from repro.grid.s2like import S2LikeGrid
+
+_COLUMNS = ["variant", "M points/s", "indexed cells [M]", "trie MB"]
+_TABLE = "Ablation A4: execution strategy & grid backend"
+
+_STATE = {}
+
+
+def _polygons():
+    return _STATE.setdefault("polys", dataset_polygons("boroughs"))
+
+
+def test_vectorized_lookup(benchmark, cache, probe_points):
+    lngs, lats = probe_points
+    index = cache.get("boroughs", 15.0)
+    benchmark.pedantic(lambda: index.count_points(lngs, lats),
+                       rounds=3, iterations=1)
+    mpts = throughput_mpts(len(lngs), benchmark.stats.stats.min)
+    record_row(_TABLE, _COLUMNS, [
+        "planar grid, vectorized", mpts,
+        index.stats.indexed_cells / 1e6, index.trie.size_bytes / 1e6,
+    ])
+
+
+def test_scalar_lookup(benchmark, cache, probe_points):
+    lngs, lats = probe_points
+    index = cache.get("boroughs", 15.0)
+    grid = index.grid
+    trie = index.trie
+    cells = grid.leaf_cells_batch(lngs, lats).tolist()
+
+    def run():
+        lookup = trie.lookup_entry
+        return sum(1 for c in cells if c and lookup(c))
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+    mpts = throughput_mpts(len(lngs), benchmark.stats.stats.min)
+    record_row(_TABLE, _COLUMNS, [
+        "planar grid, scalar python", mpts,
+        index.stats.indexed_cells / 1e6, index.trie.size_bytes / 1e6,
+    ])
+
+
+def test_s2like_backend(benchmark, probe_points):
+    lngs, lats = probe_points
+    index = _STATE.setdefault(
+        "s2_index",
+        ACTIndex.build(_polygons(), precision_meters=15.0,
+                       grid=S2LikeGrid()),
+    )
+    benchmark.pedantic(lambda: index.count_points(lngs, lats),
+                       rounds=2, iterations=1)
+    mpts = throughput_mpts(len(lngs), benchmark.stats.stats.min)
+    record_row(_TABLE, _COLUMNS, [
+        "s2like grid, vectorized", mpts,
+        index.stats.indexed_cells / 1e6, index.trie.size_bytes / 1e6,
+    ])

@@ -1,0 +1,46 @@
+"""Ablation A5 — adaptive ACT under a memory budget (paper future work).
+
+Under a strict cell budget, ACT cannot hold the precision level and must
+refine candidates. The adaptive index steers its budget toward the
+query-point distribution: after a few ``adapt`` rounds on a workload
+sample, the fraction of lookups needing a PIP test should fall while the
+budget holds — the behaviour sketched in the paper's introduction.
+"""
+
+import pytest
+
+from repro.act.adaptive import AdaptiveACTIndex
+from repro.bench import dataset_polygons, throughput_mpts, workload
+from repro.bench.reporting import record_row
+
+_COLUMNS = ["budget [cells]", "adapt rounds", "refinement rate",
+            "cells used", "trie MB"]
+_TABLE = "Ablation A5: adaptive ACT under memory budget"
+
+
+@pytest.mark.parametrize("budget", [5_000, 20_000, 80_000])
+def test_ablation_adaptive(benchmark, budget):
+    polygons = dataset_polygons("neighborhoods")
+    sample_lngs, sample_lats = workload(20_000, seed=55)
+    eval_lngs, eval_lats = workload(20_000, seed=56)
+
+    index = AdaptiveACTIndex(polygons, max_cells=budget,
+                             target_precision_meters=15.0)
+    before = index.refinement_rate(eval_lngs, eval_lats)
+    record_row(_TABLE, _COLUMNS, [
+        budget, 0, before, index.num_cells, index.size_bytes / 1e6,
+    ])
+
+    def adapt_rounds():
+        for _ in range(4):
+            index.adapt(sample_lngs, sample_lats)
+        return index
+
+    benchmark.pedantic(adapt_rounds, rounds=1, iterations=1)
+    after = index.refinement_rate(eval_lngs, eval_lats)
+    assert after <= before
+    assert index.num_cells <= index.max_cells
+    record_row(_TABLE, _COLUMNS, [
+        budget, index.adapt_rounds, after, index.num_cells,
+        index.size_bytes / 1e6,
+    ])

@@ -1,0 +1,49 @@
+"""Shared fixtures for the benchmark suite.
+
+Indexes are cached per (dataset, precision) across all benchmark files,
+and every file records paper-style report rows that are rendered after
+the pytest-benchmark summary (see ``pytest_terminal_summary``).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Workload sizes honor ``REPRO_SCALE`` (default 1; 10 approaches the paper's
+shape).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import IndexCache, workload
+from repro.bench.reporting import drain_reports
+
+
+@pytest.fixture(scope="session")
+def cache():
+    return IndexCache()
+
+
+@pytest.fixture(scope="session")
+def join_points():
+    """The Figure 3 / Figure 4 point workload (scaled)."""
+    return workload(200_000)
+
+
+@pytest.fixture(scope="session")
+def probe_points():
+    """Smaller batch for scalar-loop comparisons (R-tree vs scalar ACT)."""
+    return workload(20_000, seed=321)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    reports = drain_reports()
+    if not reports:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line(
+        "################ paper-style report tables ################"
+    )
+    for text in reports:
+        terminalreporter.write_line(text)

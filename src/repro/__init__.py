@@ -1,0 +1,39 @@
+"""repro — Approximate geospatial joins with precision guarantees.
+
+A from-scratch Python reproduction of the ICDE 2018 paper by Kipf et al.
+The package implements the Adaptive Cell Trie (ACT) — an in-memory radix
+tree over quadtree grid cells that answers point-in-polygon joins without
+a refinement phase while guaranteeing a user-defined precision bound —
+plus every substrate it needs: computational geometry, an S2-like
+spherical grid, a planar quadtree grid, baseline indexes (R*-tree, fixed
+grid, interior rectangles), a join engine, and synthetic NYC-like
+datasets for the paper's evaluation.
+
+Quickstart::
+
+    from repro import ACTIndex
+    from repro.datasets import nyc
+
+    polygons = nyc.neighborhoods()
+    index = ACTIndex.build(polygons, precision_meters=15.0)
+    hits = index.query(-73.97, 40.75)          # polygon ids at a point
+    counts = index.count_points(lngs, lats)    # vectorized aggregation
+"""
+
+from .act.index import ACTIndex
+from .errors import ReproError
+from .geometry import MultiPolygon, Polygon, Rect
+from .grid import PlanarGrid, S2LikeGrid
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ACTIndex",
+    "ReproError",
+    "MultiPolygon",
+    "Polygon",
+    "Rect",
+    "PlanarGrid",
+    "S2LikeGrid",
+    "__version__",
+]

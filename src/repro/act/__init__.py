@@ -1,0 +1,32 @@
+"""The Adaptive Cell Trie (ACT) — the paper's primary contribution.
+
+Submodules mirror the paper's Section II structure: per-polygon coverings
+(:mod:`repro.grid.coverer`), the merged super covering
+(:mod:`~repro.act.supercovering`), the radix tree (:mod:`~repro.act.trie`)
+with tagged entries (:mod:`~repro.act.entry`) and the deduplicated lookup
+table (:mod:`~repro.act.lookup_table`), plus the vectorized batch engine
+(:mod:`~repro.act.vectorized`) and the memory-budgeted adaptive variant
+(:mod:`~repro.act.adaptive`).
+"""
+
+from .adaptive import AdaptiveACTIndex
+from .builder import ACTBuilder, BuildResult
+from .index import ACTIndex, QueryResult
+from .lookup_table import LookupTable
+from .stats import IndexStats
+from .supercovering import SuperCovering
+from .trie import AdaptiveCellTrie
+from .vectorized import VectorizedACT
+
+__all__ = [
+    "AdaptiveACTIndex",
+    "ACTBuilder",
+    "BuildResult",
+    "ACTIndex",
+    "QueryResult",
+    "LookupTable",
+    "IndexStats",
+    "SuperCovering",
+    "AdaptiveCellTrie",
+    "VectorizedACT",
+]

@@ -1,0 +1,111 @@
+"""Index introspection and space analysis.
+
+The paper's evaluation reasons about *why* ACT behaves the way it does:
+interior cells sit at coarse levels (cache-resident upper nodes), boundary
+cells concentrate at the precision level, and fanout-256 nodes are sparsely
+occupied. This module computes those distributions from a built index so
+the claims can be inspected (and are asserted in tests):
+
+* :func:`level_histogram` — indexed cells per grid level, split into
+  true-hit and candidate slots;
+* :func:`node_occupancy` — distribution of non-empty slots per trie node;
+* :func:`interior_area_fraction` — fraction of each polygon's area covered
+  by its interior cells (the paper's "majority of the interior area");
+* :func:`summarize` — one dict with the headline numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..geometry.polygon import Polygon
+from ..grid import cellid
+from ..grid.base import HierarchicalGrid
+from ..grid.coverer import Covering
+from . import entry as entry_codec
+from .index import ACTIndex
+from .trie import AdaptiveCellTrie
+
+
+def level_histogram(trie: AdaptiveCellTrie) -> Dict[int, Tuple[int, int]]:
+    """``{level: (true_hit_slots, candidate_slots)}`` over indexed cells.
+
+    Levels reflect the post-denormalization placement (the node depth a
+    lookup actually touches).
+    """
+    histogram: Dict[int, Tuple[int, int]] = {}
+    for cell, entry in trie.iter_cells():
+        level = cellid.level(cell)
+        true_slots, cand_slots = histogram.get(level, (0, 0))
+        tag = entry_codec.tag(entry)
+        if tag in (entry_codec.TAG_PAYLOAD_1, entry_codec.TAG_PAYLOAD_2):
+            refs = entry_codec.payload_refs(entry)
+            if any(entry_codec.ref_is_true_hit(r) for r in refs):
+                true_slots += 1
+            else:
+                cand_slots += 1
+        else:
+            cand_slots += 1  # offset entries are mixed; count conservatively
+        histogram[level] = (true_slots, cand_slots)
+    return histogram
+
+
+def node_occupancy(trie: AdaptiveCellTrie) -> Dict[str, float]:
+    """Slot-occupancy statistics over all nodes (sparsity of fanout 256)."""
+    if trie.num_nodes == 0:
+        return {"nodes": 0, "mean": 0.0, "median": 0.0, "max": 0}
+    fills = np.array([
+        sum(1 for slot in node if slot != entry_codec.SENTINEL)
+        for node in trie._nodes
+    ])
+    return {
+        "nodes": int(trie.num_nodes),
+        "mean": float(fills.mean()),
+        "median": float(np.median(fills)),
+        "max": int(fills.max()),
+        "occupancy": float(fills.mean()) / trie.fanout,
+    }
+
+
+def interior_area_fraction(covering: Covering, polygon: Polygon,
+                           grid: HierarchicalGrid) -> float:
+    """Fraction of the polygon's area covered by interior (true-hit) cells.
+
+    The paper: ACT "improves the ratio of true hits by covering the
+    majority of the interior area of polygons using interior cells".
+    """
+    if polygon.area <= 0.0:
+        return 0.0
+    interior_area = sum(
+        grid.cell_rect(cell).area for cell in covering.interior
+    )
+    return min(1.0, interior_area / polygon.area)
+
+
+def summarize(index: ACTIndex) -> Dict[str, object]:
+    """Headline introspection numbers for one index."""
+    histogram = level_histogram(index.trie)
+    occupancy = node_occupancy(index.trie)
+    total_true = sum(t for t, _ in histogram.values())
+    total_cand = sum(c for _, c in histogram.values())
+    coarse_true = sum(
+        t for level, (t, _) in histogram.items()
+        if level <= index.boundary_level - 2
+    )
+    return {
+        "indexed_cells": index.stats.indexed_cells,
+        "levels": sorted(histogram),
+        "true_hit_slots": total_true,
+        "candidate_slots": total_cand,
+        "true_slot_fraction": (
+            total_true / max(1, total_true + total_cand)
+        ),
+        "coarse_true_slots": coarse_true,
+        "node_occupancy": occupancy,
+        "boundary_level": index.boundary_level,
+        "bytes_per_indexed_cell": (
+            index.trie.size_bytes / max(1, index.stats.indexed_cells)
+        ),
+    }

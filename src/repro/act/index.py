@@ -1,0 +1,242 @@
+"""Public facade: the ACT approximate geospatial join index.
+
+:class:`ACTIndex` bundles the grid, the trie, the lookup table, and the
+original polygons behind the interface a downstream user needs:
+
+* :meth:`ACTIndex.build` — index a set of polygons at a precision bound;
+* :meth:`query` / :meth:`query_approx` / :meth:`query_exact` — per-point
+  lookups returning polygon ids;
+* :meth:`lookup_batch` / :meth:`count_points` — vectorized joins and the
+  count-per-polygon aggregation the paper's evaluation measures;
+* :attr:`stats` / :attr:`guaranteed_precision_meters` — Table I metrics
+  and the realized precision guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import BuildError
+from ..geometry.polygon import Polygon
+from ..grid.base import HierarchicalGrid
+from ..grid.planar import PlanarGrid
+from . import entry as entry_codec
+from .builder import ACTBuilder, BuildResult
+from .lookup_table import LookupTable
+from .stats import IndexStats
+from .trie import AdaptiveCellTrie
+from .vectorized import VectorizedACT
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Outcome of one point lookup.
+
+    ``true_hits`` are guaranteed containments; ``candidates`` are within
+    the precision bound of the polygon but possibly outside it.
+    """
+
+    true_hits: Tuple[int, ...]
+    candidates: Tuple[int, ...]
+
+    @property
+    def all_ids(self) -> Tuple[int, ...]:
+        """Approximate-join semantics: every reference counts as a hit."""
+        return self.true_hits + self.candidates
+
+    @property
+    def is_hit(self) -> bool:
+        return bool(self.true_hits or self.candidates)
+
+
+class ACTIndex:
+    """Approximate point-in-polygon join index with a precision guarantee."""
+
+    def __init__(self, grid: HierarchicalGrid, trie: AdaptiveCellTrie,
+                 lookup_table: LookupTable, polygons: Sequence[Polygon],
+                 stats: IndexStats, boundary_level: int):
+        self.grid = grid
+        self.trie = trie
+        self.lookup_table = lookup_table
+        self.polygons = list(polygons)
+        self.stats = stats
+        self.boundary_level = boundary_level
+        self._vectorized: Optional[VectorizedACT] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, polygons: Sequence[Polygon],
+              precision_meters: float = 4.0,
+              grid: Optional[HierarchicalGrid] = None,
+              fanout: int = 256,
+              use_interior: bool = True,
+              max_cells_per_polygon: Optional[int] = None) -> "ACTIndex":
+        """Build an index guaranteeing ``precision_meters``.
+
+        ``grid`` defaults to a :class:`~repro.grid.planar.PlanarGrid`
+        fitted to the polygons (exact cell geometry); pass an
+        :class:`~repro.grid.s2like.S2LikeGrid` for the paper's spherical
+        setup. See :class:`~repro.act.builder.ACTBuilder` for the
+        remaining knobs.
+        """
+        polygons = list(polygons)
+        if not polygons:
+            raise BuildError("cannot build an index over zero polygons")
+        if grid is None:
+            grid = PlanarGrid.for_polygons(polygons)
+        builder = ACTBuilder(
+            grid, fanout=fanout, use_interior=use_interior,
+            max_cells_per_polygon=max_cells_per_polygon,
+        )
+        result: BuildResult = builder.build(polygons, precision_meters)
+        return cls(grid, result.trie, result.lookup_table, polygons,
+                   result.stats, result.boundary_level)
+
+    # ------------------------------------------------------------------
+    # Guarantees
+    # ------------------------------------------------------------------
+    @property
+    def precision_meters(self) -> float:
+        """The precision bound the index was built for."""
+        return self.stats.precision_meters
+
+    @property
+    def guaranteed_precision_meters(self) -> float:
+        """Realized worst-case distance of a false positive, in meters
+        (at most :attr:`precision_meters`, usually tighter)."""
+        return self.grid.max_diag_meters(self.boundary_level)
+
+    @property
+    def num_polygons(self) -> int:
+        return len(self.polygons)
+
+    # ------------------------------------------------------------------
+    # Scalar queries
+    # ------------------------------------------------------------------
+    def query(self, lng: float, lat: float) -> QueryResult:
+        """Classified lookup: separate true hits from candidates."""
+        leaf = self.grid.leaf_cell(lng, lat)
+        if leaf is None:
+            return QueryResult((), ())
+        return self._decode(self.trie.lookup_entry(leaf))
+
+    def query_approx(self, lng: float, lat: float) -> Tuple[int, ...]:
+        """Approximate join: all referenced polygon ids, no refinement.
+
+        False positives lie within :attr:`guaranteed_precision_meters`
+        of their reported polygon — the paper's headline operation.
+        """
+        return self.query(lng, lat).all_ids
+
+    def query_exact(self, lng: float, lat: float) -> Tuple[int, ...]:
+        """Exact join: candidates are refined with point-in-polygon tests.
+
+        True hits skip refinement entirely (the true-hit-filtering
+        speedup); only boundary-cell matches pay for a PIP test.
+        """
+        result = self.query(lng, lat)
+        refined = tuple(
+            pid for pid in result.candidates
+            if self.polygons[pid].contains(lng, lat)
+        )
+        return result.true_hits + refined
+
+    # ------------------------------------------------------------------
+    # Vectorized queries
+    # ------------------------------------------------------------------
+    @property
+    def vectorized(self) -> VectorizedACT:
+        """Lazily frozen flat-array snapshot used by the batch paths."""
+        if self._vectorized is None:
+            self._vectorized = VectorizedACT(self.trie, self.lookup_table)
+        return self._vectorized
+
+    def lookup_batch(self, lngs: np.ndarray, lats: np.ndarray) -> np.ndarray:
+        """Encoded entries for a batch of points (see
+        :class:`~repro.act.vectorized.VectorizedACT`)."""
+        cells = self.grid.leaf_cells_batch(
+            np.asarray(lngs, dtype=np.float64),
+            np.asarray(lats, dtype=np.float64),
+        )
+        return self.vectorized.lookup_entries(cells)
+
+    def query_batch(self, lngs: np.ndarray, lats: np.ndarray,
+                    ) -> List[QueryResult]:
+        """Per-point classified results for a batch (convenience API)."""
+        return [self._decode(int(e)) for e in self.lookup_batch(lngs, lats)]
+
+    def count_points(self, lngs: np.ndarray, lats: np.ndarray,
+                     exact: bool = False) -> np.ndarray:
+        """Count points per polygon — the paper's evaluation workload.
+
+        With ``exact=False`` this is the pure approximate join (true hits
+        plus candidates, zero PIP tests). With ``exact=True`` candidates
+        are refined against the actual polygons, giving exact counts while
+        still skipping refinement for every true hit.
+        """
+        lngs = np.asarray(lngs, dtype=np.float64)
+        lats = np.asarray(lats, dtype=np.float64)
+        entries = self.lookup_batch(lngs, lats)
+        if not exact:
+            return self.vectorized.count_hits(entries, self.num_polygons,
+                                              include_candidates=True)
+        counts = self.vectorized.count_hits(entries, self.num_polygons,
+                                            include_candidates=False)
+        point_idx, polygon_ids = self.vectorized.candidate_pairs(entries)
+        if point_idx.size:
+            order = np.argsort(polygon_ids, kind="stable")
+            point_idx = point_idx[order]
+            polygon_ids = polygon_ids[order]
+            boundaries = np.flatnonzero(np.diff(polygon_ids)) + 1
+            for chunk_idx, chunk_pts in zip(
+                np.split(polygon_ids, boundaries),
+                np.split(point_idx, boundaries),
+            ):
+                pid = int(chunk_idx[0])
+                inside = self.polygons[pid].contains_batch(
+                    lngs[chunk_pts], lats[chunk_pts]
+                )
+                counts[pid] += int(np.count_nonzero(inside))
+        return counts
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _decode(self, entry: int) -> QueryResult:
+        tag = entry_codec.tag(entry)
+        if tag == entry_codec.TAG_POINTER:
+            return QueryResult((), ())
+        if tag == entry_codec.TAG_OFFSET:
+            true_ids, cand_ids = self.lookup_table.get(
+                entry_codec.offset_value(entry)
+            )
+            return QueryResult(true_ids, cand_ids)
+        refs = entry_codec.payload_refs(entry)
+        true_hits = tuple(entry_codec.ref_polygon_id(r) for r in refs
+                          if entry_codec.ref_is_true_hit(r))
+        candidates = tuple(entry_codec.ref_polygon_id(r) for r in refs
+                           if not entry_codec.ref_is_true_hit(r))
+        return QueryResult(true_hits, candidates)
+
+    def memory_report(self) -> dict:
+        """Size breakdown in bytes (C++-layout accounting, like Table I)."""
+        return {
+            "trie_bytes": self.trie.size_bytes,
+            "trie_nodes": self.trie.num_nodes,
+            "lookup_table_bytes": self.lookup_table.size_bytes,
+            "total_bytes": self.trie.size_bytes + self.lookup_table.size_bytes,
+            "indexed_cells": self.stats.indexed_cells,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ACTIndex({self.num_polygons} polygons, "
+            f"precision={self.precision_meters:g} m, "
+            f"grid={self.grid.name}, fanout={self.trie.fanout}, "
+            f"cells={self.stats.indexed_cells:,})"
+        )

@@ -1,0 +1,101 @@
+"""The lookup table for cells referencing three or more polygons.
+
+Mirrors the paper's encoding: a single ``uint32`` array where each entry
+is ``[num_true_hits, true_hit_ids..., num_candidates, candidate_ids...]``
+and trie slots store offsets into the array. Reference sets recur across
+cells (e.g. every cell along a shared border of the same three polygons),
+so identical sets are deduplicated and share one offset.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import CapacityError
+from . import entry as entry_codec
+
+
+class LookupTable:
+    """Deduplicated, uint32-encoded polygon reference sets."""
+
+    __slots__ = ("_data", "_offsets")
+
+    def __init__(self) -> None:
+        self._data: List[int] = []
+        self._offsets: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], int] = {}
+
+    @classmethod
+    def from_array(cls, data: np.ndarray) -> "LookupTable":
+        """Rebuild a table from its encoded uint32 array (persistence).
+
+        The dedup map is reconstructed by walking the encoded entries so
+        further ``intern`` calls keep deduplicating correctly.
+        """
+        table = cls()
+        table._data = [int(v) for v in data]
+        offset = 0
+        n = len(table._data)
+        while offset < n:
+            true_ids, cand_ids = table.get(offset)
+            table._offsets[(tuple(sorted(true_ids)),
+                            tuple(sorted(cand_ids)))] = offset
+            offset += 2 + len(true_ids) + len(cand_ids)
+        return table
+
+    def __len__(self) -> int:
+        """Number of uint32 words in the encoded array."""
+        return len(self._data)
+
+    @property
+    def num_unique_sets(self) -> int:
+        return len(self._offsets)
+
+    @property
+    def size_bytes(self) -> int:
+        return 4 * len(self._data)
+
+    def intern(self, true_ids: Iterable[int], candidate_ids: Iterable[int]) -> int:
+        """Offset of the (deduplicated) reference set, appending if new."""
+        true_key = tuple(sorted(true_ids))
+        cand_key = tuple(sorted(candidate_ids))
+        key = (true_key, cand_key)
+        offset = self._offsets.get(key)
+        if offset is not None:
+            return offset
+        offset = len(self._data)
+        if offset > entry_codec.MAX_OFFSET:
+            raise CapacityError(
+                f"lookup table exceeded the 31-bit offset space at {offset}"
+            )
+        self._data.append(len(true_key))
+        self._data.extend(true_key)
+        self._data.append(len(cand_key))
+        self._data.extend(cand_key)
+        self._offsets[key] = offset
+        return offset
+
+    def intern_refs(self, refs: Sequence[int]) -> int:
+        """Offset for packed 31-bit references (splits true/candidate)."""
+        true_ids = [entry_codec.ref_polygon_id(r) for r in refs
+                    if entry_codec.ref_is_true_hit(r)]
+        cand_ids = [entry_codec.ref_polygon_id(r) for r in refs
+                    if not entry_codec.ref_is_true_hit(r)]
+        return self.intern(true_ids, cand_ids)
+
+    def get(self, offset: int) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """Decode ``(true_hit_ids, candidate_ids)`` at ``offset``."""
+        data = self._data
+        if not 0 <= offset < len(data):
+            raise CapacityError(f"lookup-table offset {offset} out of range")
+        n_true = data[offset]
+        true_ids = tuple(data[offset + 1:offset + 1 + n_true])
+        cand_pos = offset + 1 + n_true
+        n_cand = data[cand_pos]
+        cand_ids = tuple(data[cand_pos + 1:cand_pos + 1 + n_cand])
+        return true_ids, cand_ids
+
+    def as_array(self) -> np.ndarray:
+        """The encoded table as a ``uint32`` numpy array."""
+        return np.asarray(self._data, dtype=np.uint32)

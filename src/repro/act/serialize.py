@@ -1,0 +1,135 @@
+"""Index persistence: save/load a built ACT index.
+
+The paper targets *static* polygon sets, so building once and shipping
+the index to query nodes is the natural deployment. The on-disk format
+is a single compressed ``.npz``:
+
+* the trie node pool (``(num_nodes, fanout)`` uint64) and face roots;
+* the lookup-table uint32 array;
+* grid parameters (kind, bounds, max level);
+* the original polygons (GeoJSON, needed for exact-mode refinement);
+* build stats (JSON) so Table-I metrics survive the roundtrip.
+
+Loading reconstructs an :class:`~repro.act.index.ACTIndex` that answers
+identically to the original (tests assert bit-equal lookups).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..errors import ACTError
+from ..geometry import geojson
+from ..geometry.bbox import Rect
+from ..grid.planar import PlanarGrid
+from ..grid.s2like import S2LikeGrid
+from .index import ACTIndex
+from .lookup_table import LookupTable
+from .stats import IndexStats
+from .trie import AdaptiveCellTrie
+
+#: On-disk format version (bump on layout changes).
+FORMAT_VERSION = 1
+
+
+def save_index(index: ACTIndex, path: Union[str, Path]) -> None:
+    """Persist ``index`` to ``path`` (``.npz``; extension not enforced)."""
+    table, roots = index.trie.export_arrays()
+    polygons_doc = geojson.feature_collection(
+        geojson.feature(p, {"id": pid})
+        for pid, p in enumerate(index.polygons)
+    )
+    grid = index.grid
+    if isinstance(grid, PlanarGrid):
+        grid_kind = "planar"
+        grid_params = [grid.bounds.min_x, grid.bounds.min_y,
+                       grid.bounds.max_x, grid.bounds.max_y,
+                       float(grid.max_level)]
+    elif isinstance(grid, S2LikeGrid):
+        grid_kind = "s2like"
+        grid_params = [float(grid.max_level)]
+    else:
+        raise ACTError(
+            f"cannot serialize indexes over grid type "
+            f"{type(grid).__name__!r}"
+        )
+    meta = {
+        "version": FORMAT_VERSION,
+        "fanout": index.trie.fanout,
+        "num_trie_entries": index.trie.num_entries,
+        "boundary_level": index.boundary_level,
+        "grid_kind": grid_kind,
+        "stats": _stats_to_dict(index.stats),
+    }
+    np.savez_compressed(
+        path,
+        nodes=table,
+        roots=roots,
+        lookup=index.lookup_table.as_array(),
+        grid_params=np.asarray(grid_params, dtype=np.float64),
+        meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+        polygons=np.frombuffer(
+            json.dumps(polygons_doc).encode("utf-8"), dtype=np.uint8
+        ),
+    )
+
+
+def load_index(path: Union[str, Path]) -> ACTIndex:
+    """Load an index written by :func:`save_index`."""
+    with np.load(path) as data:
+        meta = json.loads(bytes(data["meta"].tobytes()).decode("utf-8"))
+        if meta.get("version") != FORMAT_VERSION:
+            raise ACTError(
+                f"unsupported index format version {meta.get('version')!r}"
+            )
+        nodes = data["nodes"]
+        roots = data["roots"]
+        lookup_array = data["lookup"]
+        grid_params = data["grid_params"]
+        polygons_doc = json.loads(
+            bytes(data["polygons"].tobytes()).decode("utf-8")
+        )
+
+    if meta["grid_kind"] == "planar":
+        bounds = Rect(*grid_params[:4])
+        grid = PlanarGrid(bounds, max_level=int(grid_params[4]))
+    elif meta["grid_kind"] == "s2like":
+        grid = S2LikeGrid(max_level=int(grid_params[0]))
+    else:
+        raise ACTError(f"unknown grid kind {meta['grid_kind']!r}")
+
+    trie = AdaptiveCellTrie.from_arrays(
+        nodes, roots, fanout=meta["fanout"],
+        num_entries=meta["num_trie_entries"],
+    )
+    lookup_table = LookupTable.from_array(lookup_array)
+    polygons = []
+    for feat in polygons_doc["features"]:
+        geom = geojson.geometry_from_geojson(feat["geometry"])
+        polygons.append(geom)
+    stats = _stats_from_dict(meta["stats"])
+    return ACTIndex(grid, trie, lookup_table, polygons, stats,
+                    meta["boundary_level"])
+
+
+def _stats_to_dict(stats: IndexStats) -> dict:
+    out = {k: getattr(stats, k) for k in (
+        "num_polygons", "precision_meters", "boundary_level", "fanout",
+        "grid_name", "raw_boundary_cells", "raw_interior_cells",
+        "indexed_cells", "conflict_cells", "trie_nodes", "trie_bytes",
+        "trie_entries", "lookup_table_bytes", "lookup_table_sets",
+        "build_coverings_seconds", "build_super_seconds",
+        "build_trie_seconds",
+    )}
+    return out
+
+
+def _stats_from_dict(data: dict) -> IndexStats:
+    stats = IndexStats()
+    for key, value in data.items():
+        setattr(stats, key, value)
+    return stats

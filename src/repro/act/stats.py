@@ -1,0 +1,79 @@
+"""Index statistics: the metrics of the paper's Table I.
+
+Collected during the build and exposed on :class:`~repro.act.index.ACTIndex`.
+``as_table_row`` prints the same columns as the paper (indexed cells, ACT
+size, lookup-table size, covering/super-covering build times) so the
+benchmark harness can render a directly comparable table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class IndexStats:
+    """Build-time and size metrics of one ACT index."""
+
+    num_polygons: int = 0
+    precision_meters: float = 0.0
+    boundary_level: int = 0
+    fanout: int = 256
+    grid_name: str = ""
+
+    #: covering cells straight out of the per-polygon coverer
+    raw_boundary_cells: int = 0
+    raw_interior_cells: int = 0
+
+    #: cells actually indexed (after denormalization + conflict push-down)
+    indexed_cells: int = 0
+    #: extra cells materialized by overlap conflict resolution
+    conflict_cells: int = 0
+
+    trie_nodes: int = 0
+    trie_bytes: int = 0
+    trie_entries: int = 0
+    lookup_table_bytes: int = 0
+    lookup_table_sets: int = 0
+
+    build_coverings_seconds: float = 0.0
+    build_super_seconds: float = 0.0
+    build_trie_seconds: float = 0.0
+
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def raw_cells(self) -> int:
+        return self.raw_boundary_cells + self.raw_interior_cells
+
+    @property
+    def total_bytes(self) -> int:
+        return self.trie_bytes + self.lookup_table_bytes
+
+    @property
+    def build_seconds(self) -> float:
+        return (self.build_coverings_seconds + self.build_super_seconds
+                + self.build_trie_seconds)
+
+    def as_table_row(self) -> Dict[str, float]:
+        """The paper's Table I columns for this index."""
+        return {
+            "precision [m]": self.precision_meters,
+            "indexed cells [M]": self.indexed_cells / 1e6,
+            "ACT [MB]": self.trie_bytes / 1e6,
+            "lookup table [MB]": self.lookup_table_bytes / 1e6,
+            "build individual coverings [s]": self.build_coverings_seconds,
+            "build super covering [s]": self.build_super_seconds,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"IndexStats(polygons={self.num_polygons}, "
+            f"precision={self.precision_meters:g} m, "
+            f"level={self.boundary_level}, "
+            f"cells={self.indexed_cells:,}, "
+            f"trie={self.trie_bytes / 1e6:.2f} MB, "
+            f"lookup={self.lookup_table_bytes / 1e6:.3f} MB, "
+            f"build={self.build_seconds:.2f} s)"
+        )

@@ -1,0 +1,220 @@
+"""Super covering: merging per-polygon coverings into one cell set.
+
+Section II of the paper: *"Once the coverings of every polygon have been
+computed, we merge these individual coverings into a super covering that
+represents all polygons. This step involves removing duplicate cells and
+resolving conflicts between overlapping cells. The latter may require
+additional refinement steps and potentially increases the total number of
+cells."*
+
+Concretely:
+
+* every covering cell is **denormalized** to the trie's level granularity
+  (its payload replicated over descendants at the next indexable level);
+* cells shared by several polygons are **deduplicated** into one cell with
+  a merged reference set;
+* ancestor/descendant **conflicts** (one polygon's coarse cell containing
+  another's finer cells — typical for overlapping geofences) are resolved
+  by pushing the ancestor's references down: the ancestor is re-tiled into
+  aligned sub-cells, merging into existing descendants and materializing
+  the sibling cells that tile the remainder.
+
+The result is a **prefix-free** cell map: no cell is an ancestor of
+another, so an ACT lookup returns at most one cell — exactly the paper's
+lookup contract.
+
+References are carried as packed 31-bit ints (``polygon_id << 1 | is_true``,
+the same layout :mod:`repro.act.entry` inlines into trie slots) to keep the
+merge allocation-light at millions of cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from ..errors import BuildError
+from ..grid import cellid
+from ..grid.coverer import Covering
+
+#: Packed reference: ``polygon_id << 1 | is_true_hit``.
+PackedRef = int
+
+
+@dataclass
+class _LaminarNode:
+    """One conflicted cell in a containment (laminar) tree."""
+
+    cell: int
+    refs: Set[PackedRef]
+    children: List["_LaminarNode"] = field(default_factory=list)
+
+
+class SuperCovering:
+    """The merged, prefix-free cell map for a set of polygons.
+
+    :attr:`cells` maps each indexed cell to its packed reference list
+    (possibly containing duplicates only across true/candidate flags —
+    the builder normalizes at encode time).
+    """
+
+    __slots__ = ("cells", "levels_per_step", "max_cell_level",
+                 "num_conflict_cells")
+
+    def __init__(self, cells: Dict[int, List[PackedRef]],
+                 levels_per_step: int, max_cell_level: int,
+                 num_conflict_cells: int):
+        self.cells = cells
+        self.levels_per_step = levels_per_step
+        self.max_cell_level = max_cell_level
+        self.num_conflict_cells = num_conflict_cells
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.cells)
+
+    @classmethod
+    def merge(cls, coverings: Iterable[Tuple[int, Covering]],
+              levels_per_step: int, max_cell_level: int) -> "SuperCovering":
+        """Merge ``(polygon_id, covering)`` pairs into a super covering.
+
+        ``levels_per_step`` is the trie granularity ``g`` (4 for fanout
+        256); cells are denormalized so ``level % g == 0`` holds for every
+        indexed cell, as required for insertion.
+        """
+        refs_by_cell: Dict[int, List[PackedRef]] = {}
+        for polygon_id, covering in coverings:
+            for cell, is_interior in covering.all_cells():
+                if cellid.level(cell) > max_cell_level:
+                    raise BuildError(
+                        f"covering cell at level {cellid.level(cell)} "
+                        f"exceeds max indexable level {max_cell_level}"
+                    )
+                packed = (polygon_id << 1) | (1 if is_interior else 0)
+                refs = refs_by_cell.get(cell)
+                if refs is None:
+                    refs_by_cell[cell] = [packed]
+                else:
+                    refs.append(packed)
+
+        resolved, conflict_cells = _resolve_conflicts(
+            refs_by_cell, levels_per_step
+        )
+        return cls(resolved, levels_per_step, max_cell_level, conflict_cells)
+
+    def validate_prefix_free(self) -> None:
+        """Assert no indexed cell contains another (tests call this)."""
+        ordered = sorted(self.cells, key=cellid.range_min)
+        for prev, curr in zip(ordered, ordered[1:]):
+            if cellid.range_max(prev) >= cellid.range_min(curr):
+                raise BuildError(
+                    f"super covering not prefix-free: "
+                    f"{cellid.to_token(prev)} overlaps {cellid.to_token(curr)}"
+                )
+
+
+def _resolve_conflicts(refs_by_cell: Dict[int, List[PackedRef]],
+                       levels_per_step: int,
+                       ) -> Tuple[Dict[int, List[PackedRef]], int]:
+    """Split ancestor cells around their conflicting descendants.
+
+    Cells are laminar (any two are nested or disjoint), so sorting by
+    ``range_min`` with coarser cells first turns containment chains into
+    consecutive runs, which are resolved group by group. Conflict-free
+    cells — the overwhelmingly common case — pass through untouched.
+    """
+    order = sorted(
+        refs_by_cell,
+        key=lambda c: ((c - (c & -c)) << 6) | cellid.level(c),
+    )
+    out: Dict[int, List[PackedRef]] = {}
+    conflict_cells = 0
+    i = 0
+    n = len(order)
+    while i < n:
+        cell = order[i]
+        group_end = i + 1
+        max_range = cellid.range_max(cell)
+        while group_end < n and \
+                cellid.range_min(order[group_end]) <= max_range:
+            next_max = cellid.range_max(order[group_end])
+            if next_max > max_range:
+                max_range = next_max
+            group_end += 1
+        if group_end == i + 1:
+            out[cell] = refs_by_cell[cell]
+        else:
+            before = len(out)
+            _resolve_group(
+                [(c, refs_by_cell[c]) for c in order[i:group_end]],
+                out, levels_per_step,
+            )
+            conflict_cells += len(out) - before - (group_end - i)
+        i = group_end
+    return out, max(0, conflict_cells)
+
+
+def _resolve_group(group: Sequence[Tuple[int, List[PackedRef]]],
+                   out: Dict[int, List[PackedRef]],
+                   levels_per_step: int) -> None:
+    """Push ancestor references down through one laminar conflict group."""
+    root_cell, root_refs = group[0]
+    root = _LaminarNode(root_cell, set(root_refs))
+    stack = [root]
+    for cell, refs in group[1:]:
+        while not cellid.contains(stack[-1].cell, cell):
+            stack.pop()
+        node = _LaminarNode(cell, set(refs))
+        stack[-1].children.append(node)
+        stack.append(node)
+    _emit(root.cell, frozenset(root.refs), root.children,
+          out, levels_per_step)
+
+
+def _emit(cell: int, refs: FrozenSet[PackedRef],
+          children: List[_LaminarNode], out: Dict[int, List[PackedRef]],
+          levels_per_step: int) -> None:
+    """Tile ``cell`` with its conflicting descendants pushed-down into it.
+
+    ``refs`` are the references inherited from ``cell`` and all of its
+    resolved ancestors; they apply to every part of the cell not claimed
+    by a descendant.
+    """
+    if not children:
+        if refs:
+            _merge_out(out, cell, refs)
+        return
+    if not refs:
+        # nothing to push down: descendants resolve independently
+        for child in children:
+            _emit(child.cell, frozenset(child.refs), child.children,
+                  out, levels_per_step)
+        return
+
+    # split the cell one level and distribute (cells may sit at any level
+    # since denormalization happens inside the trie insert)
+    target_level = cellid.level(cell) + 1
+    for slot in cellid.denormalize(cell, target_level):
+        slot_min = cellid.range_min(slot)
+        slot_max = slot_min + 2 * (slot & -slot) - 2
+        sub = [c for c in children
+               if slot_min <= cellid.range_min(c.cell) <= slot_max]
+        if not sub:
+            _merge_out(out, slot, refs)
+        elif len(sub) == 1 and sub[0].cell == slot:
+            node = sub[0]
+            _emit(slot, refs | node.refs, node.children, out,
+                  levels_per_step)
+        else:
+            # the slot itself is not a recorded cell: recurse with the
+            # inherited refs (non-empty here) over the surviving nodes
+            _emit(slot, refs, sub, out, levels_per_step)
+
+
+def _merge_out(out: Dict[int, List[PackedRef]], cell: int,
+               refs: Iterable[PackedRef]) -> None:
+    existing = out.get(cell)
+    if existing is None:
+        out[cell] = list(refs)
+    else:
+        existing.extend(refs)

@@ -1,0 +1,297 @@
+"""The Adaptive Cell Trie: a radix tree over hierarchical grid cells.
+
+Keys are the Hilbert-path bit sequences of cell ids (the 3 face bits are
+dispatched through per-face root slots, so path chunks stay aligned). With
+the default fanout of 256, each trie level consumes 8 key bits ≙ 4 grid
+levels, capping lookups at ``floor(60 / 8) = 7`` node accesses after the
+face dispatch — the "few basic integer operations" the paper credits for
+its speed.
+
+Lookups are **comparison-free** in the radix-tree sense: no key is ever
+compared against stored keys; each step extracts the next chunk of the
+query cell's path and jumps to that slot. Only the 2-bit entry tags are
+inspected to distinguish pointers from inlined payloads, exactly as the
+paper describes.
+
+Cells may only be inserted at levels aligned to the fanout granularity
+(``level % levels_per_step == 0``); the builder denormalizes coverings
+accordingly (paper: "we need to denormalize cells upon insertion and
+replicate their payloads").
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from ..errors import BuildError
+from ..grid import cellid
+from . import entry as entry_codec
+
+#: Fanouts supported: 4 ** k keeps chunks aligned to whole grid levels.
+SUPPORTED_FANOUTS = (4, 16, 64, 256)
+
+#: Total path bits of a leaf cell (level 30, 2 bits per level).
+KEY_BITS = 2 * cellid.MAX_LEVEL
+
+
+class AdaptiveCellTrie:
+    """Radix tree mapping grid cells to encoded polygon-reference entries.
+
+    Parameters
+    ----------
+    fanout:
+        Slots per node; must be a power of four so that each trie level
+        consumes an integral number of grid levels. The paper's default
+        (and ours) is 256.
+    num_faces:
+        Number of root slots (6 for spherical grids, 1 suffices for
+        planar grids but 6 is kept for a uniform layout).
+    """
+
+    __slots__ = ("fanout", "bits_per_step", "levels_per_step", "max_steps",
+                 "max_cell_level", "_roots", "_nodes", "num_entries")
+
+    def __init__(self, fanout: int = 256, num_faces: int = cellid.NUM_FACES):
+        if fanout not in SUPPORTED_FANOUTS:
+            raise BuildError(
+                f"fanout must be one of {SUPPORTED_FANOUTS}, got {fanout}"
+            )
+        self.fanout = fanout
+        self.bits_per_step = fanout.bit_length() - 1  # log2(fanout)
+        self.levels_per_step = self.bits_per_step // 2
+        self.max_steps = KEY_BITS // self.bits_per_step
+        #: deepest level at which cells can be indexed (28 for fanout 256)
+        self.max_cell_level = self.max_steps * self.levels_per_step
+        self._roots: List[int] = [entry_codec.SENTINEL] * num_faces
+        self._nodes: List[List[int]] = []
+        self.num_entries = 0
+
+    @classmethod
+    def from_arrays(cls, nodes, roots, fanout: int,
+                    num_entries: int) -> "AdaptiveCellTrie":
+        """Rebuild a trie from :meth:`export_arrays` output (persistence)."""
+        trie = cls(fanout=fanout, num_faces=len(roots))
+        trie._roots = [int(r) for r in roots]
+        pool = [[int(v) for v in row] for row in nodes]
+        # export_arrays emits one zero row for an empty trie; drop it
+        if num_entries == 0 and len(pool) == 1 and not any(pool[0]):
+            pool = []
+        trie._nodes = pool
+        trie.num_entries = num_entries
+        return trie
+
+    # ------------------------------------------------------------------
+    # Structure metrics
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def size_bytes(self) -> int:
+        """Memory of the C++ layout: 8-byte slots in fixed-size nodes."""
+        return self.num_nodes * self.fanout * 8
+
+    def align_level_up(self, level: int) -> int:
+        """Smallest indexable level >= ``level`` (granularity rounding)."""
+        step = self.levels_per_step
+        aligned = ((level + step - 1) // step) * step
+        if aligned > self.max_cell_level:
+            raise BuildError(
+                f"level {level} not indexable with fanout {self.fanout} "
+                f"(deepest indexable level is {self.max_cell_level})"
+            )
+        return aligned
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert(self, cell: int, entry: int) -> None:
+        """Insert an encoded entry for a conflict-free cell at any level.
+
+        Cells whose level is not a multiple of the granularity are
+        **denormalized on insertion** (paper, Section II): the entry is
+        replicated across the contiguous slot range its descendant cells
+        occupy at the next indexable level. Descendants within one
+        granularity step always share a single node, so denormalization is
+        a slice fill, never extra nodes.
+
+        Raises :class:`~repro.errors.BuildError` on over-deep levels,
+        duplicate cells, or ancestor/descendant conflicts — the super
+        covering is responsible for producing a prefix-free cell set.
+        """
+        level = cellid.level(cell)
+        if level > self.max_cell_level:
+            raise BuildError(
+                f"cell level {level} exceeds the deepest indexable level "
+                f"{self.max_cell_level} of a fanout-{self.fanout} trie"
+            )
+        if entry_codec.tag(entry) == entry_codec.TAG_POINTER:
+            raise BuildError("cannot insert a pointer entry")
+        face = cellid.face(cell)
+        path, key_bits = cellid.path_key(cell)
+        bits = self.bits_per_step
+        steps = key_bits // bits
+        remainder_bits = key_bits - steps * bits
+
+        if steps == 0 and remainder_bits == 0:
+            if self._roots[face] != entry_codec.SENTINEL:
+                raise BuildError(f"conflicting insert at face root {face}")
+            self._roots[face] = entry
+            self.num_entries += 1
+            return
+
+        # descend/create internal nodes chunk by chunk (inlined hot loop);
+        # after the loop, (container, index) addresses the slot reached by
+        # consuming every *full* chunk of the key
+        mask = self.fanout - 1
+        nodes = self._nodes
+        container: List[int] = self._roots
+        index = face
+        for step in range(steps):
+            slot = container[index]
+            if slot == entry_codec.SENTINEL:
+                node = [entry_codec.SENTINEL] * self.fanout
+                nodes.append(node)
+                container[index] = (len(nodes) << 2)  # make_pointer inlined
+            elif slot & 0b11:
+                raise BuildError(
+                    "conflicting insert: an ancestor cell already carries a "
+                    "payload on this path (super covering not prefix-free)"
+                )
+            else:
+                node = nodes[(slot >> 2) - 1]
+            container = node
+            index = (path >> (key_bits - (step + 1) * bits)) & mask
+
+        if remainder_bits == 0:
+            # exactly aligned: a single terminal slot
+            if container[index] != entry_codec.SENTINEL:
+                raise BuildError(
+                    f"conflicting insert: slot for cell "
+                    f"{cellid.to_token(cell)} already holds an entry"
+                )
+            container[index] = entry
+            self.num_entries += 1
+            return
+
+        # unaligned: resolve one more node — the partial-chunk slots of
+        # this cell's descendants all live there
+        slot = container[index]
+        if slot == entry_codec.SENTINEL:
+            node = [entry_codec.SENTINEL] * self.fanout
+            nodes.append(node)
+            container[index] = (len(nodes) << 2)
+        elif slot & 0b11:
+            raise BuildError(
+                "conflicting insert: an ancestor cell already carries a "
+                "payload on this path (super covering not prefix-free)"
+            )
+        else:
+            node = nodes[(slot >> 2) - 1]
+        # denormalize: fill the contiguous descendant slot range
+        free_bits = bits - remainder_bits
+        base = (path & ((1 << remainder_bits) - 1)) << free_bits
+        span = 1 << free_bits
+        segment = node[base:base + span]
+        if any(s != entry_codec.SENTINEL for s in segment):
+            raise BuildError(
+                f"conflicting insert: denormalized range of cell "
+                f"{cellid.to_token(cell)} overlaps existing entries"
+            )
+        node[base:base + span] = [entry] * span
+        self.num_entries += span
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def lookup_entry(self, leaf_cell: int) -> int:
+        """Encoded entry matching the leaf's path, or the sentinel (miss).
+
+        The descent is comparison-free: each step extracts the next path
+        chunk and indexes into the current node.
+        """
+        face = leaf_cell >> cellid.POS_BITS
+        entry = self._roots[face]
+        if entry_codec.tag(entry) != entry_codec.TAG_POINTER:
+            return entry
+        if entry == entry_codec.SENTINEL:
+            return entry_codec.SENTINEL
+        path = (leaf_cell >> 1) & ((1 << KEY_BITS) - 1)
+        bits = self.bits_per_step
+        mask = self.fanout - 1
+        nodes = self._nodes
+        shift = KEY_BITS
+        for _ in range(self.max_steps):
+            shift -= bits
+            node = nodes[(entry >> 2) - 1]
+            entry = node[(path >> shift) & mask]
+            t = entry & 0b11
+            if t != entry_codec.TAG_POINTER:
+                return entry
+            if entry == entry_codec.SENTINEL:
+                return entry_codec.SENTINEL
+        return entry_codec.SENTINEL
+
+    def node_accesses(self, leaf_cell: int) -> int:
+        """Number of node reads the lookup of ``leaf_cell`` performs
+        (for reproducing the paper's cost model c_avg)."""
+        face = leaf_cell >> cellid.POS_BITS
+        entry = self._roots[face]
+        if entry_codec.tag(entry) != entry_codec.TAG_POINTER or \
+                entry == entry_codec.SENTINEL:
+            return 0
+        path = (leaf_cell >> 1) & ((1 << KEY_BITS) - 1)
+        bits = self.bits_per_step
+        mask = self.fanout - 1
+        accesses = 0
+        shift = KEY_BITS
+        for _ in range(self.max_steps):
+            shift -= bits
+            node = self._nodes[(entry >> 2) - 1]
+            accesses += 1
+            entry = node[(path >> shift) & mask]
+            if (entry & 0b11) != entry_codec.TAG_POINTER or \
+                    entry == entry_codec.SENTINEL:
+                return accesses
+        return accesses
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def iter_cells(self) -> Iterator[Tuple[int, int]]:
+        """Yield every indexed ``(cell, entry)`` pair (tests/serialization)."""
+        for face, root in enumerate(self._roots):
+            if root == entry_codec.SENTINEL:
+                continue
+            if entry_codec.tag(root) != entry_codec.TAG_POINTER:
+                yield cellid.from_face(face), root
+                continue
+            stack = [(entry_codec.pointer_index(root), face, 0, 0)]
+            while stack:
+                node_idx, face_val, path, level = stack.pop()
+                node = self._nodes[node_idx]
+                for chunk in range(self.fanout):
+                    entry = node[chunk]
+                    if entry == entry_codec.SENTINEL:
+                        continue
+                    child_path = (path << self.bits_per_step) | chunk
+                    child_level = level + self.levels_per_step
+                    if entry_codec.tag(entry) == entry_codec.TAG_POINTER:
+                        stack.append((entry_codec.pointer_index(entry),
+                                      face_val, child_path, child_level))
+                    else:
+                        yield (cellid.from_face_path(
+                            face_val, child_path, child_level), entry)
+
+    def export_arrays(self):
+        """Node pool as a ``(num_nodes, fanout)`` uint64 array plus the
+        root entries — the input to :mod:`repro.act.vectorized`."""
+        import numpy as np
+
+        table = np.zeros((max(1, len(self._nodes)), self.fanout),
+                         dtype=np.uint64)
+        for idx, node in enumerate(self._nodes):
+            table[idx, :] = node
+        roots = np.asarray(self._roots, dtype=np.uint64)
+        return table, roots

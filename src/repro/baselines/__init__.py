@@ -1,0 +1,25 @@
+"""Baseline join operators the paper compares against (or cites).
+
+* :class:`~repro.baselines.rtree.RTreeJoinBaseline` — the paper's
+  evaluation baseline: boost-style R*-tree over polygon MBRs, rstar split,
+  8 entries per node, lookups without refinement.
+* :class:`~repro.baselines.fixed_grid.FixedGridIndex` — Magellan-style
+  non-hierarchical grid with inside/boundary flags.
+* :class:`~repro.baselines.interior_rect.InteriorRectIndex` — classic
+  true-hit filtering with a single inscribed rectangle per polygon.
+* :class:`~repro.baselines.scan.ScanJoin` — brute-force ground truth.
+"""
+
+from .fixed_grid import FixedGridIndex
+from .interior_rect import InteriorRectIndex, maximal_inscribed_rect
+from .rtree import RStarTree, RTreeJoinBaseline
+from .scan import ScanJoin
+
+__all__ = [
+    "FixedGridIndex",
+    "InteriorRectIndex",
+    "maximal_inscribed_rect",
+    "RStarTree",
+    "RTreeJoinBaseline",
+    "ScanJoin",
+]

@@ -1,0 +1,123 @@
+"""Interior-rectangle true-hit filtering (Kanth & Ravada, SSTD 2001).
+
+The paper cites interior approximations with inner rectangles as the
+prior art its interior *coverings* improve on ("in contrast to existing
+implementations of true hit filtering that use inner rectangles"). This
+baseline implements that design: each polygon is approximated by its MBR
+(filter) plus one maximal inscribed axis-aligned rectangle (true-hit
+filter). A point inside the inner rectangle is a guaranteed hit; a point
+inside the MBR but not the inner rectangle needs a PIP test.
+
+A single rectangle covers far less interior area than ACT's hierarchical
+interior covering — quantified by the ``true_hit_rate`` ablation
+benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry.bbox import Rect
+from ..geometry.polygon import Polygon
+from ..geometry.relate import EdgeClassifier, Relation
+from .rtree import RStarTree
+
+
+def maximal_inscribed_rect(polygon: Polygon, centers: int = 7,
+                           iterations: int = 12) -> Optional[Rect]:
+    """Approximate largest axis-aligned rectangle inside ``polygon``.
+
+    A lattice of candidate centers is scanned; around each interior
+    center a rectangle with the polygon bbox's aspect ratio is grown by
+    binary search on its scale. Returns ``None`` when no candidate center
+    lies inside the polygon (degenerate shapes).
+    """
+    classifier = EdgeClassifier(polygon)
+    box = polygon.bbox
+    best: Optional[Rect] = None
+    best_area = 0.0
+    for cx, cy in box.sample_grid(centers, centers):
+        if not polygon.contains(cx, cy):
+            continue
+        lo, hi = 0.0, 1.0
+        feasible = None
+        for _ in range(iterations):
+            mid = 0.5 * (lo + hi)
+            half_w = 0.5 * box.width * mid
+            half_h = 0.5 * box.height * mid
+            relation, _ = classifier.classify_bounds(
+                cx - half_w, cy - half_h, cx + half_w, cy + half_h
+            )
+            if relation is Relation.WITHIN:
+                feasible = Rect.from_center(cx, cy, half_w, half_h)
+                lo = mid
+            else:
+                hi = mid
+        if feasible is not None and feasible.area > best_area:
+            best = feasible
+            best_area = feasible.area
+    return best
+
+
+class InteriorRectIndex:
+    """MBR filter + one inscribed rectangle per polygon as true-hit filter."""
+
+    def __init__(self, polygons: Sequence[Polygon], max_entries: int = 8):
+        self.polygons = list(polygons)
+        self.tree = RStarTree.build(
+            [p.bbox for p in self.polygons], max_entries=max_entries
+        )
+        self.inner_rects: List[Optional[Rect]] = [
+            maximal_inscribed_rect(p) for p in self.polygons
+        ]
+
+    def query(self, lng: float, lat: float) -> Tuple[List[int], List[int]]:
+        """``(true_hits, candidates)`` for a point."""
+        true_hits: List[int] = []
+        candidates: List[int] = []
+        for pid in self.tree.query_point(lng, lat):
+            inner = self.inner_rects[pid]
+            if inner is not None and inner.contains_point(lng, lat):
+                true_hits.append(pid)
+            else:
+                candidates.append(pid)
+        return true_hits, candidates
+
+    def query_exact(self, lng: float, lat: float) -> List[int]:
+        true_hits, candidates = self.query(lng, lat)
+        true_hits.extend(pid for pid in candidates
+                         if self.polygons[pid].contains(lng, lat))
+        return true_hits
+
+    def count_points(self, lngs: np.ndarray, lats: np.ndarray,
+                     exact: bool = True) -> np.ndarray:
+        counts = np.zeros(len(self.polygons), dtype=np.int64)
+        contains = [p.contains for p in self.polygons]
+        for x, y in zip(np.asarray(lngs, dtype=np.float64).tolist(),
+                        np.asarray(lats, dtype=np.float64).tolist()):
+            true_hits, candidates = self.query(x, y)
+            for pid in true_hits:
+                counts[pid] += 1
+            for pid in candidates:
+                if not exact or contains[pid](x, y):
+                    counts[pid] += 1
+        return counts
+
+    def true_hit_rate(self, lngs: np.ndarray, lats: np.ndarray) -> float:
+        """Fraction of actual hits resolved without a PIP test."""
+        true_total = 0
+        hit_total = 0
+        for x, y in zip(np.asarray(lngs, dtype=np.float64).tolist(),
+                        np.asarray(lats, dtype=np.float64).tolist()):
+            true_hits, candidates = self.query(x, y)
+            true_total += len(true_hits)
+            hit_total += len(true_hits) + sum(
+                1 for pid in candidates if self.polygons[pid].contains(x, y)
+            )
+        return true_total / hit_total if hit_total else 1.0
+
+    @property
+    def size_bytes(self) -> int:
+        return self.tree.size_bytes + 32 * len(self.polygons)

@@ -1,0 +1,25 @@
+"""Benchmark harness shared by the ``benchmarks/`` suite."""
+
+from .harness import (
+    DATASETS,
+    PRECISIONS,
+    IndexCache,
+    dataset_polygons,
+    throughput_mpts,
+    time_callable,
+    workload,
+)
+from .reporting import render_comparison, render_series, render_table
+
+__all__ = [
+    "DATASETS",
+    "PRECISIONS",
+    "IndexCache",
+    "dataset_polygons",
+    "throughput_mpts",
+    "time_callable",
+    "workload",
+    "render_comparison",
+    "render_series",
+    "render_table",
+]

@@ -1,0 +1,83 @@
+"""Benchmark workload construction and index caching.
+
+Centralizes the datasets, point workloads, and index builds the benchmark
+suite shares, so each (dataset, precision) index is built exactly once per
+pytest session regardless of how many benchmarks touch it.
+
+Workload sizes honor ``REPRO_SCALE`` (see :mod:`repro.config`): scale 1 is
+calibrated for minutes-long single-machine runs, scale 10 approaches the
+paper's shape (289 neighborhoods are always paper-sized; census blocks and
+point counts scale).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from .. import config
+from ..act.index import ACTIndex
+from ..datasets import nyc, points
+from ..geometry.polygon import Polygon
+
+#: Paper dataset names in evaluation order.
+DATASETS = ("boroughs", "neighborhoods", "census")
+
+#: Paper precision presets (Table I / Figure 3 columns).
+PRECISIONS = config.PRECISION_PRESETS_METERS
+
+
+def dataset_polygons(name: str) -> List[Polygon]:
+    """The three paper datasets at benchmark scale."""
+    scale = config.bench_scale()
+    if name == "boroughs":
+        return nyc.boroughs()
+    if name == "neighborhoods":
+        return nyc.neighborhoods()
+    if name == "census":
+        return nyc.census_blocks(max(100, int(1000 * scale)))
+    raise ValueError(f"unknown dataset {name!r}")
+
+
+def workload(num_points: int, seed: int = 123) -> Tuple[np.ndarray, np.ndarray]:
+    """Taxi-like points at benchmark scale."""
+    return points.taxi_points(config.bench_points(num_points), seed=seed)
+
+
+@dataclass
+class IndexCache:
+    """Session-wide cache of built indexes and their build stats."""
+
+    _indexes: Dict[Tuple[str, float], ACTIndex] = field(default_factory=dict)
+    build_seconds: Dict[Tuple[str, float], float] = field(default_factory=dict)
+
+    def get(self, dataset: str, precision: float) -> ACTIndex:
+        key = (dataset, precision)
+        if key not in self._indexes:
+            polygons = dataset_polygons(dataset)
+            start = time.perf_counter()
+            index = ACTIndex.build(polygons, precision_meters=precision)
+            self.build_seconds[key] = time.perf_counter() - start
+            self._indexes[key] = index
+        return self._indexes[key]
+
+    def evict(self, dataset: str, precision: float) -> None:
+        self._indexes.pop((dataset, precision), None)
+
+
+def time_callable(fn: Callable[[], object], repeats: int = 3) -> float:
+    """Best-of-N wall time of ``fn`` in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def throughput_mpts(num_points: int, seconds: float) -> float:
+    """Million points per second (the paper's throughput unit)."""
+    return num_points / seconds / 1e6 if seconds > 0 else float("inf")

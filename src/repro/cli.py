@@ -1,0 +1,160 @@
+"""Command-line interface: ``repro-act``.
+
+Small operational front end over the library:
+
+* ``repro-act info --dataset neighborhoods --precision 15`` — build an
+  index over a synthetic dataset and print its Table-I-style metrics;
+* ``repro-act query --dataset boroughs --lng -73.97 --lat 40.75`` —
+  build (or reuse within the process) and run a point query;
+* ``repro-act join --dataset census --points 100000`` — run the
+  count-per-polygon workload and print throughput;
+* ``repro-act demo`` — a 30-second end-to-end tour.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from . import __version__
+from .act.index import ACTIndex
+from .datasets import nyc, points
+
+
+def _dataset(name: str, size: Optional[int]):
+    if name == "boroughs":
+        return nyc.boroughs()
+    if name == "neighborhoods":
+        return nyc.neighborhoods(size or 289)
+    if name == "census":
+        return nyc.census_blocks(size or 1000)
+    raise SystemExit(f"unknown dataset {name!r} "
+                     f"(choose boroughs|neighborhoods|census)")
+
+
+def _build(args) -> ACTIndex:
+    polygons = _dataset(args.dataset, getattr(args, "size", None))
+    start = time.perf_counter()
+    index = ACTIndex.build(polygons, precision_meters=args.precision)
+    elapsed = time.perf_counter() - start
+    print(f"built {index} in {elapsed:.1f} s", file=sys.stderr)
+    return index
+
+
+def cmd_info(args) -> int:
+    index = _build(args)
+    stats = index.stats
+    print(f"dataset                 : {args.dataset} "
+          f"({stats.num_polygons} polygons)")
+    print(f"precision bound         : {stats.precision_meters:g} m "
+          f"(realized {index.guaranteed_precision_meters:.2f} m)")
+    print(f"boundary level          : {stats.boundary_level}")
+    print(f"indexed cells           : {stats.indexed_cells:,} "
+          f"({stats.raw_cells:,} before denormalization)")
+    print(f"ACT size                : {stats.trie_bytes / 1e6:.2f} MB "
+          f"({stats.trie_nodes:,} nodes, fanout {stats.fanout})")
+    print(f"lookup table            : {stats.lookup_table_bytes / 1e3:.1f} kB "
+          f"({stats.lookup_table_sets} unique reference sets)")
+    print(f"build individual covers : {stats.build_coverings_seconds:.2f} s")
+    print(f"build super covering    : {stats.build_super_seconds:.2f} s")
+    print(f"build trie              : {stats.build_trie_seconds:.2f} s")
+    return 0
+
+
+def cmd_query(args) -> int:
+    index = _build(args)
+    result = index.query(args.lng, args.lat)
+    exact = index.query_exact(args.lng, args.lat)
+    print(f"point ({args.lng}, {args.lat})")
+    print(f"  true hits   : {list(result.true_hits)}")
+    print(f"  candidates  : {list(result.candidates)}")
+    print(f"  approximate : {list(result.all_ids)}")
+    print(f"  exact       : {list(exact)}")
+    return 0
+
+
+def cmd_join(args) -> int:
+    index = _build(args)
+    lngs, lats = points.taxi_points(args.points, seed=args.seed)
+    start = time.perf_counter()
+    counts = index.count_points(lngs, lats, exact=args.exact)
+    elapsed = time.perf_counter() - start
+    mode = "exact" if args.exact else "approximate"
+    print(f"{mode} join of {args.points:,} points: {elapsed:.3f} s "
+          f"({args.points / elapsed / 1e6:.2f} M points/s)")
+    top = sorted(range(len(counts)), key=lambda i: -counts[i])[:10]
+    for pid in top:
+        if counts[pid]:
+            print(f"  polygon {pid:>6}: {int(counts[pid]):,} points")
+    return 0
+
+
+def cmd_demo(args) -> int:
+    args.dataset = "neighborhoods"
+    args.size = 60
+    args.precision = 30.0
+    index = _build(args)
+    lng, lat = index.polygons[7].centroid
+    print(f"\nsample query at a polygon centroid ({lng:.4f}, {lat:.4f}):")
+    print(f"  -> {index.query_exact(lng, lat)}")
+    lngs, lats = points.taxi_points(100_000, seed=0)
+    start = time.perf_counter()
+    counts = index.count_points(lngs, lats)
+    elapsed = time.perf_counter() - start
+    print(f"\njoined 100,000 taxi-like points in {elapsed * 1e3:.0f} ms "
+          f"({0.1 / elapsed:.1f} M points/s)")
+    print(f"busiest neighborhood: #{int(counts.argmax())} "
+          f"with {int(counts.max()):,} points")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-act",
+        description="Approximate geospatial joins with precision "
+                    "guarantees (ACT, ICDE 2018 reproduction)",
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--dataset", default="neighborhoods",
+                       help="boroughs | neighborhoods | census")
+        p.add_argument("--size", type=int, default=None,
+                       help="polygon count override")
+        p.add_argument("--precision", type=float, default=15.0,
+                       help="precision bound in meters (default 15)")
+
+    p_info = sub.add_parser("info", help="build an index, print metrics")
+    common(p_info)
+    p_info.set_defaults(func=cmd_info)
+
+    p_query = sub.add_parser("query", help="point query")
+    common(p_query)
+    p_query.add_argument("--lng", type=float, required=True)
+    p_query.add_argument("--lat", type=float, required=True)
+    p_query.set_defaults(func=cmd_query)
+
+    p_join = sub.add_parser("join", help="count points per polygon")
+    common(p_join)
+    p_join.add_argument("--points", type=int, default=100_000)
+    p_join.add_argument("--seed", type=int, default=0)
+    p_join.add_argument("--exact", action="store_true",
+                        help="refine candidates (exact counts)")
+    p_join.set_defaults(func=cmd_join)
+
+    p_demo = sub.add_parser("demo", help="30-second tour")
+    p_demo.set_defaults(func=cmd_demo)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,55 @@
+"""Global constants and configuration knobs.
+
+Centralizes the physical constants, paper-derived presets, and environment
+driven scale factors used across the library and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Mean Earth radius in meters (IUGG mean radius R1).
+EARTH_RADIUS_METERS = 6_371_008.8
+
+#: Earth circumference in meters, used by grid level metrics.
+EARTH_CIRCUMFERENCE_METERS = 2.0 * 3.141592653589793 * EARTH_RADIUS_METERS
+
+#: Meters per degree of latitude (spherical approximation).
+METERS_PER_DEGREE_LAT = EARTH_CIRCUMFERENCE_METERS / 360.0
+
+#: The paper evaluates ACT at these precision bounds (Table I, Figure 3).
+PRECISION_PRESETS_METERS = (60.0, 15.0, 4.0)
+
+#: Maximum quadtree depth, mirroring S2's 30 levels ("each cm^2 on Earth").
+MAX_LEVEL = 30
+
+#: Default radix-tree fanout from the paper (8 bits per trie level).
+DEFAULT_FANOUT = 256
+
+#: NYC-like region used by the synthetic datasets (west, south, east, north).
+NYC_BOUNDS = (-74.30, 40.45, -73.65, 40.95)
+
+#: Dataset cardinalities from the paper's evaluation section.
+PAPER_NUM_BOROUGHS = 5
+PAPER_NUM_NEIGHBORHOODS = 289
+PAPER_NUM_CENSUS_BLOCKS = 39_184
+
+
+def bench_scale() -> float:
+    """Return the benchmark scale factor from ``REPRO_SCALE`` (default 1.0).
+
+    Scale 1.0 targets minutes-long CI runs; 10.0 approaches paper-shaped
+    workload sizes. Generators multiply point counts (and census-block
+    counts) by this factor.
+    """
+    raw = os.environ.get("REPRO_SCALE", "1")
+    try:
+        value = float(raw)
+    except ValueError:
+        return 1.0
+    return value if value > 0 else 1.0
+
+
+def bench_points(base: int) -> int:
+    """Scale a benchmark point count by :func:`bench_scale`."""
+    return max(1, int(base * bench_scale()))

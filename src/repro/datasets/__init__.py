@@ -1,0 +1,37 @@
+"""Synthetic datasets standing in for the paper's NYC corpus.
+
+See DESIGN.md for the substitution rationale. :mod:`repro.datasets.nyc`
+provides the three polygon datasets (boroughs / neighborhoods / census
+blocks), :mod:`repro.datasets.points` the taxi-like point workloads, and
+:mod:`repro.datasets.synthetic` the underlying generators.
+"""
+
+from . import nyc, points, synthetic
+from .nyc import REGION, boroughs, census_blocks, full_census_blocks, neighborhoods
+from .points import point_stream, taxi_points, uniform_points
+from .synthetic import (
+    densify_polygon,
+    displace_edge,
+    overlapping_zones,
+    street_grid_blocks,
+    voronoi_partition,
+)
+
+__all__ = [
+    "nyc",
+    "points",
+    "synthetic",
+    "REGION",
+    "boroughs",
+    "census_blocks",
+    "full_census_blocks",
+    "neighborhoods",
+    "point_stream",
+    "taxi_points",
+    "uniform_points",
+    "densify_polygon",
+    "displace_edge",
+    "overlapping_zones",
+    "street_grid_blocks",
+    "voronoi_partition",
+]

@@ -1,0 +1,82 @@
+"""NYC-like polygon datasets matching the paper's evaluation corpus.
+
+The paper joins taxi points against three real datasets; these generators
+produce synthetic stand-ins with the same cardinalities and shape
+characteristics (see DESIGN.md's substitution table):
+
+========================  =======  ===========================================
+dataset                   count    character
+========================  =======  ===========================================
+:func:`boroughs`          5        very large, coastline-complex polygons
+:func:`neighborhoods`     289      medium Voronoi cells, lightly roughened
+:func:`census_blocks`     39,184   tiny street-grid blocks (count scalable)
+========================  =======  ===========================================
+
+All three are deterministic in their seed and live in the same NYC-like
+bounding box so they can share point workloads.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ..config import (
+    NYC_BOUNDS,
+    PAPER_NUM_BOROUGHS,
+    PAPER_NUM_CENSUS_BLOCKS,
+    PAPER_NUM_NEIGHBORHOODS,
+)
+from ..errors import DatasetError
+from ..geometry.bbox import Rect
+from ..geometry.polygon import Polygon
+from .synthetic import densify_polygon, street_grid_blocks, voronoi_partition
+
+#: The shared NYC-like region.
+REGION = Rect(*NYC_BOUNDS)
+
+
+def boroughs(num: int = PAPER_NUM_BOROUGHS, seed: int = 42,
+             complexity: int = 5) -> List[Polygon]:
+    """A few very large polygons with complex, coastline-like borders.
+
+    ``complexity`` is the midpoint-displacement depth: each Voronoi border
+    edge becomes ``2**complexity`` segments, so the default produces
+    polygons with hundreds to thousands of vertices — matching the paper's
+    observation that boroughs are few but "significantly more complex".
+    """
+    base = voronoi_partition(REGION, num, seed=seed, lloyd_iterations=2)
+    return [densify_polygon(p, depth=complexity, amplitude=0.08, salt=seed)
+            for p in base]
+
+
+def neighborhoods(num: int = PAPER_NUM_NEIGHBORHOODS, seed: int = 7,
+                  complexity: int = 2) -> List[Polygon]:
+    """Medium-sized Voronoi cells with lightly roughened borders."""
+    base = voronoi_partition(REGION, num, seed=seed, lloyd_iterations=1)
+    return [densify_polygon(p, depth=complexity, amplitude=0.05, salt=seed)
+            for p in base]
+
+
+def census_blocks(num: int = 4000, seed: int = 11) -> List[Polygon]:
+    """Tiny rectangular blocks on a jittered street grid.
+
+    The paper's dataset has 39,184 blocks; the default here is scaled to
+    4,000 so the Python build finishes in benchmark-friendly time. Pass
+    ``num=PAPER_NUM_CENSUS_BLOCKS`` (or set ``REPRO_SCALE=10``) for the
+    paper-sized corpus — the generator is O(num).
+    """
+    if num < 1:
+        raise DatasetError(f"census_blocks needs num >= 1, got {num}")
+    aspect = REGION.width / REGION.height
+    rows = max(1, int(math.sqrt(num / aspect)))
+    cols = max(1, (num + rows - 1) // rows)
+    blocks = street_grid_blocks(
+        REGION, rows, cols, street_fraction=0.18, jitter=0.2, seed=seed
+    )
+    return blocks[:num]
+
+
+def full_census_blocks(seed: int = 11) -> List[Polygon]:
+    """The paper-sized census corpus (39,184 blocks)."""
+    return census_blocks(PAPER_NUM_CENSUS_BLOCKS, seed=seed)

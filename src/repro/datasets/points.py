@@ -1,0 +1,97 @@
+"""Taxi-like point workloads.
+
+The paper streams 1 B NYC taxi pickup locations through the join. Taxi
+pickups are heavily clustered (Manhattan-style hotspots) with a broad
+urban background and a sliver of noise (GPS errors outside the region) —
+this module generates point batches with that distribution, deterministic
+in the seed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from ..errors import DatasetError
+from ..geometry.bbox import Rect
+from .nyc import REGION
+
+PointBatch = Tuple[np.ndarray, np.ndarray]
+
+
+def taxi_points(num: int, bounds: Rect = REGION, num_hotspots: int = 12,
+                hotspot_fraction: float = 0.7, noise_fraction: float = 0.02,
+                seed: int = 123) -> PointBatch:
+    """``(lngs, lats)`` of a taxi-like workload.
+
+    ``hotspot_fraction`` of the points are drawn from a Gaussian mixture
+    around ``num_hotspots`` random centers (pickup hotspots), the rest
+    uniformly from the region, and ``noise_fraction`` lands outside the
+    region entirely (GPS noise; these points must join with nothing).
+    """
+    if num < 1:
+        raise DatasetError(f"taxi_points needs num >= 1, got {num}")
+    if not 0.0 <= hotspot_fraction <= 1.0:
+        raise DatasetError(f"bad hotspot_fraction: {hotspot_fraction}")
+    rng = np.random.default_rng(seed)
+
+    n_noise = int(num * noise_fraction)
+    n_hot = int((num - n_noise) * hotspot_fraction)
+    n_uniform = num - n_noise - n_hot
+
+    centers_x = rng.uniform(bounds.min_x, bounds.max_x, num_hotspots)
+    centers_y = rng.uniform(bounds.min_y, bounds.max_y, num_hotspots)
+    sigma_x = bounds.width * rng.uniform(0.01, 0.06, num_hotspots)
+    sigma_y = bounds.height * rng.uniform(0.01, 0.06, num_hotspots)
+    weights = rng.dirichlet(np.ones(num_hotspots) * 2.0)
+
+    assignment = rng.choice(num_hotspots, size=n_hot, p=weights)
+    hot_x = rng.normal(centers_x[assignment], sigma_x[assignment])
+    hot_y = rng.normal(centers_y[assignment], sigma_y[assignment])
+    hot_x = np.clip(hot_x, bounds.min_x, bounds.max_x)
+    hot_y = np.clip(hot_y, bounds.min_y, bounds.max_y)
+
+    uni_x = rng.uniform(bounds.min_x, bounds.max_x, n_uniform)
+    uni_y = rng.uniform(bounds.min_y, bounds.max_y, n_uniform)
+
+    margin_x = bounds.width * 0.5
+    margin_y = bounds.height * 0.5
+    noise_x = rng.uniform(bounds.min_x - margin_x, bounds.max_x + margin_x,
+                          n_noise)
+    noise_y = rng.uniform(bounds.min_y - margin_y, bounds.max_y + margin_y,
+                          n_noise)
+
+    lngs = np.concatenate([hot_x, uni_x, noise_x])
+    lats = np.concatenate([hot_y, uni_y, noise_y])
+    order = rng.permutation(num)
+    return lngs[order], lats[order]
+
+
+def uniform_points(num: int, bounds: Rect = REGION, seed: int = 5,
+                   ) -> PointBatch:
+    """Uniformly distributed points over ``bounds``."""
+    if num < 1:
+        raise DatasetError(f"uniform_points needs num >= 1, got {num}")
+    rng = np.random.default_rng(seed)
+    return (rng.uniform(bounds.min_x, bounds.max_x, num),
+            rng.uniform(bounds.min_y, bounds.max_y, num))
+
+
+def point_stream(total: int, batch_size: int, bounds: Rect = REGION,
+                 seed: int = 123, **taxi_kwargs) -> Iterator[PointBatch]:
+    """Yield taxi-like point batches until ``total`` points are produced.
+
+    The streaming shape of the paper's workload: points are not known in
+    advance, arrive in micro-batches, and must be joined with low latency.
+    """
+    if batch_size < 1:
+        raise DatasetError(f"batch_size must be >= 1, got {batch_size}")
+    produced = 0
+    batch_index = 0
+    while produced < total:
+        size = min(batch_size, total - produced)
+        yield taxi_points(size, bounds=bounds, seed=seed + batch_index,
+                          **taxi_kwargs)
+        produced += size
+        batch_index += 1

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch a single base class. Subsystems raise the most specific subclass that
+applies; error messages always include the offending value where practical.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GeometryError(ReproError):
+    """A geometric primitive is malformed or an operation is undefined."""
+
+
+class InvalidPolygonError(GeometryError):
+    """A polygon violates a structural invariant (too few vertices,
+    zero area, unclosed ring, self-intersecting shell where forbidden)."""
+
+
+class ParseError(GeometryError):
+    """A WKT or GeoJSON document could not be parsed."""
+
+
+class GridError(ReproError):
+    """A hierarchical-grid operation failed."""
+
+
+class InvalidCellError(GridError):
+    """A cell id is malformed (bad sentinel bit, face, or level)."""
+
+
+class OutOfBoundsError(GridError):
+    """A point lies outside the grid's domain (planar grids only)."""
+
+
+class CoveringError(GridError):
+    """A region covering could not be computed under the given limits."""
+
+
+class ACTError(ReproError):
+    """An Adaptive Cell Trie operation failed."""
+
+
+class BuildError(ACTError):
+    """Index construction failed (conflicting cells, exhausted levels)."""
+
+
+class CapacityError(ACTError):
+    """A payload or structure exceeded its encodable capacity
+    (e.g. more than 2**30 polygons, lookup table offset overflow)."""
+
+
+class PrecisionError(ACTError):
+    """The requested precision bound cannot be satisfied by the grid
+    (finer than the grid's maximum level resolution)."""
+
+
+class JoinError(ReproError):
+    """A join pipeline was misconfigured or failed at runtime."""
+
+
+class DatasetError(ReproError):
+    """A synthetic dataset generator received invalid parameters."""

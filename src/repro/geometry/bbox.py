@@ -1,0 +1,203 @@
+"""Axis-aligned bounding boxes in lng/lat ("x"/"y") coordinates.
+
+:class:`Rect` is the workhorse of the planar grid, the R-tree baseline, and
+cell/polygon classification. Coordinates follow the GIS convention used
+throughout the library: ``x`` is longitude, ``y`` is latitude.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Tuple
+
+from ..errors import GeometryError
+
+Point = Tuple[float, float]
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """A closed axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]``."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise GeometryError(
+                f"degenerate rect: ({self.min_x}, {self.min_y}, "
+                f"{self.max_x}, {self.max_y})"
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_points(points: Iterable[Point]) -> "Rect":
+        """Smallest rect containing every point; raises on empty input."""
+        it = iter(points)
+        try:
+            x0, y0 = next(it)
+        except StopIteration:
+            raise GeometryError("Rect.from_points: empty point sequence")
+        min_x = max_x = x0
+        min_y = max_y = y0
+        for x, y in it:
+            if x < min_x:
+                min_x = x
+            elif x > max_x:
+                max_x = x
+            if y < min_y:
+                min_y = y
+            elif y > max_y:
+                max_y = y
+        return Rect(min_x, min_y, max_x, max_y)
+
+    @staticmethod
+    def from_center(cx: float, cy: float, half_w: float, half_h: float) -> "Rect":
+        """Rect centered at ``(cx, cy)`` with half-extents."""
+        return Rect(cx - half_w, cy - half_h, cx + half_w, cy + half_h)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def perimeter(self) -> float:
+        return 2.0 * (self.width + self.height)
+
+    @property
+    def center(self) -> Point:
+        return (0.5 * (self.min_x + self.max_x), 0.5 * (self.min_y + self.max_y))
+
+    @property
+    def diagonal(self) -> float:
+        return math.hypot(self.width, self.height)
+
+    def corners(self) -> Tuple[Point, Point, Point, Point]:
+        """Corners in counter-clockwise order starting at (min_x, min_y)."""
+        return (
+            (self.min_x, self.min_y),
+            (self.max_x, self.min_y),
+            (self.max_x, self.max_y),
+            (self.min_x, self.max_y),
+        )
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def contains_point(self, x: float, y: float) -> bool:
+        """Closed containment test."""
+        return self.min_x <= x <= self.max_x and self.min_y <= y <= self.max_y
+
+    def contains_point_open(self, x: float, y: float) -> bool:
+        """Open (strict interior) containment test."""
+        return self.min_x < x < self.max_x and self.min_y < y < self.max_y
+
+    def contains_rect(self, other: "Rect") -> bool:
+        return (
+            self.min_x <= other.min_x
+            and self.max_x >= other.max_x
+            and self.min_y <= other.min_y
+            and self.max_y >= other.max_y
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """Closed intersection test (touching edges intersect)."""
+        return (
+            self.min_x <= other.max_x
+            and other.min_x <= self.max_x
+            and self.min_y <= other.max_y
+            and other.min_y <= self.max_y
+        )
+
+    # ------------------------------------------------------------------
+    # Combinators
+    # ------------------------------------------------------------------
+    def union(self, other: "Rect") -> "Rect":
+        return Rect(
+            min(self.min_x, other.min_x),
+            min(self.min_y, other.min_y),
+            max(self.max_x, other.max_x),
+            max(self.max_y, other.max_y),
+        )
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """Overlap rect, or ``None`` when disjoint."""
+        min_x = max(self.min_x, other.min_x)
+        min_y = max(self.min_y, other.min_y)
+        max_x = min(self.max_x, other.max_x)
+        max_y = min(self.max_y, other.max_y)
+        if min_x > max_x or min_y > max_y:
+            return None
+        return Rect(min_x, min_y, max_x, max_y)
+
+    def expanded(self, margin: float) -> "Rect":
+        """Rect grown by ``margin`` on every side (shrinks if negative)."""
+        return Rect(
+            self.min_x - margin,
+            self.min_y - margin,
+            self.max_x + margin,
+            self.max_y + margin,
+        )
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area increase needed to absorb ``other`` (R*-tree split metric)."""
+        return self.union(other).area - self.area
+
+    def overlap_area(self, other: "Rect") -> float:
+        inter = self.intersection(other)
+        return inter.area if inter is not None else 0.0
+
+    def quadrants(self) -> Tuple["Rect", "Rect", "Rect", "Rect"]:
+        """Split into four equal quadrants: SW, SE, NW, NE."""
+        cx, cy = self.center
+        return (
+            Rect(self.min_x, self.min_y, cx, cy),
+            Rect(cx, self.min_y, self.max_x, cy),
+            Rect(self.min_x, cy, cx, self.max_y),
+            Rect(cx, cy, self.max_x, self.max_y),
+        )
+
+    def distance_to_point(self, x: float, y: float) -> float:
+        """Euclidean distance from the rect to a point (0 inside)."""
+        dx = max(self.min_x - x, 0.0, x - self.max_x)
+        dy = max(self.min_y - y, 0.0, y - self.max_y)
+        return math.hypot(dx, dy)
+
+    def sample_grid(self, nx: int, ny: int) -> Iterator[Point]:
+        """Yield an ``nx`` x ``ny`` lattice of interior points (for tests)."""
+        if nx < 1 or ny < 1:
+            raise GeometryError("sample_grid requires nx, ny >= 1")
+        for ix in range(nx):
+            for iy in range(ny):
+                fx = (ix + 0.5) / nx
+                fy = (iy + 0.5) / ny
+                yield (
+                    self.min_x + fx * self.width,
+                    self.min_y + fy * self.height,
+                )
+
+
+def union_all(rects: Sequence[Rect]) -> Rect:
+    """Union of a non-empty sequence of rects."""
+    if not rects:
+        raise GeometryError("union_all: empty sequence")
+    out = rects[0]
+    for r in rects[1:]:
+        out = out.union(r)
+    return out

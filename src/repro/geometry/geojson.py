@@ -1,0 +1,124 @@
+"""GeoJSON readers/writers for points, polygons, and feature collections.
+
+Used by the examples to dump coverings for visual inspection (Figure 1 of
+the paper) and by the dataset generators to persist synthetic regions.
+Only the subset of RFC 7946 the library needs is implemented.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Sequence, Tuple, Union
+
+from ..errors import ParseError
+from .polygon import MultiPolygon, Polygon
+
+Point = Tuple[float, float]
+Geometry = Union[Point, Polygon, MultiPolygon]
+
+
+def polygon_to_geojson(polygon: Polygon) -> Dict[str, Any]:
+    """Polygon -> GeoJSON geometry dict (rings explicitly closed)."""
+    rings = [_close(polygon.shell.vertices)]
+    rings.extend(_close(h.vertices) for h in polygon.holes)
+    return {"type": "Polygon", "coordinates": rings}
+
+
+def multipolygon_to_geojson(multi: MultiPolygon) -> Dict[str, Any]:
+    coords = []
+    for polygon in multi.polygons:
+        rings = [_close(polygon.shell.vertices)]
+        rings.extend(_close(h.vertices) for h in polygon.holes)
+        coords.append(rings)
+    return {"type": "MultiPolygon", "coordinates": coords}
+
+
+def geometry_to_geojson(geometry: Geometry) -> Dict[str, Any]:
+    if isinstance(geometry, Polygon):
+        return polygon_to_geojson(geometry)
+    if isinstance(geometry, MultiPolygon):
+        return multipolygon_to_geojson(geometry)
+    if isinstance(geometry, tuple) and len(geometry) == 2:
+        return {"type": "Point", "coordinates": [geometry[0], geometry[1]]}
+    raise ParseError(f"cannot serialize {type(geometry).__name__} to GeoJSON")
+
+
+def geometry_from_geojson(obj: Dict[str, Any]) -> Geometry:
+    """GeoJSON geometry dict -> library geometry."""
+    kind = obj.get("type")
+    coords = obj.get("coordinates")
+    if kind == "Point":
+        if not isinstance(coords, (list, tuple)) or len(coords) < 2:
+            raise ParseError("malformed Point coordinates")
+        return (float(coords[0]), float(coords[1]))
+    if kind == "Polygon":
+        return _polygon_from_coords(coords)
+    if kind == "MultiPolygon":
+        if not isinstance(coords, list) or not coords:
+            raise ParseError("malformed MultiPolygon coordinates")
+        return MultiPolygon([_polygon_from_coords(c) for c in coords])
+    raise ParseError(f"unsupported GeoJSON geometry type: {kind!r}")
+
+
+def feature(geometry: Geometry, properties: Dict[str, Any] | None = None,
+            ) -> Dict[str, Any]:
+    """Wrap a geometry in a GeoJSON Feature."""
+    return {
+        "type": "Feature",
+        "geometry": geometry_to_geojson(geometry),
+        "properties": dict(properties or {}),
+    }
+
+
+def feature_collection(features: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    return {"type": "FeatureCollection", "features": list(features)}
+
+
+def dump_features(path: str | Path, features: Iterable[Dict[str, Any]]) -> None:
+    """Write a FeatureCollection to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(feature_collection(features), handle)
+
+
+def load_polygons(path: str | Path) -> List[Polygon]:
+    """Read every Polygon/MultiPolygon feature from a GeoJSON file.
+
+    MultiPolygons are flattened into their component polygons; point
+    features are skipped.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if doc.get("type") != "FeatureCollection":
+        raise ParseError("expected a FeatureCollection document")
+    polygons: List[Polygon] = []
+    for feat in doc.get("features", []):
+        geom = feat.get("geometry")
+        if not geom:
+            continue
+        if geom.get("type") == "Point":
+            continue
+        parsed = geometry_from_geojson(geom)
+        if isinstance(parsed, Polygon):
+            polygons.append(parsed)
+        elif isinstance(parsed, MultiPolygon):
+            polygons.extend(parsed.polygons)
+    return polygons
+
+
+def _close(points: Sequence[Point]) -> List[List[float]]:
+    closed = [[float(x), float(y)] for x, y in points]
+    if closed and closed[0] != closed[-1]:
+        closed.append(list(closed[0]))
+    return closed
+
+
+def _polygon_from_coords(coords: Any) -> Polygon:
+    if not isinstance(coords, list) or not coords:
+        raise ParseError("malformed Polygon coordinates")
+    rings = []
+    for raw_ring in coords:
+        if not isinstance(raw_ring, list) or len(raw_ring) < 4:
+            raise ParseError("polygon ring needs >= 4 coordinate pairs")
+        rings.append([(float(x), float(y)) for x, y, *_ in raw_ring])
+    return Polygon(rings[0], rings[1:])

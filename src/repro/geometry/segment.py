@@ -1,0 +1,185 @@
+"""Segment-level predicates: orientation, intersection, clipping, distance.
+
+These primitives underpin point-in-polygon tests, cell/polygon
+classification, and the covering recursion. They operate on raw float
+tuples to keep inner loops allocation-free.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+from .bbox import Rect
+
+Point = Tuple[float, float]
+
+#: Relative epsilon used by the robust-ish orientation predicate.
+_EPS = 1e-12
+
+
+def orientation(ax: float, ay: float, bx: float, by: float,
+                cx: float, cy: float) -> int:
+    """Sign of the cross product (b - a) x (c - a).
+
+    Returns ``1`` for counter-clockwise, ``-1`` for clockwise and ``0`` for
+    (numerically) collinear points. The collinearity band scales with the
+    magnitudes involved, so large coordinates do not spuriously register
+    as turns.
+    """
+    cross = (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+    scale = abs(bx - ax) + abs(by - ay) + abs(cx - ax) + abs(cy - ay)
+    if abs(cross) <= _EPS * scale * scale:
+        return 0
+    return 1 if cross > 0.0 else -1
+
+
+def on_segment(px: float, py: float, ax: float, ay: float,
+               bx: float, by: float) -> bool:
+    """True when point p lies on the closed segment a-b (assumes collinear)."""
+    return (
+        min(ax, bx) - _EPS <= px <= max(ax, bx) + _EPS
+        and min(ay, by) - _EPS <= py <= max(ay, by) + _EPS
+    )
+
+
+def segments_intersect(ax: float, ay: float, bx: float, by: float,
+                       cx: float, cy: float, dx: float, dy: float) -> bool:
+    """Closed intersection test between segments a-b and c-d.
+
+    Touching endpoints count as intersections, matching the closed-cell
+    semantics used by the covering algorithm (a polygon edge grazing a cell
+    boundary makes the cell a candidate, never silently disjoint).
+    """
+    o1 = orientation(ax, ay, bx, by, cx, cy)
+    o2 = orientation(ax, ay, bx, by, dx, dy)
+    o3 = orientation(cx, cy, dx, dy, ax, ay)
+    o4 = orientation(cx, cy, dx, dy, bx, by)
+
+    if o1 != o2 and o3 != o4:
+        return True
+    if o1 == 0 and on_segment(cx, cy, ax, ay, bx, by):
+        return True
+    if o2 == 0 and on_segment(dx, dy, ax, ay, bx, by):
+        return True
+    if o3 == 0 and on_segment(ax, ay, cx, cy, dx, dy):
+        return True
+    if o4 == 0 and on_segment(bx, by, cx, cy, dx, dy):
+        return True
+    return False
+
+
+def segment_intersection_point(ax: float, ay: float, bx: float, by: float,
+                               cx: float, cy: float, dx: float, dy: float,
+                               ) -> Optional[Point]:
+    """Intersection point of two *properly* crossing segments, else ``None``.
+
+    Collinear overlaps return ``None`` (there is no unique point).
+    """
+    r_x, r_y = bx - ax, by - ay
+    s_x, s_y = dx - cx, dy - cy
+    denom = r_x * s_y - r_y * s_x
+    if denom == 0.0:
+        return None
+    t = ((cx - ax) * s_y - (cy - ay) * s_x) / denom
+    u = ((cx - ax) * r_y - (cy - ay) * r_x) / denom
+    if -_EPS <= t <= 1.0 + _EPS and -_EPS <= u <= 1.0 + _EPS:
+        return (ax + t * r_x, ay + t * r_y)
+    return None
+
+
+def point_segment_distance_sq(px: float, py: float, ax: float, ay: float,
+                              bx: float, by: float) -> float:
+    """Squared Euclidean distance from p to the closed segment a-b."""
+    abx, aby = bx - ax, by - ay
+    apx, apy = px - ax, py - ay
+    denom = abx * abx + aby * aby
+    if denom == 0.0:
+        return apx * apx + apy * apy
+    t = (apx * abx + apy * aby) / denom
+    if t < 0.0:
+        t = 0.0
+    elif t > 1.0:
+        t = 1.0
+    qx = ax + t * abx - px
+    qy = ay + t * aby - py
+    return qx * qx + qy * qy
+
+
+def point_segment_distance(px: float, py: float, ax: float, ay: float,
+                           bx: float, by: float) -> float:
+    """Euclidean distance from p to the closed segment a-b."""
+    return math.sqrt(point_segment_distance_sq(px, py, ax, ay, bx, by))
+
+
+# Cohen–Sutherland outcodes
+_INSIDE, _LEFT, _RIGHT, _BOTTOM, _TOP = 0, 1, 2, 4, 8
+
+
+def _outcode(rect: Rect, x: float, y: float) -> int:
+    code = _INSIDE
+    if x < rect.min_x:
+        code |= _LEFT
+    elif x > rect.max_x:
+        code |= _RIGHT
+    if y < rect.min_y:
+        code |= _BOTTOM
+    elif y > rect.max_y:
+        code |= _TOP
+    return code
+
+
+def segment_intersects_rect(ax: float, ay: float, bx: float, by: float,
+                            rect: Rect) -> bool:
+    """True when any part of the closed segment a-b touches the closed rect.
+
+    Uses Cohen–Sutherland outcode rejection with an exact fallback: trivially
+    inside/outside cases answer without arithmetic, the remainder fall back
+    to edge-vs-edge tests against the rect's four sides.
+    """
+    code_a = _outcode(rect, ax, ay)
+    code_b = _outcode(rect, bx, by)
+    if code_a == _INSIDE or code_b == _INSIDE:
+        return True
+    if code_a & code_b:
+        return False
+    c0, c1, c2, c3 = rect.corners()
+    return (
+        segments_intersect(ax, ay, bx, by, c0[0], c0[1], c1[0], c1[1])
+        or segments_intersect(ax, ay, bx, by, c1[0], c1[1], c2[0], c2[1])
+        or segments_intersect(ax, ay, bx, by, c2[0], c2[1], c3[0], c3[1])
+        or segments_intersect(ax, ay, bx, by, c3[0], c3[1], c0[0], c0[1])
+    )
+
+
+def clip_segment_to_rect(ax: float, ay: float, bx: float, by: float,
+                         rect: Rect) -> Optional[Tuple[Point, Point]]:
+    """Liang–Barsky clip of segment a-b to the rect.
+
+    Returns the clipped endpoints or ``None`` if no part of the segment
+    lies within the rect.
+    """
+    dx, dy = bx - ax, by - ay
+    t0, t1 = 0.0, 1.0
+    for p, q in (
+        (-dx, ax - rect.min_x),
+        (dx, rect.max_x - ax),
+        (-dy, ay - rect.min_y),
+        (dy, rect.max_y - ay),
+    ):
+        if p == 0.0:
+            if q < 0.0:
+                return None
+            continue
+        r = q / p
+        if p < 0.0:
+            if r > t1:
+                return None
+            if r > t0:
+                t0 = r
+        else:
+            if r < t0:
+                return None
+            if r < t1:
+                t1 = r
+    return ((ax + t0 * dx, ay + t0 * dy), (ax + t1 * dx, ay + t1 * dy))

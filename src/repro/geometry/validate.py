@@ -1,0 +1,111 @@
+"""Structural polygon validation.
+
+The index tolerates imperfect real-world geometry (even/odd semantics
+handle most slivers), but dataset generators and data importers want to
+*know* when geometry is degenerate. :func:`validate_polygon` reports the
+classic OGC-style issues: non-simple rings (self-intersections), holes
+leaking outside the shell, and overlapping holes.
+
+Checks are quadratic with a bounding-box prefilter — fine for validation
+passes, not meant for per-query paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .polygon import Polygon, Ring
+from .segment import orientation, segments_intersect
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One problem found in a polygon."""
+
+    code: str        #: machine-readable kind, e.g. "self-intersection"
+    detail: str      #: human-readable context
+
+    def __str__(self) -> str:
+        return f"{self.code}: {self.detail}"
+
+
+def ring_is_simple(ring: Ring) -> bool:
+    """True when no two non-adjacent edges of the ring intersect."""
+    edges = list(ring.edges())
+    n = len(edges)
+    for i in range(n):
+        (ax, ay), (bx, by) = edges[i]
+        min_x_i = min(ax, bx)
+        max_x_i = max(ax, bx)
+        min_y_i = min(ay, by)
+        max_y_i = max(ay, by)
+        for j in range(i + 1, n):
+            if j == i + 1 or (i == 0 and j == n - 1):
+                continue  # adjacent edges share a vertex by construction
+            (cx, cy), (dx, dy) = edges[j]
+            if (max(cx, dx) < min_x_i or min(cx, dx) > max_x_i
+                    or max(cy, dy) < min_y_i or min(cy, dy) > max_y_i):
+                continue
+            if segments_intersect(ax, ay, bx, by, cx, cy, dx, dy):
+                return False
+    return True
+
+
+def validate_polygon(polygon: Polygon) -> List[ValidationIssue]:
+    """All structural issues of ``polygon`` (empty list = valid)."""
+    issues: List[ValidationIssue] = []
+    if not ring_is_simple(polygon.shell):
+        issues.append(ValidationIssue(
+            "self-intersection", "shell ring is not simple"
+        ))
+    for k, hole in enumerate(polygon.holes):
+        if not ring_is_simple(hole):
+            issues.append(ValidationIssue(
+                "self-intersection", f"hole {k} is not simple"
+            ))
+        # hole must lie inside the shell: check a vertex and edge crossings
+        hx, hy = hole.vertices[0]
+        shell_xs, shell_ys, shell_xe, shell_ye = polygon.shell.edge_arrays
+        from .pip import point_in_ring
+
+        if not point_in_ring(hx, hy, shell_xs, shell_ys,
+                             shell_xe, shell_ye):
+            issues.append(ValidationIssue(
+                "hole-outside-shell", f"hole {k} vertex outside the shell"
+            ))
+        elif _rings_cross(hole, polygon.shell):
+            issues.append(ValidationIssue(
+                "hole-crosses-shell", f"hole {k} crosses the shell boundary"
+            ))
+    for a in range(len(polygon.holes)):
+        for b in range(a + 1, len(polygon.holes)):
+            if _rings_cross(polygon.holes[a], polygon.holes[b]):
+                issues.append(ValidationIssue(
+                    "hole-overlap", f"holes {a} and {b} cross"
+                ))
+    return issues
+
+
+def is_valid_polygon(polygon: Polygon) -> bool:
+    """Convenience wrapper over :func:`validate_polygon`."""
+    return not validate_polygon(polygon)
+
+
+def _rings_cross(a: Ring, b: Ring) -> bool:
+    """True when any edge of ``a`` properly crosses an edge of ``b``.
+
+    Shared vertices/touching edges (common in clean partitions) do not
+    count as crossings; only transversal intersections do.
+    """
+    if not a.bbox.intersects(b.bbox):
+        return False
+    for (ax, ay), (bx, by) in a.edges():
+        for (cx, cy), (dx, dy) in b.edges():
+            o1 = orientation(ax, ay, bx, by, cx, cy)
+            o2 = orientation(ax, ay, bx, by, dx, dy)
+            o3 = orientation(cx, cy, dx, dy, ax, ay)
+            o4 = orientation(cx, cy, dx, dy, bx, by)
+            if o1 != o2 and o3 != o4 and 0 not in (o1, o2, o3, o4):
+                return True
+    return False

@@ -1,0 +1,137 @@
+"""Minimal Well-Known Text reader/writer.
+
+Supports the geometry types the library uses: ``POINT``, ``POLYGON`` and
+``MULTIPOLYGON``. The parser is a small recursive-descent tokenizer — no
+dependency on external GIS packages.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Sequence, Tuple, Union
+
+from ..errors import ParseError
+from .polygon import MultiPolygon, Polygon
+
+Point = Tuple[float, float]
+Geometry = Union[Point, Polygon, MultiPolygon]
+
+_TOKEN_RE = re.compile(r"\s*([A-Za-z]+|\(|\)|,|[-+0-9.eE]+)")
+
+
+class _Tokens:
+    """Token stream over a WKT string."""
+
+    def __init__(self, text: str):
+        self.tokens: List[str] = []
+        pos = 0
+        while pos < len(text):
+            match = _TOKEN_RE.match(text, pos)
+            if match is None:
+                remainder = text[pos:].strip()
+                if remainder:
+                    raise ParseError(f"unexpected WKT input at: {remainder[:30]!r}")
+                break
+            self.tokens.append(match.group(1))
+            pos = match.end()
+        self.index = 0
+
+    def peek(self) -> str:
+        if self.index >= len(self.tokens):
+            raise ParseError("unexpected end of WKT input")
+        return self.tokens[self.index]
+
+    def next(self) -> str:
+        token = self.peek()
+        self.index += 1
+        return token
+
+    def expect(self, expected: str) -> None:
+        token = self.next()
+        if token != expected:
+            raise ParseError(f"expected {expected!r}, got {token!r}")
+
+    def done(self) -> bool:
+        return self.index >= len(self.tokens)
+
+
+def _parse_coord(tokens: _Tokens) -> Point:
+    try:
+        x = float(tokens.next())
+        y = float(tokens.next())
+    except ValueError as exc:
+        raise ParseError(f"bad coordinate in WKT: {exc}") from exc
+    return (x, y)
+
+
+def _parse_ring(tokens: _Tokens) -> List[Point]:
+    tokens.expect("(")
+    points = [_parse_coord(tokens)]
+    while tokens.peek() == ",":
+        tokens.next()
+        points.append(_parse_coord(tokens))
+    tokens.expect(")")
+    return points
+
+
+def _parse_polygon_body(tokens: _Tokens) -> Polygon:
+    tokens.expect("(")
+    shell = _parse_ring(tokens)
+    holes = []
+    while tokens.peek() == ",":
+        tokens.next()
+        holes.append(_parse_ring(tokens))
+    tokens.expect(")")
+    return Polygon(shell, holes)
+
+
+def loads(text: str) -> Geometry:
+    """Parse a WKT string into a point tuple, Polygon, or MultiPolygon."""
+    tokens = _Tokens(text)
+    kind = tokens.next().upper()
+    if kind == "POINT":
+        tokens.expect("(")
+        point = _parse_coord(tokens)
+        tokens.expect(")")
+        result: Geometry = point
+    elif kind == "POLYGON":
+        result = _parse_polygon_body(tokens)
+    elif kind == "MULTIPOLYGON":
+        tokens.expect("(")
+        polygons = [_parse_polygon_body(tokens)]
+        while tokens.peek() == ",":
+            tokens.next()
+            polygons.append(_parse_polygon_body(tokens))
+        tokens.expect(")")
+        result = MultiPolygon(polygons)
+    else:
+        raise ParseError(f"unsupported WKT geometry type: {kind!r}")
+    if not tokens.done():
+        raise ParseError(f"trailing WKT tokens after {kind}")
+    return result
+
+
+def _ring_wkt(points: Sequence[Point]) -> str:
+    closed = list(points)
+    if closed[0] != closed[-1]:
+        closed.append(closed[0])
+    return "(" + ", ".join(f"{x:.9g} {y:.9g}" for x, y in closed) + ")"
+
+
+def _polygon_body(polygon: Polygon) -> str:
+    rings = [_ring_wkt(polygon.shell.vertices)]
+    rings.extend(_ring_wkt(h.vertices) for h in polygon.holes)
+    return "(" + ", ".join(rings) + ")"
+
+
+def dumps(geometry: Geometry) -> str:
+    """Serialize a point tuple, Polygon, or MultiPolygon to WKT."""
+    if isinstance(geometry, Polygon):
+        return "POLYGON " + _polygon_body(geometry)
+    if isinstance(geometry, MultiPolygon):
+        bodies = ", ".join(_polygon_body(p) for p in geometry.polygons)
+        return f"MULTIPOLYGON ({bodies})"
+    if isinstance(geometry, tuple) and len(geometry) == 2:
+        x, y = geometry
+        return f"POINT ({x:.9g} {y:.9g})"
+    raise ParseError(f"cannot serialize {type(geometry).__name__} to WKT")

@@ -1,0 +1,23 @@
+"""Quadtree-based hierarchical grids (the paper's Section II substrate).
+
+Exports the two grid implementations, the 64-bit cell id algebra, and the
+region coverer that turns polygons into boundary/interior cell sets.
+"""
+
+from . import cellid
+from .base import INVALID_CELL, HierarchicalGrid
+from .cellunion import CellUnion
+from .coverer import Covering, RegionCoverer
+from .planar import PlanarGrid
+from .s2like import S2LikeGrid
+
+__all__ = [
+    "cellid",
+    "INVALID_CELL",
+    "HierarchicalGrid",
+    "CellUnion",
+    "Covering",
+    "RegionCoverer",
+    "PlanarGrid",
+    "S2LikeGrid",
+]

@@ -1,0 +1,96 @@
+"""Normalized unions of cells.
+
+A :class:`CellUnion` is a sorted, non-overlapping set of cell ids with
+complete sibling groups merged into their parent — the canonical compressed
+representation of a region. Used by tests (covering sanity), the adaptive
+index, and anywhere membership of a leaf in a cell set must be answered
+without a trie.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable, Iterator, List, Sequence
+
+from . import cellid
+
+
+class CellUnion:
+    """Sorted union of cells with containment queries in O(log n)."""
+
+    __slots__ = ("cells",)
+
+    def __init__(self, cells: Iterable[int], normalize: bool = True):
+        cell_list = sorted(cells)
+        self.cells: List[int] = (
+            _normalize(cell_list) if normalize else cell_list
+        )
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.cells)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CellUnion) and self.cells == other.cells
+
+    def __repr__(self) -> str:
+        return f"CellUnion({len(self.cells)} cells)"
+
+    def contains_cell(self, cell: int) -> bool:
+        """True when ``cell`` is fully covered by a member cell."""
+        idx = bisect_right(self.cells, cell)
+        if idx > 0 and cellid.contains(self.cells[idx - 1], cell):
+            return True
+        if idx < len(self.cells) and cellid.contains(self.cells[idx], cell):
+            return True
+        return False
+
+    def contains_leaf(self, leaf: int) -> bool:
+        """Membership test for a leaf cell id."""
+        return self.contains_cell(leaf)
+
+    def intersects_cell(self, cell: int) -> bool:
+        """True when any member overlaps ``cell``."""
+        lo = cellid.range_min(cell)
+        hi = cellid.range_max(cell)
+        idx = bisect_right(self.cells, lo)
+        if idx > 0 and cellid.range_max(self.cells[idx - 1]) >= lo:
+            return True
+        return idx < len(self.cells) and cellid.range_min(self.cells[idx]) <= hi
+
+    def num_leaves(self) -> int:
+        """Total number of level-30 leaves covered (exact, arbitrary size)."""
+        total = 0
+        for cell in self.cells:
+            total += 1 << (2 * (cellid.MAX_LEVEL - cellid.level(cell)))
+        return total
+
+
+def _normalize(sorted_cells: Sequence[int]) -> List[int]:
+    """Drop contained cells and merge complete sibling groups."""
+    output: List[int] = []
+    for cell in sorted_cells:
+        if output and cellid.contains(output[-1], cell):
+            continue
+        while output and cellid.contains(cell, output[-1]):
+            output.pop()
+        output.append(cell)
+        # repeatedly merge trailing complete sibling quartets
+        while len(output) >= 4:
+            tail = output[-4:]
+            if cellid.is_leaf(tail[0]) is False and cellid.level(tail[0]) == 0:
+                break
+            first = tail[0]
+            lvl = cellid.level(first)
+            if lvl == 0:
+                break
+            par = cellid.parent(first, lvl - 1)
+            if all(cellid.level(c) == lvl and cellid.parent(c, lvl - 1) == par
+                   for c in tail[1:]) and len(set(tail)) == 4:
+                del output[-4:]
+                output.append(par)
+            else:
+                break
+    return output

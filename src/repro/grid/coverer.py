@@ -1,0 +1,181 @@
+"""Region coverer: polygon -> covering + interior covering.
+
+Implements the paper's approximation step (Section II, Figure 1a): a
+polygon is translated into
+
+* **boundary cells** ("covering" in the paper's figures, blue): cells that
+  intersect the polygon boundary. A point in one is *either inside or
+  outside* — a candidate hit. Their diagonal is bounded by the precision
+  level, which is what gives the paper's precision guarantee.
+* **interior cells** (green): cells fully inside the polygon — true hits,
+  emitted as coarse as possible so points hitting large interiors resolve
+  in the upper (cache-resident) levels of the trie.
+
+The recursion runs in integer frame space (see
+:meth:`repro.grid.base.HierarchicalGrid.frame_children`) and threads the
+polygon's candidate edge set down the quadtree, so the per-cell cost stays
+proportional to the locally relevant boundary.
+
+Two modes are provided: the precision-guaranteed covering (refine boundary
+cells until the precision level) and a budgeted covering with a ``max_cells``
+limit for the memory-constrained/adaptive variant discussed in the paper's
+introduction.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from ..errors import CoveringError
+from ..geometry.polygon import Polygon
+from ..geometry.relate import EdgeClassifier, Relation
+from . import cellid
+from .base import Frame, HierarchicalGrid
+
+
+@dataclass
+class Covering:
+    """The two cell sets approximating one polygon."""
+
+    boundary: List[int] = field(default_factory=list)
+    interior: List[int] = field(default_factory=list)
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.boundary) + len(self.interior)
+
+    def all_cells(self) -> Iterator[Tuple[int, bool]]:
+        """Yield ``(cell, is_interior)`` pairs."""
+        for cell in self.boundary:
+            yield cell, False
+        for cell in self.interior:
+            yield cell, True
+
+    def max_boundary_level_diag(self, grid: HierarchicalGrid) -> float:
+        """Worst-case false-positive distance in meters (the guarantee)."""
+        if not self.boundary:
+            return 0.0
+        coarsest = min(cellid.level(cell) for cell in self.boundary)
+        return grid.max_diag_meters(coarsest)
+
+
+class RegionCoverer:
+    """Computes coverings of polygons on a hierarchical grid."""
+
+    def __init__(self, grid: HierarchicalGrid):
+        self.grid = grid
+
+    # ------------------------------------------------------------------
+    # Precision-guaranteed covering
+    # ------------------------------------------------------------------
+    def cover(self, polygon: Polygon, boundary_level: int,
+              interior_min_level: int = 0) -> Covering:
+        """Covering whose boundary cells all sit at ``boundary_level``.
+
+        ``boundary_level`` is typically
+        ``grid.level_for_precision(precision_meters)``; every cell that
+        still intersects the polygon boundary at that level is emitted as
+        a candidate cell, bounding the false-positive distance by the
+        level's cell diagonal.
+        """
+        if boundary_level > self.grid.max_level:
+            raise CoveringError(
+                f"boundary level {boundary_level} exceeds grid max level "
+                f"{self.grid.max_level}"
+            )
+        classifier = EdgeClassifier(polygon)
+        grid = self.grid
+        frame_bounds = grid.frame_bounds
+        frame_children = grid.frame_children
+        classify = classifier.classify_bounds
+        boundary: List[int] = []
+        interior: List[int] = []
+
+        stack: List[Tuple[Frame, Optional[List[int]]]] = [
+            (frame, None) for frame in grid.root_frames()
+        ]
+        while stack:
+            frame, edges = stack.pop()
+            min_x, min_y, max_x, max_y = frame_bounds(frame)
+            relation, touching = classify(min_x, min_y, max_x, max_y, edges)
+            if relation is Relation.DISJOINT:
+                continue
+            level = frame[3]
+            if relation is Relation.WITHIN:
+                if level >= interior_min_level:
+                    interior.append(grid.frame_cell(frame))
+                else:
+                    for child in frame_children(frame):
+                        stack.append((child, touching))
+                continue
+            if level >= boundary_level:
+                boundary.append(grid.frame_cell(frame))
+            else:
+                for child in frame_children(frame):
+                    stack.append((child, touching))
+
+        if not boundary and not interior:
+            raise CoveringError(
+                "covering came out empty — polygon is outside the grid domain"
+            )
+        boundary.sort()
+        interior.sort()
+        return Covering(boundary, interior)
+
+    # ------------------------------------------------------------------
+    # Budgeted covering (memory-constrained mode)
+    # ------------------------------------------------------------------
+    def cover_budgeted(self, polygon: Polygon, max_cells: int,
+                       boundary_level: int) -> Covering:
+        """Covering with at most ``max_cells`` cells.
+
+        Boundary cells are refined coarsest-first until the budget or the
+        target level is reached. The result does **not** guarantee the
+        precision bound — callers must pair it with a refinement phase
+        (see :mod:`repro.join.filter_refine`), exactly as the paper
+        prescribes for strict memory budgets.
+        """
+        if max_cells < len(self.grid.root_frames()):
+            raise CoveringError(
+                f"max_cells={max_cells} smaller than the number of roots"
+            )
+        classifier = EdgeClassifier(polygon)
+        grid = self.grid
+        covering = Covering()
+        # heap of boundary frames to consider splitting, coarsest first
+        heap: List[Tuple[int, int, Frame, Optional[List[int]]]] = []
+        counter = 0
+
+        def classify_and_file(frame: Frame,
+                              edges: Optional[List[int]]) -> None:
+            nonlocal counter
+            min_x, min_y, max_x, max_y = grid.frame_bounds(frame)
+            relation, touching = classifier.classify_bounds(
+                min_x, min_y, max_x, max_y, edges
+            )
+            if relation is Relation.DISJOINT:
+                return
+            if relation is Relation.WITHIN:
+                covering.interior.append(grid.frame_cell(frame))
+                return
+            counter += 1
+            heapq.heappush(heap, (frame[3], counter, frame, touching))
+
+        for root in grid.root_frames():
+            classify_and_file(root, None)
+
+        while heap:
+            level, _, frame, edges = heap[0]
+            budget = max_cells - len(covering.interior) - len(heap)
+            if level >= boundary_level or budget < 3:
+                break  # heap is level-ordered; nothing coarser remains
+            heapq.heappop(heap)
+            for child in grid.frame_children(frame):
+                classify_and_file(child, edges)
+
+        covering.boundary.extend(grid.frame_cell(item[2]) for item in heap)
+        covering.boundary.sort()
+        covering.interior.sort()
+        return covering

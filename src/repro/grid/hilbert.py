@@ -1,0 +1,81 @@
+"""Hilbert-curve lookup tables for cell id encoding.
+
+The grid enumerates the four quadrants of every quadtree node along a
+Hilbert curve, exactly like Google S2 (the grid the paper's reference
+implementation uses). Any consistent enumeration would satisfy ACT's
+prefix requirement; the Hilbert order additionally gives spatial locality,
+which matters for the cache behaviour the paper's evaluation discusses.
+
+The tables map 4 levels (8 bits) at a time between (i, j) coordinate bits
+and curve-position bits, carrying the 2-bit curve orientation state
+(swap/invert masks) through each step — the same scheme as S2's
+``lookup_pos`` / ``lookup_ij`` tables.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+#: Orientation modifier bits.
+SWAP_MASK = 1
+INVERT_MASK = 2
+
+#: Number of (i, j) levels processed per table lookup.
+LOOKUP_BITS = 4
+
+#: kPosToIJ[orientation][position] -> 2-bit ij (i << 1 | j).
+POS_TO_IJ = (
+    (0, 1, 3, 2),  # canonical order
+    (0, 2, 3, 1),  # axes swapped
+    (3, 2, 0, 1),  # bits inverted
+    (3, 1, 0, 2),  # swapped & inverted
+)
+
+#: kIJtoPos[orientation][ij] -> 2-bit position (inverse of POS_TO_IJ).
+IJ_TO_POS = tuple(
+    tuple(row.index(ij) for ij in range(4)) for row in POS_TO_IJ
+)
+
+#: Orientation adjustment applied when descending into a sub-quadrant.
+POS_TO_ORIENTATION = (SWAP_MASK, 0, 0, INVERT_MASK | SWAP_MASK)
+
+_TABLE_SIZE = 1 << (2 * LOOKUP_BITS + 2)
+
+#: lookup_pos[(ij8 << 2) | orientation] = (pos8 << 2) | new_orientation
+LOOKUP_POS: List[int] = [0] * _TABLE_SIZE
+#: lookup_ij[(pos8 << 2) | orientation] = (ij8 << 2) | new_orientation
+LOOKUP_IJ: List[int] = [0] * _TABLE_SIZE
+
+
+def _init_lookup_cell(level: int, i: int, j: int, orig_orientation: int,
+                      pos: int, orientation: int) -> None:
+    if level == LOOKUP_BITS:
+        ij = (i << LOOKUP_BITS) | j
+        LOOKUP_POS[(ij << 2) | orig_orientation] = (pos << 2) | orientation
+        LOOKUP_IJ[(pos << 2) | orig_orientation] = (ij << 2) | orientation
+        return
+    level += 1
+    i <<= 1
+    j <<= 1
+    pos <<= 2
+    row = POS_TO_IJ[orientation]
+    for index in range(4):
+        ij = row[index]
+        _init_lookup_cell(
+            level,
+            i + (ij >> 1),
+            j + (ij & 1),
+            orig_orientation,
+            pos + index,
+            orientation ^ POS_TO_ORIENTATION[index],
+        )
+
+
+for _orientation in range(4):
+    _init_lookup_cell(0, 0, 0, _orientation, 0, _orientation)
+
+#: numpy views of the tables for vectorized encoding/decoding.
+LOOKUP_POS_NP = np.asarray(LOOKUP_POS, dtype=np.uint64)
+LOOKUP_IJ_NP = np.asarray(LOOKUP_IJ, dtype=np.uint64)

@@ -1,0 +1,32 @@
+"""Join operators: approximate (ACT), exact (filter+refine), streaming,
+aggregation, and multi-worker scaling."""
+
+from .aggregate import CountAggregator, count_points_per_polygon, count_stream
+from .approximate import ApproximateJoin
+from .filter_refine import ACTExactJoin, FilterRefineJoin
+from .parallel import (
+    ScalingPoint,
+    fork_available,
+    parallel_count,
+    parallel_counts_array,
+    scaling_sweep,
+)
+from .result import JoinResult, JoinStats
+from .streaming import StreamingJoin
+
+__all__ = [
+    "CountAggregator",
+    "count_points_per_polygon",
+    "count_stream",
+    "ApproximateJoin",
+    "ACTExactJoin",
+    "FilterRefineJoin",
+    "ScalingPoint",
+    "fork_available",
+    "parallel_count",
+    "parallel_counts_array",
+    "scaling_sweep",
+    "JoinResult",
+    "JoinStats",
+    "StreamingJoin",
+]

@@ -1,0 +1,121 @@
+"""Multi-worker scaling of the join (the paper's Figure 4, adapted).
+
+The paper scales ACT across 28 cores / 56 hyperthreads with C++ threads
+and reports near-linear scaling up to 4.3 B points/s. Python threads
+cannot show that because of the GIL, so this module scales with
+``multiprocessing`` **fork** workers instead: the index is built once in
+the parent and inherited copy-on-write, points are split into per-worker
+slices, and each worker runs the vectorized join on its slice (DESIGN.md
+documents this substitution).
+
+On non-fork platforms the sweep falls back to serial execution and says
+so in its results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..act.index import ACTIndex
+
+#: Worker globals inherited through fork (never pickled).
+_SHARED: dict = {}
+
+
+def _worker_count(bounds: tuple) -> np.ndarray:
+    start, stop = bounds
+    index: ACTIndex = _SHARED["index"]
+    return index.count_points(
+        _SHARED["lngs"][start:stop],
+        _SHARED["lats"][start:stop],
+        exact=_SHARED["exact"],
+    )
+
+
+@dataclass
+class ScalingPoint:
+    """One measurement of the scaling sweep."""
+
+    workers: int
+    seconds: float
+    num_points: int
+
+    @property
+    def throughput_mpts(self) -> float:
+        return self.num_points / self.seconds / 1e6 if self.seconds else 0.0
+
+
+def fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def parallel_count(index: ACTIndex, lngs: np.ndarray, lats: np.ndarray,
+                   workers: int, exact: bool = False,
+                   ) -> ScalingPoint:
+    """Count points per polygon using ``workers`` processes.
+
+    Returns the timing; the counts themselves are validated against the
+    serial path in tests (they are summed across workers).
+    """
+    lngs = np.asarray(lngs, dtype=np.float64)
+    lats = np.asarray(lats, dtype=np.float64)
+    n = lngs.shape[0]
+    if workers <= 1 or not fork_available():
+        start = time.perf_counter()
+        index.count_points(lngs, lats, exact=exact)
+        return ScalingPoint(1, time.perf_counter() - start, n)
+
+    # warm the vectorized snapshot before forking so children share it
+    _ = index.vectorized
+    _SHARED.update(index=index, lngs=lngs, lats=lats, exact=exact)
+    step = (n + workers - 1) // workers
+    slices = [(i, min(i + step, n)) for i in range(0, n, step)]
+    ctx = multiprocessing.get_context("fork")
+    try:
+        with ctx.Pool(processes=workers) as pool:
+            start = time.perf_counter()
+            results = pool.map(_worker_count, slices)
+            elapsed = time.perf_counter() - start
+    finally:
+        _SHARED.clear()
+    total = np.sum(results, axis=0)
+    assert total.shape[0] == index.num_polygons
+    return ScalingPoint(workers, elapsed, n)
+
+
+def parallel_counts_array(index: ACTIndex, lngs: np.ndarray,
+                          lats: np.ndarray, workers: int,
+                          exact: bool = False) -> np.ndarray:
+    """Like :func:`parallel_count` but returns the summed counts."""
+    lngs = np.asarray(lngs, dtype=np.float64)
+    lats = np.asarray(lats, dtype=np.float64)
+    n = lngs.shape[0]
+    if workers <= 1 or not fork_available():
+        return index.count_points(lngs, lats, exact=exact)
+    _ = index.vectorized
+    _SHARED.update(index=index, lngs=lngs, lats=lats, exact=exact)
+    step = (n + workers - 1) // workers
+    slices = [(i, min(i + step, n)) for i in range(0, n, step)]
+    ctx = multiprocessing.get_context("fork")
+    try:
+        with ctx.Pool(processes=workers) as pool:
+            results = pool.map(_worker_count, slices)
+    finally:
+        _SHARED.clear()
+    return np.sum(results, axis=0)
+
+
+def scaling_sweep(index: ACTIndex, lngs: np.ndarray, lats: np.ndarray,
+                  worker_counts: Optional[Sequence[int]] = None,
+                  exact: bool = False) -> List[ScalingPoint]:
+    """Measure throughput across worker counts (Figure 4's x-axis)."""
+    if worker_counts is None:
+        cpus = multiprocessing.cpu_count()
+        worker_counts = [w for w in (1, 2, 4, 8, 16, 32) if w <= 2 * cpus]
+    return [parallel_count(index, lngs, lats, workers, exact=exact)
+            for workers in worker_counts]

@@ -1,0 +1,19 @@
+"""Visualization helpers (dependency-free SVG)."""
+
+from .svg import (
+    COVERING_STYLE,
+    INTERIOR_STYLE,
+    POINT_STYLE,
+    POLYGON_STYLE,
+    SvgCanvas,
+    render_covering,
+)
+
+__all__ = [
+    "COVERING_STYLE",
+    "INTERIOR_STYLE",
+    "POINT_STYLE",
+    "POLYGON_STYLE",
+    "SvgCanvas",
+    "render_covering",
+]

@@ -1,0 +1,143 @@
+"""Dependency-free SVG rendering of polygons and cell coverings.
+
+Regenerates the paper's Figure 1 as a standalone SVG: polygons with
+their covering (blue) and interior (green) cells. No matplotlib — the
+renderer emits SVG primitives directly, so it works in the offline
+reproduction environment and output drops straight into a browser.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..geometry.bbox import Rect
+from ..geometry.polygon import Polygon
+
+#: Figure-1 palette: covering cells blue, interior cells green.
+COVERING_STYLE = dict(fill="#4a90d9", fill_opacity=0.45,
+                      stroke="#2b6cb0", stroke_width=0.15)
+INTERIOR_STYLE = dict(fill="#48a868", fill_opacity=0.55,
+                      stroke="#2f855a", stroke_width=0.15)
+POLYGON_STYLE = dict(fill="none", fill_opacity=1.0,
+                     stroke="#1a202c", stroke_width=0.6)
+POINT_STYLE = dict(fill="#e53e3e", fill_opacity=0.9,
+                   stroke="none", stroke_width=0.0)
+
+
+class SvgCanvas:
+    """Accumulates shapes in lng/lat space and renders one SVG document."""
+
+    def __init__(self, bounds: Rect, width_px: int = 900,
+                 margin_fraction: float = 0.03):
+        margin = max(bounds.width, bounds.height) * margin_fraction
+        self.bounds = bounds.expanded(margin)
+        self.width_px = width_px
+        self.height_px = max(
+            1, int(width_px * self.bounds.height / self.bounds.width)
+        )
+        self._sx = width_px / self.bounds.width
+        self._sy = self.height_px / self.bounds.height
+        self._shapes: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Coordinate mapping (SVG y grows downward)
+    # ------------------------------------------------------------------
+    def to_px(self, x: float, y: float) -> Tuple[float, float]:
+        return ((x - self.bounds.min_x) * self._sx,
+                (self.bounds.max_y - y) * self._sy)
+
+    # ------------------------------------------------------------------
+    # Shapes
+    # ------------------------------------------------------------------
+    def add_rect(self, rect: Rect, style: dict) -> None:
+        x0, y1 = self.to_px(rect.min_x, rect.min_y)
+        x1, y0 = self.to_px(rect.max_x, rect.max_y)
+        self._shapes.append(
+            f'<rect x="{x0:.2f}" y="{y0:.2f}" '
+            f'width="{x1 - x0:.2f}" height="{y1 - y0:.2f}" '
+            f"{_style_attrs(style)}/>"
+        )
+
+    def add_polygon(self, polygon: Polygon, style: dict) -> None:
+        parts = [_ring_path(self, polygon.shell.vertices)]
+        parts.extend(_ring_path(self, h.vertices) for h in polygon.holes)
+        self._shapes.append(
+            f'<path d="{" ".join(parts)}" fill-rule="evenodd" '
+            f"{_style_attrs(style)}/>"
+        )
+
+    def add_point(self, x: float, y: float, radius_px: float = 2.0,
+                  style: Optional[dict] = None) -> None:
+        px, py = self.to_px(x, y)
+        self._shapes.append(
+            f'<circle cx="{px:.2f}" cy="{py:.2f}" r="{radius_px:.2f}" '
+            f"{_style_attrs(style or POINT_STYLE)}/>"
+        )
+
+    def add_label(self, x: float, y: float, text: str,
+                  size_px: int = 12) -> None:
+        px, py = self.to_px(x, y)
+        self._shapes.append(
+            f'<text x="{px:.2f}" y="{py:.2f}" font-size="{size_px}" '
+            f'font-family="sans-serif" fill="#1a202c">{_escape(text)}</text>'
+        )
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+    def to_svg(self) -> str:
+        body = "\n  ".join(self._shapes)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width_px}" height="{self.height_px}" '
+            f'viewBox="0 0 {self.width_px} {self.height_px}">\n'
+            f'  <rect width="100%" height="100%" fill="#ffffff"/>\n'
+            f"  {body}\n</svg>\n"
+        )
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(self.to_svg(), encoding="utf-8")
+
+
+def render_covering(polygons: Sequence[Polygon], grid,
+                    boundary_cells: Iterable[int],
+                    interior_cells: Iterable[int],
+                    width_px: int = 900) -> SvgCanvas:
+    """Figure-1-style rendering: cells under their polygons.
+
+    ``grid`` supplies ``cell_rect``; cells are drawn first so polygon
+    outlines stay visible on top.
+    """
+    bounds = polygons[0].bbox
+    for polygon in polygons[1:]:
+        bounds = bounds.union(polygon.bbox)
+    canvas = SvgCanvas(bounds, width_px=width_px)
+    for cell in boundary_cells:
+        canvas.add_rect(grid.cell_rect(cell), COVERING_STYLE)
+    for cell in interior_cells:
+        canvas.add_rect(grid.cell_rect(cell), INTERIOR_STYLE)
+    for polygon in polygons:
+        canvas.add_polygon(polygon, POLYGON_STYLE)
+    return canvas
+
+
+def _ring_path(canvas: SvgCanvas, vertices) -> str:
+    points = [canvas.to_px(x, y) for x, y in vertices]
+    head = f"M {points[0][0]:.2f} {points[0][1]:.2f}"
+    rest = " ".join(f"L {x:.2f} {y:.2f}" for x, y in points[1:])
+    return f"{head} {rest} Z"
+
+
+def _style_attrs(style: dict) -> str:
+    return (
+        f'fill="{style.get("fill", "none")}" '
+        f'fill-opacity="{style.get("fill_opacity", 1.0)}" '
+        f'stroke="{style.get("stroke", "none")}" '
+        f'stroke-width="{style.get("stroke_width", 1.0)}"'
+    )
+
+
+def _escape(text: str) -> str:
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))

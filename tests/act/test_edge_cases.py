@@ -1,0 +1,124 @@
+"""Degenerate and adversarial inputs for the full ACT stack."""
+
+import numpy as np
+import pytest
+
+from repro import ACTIndex
+from repro.baselines import ScanJoin
+from repro.errors import CoveringError, PrecisionError, ReproError
+from repro.geometry import Polygon, Rect, regular_polygon
+from repro.grid.planar import PlanarGrid
+
+
+class TestTinyPolygons:
+    def test_polygon_smaller_than_boundary_cell(self):
+        """A polygon smaller than one precision-level cell: everything is
+        candidate, nothing interior — still correct."""
+        tiny = regular_polygon(-73.95, 40.7, 1e-5, 6)  # ~1 m radius
+        grid = PlanarGrid(Rect(-74.3, 40.45, -73.65, 40.95))
+        index = ACTIndex.build([tiny], precision_meters=120.0, grid=grid)
+        cx, cy = tiny.centroid
+        assert 0 in index.query_approx(cx, cy)
+        assert index.query_exact(cx, cy) == (0,)
+        # far away: no hit
+        assert not index.query(-74.2, 40.9).is_hit
+
+    def test_sliver_polygon(self):
+        """Extremely thin polygon (road-like sliver)."""
+        sliver = Polygon([(-74.0, 40.70), (-73.8, 40.7001),
+                          (-73.8, 40.7002), (-74.0, 40.7001)])
+        index = ACTIndex.build([sliver], precision_meters=60.0)
+        rng = np.random.default_rng(3)
+        lngs = rng.uniform(-74.0, -73.8, 3000)
+        lats = rng.uniform(40.6995, 40.7007, 3000)
+        exact = index.count_points(lngs, lats, exact=True)
+        brute = int(sliver.contains_batch(lngs, lats).sum())
+        assert exact[0] == brute
+
+
+class TestManyPolygons:
+    def test_hundreds_of_polygons_inline_capacity(self):
+        """Ids beyond two digits still round-trip through payload/offset
+        encodings."""
+        polys = []
+        for k in range(300):
+            cx = -74.25 + (k % 20) * 0.03
+            cy = 40.50 + (k // 20) * 0.03
+            polys.append(regular_polygon(cx, cy, 0.01, 5))
+        index = ACTIndex.build(polys, precision_meters=300.0)
+        for pid in (0, 150, 299):
+            cx, cy = polys[pid].centroid
+            assert pid in index.query_exact(cx, cy)
+
+
+class TestPointsOnStructure:
+    def test_points_on_grid_bounds(self, nyc_index):
+        b = nyc_index.grid.bounds
+        for x, y in b.corners():
+            result = nyc_index.query(x, y)  # must not raise
+            assert isinstance(result.all_ids, tuple)
+
+    def test_points_on_polygon_vertices(self, nyc_index, nyc_polygons):
+        """Vertex-exact probes: reported set must still be within the
+        guarantee (either side of the boundary is acceptable)."""
+        scan = ScanJoin(nyc_polygons)
+        bound = nyc_index.guaranteed_precision_meters
+        from repro.geometry import point_polygon_distance_meters
+
+        for vx, vy in nyc_polygons[2].shell.vertices[:10]:
+            reported = set(nyc_index.query_approx(vx, vy))
+            truth = set(scan.query(vx, vy))
+            assert truth <= reported
+            for pid in reported - truth:
+                assert point_polygon_distance_meters(
+                    nyc_polygons[pid], vx, vy) <= bound * 1.01
+
+    def test_nan_free_for_extreme_coordinates(self, nyc_index):
+        result = nyc_index.query(179.999, 89.0)
+        assert not result.is_hit
+
+
+class TestPrecisionLimits:
+    def test_precision_too_fine_for_fanout(self, nyc_polygons):
+        with pytest.raises(ReproError):
+            ACTIndex.build(nyc_polygons[:2], precision_meters=1e-6)
+
+    def test_negative_precision(self, nyc_polygons):
+        with pytest.raises(PrecisionError):
+            ACTIndex.build(nyc_polygons[:2], precision_meters=-5.0)
+
+    def test_huge_precision_still_correct(self, nyc_polygons, taxi_batch):
+        """A kilometer-scale bound yields a coarse but still sound index."""
+        lngs, lats = taxi_batch
+        index = ACTIndex.build(nyc_polygons[:5], precision_meters=5000.0)
+        exact = index.count_points(lngs, lats, exact=True)
+        scan = ScanJoin(nyc_polygons[:5]).count_points(lngs, lats)
+        assert exact.tolist() == scan.tolist()
+
+
+class TestGridMismatch:
+    def test_polygon_outside_grid_raises(self):
+        grid = PlanarGrid(Rect(0.0, 0.0, 1.0, 1.0))
+        far = regular_polygon(50.0, 50.0, 1.0, 6)
+        with pytest.raises(CoveringError):
+            ACTIndex.build([far], precision_meters=1000.0, grid=grid)
+
+    def test_points_outside_grid_are_misses(self, nyc_index):
+        lngs = np.array([100.0, -150.0, 0.0])
+        lats = np.array([10.0, -80.0, 0.0])
+        counts = nyc_index.count_points(lngs, lats)
+        assert counts.sum() == 0
+
+
+class TestEmptyBatches:
+    def test_count_points_empty(self, nyc_index):
+        counts = nyc_index.count_points(np.empty(0), np.empty(0))
+        assert counts.shape == (nyc_index.num_polygons,)
+        assert counts.sum() == 0
+
+    def test_count_points_exact_empty(self, nyc_index):
+        counts = nyc_index.count_points(np.empty(0), np.empty(0), exact=True)
+        assert counts.sum() == 0
+
+    def test_query_batch_empty(self, nyc_index):
+        assert nyc_index.query_batch(np.empty(0), np.empty(0)) == []

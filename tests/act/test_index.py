@@ -1,0 +1,226 @@
+"""End-to-end tests of ACTIndex — the paper's headline guarantees.
+
+The three invariants (DESIGN.md Section 4):
+
+1. no false negatives — a point inside polygon P is always reported;
+2. precision guarantee — an approximate hit that is NOT inside P lies
+   within the precision bound of P;
+3. true hits are exact — a true-hit report implies containment.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ACTIndex
+from repro.baselines import ScanJoin
+from repro.errors import BuildError
+from repro.geometry import point_polygon_distance_meters, regular_polygon
+from repro.grid import cellid
+from repro.grid.planar import PlanarGrid
+from repro.grid.s2like import S2LikeGrid
+
+
+class TestBuildBasics:
+    def test_empty_polygons_raises(self):
+        with pytest.raises(BuildError):
+            ACTIndex.build([], precision_meters=60.0)
+
+    def test_repr_and_stats(self, nyc_index, nyc_polygons):
+        assert "ACTIndex" in repr(nyc_index)
+        stats = nyc_index.stats
+        assert stats.num_polygons == len(nyc_polygons)
+        assert stats.indexed_cells == nyc_index.trie.num_entries
+        assert stats.trie_bytes == nyc_index.trie.size_bytes
+        assert stats.build_seconds > 0
+
+    def test_guarantee_not_looser_than_requested(self, nyc_index):
+        assert nyc_index.guaranteed_precision_meters <= \
+            nyc_index.precision_meters
+
+    def test_memory_report_consistent(self, nyc_index):
+        report = nyc_index.memory_report()
+        assert report["total_bytes"] == (
+            report["trie_bytes"] + report["lookup_table_bytes"]
+        )
+
+    def test_grid_defaults_to_planar_fit(self, nyc_polygons):
+        index = ACTIndex.build(nyc_polygons[:3], precision_meters=200.0)
+        assert isinstance(index.grid, PlanarGrid)
+        for polygon in nyc_polygons[:3]:
+            assert index.grid.bounds.contains_rect(polygon.bbox)
+
+
+class TestCoreGuarantees:
+    def _check_guarantees(self, index, polygons, lngs, lats):
+        bound = index.guaranteed_precision_meters
+        scan = ScanJoin(polygons)
+        checked_fp = 0
+        for x, y in zip(lngs.tolist(), lats.tolist()):
+            result = index.query(x, y)
+            truth = set(scan.query(x, y))
+            reported = set(result.all_ids)
+            # 1. no false negatives
+            assert truth <= reported, (x, y, truth, reported)
+            # 3. true hits are exact
+            for pid in result.true_hits:
+                assert pid in truth, (x, y, pid)
+            # 2. precision bound on false positives
+            for pid in reported - truth:
+                dist = point_polygon_distance_meters(polygons[pid], x, y)
+                assert dist <= bound * 1.001, (x, y, pid, dist, bound)
+                checked_fp += 1
+        return checked_fp
+
+    def test_guarantees_on_partition(self, nyc_index, nyc_polygons,
+                                     taxi_batch):
+        lngs, lats = taxi_batch
+        self._check_guarantees(nyc_index, nyc_polygons,
+                               lngs[:800], lats[:800])
+
+    def test_guarantees_on_overlapping_zones(self, overlap_index,
+                                             overlap_polygons, taxi_batch):
+        lngs, lats = taxi_batch
+        self._check_guarantees(overlap_index, overlap_polygons,
+                               lngs[:800], lats[:800])
+
+    def test_boundary_points_see_false_positives_within_bound(
+            self, nyc_polygons):
+        """Sample points near polygon borders (the hard case) and verify
+        the distance bound is what saves them."""
+        index = ACTIndex.build(nyc_polygons[:6], precision_meters=250.0)
+        rng = np.random.default_rng(5)
+        polygon = nyc_polygons[0]
+        verts = polygon.shell.vertices
+        lngs = []
+        lats = []
+        for _ in range(300):
+            k = int(rng.integers(0, len(verts)))
+            vx, vy = verts[k]
+            lngs.append(vx + float(rng.normal(0, 1e-4)))
+            lats.append(vy + float(rng.normal(0, 1e-4)))
+        fp = self._check_guarantees(
+            index, nyc_polygons[:6], np.asarray(lngs), np.asarray(lats)
+        )
+        assert fp > 0, "boundary sampling should produce false positives"
+
+
+class TestQueries:
+    def test_query_exact_matches_scan(self, nyc_index, nyc_polygons,
+                                      taxi_batch):
+        lngs, lats = taxi_batch
+        scan = ScanJoin(nyc_polygons)
+        for k in range(0, 600, 3):
+            got = sorted(nyc_index.query_exact(lngs[k], lats[k]))
+            assert got == sorted(scan.query(lngs[k], lats[k]))
+
+    def test_query_outside_domain(self, nyc_index):
+        result = nyc_index.query(50.0, 50.0)
+        assert not result.is_hit
+        assert nyc_index.query_exact(50.0, 50.0) == ()
+
+    def test_query_result_fields(self, nyc_index, nyc_polygons):
+        centroid = nyc_polygons[3].centroid
+        result = nyc_index.query(*centroid)
+        assert 3 in result.all_ids
+        assert result.is_hit
+
+    def test_count_points_exact_matches_scan(self, nyc_index, nyc_polygons,
+                                             taxi_batch):
+        lngs, lats = taxi_batch
+        exact = nyc_index.count_points(lngs, lats, exact=True)
+        scan = ScanJoin(nyc_polygons).count_points(lngs, lats)
+        assert exact.tolist() == scan.tolist()
+
+    def test_count_points_approx_superset(self, nyc_index, taxi_batch):
+        lngs, lats = taxi_batch
+        approx = nyc_index.count_points(lngs, lats)
+        exact = nyc_index.count_points(lngs, lats, exact=True)
+        assert (approx >= exact).all()
+
+    def test_query_batch_matches_scalar(self, nyc_index, taxi_batch):
+        lngs, lats = taxi_batch
+        results = nyc_index.query_batch(lngs[:200], lats[:200])
+        for k in range(200):
+            scalar = nyc_index.query(lngs[k], lats[k])
+            assert sorted(results[k].all_ids) == sorted(scalar.all_ids)
+            assert sorted(results[k].true_hits) == sorted(scalar.true_hits)
+
+
+class TestPrecisionSweep:
+    def test_tighter_precision_fewer_false_positives(self, nyc_polygons,
+                                                     taxi_batch):
+        lngs, lats = taxi_batch
+        polys = nyc_polygons[:8]
+        fps = []
+        for precision in (500.0, 120.0, 30.0):
+            index = ACTIndex.build(polys, precision_meters=precision)
+            approx = index.count_points(lngs, lats)
+            exact = index.count_points(lngs, lats, exact=True)
+            fps.append(int((approx - exact).sum()))
+        assert fps[0] >= fps[1] >= fps[2]
+        assert fps[2] < fps[0]  # strictly better across the sweep
+
+    def test_cells_grow_with_precision(self, nyc_polygons):
+        polys = nyc_polygons[:4]
+        stats = [
+            ACTIndex.build(polys, precision_meters=p).stats
+            for p in (500.0, 120.0, 30.0)
+        ]
+        # pre-denormalization covering cells grow strictly with precision
+        raw = [s.raw_cells for s in stats]
+        assert raw[0] < raw[1] < raw[2]
+        # post-denormalization slot counts are only monotone across larger
+        # spans (granularity alignment makes neighbors non-monotone)
+        assert stats[0].indexed_cells < stats[2].indexed_cells
+
+
+class TestGridAndFanoutVariants:
+    @pytest.mark.parametrize("fanout", [4, 16, 64, 256])
+    def test_fanouts_agree(self, nyc_polygons, taxi_batch, fanout):
+        lngs, lats = taxi_batch
+        polys = nyc_polygons[:5]
+        index = ACTIndex.build(polys, precision_meters=250.0, fanout=fanout)
+        exact = index.count_points(lngs[:1500], lats[:1500], exact=True)
+        scan = ScanJoin(polys).count_points(lngs[:1500], lats[:1500])
+        assert exact.tolist() == scan.tolist()
+
+    def test_s2like_grid_backend(self, taxi_batch):
+        lngs, lats = taxi_batch
+        polys = [regular_polygon(-73.95, 40.7, 0.05, 9),
+                 regular_polygon(-74.1, 40.6, 0.04, 7)]
+        index = ACTIndex.build(polys, precision_meters=120.0,
+                               grid=S2LikeGrid())
+        exact = index.count_points(lngs, lats, exact=True)
+        scan = ScanJoin(polys).count_points(lngs, lats)
+        assert exact.tolist() == scan.tolist()
+        approx = index.count_points(lngs, lats)
+        assert (approx >= exact).all()
+
+    def test_no_interior_ablation_still_exact(self, nyc_polygons,
+                                              taxi_batch):
+        lngs, lats = taxi_batch
+        polys = nyc_polygons[:5]
+        index = ACTIndex.build(polys, precision_meters=250.0,
+                               use_interior=False)
+        # without interior cells nothing is a true hit...
+        assert index.count_points(lngs, lats, exact=False).sum() >= 0
+        for k in range(0, 400, 7):
+            result = index.query(lngs[k], lats[k])
+            assert result.true_hits == ()
+        # ...but exact joins still work (everything refined)
+        exact = index.count_points(lngs, lats, exact=True)
+        scan = ScanJoin(polys).count_points(lngs, lats)
+        assert exact.tolist() == scan.tolist()
+
+    def test_budgeted_build_exact_queries(self, nyc_polygons, taxi_batch):
+        lngs, lats = taxi_batch
+        polys = nyc_polygons[:5]
+        index = ACTIndex.build(polys, precision_meters=60.0,
+                               max_cells_per_polygon=64)
+        exact = index.count_points(lngs, lats, exact=True)
+        scan = ScanJoin(polys).count_points(lngs, lats)
+        assert exact.tolist() == scan.tolist()
+        # the budget keeps the covering small
+        assert index.stats.raw_cells <= 64 * len(polys)
+        unbudgeted = ACTIndex.build(polys, precision_meters=60.0)
+        assert index.stats.indexed_cells < unbudgeted.stats.indexed_cells

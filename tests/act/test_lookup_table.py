@@ -1,0 +1,84 @@
+"""Unit tests for the deduplicated lookup table."""
+
+import numpy as np
+import pytest
+
+from repro.act import entry as codec
+from repro.act.lookup_table import LookupTable
+from repro.errors import CapacityError
+
+
+class TestIntern:
+    def test_encoding_layout(self):
+        table = LookupTable()
+        offset = table.intern([3, 1], [7])
+        # [n_true, true..., n_cand, cand...] with sorted ids
+        assert table.as_array().tolist() == [2, 1, 3, 1, 7]
+        assert offset == 0
+
+    def test_get_roundtrip(self):
+        table = LookupTable()
+        offset = table.intern([5, 2, 9], [1, 4])
+        true_ids, cand_ids = table.get(offset)
+        assert true_ids == (2, 5, 9)
+        assert cand_ids == (1, 4)
+
+    def test_deduplication(self):
+        table = LookupTable()
+        a = table.intern([1, 2], [3])
+        b = table.intern([2, 1], [3])  # same set, different order
+        assert a == b
+        assert table.num_unique_sets == 1
+
+    def test_distinct_sets_get_new_offsets(self):
+        table = LookupTable()
+        a = table.intern([1], [2, 3])
+        b = table.intern([1, 2], [3])  # same ids, different split
+        assert a != b
+        assert table.num_unique_sets == 2
+
+    def test_empty_sides_allowed(self):
+        table = LookupTable()
+        offset = table.intern([], [4, 5, 6])
+        assert table.get(offset) == ((), (4, 5, 6))
+
+    def test_size_bytes(self):
+        table = LookupTable()
+        table.intern([1], [2, 3])
+        assert table.size_bytes == 4 * len(table)
+        assert len(table) == 5
+
+    def test_get_out_of_range(self):
+        table = LookupTable()
+        with pytest.raises(CapacityError):
+            table.get(0)
+        table.intern([1], [])
+        with pytest.raises(CapacityError):
+            table.get(99)
+
+
+class TestInternRefs:
+    def test_splits_by_flag(self):
+        table = LookupTable()
+        refs = [codec.make_ref(4, True), codec.make_ref(2, False),
+                codec.make_ref(7, True)]
+        offset = table.intern_refs(refs)
+        true_ids, cand_ids = table.get(offset)
+        assert true_ids == (4, 7)
+        assert cand_ids == (2,)
+
+    def test_matches_manual_intern(self):
+        table = LookupTable()
+        refs = [codec.make_ref(4, True), codec.make_ref(2, False)]
+        a = table.intern_refs(refs)
+        b = table.intern([4], [2])
+        assert a == b
+
+
+class TestArray:
+    def test_uint32_dtype(self):
+        table = LookupTable()
+        table.intern([1, 2, 3], [4])
+        arr = table.as_array()
+        assert arr.dtype == np.uint32
+        assert arr.shape == (6,)

@@ -1,0 +1,114 @@
+"""Tests for index persistence (save/load roundtrip)."""
+
+import numpy as np
+import pytest
+
+from repro import ACTIndex
+from repro.act.serialize import load_index, save_index
+from repro.errors import ACTError
+from repro.geometry import regular_polygon
+from repro.grid.s2like import S2LikeGrid
+
+
+@pytest.fixture(scope="module")
+def saved(tmp_path_factory, nyc_polygons):
+    index = ACTIndex.build(nyc_polygons[:8], precision_meters=150.0)
+    path = tmp_path_factory.mktemp("idx") / "index.npz"
+    save_index(index, path)
+    return index, path
+
+
+class TestRoundtrip:
+    def test_lookups_identical(self, saved, taxi_batch):
+        original, path = saved
+        loaded = load_index(path)
+        lngs, lats = taxi_batch
+        a = original.lookup_batch(lngs, lats)
+        b = loaded.lookup_batch(lngs, lats)
+        assert np.array_equal(a, b)
+
+    def test_counts_identical(self, saved, taxi_batch):
+        original, path = saved
+        loaded = load_index(path)
+        lngs, lats = taxi_batch
+        assert loaded.count_points(lngs, lats).tolist() == \
+            original.count_points(lngs, lats).tolist()
+        assert loaded.count_points(lngs, lats, exact=True).tolist() == \
+            original.count_points(lngs, lats, exact=True).tolist()
+
+    def test_scalar_queries_identical(self, saved, taxi_batch):
+        original, path = saved
+        loaded = load_index(path)
+        lngs, lats = taxi_batch
+        for k in range(0, 500, 17):
+            assert loaded.query(lngs[k], lats[k]) == \
+                original.query(lngs[k], lats[k])
+
+    def test_stats_preserved(self, saved):
+        original, path = saved
+        loaded = load_index(path)
+        assert loaded.stats.indexed_cells == original.stats.indexed_cells
+        assert loaded.stats.precision_meters == \
+            original.stats.precision_meters
+        assert loaded.boundary_level == original.boundary_level
+        assert loaded.trie.fanout == original.trie.fanout
+
+    def test_polygons_preserved(self, saved):
+        original, path = saved
+        loaded = load_index(path)
+        assert len(loaded.polygons) == len(original.polygons)
+        for a, b in zip(loaded.polygons, original.polygons):
+            assert a.area == pytest.approx(b.area)
+
+    def test_lookup_table_still_interns(self, saved):
+        """The dedup map must survive so post-load interning works."""
+        original, path = saved
+        loaded = load_index(path)
+        if loaded.lookup_table.num_unique_sets:
+            true_ids, cand_ids = loaded.lookup_table.get(0)
+            offset = loaded.lookup_table.intern(true_ids, cand_ids)
+            assert offset == 0
+
+
+class TestVariants:
+    def test_s2like_grid_roundtrip(self, tmp_path, taxi_batch):
+        polys = [regular_polygon(-73.95, 40.7, 0.05, 8)]
+        index = ACTIndex.build(polys, precision_meters=150.0,
+                               grid=S2LikeGrid())
+        path = tmp_path / "s2.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        lngs, lats = taxi_batch
+        assert np.array_equal(loaded.lookup_batch(lngs, lats),
+                              index.lookup_batch(lngs, lats))
+
+    def test_small_fanout_roundtrip(self, tmp_path, nyc_polygons,
+                                    taxi_batch):
+        index = ACTIndex.build(nyc_polygons[:3], precision_meters=250.0,
+                               fanout=16)
+        path = tmp_path / "f16.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        lngs, lats = taxi_batch
+        assert np.array_equal(loaded.lookup_batch(lngs[:500], lats[:500]),
+                              index.lookup_batch(lngs[:500], lats[:500]))
+
+    def test_donut_polygon_roundtrip(self, tmp_path, donut):
+        # polygon with a hole survives the GeoJSON leg
+        shifted = donut  # donut is in unit coordinates; grid fits to it
+        index = ACTIndex.build([shifted], precision_meters=50_000.0)
+        path = tmp_path / "donut.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert len(loaded.polygons[0].holes) == 1
+
+    def test_bad_version_rejected(self, tmp_path, saved, monkeypatch):
+        import repro.act.serialize as ser
+
+        original, _ = saved
+        path = tmp_path / "vx.npz"
+        monkeypatch.setattr(ser, "FORMAT_VERSION", 999)
+        save_index(original, path)
+        monkeypatch.setattr(ser, "FORMAT_VERSION", 1)
+        with pytest.raises(ACTError):
+            load_index(path)

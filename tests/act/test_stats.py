@@ -1,0 +1,38 @@
+"""Tests for IndexStats accounting."""
+
+import pytest
+
+from repro.act.stats import IndexStats
+
+
+class TestIndexStats:
+    def test_derived_totals(self):
+        stats = IndexStats(raw_boundary_cells=10, raw_interior_cells=5,
+                           trie_bytes=1000, lookup_table_bytes=24,
+                           build_coverings_seconds=1.0,
+                           build_super_seconds=0.5,
+                           build_trie_seconds=0.25)
+        assert stats.raw_cells == 15
+        assert stats.total_bytes == 1024
+        assert stats.build_seconds == pytest.approx(1.75)
+
+    def test_table_row_units(self):
+        stats = IndexStats(precision_meters=15.0, indexed_cells=2_000_000,
+                           trie_bytes=50_000_000,
+                           lookup_table_bytes=1_000_000)
+        row = stats.as_table_row()
+        assert row["indexed cells [M]"] == pytest.approx(2.0)
+        assert row["ACT [MB]"] == pytest.approx(50.0)
+        assert row["lookup table [MB]"] == pytest.approx(1.0)
+
+    def test_str_contains_key_numbers(self):
+        stats = IndexStats(num_polygons=7, precision_meters=4.0,
+                           indexed_cells=1234)
+        text = str(stats)
+        assert "7" in text and "4" in text and "1,234" in text
+
+    def test_extra_dict_isolated(self):
+        a = IndexStats()
+        b = IndexStats()
+        a.extra["x"] = 1.0
+        assert b.extra == {}

@@ -1,0 +1,238 @@
+"""Unit and property tests for the Adaptive Cell Trie structure."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.act import entry as codec
+from repro.act.trie import KEY_BITS, SUPPORTED_FANOUTS, AdaptiveCellTrie
+from repro.errors import BuildError
+from repro.grid import cellid
+
+faces = st.integers(0, 5)
+ij30 = st.integers(0, (1 << 30) - 1)
+
+
+def make_cell(face, i, j, level):
+    return cellid.parent(cellid.from_face_ij(face, i, j), level)
+
+
+def entry_for(pid):
+    return codec.make_payload_1(codec.make_ref(pid, True))
+
+
+class TestConstruction:
+    def test_unsupported_fanout(self):
+        with pytest.raises(BuildError):
+            AdaptiveCellTrie(fanout=8)
+        with pytest.raises(BuildError):
+            AdaptiveCellTrie(fanout=512)
+
+    @pytest.mark.parametrize("fanout", SUPPORTED_FANOUTS)
+    def test_geometry_parameters(self, fanout):
+        trie = AdaptiveCellTrie(fanout)
+        assert trie.fanout == fanout
+        assert 2 ** trie.bits_per_step == fanout
+        assert trie.max_steps == KEY_BITS // trie.bits_per_step
+        assert trie.max_cell_level == trie.max_steps * trie.levels_per_step
+
+    def test_paper_default_parameters(self):
+        """Fanout 256: 8 bits per node, ceil(60/8)=8 accesses incl. face."""
+        trie = AdaptiveCellTrie(256)
+        assert trie.levels_per_step == 4
+        assert trie.max_steps == 7
+        assert trie.max_cell_level == 28
+
+    def test_empty_trie_metrics(self):
+        trie = AdaptiveCellTrie()
+        assert trie.num_nodes == 0
+        assert trie.size_bytes == 0
+        assert trie.num_entries == 0
+
+
+class TestInsertLookup:
+    def test_single_cell(self):
+        trie = AdaptiveCellTrie()
+        cell = make_cell(1, 1000, 2000, 12)
+        trie.insert(cell, entry_for(5))
+        leaf = cellid.range_min(cell)
+        assert trie.lookup_entry(leaf) == entry_for(5)
+        assert trie.lookup_entry(cellid.range_max(cell)) == entry_for(5)
+
+    def test_miss_outside_cell(self):
+        trie = AdaptiveCellTrie()
+        cell = make_cell(1, 1000, 2000, 12)
+        trie.insert(cell, entry_for(5))
+        outside = cellid.range_max(cell) + 2
+        assert trie.lookup_entry(outside) == codec.SENTINEL
+        assert trie.lookup_entry(cellid.from_face_ij(4, 0, 0)) == codec.SENTINEL
+
+    def test_face_root_cell(self):
+        trie = AdaptiveCellTrie()
+        trie.insert(cellid.from_face(3), entry_for(9))
+        leaf = cellid.from_face_ij(3, 123, 456)
+        assert trie.lookup_entry(leaf) == entry_for(9)
+        assert trie.lookup_entry(cellid.from_face_ij(2, 0, 0)) == 0
+
+    def test_duplicate_insert_raises(self):
+        trie = AdaptiveCellTrie()
+        cell = make_cell(0, 5, 5, 8)
+        trie.insert(cell, entry_for(1))
+        with pytest.raises(BuildError):
+            trie.insert(cell, entry_for(2))
+
+    def test_ancestor_conflict_raises(self):
+        trie = AdaptiveCellTrie()
+        cell = make_cell(0, 5, 5, 8)
+        trie.insert(cell, entry_for(1))
+        with pytest.raises(BuildError):
+            trie.insert(cellid.children(cell)[0], entry_for(2))
+
+    def test_descendant_conflict_raises(self):
+        trie = AdaptiveCellTrie()
+        cell = make_cell(0, 5, 5, 8)
+        trie.insert(cellid.children(cell)[0], entry_for(1))
+        with pytest.raises(BuildError):
+            trie.insert(cell, entry_for(2))
+
+    def test_pointer_entry_rejected(self):
+        trie = AdaptiveCellTrie()
+        with pytest.raises(BuildError):
+            trie.insert(make_cell(0, 1, 1, 8), codec.make_pointer(3))
+
+    def test_too_deep_cell_rejected(self):
+        trie = AdaptiveCellTrie(256)
+        with pytest.raises(BuildError):
+            trie.insert(make_cell(0, 1, 1, 29), entry_for(1))
+
+    def test_siblings_do_not_conflict(self):
+        trie = AdaptiveCellTrie()
+        parent = make_cell(0, 77, 77, 10)
+        for k, child in enumerate(cellid.children(parent)):
+            trie.insert(child, entry_for(k))
+        for k, child in enumerate(cellid.children(parent)):
+            assert trie.lookup_entry(cellid.range_min(child)) == entry_for(k)
+
+
+class TestDenormalization:
+    def test_unaligned_cell_entry_count(self):
+        """A level-9 cell in a fanout-256 trie denormalizes to 4^3 slots."""
+        trie = AdaptiveCellTrie(256)
+        trie.insert(make_cell(0, 50, 60, 9), entry_for(3))
+        assert trie.num_entries == 4 ** 3
+
+    def test_unaligned_lookup_hits_everywhere(self, rng):
+        trie = AdaptiveCellTrie(256)
+        cell = make_cell(2, 123456, 654321, 13)
+        trie.insert(cell, entry_for(7))
+        lo = cellid.range_min(cell)
+        hi = cellid.range_max(cell)
+        for _ in range(50):
+            leaf = (int(rng.integers(lo, hi + 1)) | 1)
+            assert trie.lookup_entry(leaf) == entry_for(7)
+        assert trie.lookup_entry(hi + 2) == codec.SENTINEL
+        assert trie.lookup_entry(lo - 2) == codec.SENTINEL
+
+    def test_denormalized_range_conflict_detected(self):
+        trie = AdaptiveCellTrie(256)
+        cell = make_cell(0, 99, 99, 9)
+        trie.insert(cellid.children(cell)[1], entry_for(1))  # level 10
+        with pytest.raises(BuildError):
+            trie.insert(cell, entry_for(2))
+
+    def test_denormalization_adds_no_nodes(self):
+        """The paper trade-off: denormalization replicates payloads but the
+        descendants share one node."""
+        trie_aligned = AdaptiveCellTrie(256)
+        trie_aligned.insert(make_cell(0, 4096, 4096, 12), entry_for(1))
+        trie_unaligned = AdaptiveCellTrie(256)
+        trie_unaligned.insert(make_cell(0, 4096, 4096, 13), entry_for(1))
+        assert trie_unaligned.num_nodes == trie_aligned.num_nodes + 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(faces, ij30, ij30, st.integers(0, 16)),
+                min_size=1, max_size=40),
+       st.sampled_from(SUPPORTED_FANOUTS))
+def test_trie_equals_bruteforce_cell_map(specs, fanout):
+    """ACT lookup == brute-force 'which inserted cell contains this leaf'.
+
+    Inserted cells are made prefix-free first (mirroring the super
+    covering contract); lookups of range endpoints and midpoints must
+    agree with the brute-force scan for every inserted cell.
+    """
+    cells = {}
+    for face, i, j, level in specs:
+        cell = make_cell(face, i, j, min(level, 16))
+        cells[cell] = None
+    # drop cells nested inside others (prefix-free family)
+    unique = sorted(cells, key=cellid.range_min)
+    kept = []
+    for cell in unique:
+        if kept and cellid.range_max(kept[-1]) >= cellid.range_min(cell):
+            continue
+        kept.append(cell)
+
+    trie = AdaptiveCellTrie(fanout)
+    expected = {}
+    for pid, cell in enumerate(kept):
+        trie.insert(cell, entry_for(pid))
+        expected[cell] = entry_for(pid)
+
+    probes = []
+    for cell in kept:
+        lo = cellid.range_min(cell)
+        hi = cellid.range_max(cell)
+        probes.extend([(lo, expected[cell]), (hi, expected[cell]),
+                       (((lo + hi) // 2) | 1, expected[cell])])
+        probes.append((hi + 2 if hi + 2 < (1 << 64) else lo - 2, None))
+    for leaf, want in probes:
+        if not cellid.is_valid(leaf) or not cellid.is_leaf(leaf):
+            continue
+        got = trie.lookup_entry(leaf)
+        if want is None:
+            brute = next((expected[c] for c in kept
+                          if cellid.contains(c, leaf)), codec.SENTINEL)
+            assert got == brute
+        else:
+            assert got == want
+
+
+class TestIntrospection:
+    def test_iter_cells_roundtrip_aligned(self):
+        trie = AdaptiveCellTrie(256)
+        inserted = {
+            make_cell(0, 10, 10, 8): entry_for(0),
+            make_cell(1, 99, 3, 12): entry_for(1),
+            make_cell(5, 7, 7, 4): entry_for(2),
+        }
+        for cell, entry in inserted.items():
+            trie.insert(cell, entry)
+        recovered = dict(trie.iter_cells())
+        assert recovered == inserted
+
+    def test_iter_cells_expands_denormalized(self):
+        trie = AdaptiveCellTrie(256)
+        trie.insert(make_cell(0, 10, 10, 9), entry_for(0))
+        recovered = list(trie.iter_cells())
+        assert len(recovered) == 64  # enumerated post-denormalization
+        assert all(cellid.level(c) == 12 for c, _ in recovered)
+
+    def test_node_accesses_bounded(self):
+        trie = AdaptiveCellTrie(256)
+        cell = make_cell(0, 10, 10, 16)
+        trie.insert(cell, entry_for(0))
+        accesses = trie.node_accesses(cellid.range_min(cell))
+        assert 1 <= accesses <= trie.max_steps
+
+    def test_export_arrays_shapes(self):
+        trie = AdaptiveCellTrie(256)
+        trie.insert(make_cell(0, 10, 10, 8), entry_for(0))
+        table, roots = trie.export_arrays()
+        assert table.shape == (trie.num_nodes, 256)
+        assert roots.shape == (6,)
+
+    def test_size_bytes_layout(self):
+        trie = AdaptiveCellTrie(256)
+        trie.insert(make_cell(0, 10, 10, 8), entry_for(0))
+        assert trie.size_bytes == trie.num_nodes * 256 * 8

@@ -1,0 +1,119 @@
+"""Tests that the vectorized batch engine agrees with scalar lookups."""
+
+import numpy as np
+import pytest
+
+from repro.act import entry as codec
+from repro.act.vectorized import VectorizedACT
+
+
+class TestLookupEntries:
+    def test_matches_scalar_trie(self, nyc_index, taxi_batch):
+        lngs, lats = taxi_batch
+        cells = nyc_index.grid.leaf_cells_batch(lngs, lats)
+        vect = nyc_index.vectorized
+        entries = vect.lookup_entries(cells)
+        for k in range(0, len(lngs), 5):
+            cell = int(cells[k])
+            want = (nyc_index.trie.lookup_entry(cell) if cell else 0)
+            assert int(entries[k]) == want, k
+
+    def test_invalid_cells_miss(self, nyc_index):
+        entries = nyc_index.vectorized.lookup_entries(
+            np.zeros(5, dtype=np.uint64)
+        )
+        assert (entries == 0).all()
+
+    def test_empty_batch(self, nyc_index):
+        entries = nyc_index.vectorized.lookup_entries(
+            np.empty(0, dtype=np.uint64)
+        )
+        assert entries.shape == (0,)
+
+
+class TestCountHits:
+    def test_counts_match_decoded_entries(self, nyc_index, taxi_batch):
+        lngs, lats = taxi_batch
+        entries = nyc_index.lookup_batch(lngs, lats)
+        counts = nyc_index.vectorized.count_hits(
+            entries, nyc_index.num_polygons, include_candidates=True
+        )
+        # brute-force decode per entry
+        want = np.zeros(nyc_index.num_polygons, dtype=np.int64)
+        for e in entries.tolist():
+            result = nyc_index._decode(int(e))
+            for pid in result.all_ids:
+                want[pid] += 1
+        assert counts.tolist() == want.tolist()
+
+    def test_true_only_counts(self, nyc_index, taxi_batch):
+        lngs, lats = taxi_batch
+        entries = nyc_index.lookup_batch(lngs, lats)
+        true_counts = nyc_index.vectorized.count_hits(
+            entries, nyc_index.num_polygons, include_candidates=False
+        )
+        all_counts = nyc_index.vectorized.count_hits(
+            entries, nyc_index.num_polygons, include_candidates=True
+        )
+        assert (true_counts <= all_counts).all()
+        want = np.zeros(nyc_index.num_polygons, dtype=np.int64)
+        for e in entries.tolist():
+            for pid in nyc_index._decode(int(e)).true_hits:
+                want[pid] += 1
+        assert true_counts.tolist() == want.tolist()
+
+
+class TestPairs:
+    def test_pairs_match_decoded(self, overlap_index, taxi_batch):
+        lngs, lats = taxi_batch
+        entries = overlap_index.lookup_batch(lngs, lats)
+        vect = overlap_index.vectorized
+        for want_true in (True, False):
+            pts, pids = vect.pairs(entries, want_true=want_true)
+            got = sorted(zip(pts.tolist(), pids.tolist()))
+            want = []
+            for k, e in enumerate(entries.tolist()):
+                result = overlap_index._decode(int(e))
+                ids = result.true_hits if want_true else result.candidates
+                want.extend((k, pid) for pid in ids)
+            assert got == sorted(want)
+
+    def test_candidate_pairs_alias(self, nyc_index, taxi_batch):
+        lngs, lats = taxi_batch
+        entries = nyc_index.lookup_batch(lngs[:500], lats[:500])
+        a = nyc_index.vectorized.candidate_pairs(entries)
+        b = nyc_index.vectorized.pairs(entries, want_true=False)
+        assert a[0].tolist() == b[0].tolist()
+        assert a[1].tolist() == b[1].tolist()
+
+    def test_no_pairs_on_empty(self, nyc_index):
+        pts, pids = nyc_index.vectorized.pairs(
+            np.zeros(4, dtype=np.uint64), want_true=False
+        )
+        assert pts.shape == (0,) and pids.shape == (0,)
+
+
+class TestOffsetEntries:
+    def test_offset_decoding_through_table(self, overlap_index, taxi_batch):
+        """Overlapping zones produce cells with 3+ refs — offset entries."""
+        lngs, lats = taxi_batch
+        entries = overlap_index.lookup_batch(lngs, lats)
+        tags = entries & np.uint64(3)
+        has_offsets = bool((tags == np.uint64(codec.TAG_OFFSET)).any())
+        # the overlap fixture is designed to produce shared cells
+        assert has_offsets, "expected >=3-ref cells in overlapping zones"
+        counts = overlap_index.vectorized.count_hits(
+            entries, overlap_index.num_polygons, include_candidates=True
+        )
+        assert counts.sum() > 0
+
+    def test_offset_cache_reused(self, overlap_index, taxi_batch):
+        lngs, lats = taxi_batch
+        vect = overlap_index.vectorized
+        entries = vect.lookup_entries(
+            overlap_index.grid.leaf_cells_batch(lngs, lats)
+        )
+        vect.count_hits(entries, overlap_index.num_polygons)
+        cache_size = len(vect._offset_cache)
+        vect.count_hits(entries, overlap_index.num_polygons)
+        assert len(vect._offset_cache) == cache_size

@@ -1,0 +1,78 @@
+"""Tests for the fixed (Magellan-style) grid baseline."""
+
+import pytest
+
+from repro.baselines.fixed_grid import FixedGridIndex
+from repro.baselines.scan import ScanJoin
+from repro.errors import JoinError
+
+
+@pytest.fixture(scope="module")
+def grid_index(nyc_polygons):
+    return FixedGridIndex(nyc_polygons, resolution=96)
+
+
+class TestConstruction:
+    def test_requires_polygons(self):
+        with pytest.raises(JoinError):
+            FixedGridIndex([], resolution=16)
+
+    def test_invalid_resolution(self, nyc_polygons):
+        with pytest.raises(JoinError):
+            FixedGridIndex(nyc_polygons[:2], resolution=0)
+
+    def test_bounds_cover_polygons(self, grid_index, nyc_polygons):
+        for polygon in nyc_polygons:
+            assert grid_index.bounds.contains_rect(polygon.bbox)
+
+    def test_cell_refs_populated(self, grid_index):
+        assert grid_index.num_cell_refs > 0
+        assert grid_index.size_bytes > 0
+
+
+class TestQueries:
+    def test_exact_matches_scan(self, grid_index, nyc_polygons, taxi_batch):
+        lngs, lats = taxi_batch
+        exact = grid_index.count_points(lngs[:1500], lats[:1500], exact=True)
+        scan = ScanJoin(nyc_polygons).count_points(lngs[:1500], lats[:1500])
+        assert exact.tolist() == scan.tolist()
+
+    def test_true_hits_are_exact(self, grid_index, nyc_polygons, taxi_batch):
+        lngs, lats = taxi_batch
+        for k in range(0, 800, 13):
+            true_hits, _ = grid_index.query(lngs[k], lats[k])
+            for pid in true_hits:
+                assert nyc_polygons[pid].contains(lngs[k], lats[k])
+
+    def test_no_false_negatives(self, grid_index, nyc_polygons, taxi_batch):
+        lngs, lats = taxi_batch
+        scan = ScanJoin(nyc_polygons)
+        for k in range(0, 800, 13):
+            truth = set(scan.query(lngs[k], lats[k]))
+            true_hits, candidates = grid_index.query(lngs[k], lats[k])
+            assert truth <= set(true_hits) | set(candidates)
+
+    def test_out_of_bounds_point(self, grid_index):
+        assert grid_index.query(120.0, 10.0) == ([], [])
+        assert grid_index.query_exact(120.0, 10.0) == []
+
+
+class TestResolutionTradeoff:
+    def test_finer_grid_more_true_hits(self, nyc_polygons, taxi_batch):
+        """Higher resolution -> more fully-inside cells -> fewer PIP tests.
+
+        This is the knob a non-hierarchical grid must turn globally,
+        paying memory everywhere — the weakness ACT's hierarchy fixes."""
+        lngs, lats = taxi_batch
+        coarse = FixedGridIndex(nyc_polygons, resolution=24)
+        fine = FixedGridIndex(nyc_polygons, resolution=192)
+
+        def true_hit_pairs(index):
+            total = 0
+            for k in range(0, 1200, 3):
+                true_hits, _ = index.query(lngs[k], lats[k])
+                total += len(true_hits)
+            return total
+
+        assert true_hit_pairs(fine) > true_hit_pairs(coarse)
+        assert fine.size_bytes > coarse.size_bytes

@@ -1,0 +1,141 @@
+"""Tests for the R*-tree baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.rtree import RStarTree, RTreeJoinBaseline
+from repro.baselines.scan import ScanJoin
+from repro.errors import JoinError
+from repro.geometry.bbox import Rect
+
+coords = st.floats(-10.0, 10.0)
+rect_strategy = st.tuples(coords, coords, coords, coords).map(
+    lambda t: Rect(min(t[0], t[2]), min(t[1], t[3]),
+                   max(t[0], t[2]), max(t[1], t[3]))
+)
+
+
+class TestStructure:
+    def test_min_max_entries(self):
+        with pytest.raises(JoinError):
+            RStarTree(max_entries=2)
+
+    def test_empty_tree_queries(self):
+        tree = RStarTree()
+        assert tree.query_point(0, 0) == []
+        assert tree.query_rect(Rect(0, 0, 1, 1)) == []
+        assert len(tree) == 0
+
+    def test_len_tracks_inserts(self, rng):
+        tree = RStarTree()
+        for k in range(50):
+            x, y = rng.uniform(-5, 5, 2)
+            tree.insert(Rect(x, y, x + 0.1, y + 0.1), k)
+        assert len(tree) == 50
+
+    def test_fill_invariants(self, rng):
+        """No node overflows; non-root nodes hold >= 2 entries."""
+        tree = RStarTree(max_entries=8)
+        for k in range(300):
+            x, y = rng.uniform(-5, 5, 2)
+            tree.insert(Rect(x, y, x + rng.uniform(0, 1),
+                             y + rng.uniform(0, 1)), k)
+        stack = [(tree._root, True)]
+        while stack:
+            node, is_root = stack.pop()
+            assert node.fill() <= 8
+            if not is_root:
+                assert node.fill() >= 2
+            if not node.is_leaf:
+                stack.extend((child, False) for child in node.children)
+
+    def test_mbrs_contain_children(self, rng):
+        tree = RStarTree(max_entries=8)
+        for k in range(200):
+            x, y = rng.uniform(-5, 5, 2)
+            tree.insert(Rect(x, y, x + 0.2, y + 0.2), k)
+        stack = [tree._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                for rect, _ in node.entries:
+                    assert node.mbr.contains_rect(rect)
+            else:
+                for child in node.children:
+                    assert node.mbr.contains_rect(child.mbr)
+                    stack.append(child)
+
+    def test_height_grows_logarithmically(self, rng):
+        tree = RStarTree(max_entries=8)
+        for k in range(500):
+            x, y = rng.uniform(-5, 5, 2)
+            tree.insert(Rect(x, y, x + 0.01, y + 0.01), k)
+        assert 2 <= tree.height <= 6
+
+    def test_size_bytes_positive(self, rng):
+        tree = RStarTree()
+        tree.insert(Rect(0, 0, 1, 1), 0)
+        assert tree.size_bytes > 0
+        assert tree.num_nodes >= 1
+
+
+class TestQueryCorrectness:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(rect_strategy, min_size=1, max_size=80),
+           st.lists(st.tuples(coords, coords), min_size=1, max_size=20))
+    def test_point_query_equals_bruteforce(self, rects, points):
+        tree = RStarTree.build(rects)
+        for x, y in points:
+            want = sorted(i for i, r in enumerate(rects)
+                          if r.contains_point(x, y))
+            assert sorted(tree.query_point(x, y)) == want
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(rect_strategy, min_size=1, max_size=60), rect_strategy)
+    def test_rect_query_equals_bruteforce(self, rects, window):
+        tree = RStarTree.build(rects)
+        want = sorted(i for i, r in enumerate(rects) if r.intersects(window))
+        assert sorted(tree.query_rect(window)) == want
+
+    def test_count_points(self, rng):
+        rects = [Rect(0, 0, 1, 1), Rect(0.5, 0.5, 2, 2)]
+        tree = RStarTree.build(rects)
+        lngs = np.array([0.25, 0.75, 1.5, 5.0])
+        lats = np.array([0.25, 0.75, 1.5, 5.0])
+        counts = tree.count_points(lngs, lats, 2)
+        assert counts.tolist() == [2, 2]
+
+
+class TestJoinBaseline:
+    def test_candidates_superset_of_exact(self, nyc_polygons, taxi_batch):
+        lngs, lats = taxi_batch
+        baseline = RTreeJoinBaseline(nyc_polygons)
+        approx = baseline.count_points(lngs[:1000], lats[:1000])
+        exact = baseline.count_points(lngs[:1000], lats[:1000], exact=True)
+        assert (approx >= exact).all()
+
+    def test_exact_matches_scan(self, nyc_polygons, taxi_batch):
+        lngs, lats = taxi_batch
+        baseline = RTreeJoinBaseline(nyc_polygons)
+        exact = baseline.count_points(lngs[:1000], lats[:1000], exact=True)
+        scan = ScanJoin(nyc_polygons).count_points(lngs[:1000], lats[:1000])
+        assert exact.tolist() == scan.tolist()
+
+    def test_query_exact_scalar(self, nyc_polygons, taxi_batch):
+        lngs, lats = taxi_batch
+        baseline = RTreeJoinBaseline(nyc_polygons)
+        scan = ScanJoin(nyc_polygons)
+        for k in range(0, 300, 7):
+            assert sorted(baseline.query_exact(lngs[k], lats[k])) == \
+                sorted(scan.query(lngs[k], lats[k]))
+
+    def test_small_memory_footprint(self, nyc_polygons):
+        """The paper: R-tree over MBRs is tiny (376 B .. 3.5 MB); ours
+        must be orders of magnitude smaller than ACT."""
+        from repro import ACTIndex
+
+        baseline = RTreeJoinBaseline(nyc_polygons)
+        index = ACTIndex.build(nyc_polygons, precision_meters=120.0)
+        assert baseline.size_bytes * 50 < index.memory_report()["total_bytes"]

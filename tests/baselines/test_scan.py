@@ -1,0 +1,35 @@
+"""Tests for the brute-force scan oracle itself."""
+
+import numpy as np
+
+from repro.baselines.scan import ScanJoin
+
+
+class TestScan:
+    def test_query_lists_all_containers(self, overlap_polygons):
+        scan = ScanJoin(overlap_polygons)
+        # centroid of each polygon must report at least that polygon
+        for pid, polygon in enumerate(overlap_polygons):
+            cx, cy = polygon.centroid
+            if polygon.contains(cx, cy):  # centroid of a convex zone
+                assert pid in scan.query(cx, cy)
+
+    def test_count_matches_membership_matrix(self, nyc_polygons, taxi_batch):
+        lngs, lats = taxi_batch
+        scan = ScanJoin(nyc_polygons)
+        counts = scan.count_points(lngs[:500], lats[:500])
+        matrix = scan.membership_matrix(lngs[:500], lats[:500])
+        assert counts.tolist() == matrix.sum(axis=0).tolist()
+
+    def test_matrix_row_is_query(self, nyc_polygons, taxi_batch):
+        lngs, lats = taxi_batch
+        scan = ScanJoin(nyc_polygons)
+        matrix = scan.membership_matrix(lngs[:100], lats[:100])
+        for k in range(0, 100, 9):
+            assert sorted(np.flatnonzero(matrix[k]).tolist()) == \
+                sorted(scan.query(lngs[k], lats[k]))
+
+    def test_empty_points(self, nyc_polygons):
+        scan = ScanJoin(nyc_polygons)
+        counts = scan.count_points(np.empty(0), np.empty(0))
+        assert counts.sum() == 0

@@ -1,0 +1,85 @@
+"""Shared fixtures for the test suite.
+
+Heavy artifacts (indexes, datasets) are session-scoped so the suite stays
+fast; tests must not mutate them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ACTIndex
+from repro.datasets import neighborhoods, overlapping_zones, taxi_points
+from repro.datasets.nyc import REGION
+from repro.geometry import Polygon, Rect, regular_polygon
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(20180416)  # ICDE'18 week
+
+
+@pytest.fixture(scope="session")
+def square():
+    """Unit square at the origin."""
+    return Polygon([(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)])
+
+
+@pytest.fixture(scope="session")
+def l_shape():
+    """Concave L-shaped polygon."""
+    return Polygon([(0, 0), (2, 0), (2, 1), (1, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture(scope="session")
+def donut():
+    """Square with a square hole."""
+    return Polygon(
+        [(0, 0), (4, 0), (4, 4), (0, 4)],
+        holes=[[(1, 1), (3, 1), (3, 3), (1, 3)]],
+    )
+
+
+@pytest.fixture(scope="session")
+def nyc_polygons():
+    """A small neighborhoods-like partition of the NYC region."""
+    return neighborhoods(24, seed=3, complexity=1)
+
+
+@pytest.fixture(scope="session")
+def overlap_polygons():
+    """Overlapping geofence zones (conflict-resolution stress)."""
+    return overlapping_zones(REGION, 10, seed=9)
+
+
+@pytest.fixture(scope="session")
+def nyc_index(nyc_polygons):
+    """ACT over the small partition at a coarse, fast precision."""
+    return ACTIndex.build(nyc_polygons, precision_meters=120.0)
+
+
+@pytest.fixture(scope="session")
+def overlap_index(overlap_polygons):
+    return ACTIndex.build(overlap_polygons, precision_meters=120.0)
+
+
+@pytest.fixture(scope="session")
+def taxi_batch():
+    """A deterministic taxi-like point batch over the NYC region."""
+    return taxi_points(4000, seed=77)
+
+
+@pytest.fixture(scope="session")
+def region():
+    return REGION
+
+
+@pytest.fixture(scope="session")
+def small_rect():
+    return Rect(-1.0, -2.0, 3.0, 4.0)
+
+
+@pytest.fixture(scope="session")
+def hexagon():
+    return regular_polygon(0.0, 0.0, 1.0, 6)

@@ -1,0 +1,75 @@
+"""Tests for the NYC-like polygon datasets."""
+
+import pytest
+
+from repro.config import PAPER_NUM_BOROUGHS, PAPER_NUM_NEIGHBORHOODS
+from repro.datasets.nyc import REGION, boroughs, census_blocks, neighborhoods
+from repro.errors import DatasetError
+
+
+class TestBoroughs:
+    def test_default_count(self):
+        assert len(boroughs()) == PAPER_NUM_BOROUGHS
+
+    def test_high_complexity(self):
+        """The paper: boroughs are few but significantly more complex."""
+        b = boroughs()
+        n = neighborhoods(60)
+        avg_borough_verts = sum(p.num_vertices for p in b) / len(b)
+        avg_neighborhood_verts = sum(p.num_vertices for p in n) / len(n)
+        assert avg_borough_verts > 3 * avg_neighborhood_verts
+
+    def test_in_region(self):
+        for polygon in boroughs():
+            assert REGION.expanded(REGION.width * 0.2).contains_rect(
+                polygon.bbox
+            )
+
+    def test_deterministic(self):
+        first = boroughs()
+        second = boroughs()
+        assert all(a == b for a, b in zip(first, second))
+
+
+class TestNeighborhoods:
+    def test_custom_count(self):
+        assert len(neighborhoods(50)) == 50
+
+    def test_paper_count_default(self):
+        import inspect
+
+        default = inspect.signature(neighborhoods).parameters["num"].default
+        assert default == PAPER_NUM_NEIGHBORHOODS
+
+    def test_tiles_region(self):
+        cells = neighborhoods(40)
+        total = sum(p.area for p in cells)
+        # rough borders wiggle area around the exact partition
+        assert total == pytest.approx(REGION.area, rel=0.05)
+
+
+class TestCensusBlocks:
+    def test_count(self):
+        assert len(census_blocks(300)) == 300
+
+    def test_blocks_small_and_disjoint(self):
+        blocks = census_blocks(200)
+        areas = [b.area for b in blocks]
+        assert max(areas) < REGION.area / 100
+        for i, a in enumerate(blocks[:50]):
+            for b in blocks[i + 1:50]:
+                assert not a.bbox.intersects(b.bbox)
+
+    def test_invalid_count(self):
+        with pytest.raises(DatasetError):
+            census_blocks(0)
+
+
+class TestSizeOrdering:
+    def test_polygon_size_hierarchy(self):
+        """boroughs >> neighborhoods >> census blocks by average area."""
+        b = boroughs()
+        n = neighborhoods(100)
+        c = census_blocks(500)
+        avg = lambda ps: sum(p.area for p in ps) / len(ps)
+        assert avg(b) > 10 * avg(n) > 10 * avg(c)

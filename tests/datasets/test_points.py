@@ -1,0 +1,79 @@
+"""Tests for the taxi-like point generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.nyc import REGION
+from repro.datasets.points import point_stream, taxi_points, uniform_points
+from repro.errors import DatasetError
+
+
+class TestTaxiPoints:
+    def test_count_and_shapes(self):
+        lngs, lats = taxi_points(1000, seed=1)
+        assert lngs.shape == lats.shape == (1000,)
+
+    def test_deterministic(self):
+        a = taxi_points(500, seed=9)
+        b = taxi_points(500, seed=9)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_seed_changes_points(self):
+        a = taxi_points(500, seed=1)
+        b = taxi_points(500, seed=2)
+        assert not np.array_equal(a[0], b[0])
+
+    def test_noise_fraction_outside_region(self):
+        lngs, lats = taxi_points(20000, noise_fraction=0.1, seed=3)
+        outside = sum(1 for x, y in zip(lngs, lats)
+                      if not REGION.contains_point(x, y))
+        assert 0.05 * 20000 < outside < 0.15 * 20000
+
+    def test_zero_noise_all_inside(self):
+        lngs, lats = taxi_points(5000, noise_fraction=0.0, seed=3)
+        assert all(REGION.contains_point(x, y) for x, y in zip(lngs, lats))
+
+    def test_hotspots_create_clustering(self):
+        """Hotspot points concentrate mass: the densest 1% of the region
+        holds far more than 1% of points."""
+        lngs, _ = taxi_points(20000, hotspot_fraction=0.9,
+                              noise_fraction=0.0, seed=4)
+        hist, _ = np.histogram(lngs, bins=100)
+        assert hist.max() > 3 * (20000 / 100)
+
+    def test_uniform_has_no_strong_clustering(self):
+        lngs, _ = taxi_points(20000, hotspot_fraction=0.0,
+                              noise_fraction=0.0, seed=4)
+        hist, _ = np.histogram(lngs, bins=50)
+        assert hist.max() < 2.0 * (20000 / 50)
+
+    def test_invalid_params(self):
+        with pytest.raises(DatasetError):
+            taxi_points(0)
+        with pytest.raises(DatasetError):
+            taxi_points(10, hotspot_fraction=1.5)
+
+
+class TestUniformPoints:
+    def test_inside_bounds(self):
+        lngs, lats = uniform_points(2000, seed=5)
+        assert all(REGION.contains_point(x, y) for x, y in zip(lngs, lats))
+
+    def test_invalid_count(self):
+        with pytest.raises(DatasetError):
+            uniform_points(0)
+
+
+class TestPointStream:
+    def test_total_and_batching(self):
+        batches = list(point_stream(2300, 500, seed=6))
+        sizes = [len(b[0]) for b in batches]
+        assert sizes == [500, 500, 500, 500, 300]
+
+    def test_batches_differ(self):
+        batches = list(point_stream(1000, 500, seed=6))
+        assert not np.array_equal(batches[0][0], batches[1][0])
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(DatasetError):
+            list(point_stream(100, 0))

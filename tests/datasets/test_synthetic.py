@@ -1,0 +1,147 @@
+"""Tests for the synthetic region generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    densify_polygon,
+    displace_edge,
+    overlapping_zones,
+    street_grid_blocks,
+    voronoi_partition,
+)
+from repro.errors import DatasetError
+from repro.geometry.bbox import Rect
+
+BOUNDS = Rect(0.0, 0.0, 10.0, 8.0)
+
+
+class TestVoronoi:
+    def test_cell_count(self):
+        cells = voronoi_partition(BOUNDS, 25, seed=1)
+        assert len(cells) == 25
+
+    def test_single_cell_is_bounds(self):
+        cells = voronoi_partition(BOUNDS, 1, seed=1)
+        assert cells[0].area == pytest.approx(BOUNDS.area)
+
+    def test_partition_tiles_bounds(self):
+        cells = voronoi_partition(BOUNDS, 20, seed=2)
+        assert sum(c.area for c in cells) == pytest.approx(BOUNDS.area,
+                                                           rel=1e-6)
+
+    def test_cells_stay_in_bounds(self):
+        for cell in voronoi_partition(BOUNDS, 15, seed=3):
+            assert BOUNDS.expanded(1e-9).contains_rect(cell.bbox)
+
+    def test_deterministic(self):
+        a = voronoi_partition(BOUNDS, 10, seed=5)
+        b = voronoi_partition(BOUNDS, 10, seed=5)
+        assert all(pa == pb for pa, pb in zip(a, b))
+
+    def test_invalid_count(self):
+        with pytest.raises(DatasetError):
+            voronoi_partition(BOUNDS, 0)
+
+    def test_seamless_no_overlaps(self, rng):
+        """Random points fall into exactly one Voronoi cell (or touch a
+        border)."""
+        cells = voronoi_partition(BOUNDS, 12, seed=4)
+        inside_counts = []
+        for _ in range(400):
+            x = float(rng.uniform(0.2, 9.8))
+            y = float(rng.uniform(0.2, 7.8))
+            inside_counts.append(sum(c.contains(x, y) for c in cells))
+        assert inside_counts.count(1) > 390  # borders may report 0 or 2
+
+
+class TestDisplaceEdge:
+    def test_direction_consistency(self):
+        """Shared edges displace identically regardless of direction —
+        the property that keeps partitions seamless."""
+        p0, p1 = (0.0, 0.0), (4.0, 2.0)
+        forward = displace_edge(p0, p1, depth=3, amplitude=0.2)
+        backward = displace_edge(p1, p0, depth=3, amplitude=0.2)
+        assert forward[0] == p0 and backward[0] == p1
+        assert forward[1:] == list(reversed(backward[1:]))
+
+    def test_point_count(self):
+        pts = displace_edge((0, 0), (1, 0), depth=3)
+        assert len(pts) == 2 ** 3  # p0 + 7 interior midpoints
+
+    def test_zero_depth(self):
+        assert displace_edge((0, 0), (1, 0), depth=0) == [(0, 0)]
+
+    def test_salt_changes_shape(self):
+        a = displace_edge((0, 0), (4, 2), depth=3, salt=0)
+        b = displace_edge((0, 0), (4, 2), depth=3, salt=1)
+        assert a != b
+
+
+class TestDensify:
+    def test_vertex_multiplication(self, hexagon):
+        dense = densify_polygon(hexagon, depth=3)
+        assert len(dense.shell) == 6 * 8
+
+    def test_rough_partition_stays_seamless(self, rng):
+        """Densifying a partition edge-consistently must keep coverage:
+        nearly every interior point is in exactly one rough cell."""
+        cells = voronoi_partition(BOUNDS, 8, seed=6)
+        rough = [densify_polygon(c, depth=2, amplitude=0.06, salt=9)
+                 for c in cells]
+        exactly_one = 0
+        for _ in range(300):
+            x = float(rng.uniform(0.5, 9.5))
+            y = float(rng.uniform(0.5, 7.5))
+            if sum(c.contains(x, y) for c in rough) == 1:
+                exactly_one += 1
+        assert exactly_one > 290
+
+    def test_preserves_holes(self, donut):
+        dense = densify_polygon(donut, depth=2, amplitude=0.02)
+        assert len(dense.holes) == 1
+
+
+class TestStreetGrid:
+    def test_block_count(self):
+        blocks = street_grid_blocks(BOUNDS, rows=5, cols=7, seed=1)
+        assert len(blocks) == 35
+
+    def test_blocks_disjoint(self):
+        blocks = street_grid_blocks(BOUNDS, rows=4, cols=4,
+                                    street_fraction=0.2, seed=2)
+        for i, a in enumerate(blocks):
+            for b in blocks[i + 1:]:
+                assert not a.bbox.intersects(b.bbox)
+
+    def test_blocks_inside_bounds(self):
+        for block in street_grid_blocks(BOUNDS, 3, 3, seed=0):
+            assert BOUNDS.contains_rect(block.bbox)
+
+    def test_invalid_params(self):
+        with pytest.raises(DatasetError):
+            street_grid_blocks(BOUNDS, 0, 3)
+        with pytest.raises(DatasetError):
+            street_grid_blocks(BOUNDS, 3, 3, street_fraction=0.95)
+
+
+class TestOverlappingZones:
+    def test_zone_count_and_validity(self):
+        zones = overlapping_zones(BOUNDS, 12, seed=1)
+        assert len(zones) == 12
+        assert all(z.area > 0 for z in zones)
+
+    def test_zones_actually_overlap(self, rng):
+        zones = overlapping_zones(BOUNDS, 12, seed=1)
+        overlapping_points = 0
+        for _ in range(500):
+            x = float(rng.uniform(*BOUNDS.center) if False
+                      else rng.uniform(BOUNDS.min_x, BOUNDS.max_x))
+            y = float(rng.uniform(BOUNDS.min_y, BOUNDS.max_y))
+            if sum(z.contains(x, y) for z in zones) >= 2:
+                overlapping_points += 1
+        assert overlapping_points > 20
+
+    def test_invalid_count(self):
+        with pytest.raises(DatasetError):
+            overlapping_zones(BOUNDS, 0)

@@ -1,0 +1,156 @@
+"""Unit tests for repro.geometry.bbox."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.bbox import Rect, union_all
+
+coords = st.floats(-180.0, 180.0, allow_nan=False)
+
+
+class TestConstruction:
+    def test_basic_fields(self, small_rect):
+        assert small_rect.min_x == -1.0
+        assert small_rect.max_y == 4.0
+
+    def test_degenerate_raises(self):
+        with pytest.raises(GeometryError):
+            Rect(1.0, 0.0, 0.0, 1.0)
+        with pytest.raises(GeometryError):
+            Rect(0.0, 1.0, 1.0, 0.0)
+
+    def test_zero_extent_allowed(self):
+        r = Rect(1.0, 2.0, 1.0, 2.0)
+        assert r.area == 0.0
+        assert r.contains_point(1.0, 2.0)
+
+    def test_from_points(self):
+        r = Rect.from_points([(3, 1), (-1, 5), (0, 0)])
+        assert r == Rect(-1, 0, 3, 5)
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(GeometryError):
+            Rect.from_points([])
+
+    def test_from_center(self):
+        r = Rect.from_center(1.0, 2.0, 0.5, 1.5)
+        assert r == Rect(0.5, 0.5, 1.5, 3.5)
+
+
+class TestProperties:
+    def test_dimensions(self, small_rect):
+        assert small_rect.width == 4.0
+        assert small_rect.height == 6.0
+        assert small_rect.area == 24.0
+        assert small_rect.perimeter == 20.0
+
+    def test_center_and_diagonal(self, small_rect):
+        assert small_rect.center == (1.0, 1.0)
+        assert small_rect.diagonal == pytest.approx(math.hypot(4, 6))
+
+    def test_corners_ccw(self, small_rect):
+        c = small_rect.corners()
+        assert c[0] == (-1.0, -2.0)
+        assert c[2] == (3.0, 4.0)
+        assert len(c) == 4
+
+
+class TestPredicates:
+    def test_contains_point_closed(self, small_rect):
+        assert small_rect.contains_point(-1.0, -2.0)  # corner
+        assert small_rect.contains_point(0.0, 0.0)
+        assert not small_rect.contains_point(3.1, 0.0)
+
+    def test_contains_point_open(self, small_rect):
+        assert not small_rect.contains_point_open(-1.0, 0.0)
+        assert small_rect.contains_point_open(0.0, 0.0)
+
+    def test_contains_rect(self, small_rect):
+        assert small_rect.contains_rect(Rect(0, 0, 1, 1))
+        assert small_rect.contains_rect(small_rect)
+        assert not small_rect.contains_rect(Rect(0, 0, 10, 1))
+
+    def test_intersects_touching(self):
+        a = Rect(0, 0, 1, 1)
+        b = Rect(1, 1, 2, 2)
+        assert a.intersects(b)  # closed semantics: corner touch
+
+    def test_disjoint(self):
+        assert not Rect(0, 0, 1, 1).intersects(Rect(2, 2, 3, 3))
+
+
+class TestCombinators:
+    def test_union(self):
+        assert Rect(0, 0, 1, 1).union(Rect(2, 2, 3, 3)) == Rect(0, 0, 3, 3)
+
+    def test_intersection(self):
+        got = Rect(0, 0, 2, 2).intersection(Rect(1, 1, 3, 3))
+        assert got == Rect(1, 1, 2, 2)
+
+    def test_intersection_disjoint_is_none(self):
+        assert Rect(0, 0, 1, 1).intersection(Rect(2, 2, 3, 3)) is None
+
+    def test_expanded(self):
+        assert Rect(0, 0, 1, 1).expanded(0.5) == Rect(-0.5, -0.5, 1.5, 1.5)
+
+    def test_enlargement(self):
+        base = Rect(0, 0, 1, 1)
+        assert base.enlargement(Rect(0, 0, 2, 1)) == pytest.approx(1.0)
+        assert base.enlargement(Rect(0.2, 0.2, 0.8, 0.8)) == 0.0
+
+    def test_overlap_area(self):
+        assert Rect(0, 0, 2, 2).overlap_area(Rect(1, 1, 3, 3)) == 1.0
+        assert Rect(0, 0, 1, 1).overlap_area(Rect(5, 5, 6, 6)) == 0.0
+
+    def test_quadrants_partition(self, small_rect):
+        quads = small_rect.quadrants()
+        assert sum(q.area for q in quads) == pytest.approx(small_rect.area)
+        assert union_all(list(quads)) == small_rect
+
+    def test_distance_to_point(self):
+        r = Rect(0, 0, 1, 1)
+        assert r.distance_to_point(0.5, 0.5) == 0.0
+        assert r.distance_to_point(2.0, 0.5) == pytest.approx(1.0)
+        assert r.distance_to_point(2.0, 2.0) == pytest.approx(math.sqrt(2))
+
+    def test_sample_grid_inside(self, small_rect):
+        pts = list(small_rect.sample_grid(3, 4))
+        assert len(pts) == 12
+        assert all(small_rect.contains_point_open(x, y) for x, y in pts)
+
+    def test_sample_grid_invalid(self, small_rect):
+        with pytest.raises(GeometryError):
+            list(small_rect.sample_grid(0, 1))
+
+    def test_union_all_empty_raises(self):
+        with pytest.raises(GeometryError):
+            union_all([])
+
+
+class TestPropertyBased:
+    @given(coords, coords, coords, coords)
+    def test_from_points_contains_inputs(self, x0, y0, x1, y1):
+        r = Rect.from_points([(x0, y0), (x1, y1)])
+        assert r.contains_point(x0, y0)
+        assert r.contains_point(x1, y1)
+
+    @given(coords, coords, coords, coords, coords, coords)
+    def test_union_commutative_and_monotone(self, ax, ay, bx, by, cx, cy):
+        a = Rect.from_points([(ax, ay), (bx, by)])
+        b = Rect.from_points([(bx, by), (cx, cy)])
+        assert a.union(b) == b.union(a)
+        assert a.union(b).contains_rect(a)
+        assert a.union(b).contains_rect(b)
+
+    @given(coords, coords, coords, coords)
+    def test_intersection_consistent_with_intersects(self, ax, ay, bx, by):
+        a = Rect.from_points([(ax, ay), (bx, by)])
+        b = Rect(-10.0, -10.0, 10.0, 10.0)
+        inter = a.intersection(b)
+        assert (inter is not None) == a.intersects(b)
+        if inter is not None:
+            assert b.contains_rect(inter)

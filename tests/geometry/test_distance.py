@@ -1,0 +1,111 @@
+"""Unit tests for repro.geometry.distance."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.config import METERS_PER_DEGREE_LAT
+from repro.geometry.distance import (
+    LocalProjection,
+    haversine_meters,
+    meters_per_degree,
+    point_polygon_distance_meters,
+)
+from repro.geometry.polygon import MultiPolygon, Polygon
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_meters(-73.9, 40.7, -73.9, 40.7) == 0.0
+
+    def test_one_degree_latitude(self):
+        d = haversine_meters(0.0, 0.0, 0.0, 1.0)
+        assert d == pytest.approx(METERS_PER_DEGREE_LAT, rel=1e-3)
+
+    def test_symmetry(self):
+        a = haversine_meters(-73.9, 40.7, -74.1, 40.9)
+        b = haversine_meters(-74.1, 40.9, -73.9, 40.7)
+        assert a == pytest.approx(b)
+
+    def test_equator_longitude_degree(self):
+        d = haversine_meters(0.0, 0.0, 1.0, 0.0)
+        assert d == pytest.approx(METERS_PER_DEGREE_LAT, rel=1e-3)
+
+    def test_antipodal_is_half_circumference(self):
+        d = haversine_meters(0.0, 0.0, 180.0, 0.0)
+        assert d == pytest.approx(math.pi * 6_371_008.8, rel=1e-6)
+
+
+class TestMetersPerDegree:
+    def test_latitude_scale_constant(self):
+        _, k_lat = meters_per_degree(40.0)
+        assert k_lat == pytest.approx(METERS_PER_DEGREE_LAT)
+
+    def test_longitude_shrinks_with_latitude(self):
+        k_eq, _ = meters_per_degree(0.0)
+        k_ny, _ = meters_per_degree(40.7)
+        k_pol, _ = meters_per_degree(89.0)
+        assert k_eq > k_ny > k_pol > 0
+
+
+class TestLocalProjection:
+    def test_roundtrip(self):
+        proj = LocalProjection(40.7)
+        x, y = proj.to_xy(-73.97, 40.75)
+        lng, lat = proj.to_lnglat(x, y)
+        assert (lng, lat) == pytest.approx((-73.97, 40.75))
+
+    def test_matches_haversine_locally(self):
+        proj = LocalProjection(40.7)
+        x0, y0 = proj.to_xy(-73.97, 40.70)
+        x1, y1 = proj.to_xy(-73.96, 40.71)
+        planar = math.hypot(x1 - x0, y1 - y0)
+        sphere = haversine_meters(-73.97, 40.70, -73.96, 40.71)
+        assert planar == pytest.approx(sphere, rel=2e-3)
+
+    def test_batch_matches_scalar(self):
+        proj = LocalProjection(40.7)
+        lngs = np.array([-73.9, -74.0])
+        lats = np.array([40.6, 40.8])
+        xs, ys = proj.to_xy_batch(lngs, lats)
+        assert (xs[0], ys[0]) == pytest.approx(proj.to_xy(-73.9, 40.6))
+
+    def test_degrees_to_meters(self):
+        proj = LocalProjection(0.0)
+        d = proj.degrees_to_meters(1.0, 0.0)
+        assert d == pytest.approx(METERS_PER_DEGREE_LAT, rel=1e-6)
+
+    def test_meters_to_degrees_inverse(self):
+        proj = LocalProjection(40.7)
+        assert proj.meters_to_degrees_lng(proj.k_lng) == pytest.approx(1.0)
+        assert proj.meters_to_degrees_lat(proj.k_lat) == pytest.approx(1.0)
+
+    def test_for_polygon_uses_bbox_center(self):
+        poly = Polygon([(-74, 40), (-73, 40), (-73, 41), (-74, 41)])
+        proj = LocalProjection.for_polygon(poly)
+        assert proj.lat0 == pytest.approx(40.5)
+
+
+class TestPointPolygonDistance:
+    POLY = Polygon([(-74.0, 40.0), (-73.0, 40.0), (-73.0, 41.0), (-74.0, 41.0)])
+
+    def test_inside_is_zero(self):
+        assert point_polygon_distance_meters(self.POLY, -73.5, 40.5) == 0.0
+
+    def test_east_of_polygon(self):
+        d = point_polygon_distance_meters(self.POLY, -72.9, 40.5)
+        k_lng, _ = meters_per_degree(40.5)
+        assert d == pytest.approx(0.1 * k_lng, rel=0.02)
+
+    def test_multipolygon_takes_min(self):
+        far = Polygon([(0, 0), (1, 0), (1, 1), (0, 1)])
+        multi = MultiPolygon([self.POLY, far])
+        d_multi = point_polygon_distance_meters(multi, -72.9, 40.5)
+        d_single = point_polygon_distance_meters(self.POLY, -72.9, 40.5)
+        assert d_multi == pytest.approx(d_single)
+
+    def test_monotone_in_distance(self):
+        d1 = point_polygon_distance_meters(self.POLY, -72.95, 40.5)
+        d2 = point_polygon_distance_meters(self.POLY, -72.5, 40.5)
+        assert d2 > d1 > 0

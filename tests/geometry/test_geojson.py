@@ -1,0 +1,96 @@
+"""Unit tests for repro.geometry.geojson."""
+
+import json
+
+import pytest
+
+from repro.errors import ParseError
+from repro.geometry import geojson
+from repro.geometry.polygon import MultiPolygon, Polygon
+
+
+class TestGeometryConversion:
+    def test_point_roundtrip(self):
+        doc = geojson.geometry_to_geojson((-73.9, 40.7))
+        assert doc == {"type": "Point", "coordinates": [-73.9, 40.7]}
+        assert geojson.geometry_from_geojson(doc) == (-73.9, 40.7)
+
+    def test_polygon_roundtrip(self, donut):
+        doc = geojson.polygon_to_geojson(donut)
+        assert doc["type"] == "Polygon"
+        assert len(doc["coordinates"]) == 2  # shell + hole
+        # rings are explicitly closed
+        for ring in doc["coordinates"]:
+            assert ring[0] == ring[-1]
+        parsed = geojson.geometry_from_geojson(doc)
+        assert parsed.area == pytest.approx(donut.area)
+
+    def test_multipolygon_roundtrip(self, square):
+        other = Polygon([(5, 5), (6, 5), (6, 6), (5, 6)])
+        doc = geojson.multipolygon_to_geojson(MultiPolygon([square, other]))
+        parsed = geojson.geometry_from_geojson(doc)
+        assert isinstance(parsed, MultiPolygon)
+        assert len(parsed) == 2
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(ParseError):
+            geojson.geometry_from_geojson({"type": "LineString",
+                                           "coordinates": []})
+
+    def test_malformed_polygon_raises(self):
+        with pytest.raises(ParseError):
+            geojson.geometry_from_geojson(
+                {"type": "Polygon", "coordinates": [[[0, 0], [1, 1]]]}
+            )
+
+    def test_3d_coordinates_tolerated(self):
+        doc = {"type": "Polygon",
+               "coordinates": [[[0, 0, 7], [1, 0, 7], [1, 1, 7], [0, 0, 7]]]}
+        parsed = geojson.geometry_from_geojson(doc)
+        assert isinstance(parsed, Polygon)
+
+
+class TestFeatures:
+    def test_feature_wraps_properties(self, square):
+        feat = geojson.feature(square, {"name": "unit"})
+        assert feat["type"] == "Feature"
+        assert feat["properties"]["name"] == "unit"
+
+    def test_feature_collection(self, square):
+        fc = geojson.feature_collection([geojson.feature(square)])
+        assert fc["type"] == "FeatureCollection"
+        assert len(fc["features"]) == 1
+
+
+class TestFileIO:
+    def test_dump_and_load_polygons(self, tmp_path, square, donut):
+        path = tmp_path / "regions.geojson"
+        geojson.dump_features(path, [
+            geojson.feature(square, {"id": 0}),
+            geojson.feature(donut, {"id": 1}),
+            geojson.feature((0.5, 0.5), {"id": "pt"}),  # skipped on load
+        ])
+        loaded = geojson.load_polygons(path)
+        assert len(loaded) == 2
+        assert loaded[1].area == pytest.approx(donut.area)
+
+    def test_load_flattens_multipolygons(self, tmp_path, square):
+        other = Polygon([(5, 5), (6, 5), (6, 6), (5, 6)])
+        path = tmp_path / "multi.geojson"
+        geojson.dump_features(path, [
+            geojson.feature(MultiPolygon([square, other])),
+        ])
+        loaded = geojson.load_polygons(path)
+        assert len(loaded) == 2
+
+    def test_load_rejects_non_collection(self, tmp_path):
+        path = tmp_path / "bad.geojson"
+        path.write_text(json.dumps({"type": "Feature"}))
+        with pytest.raises(ParseError):
+            geojson.load_polygons(path)
+
+    def test_valid_json_output(self, tmp_path, square):
+        path = tmp_path / "out.geojson"
+        geojson.dump_features(path, [geojson.feature(square)])
+        doc = json.loads(path.read_text())
+        assert doc["features"][0]["geometry"]["type"] == "Polygon"

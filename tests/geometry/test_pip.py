@@ -1,0 +1,105 @@
+"""Unit tests for repro.geometry.pip — crossing-number vs winding oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.pip import (
+    point_in_ring,
+    point_in_rings,
+    points_in_rings,
+    ring_crossings,
+    winding_number,
+)
+from repro.geometry.polygon import Polygon, regular_polygon
+
+
+def _arrays(vertices):
+    arr = np.asarray(vertices, dtype=np.float64)
+    nxt = np.roll(arr, -1, axis=0)
+    return arr[:, 0], arr[:, 1], nxt[:, 0], nxt[:, 1]
+
+
+SQUARE = [(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)]
+
+
+class TestRingCrossings:
+    def test_inside_square_odd(self):
+        xs, ys, xe, ye = _arrays(SQUARE)
+        assert ring_crossings(0.5, 0.5, xs, ys, xe, ye) == 1
+
+    def test_outside_square_even(self):
+        xs, ys, xe, ye = _arrays(SQUARE)
+        assert ring_crossings(-0.5, 0.5, xs, ys, xe, ye) == 2
+        assert ring_crossings(1.5, 0.5, xs, ys, xe, ye) == 0
+
+    def test_large_ring_numpy_path(self):
+        poly = regular_polygon(0, 0, 1, 128)
+        xs, ys, xe, ye = poly.shell.edge_arrays
+        assert ring_crossings(0.0, 0.0, xs, ys, xe, ye) % 2 == 1
+        assert ring_crossings(2.0, 0.0, xs, ys, xe, ye) % 2 == 0
+
+
+class TestPointInRing:
+    def test_inside(self):
+        assert point_in_ring(0.5, 0.5, *_arrays(SQUARE))
+
+    def test_outside(self):
+        assert not point_in_ring(1.5, 1.5, *_arrays(SQUARE))
+
+    def test_horizontal_edges_ignored(self):
+        # ray passing exactly through a horizontal edge's y must not crash
+        assert point_in_ring(0.5, 0.5, *_arrays(
+            [(0, 0), (1, 0), (1, 0.5), (2, 0.5), (2, 1), (0, 1)]
+        ))
+
+
+class TestPointInRings:
+    def test_hole_parity(self, donut):
+        xs, ys, xe, ye = donut.edge_arrays
+        assert point_in_rings(0.5, 0.5, xs, ys, xe, ye)
+        assert not point_in_rings(2.0, 2.0, xs, ys, xe, ye)
+
+
+class TestBatch:
+    def test_batch_matches_scalar(self, l_shape, rng):
+        xs, ys, xe, ye = l_shape.edge_arrays
+        px = rng.uniform(-1, 3, 400)
+        py = rng.uniform(-1, 3, 400)
+        batch = points_in_rings(px, py, xs, ys, xe, ye)
+        for i in range(400):
+            assert batch[i] == point_in_rings(px[i], py[i], xs, ys, xe, ye)
+
+    def test_batch_empty_points(self, square):
+        xs, ys, xe, ye = square.edge_arrays
+        out = points_in_rings(np.empty(0), np.empty(0), xs, ys, xe, ye)
+        assert out.shape == (0,)
+
+
+class TestWindingOracle:
+    """Crossing-number must agree with the independent winding-number
+    implementation on simple (non-self-intersecting) polygons."""
+
+    @given(st.integers(3, 24), st.floats(0.3, 5.0),
+           st.floats(-3, 3), st.floats(-3, 3))
+    @settings(max_examples=200)
+    def test_regular_polygon_agreement(self, n, radius, px, py):
+        poly = regular_polygon(0.0, 0.0, radius, n)
+        # skip points suspiciously close to the boundary (both algorithms
+        # are allowed to disagree within float noise there)
+        if abs(poly.distance(px, py)) < 1e-9 and not poly.contains(px, py):
+            return
+        xs, ys, xe, ye = poly.edge_arrays
+        crossing = point_in_rings(px, py, xs, ys, xe, ye)
+        winding = winding_number(px, py, poly.shell.vertices) != 0
+        assert crossing == winding
+
+    def test_concave_agreement(self, l_shape, rng):
+        xs, ys, xe, ye = l_shape.edge_arrays
+        for _ in range(300):
+            px = float(rng.uniform(-0.5, 2.5))
+            py = float(rng.uniform(-0.5, 2.5))
+            crossing = point_in_rings(px, py, xs, ys, xe, ye)
+            winding = winding_number(px, py, l_shape.shell.vertices) != 0
+            assert crossing == winding, (px, py)

@@ -1,0 +1,178 @@
+"""Unit tests for repro.geometry.polygon."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidPolygonError
+from repro.geometry.bbox import Rect
+from repro.geometry.polygon import (
+    MultiPolygon,
+    Polygon,
+    Ring,
+    box_polygon,
+    regular_polygon,
+)
+
+
+class TestRing:
+    def test_requires_three_vertices(self):
+        with pytest.raises(InvalidPolygonError):
+            Ring([(0, 0), (1, 1)])
+
+    def test_closed_input_normalized(self):
+        ring = Ring([(0, 0), (1, 0), (1, 1), (0, 0)])
+        assert len(ring) == 3
+
+    def test_signed_area_ccw_positive(self):
+        ring = Ring([(0, 0), (1, 0), (1, 1), (0, 1)])
+        assert ring.signed_area == pytest.approx(1.0)
+        assert ring.is_ccw
+
+    def test_signed_area_cw_negative(self):
+        ring = Ring([(0, 0), (0, 1), (1, 1), (1, 0)])
+        assert ring.signed_area == pytest.approx(-1.0)
+        assert not ring.is_ccw
+
+    def test_reversed_flips_orientation(self):
+        ring = Ring([(0, 0), (1, 0), (1, 1)])
+        assert ring.is_ccw != ring.reversed().is_ccw
+        assert ring.area == pytest.approx(ring.reversed().area)
+
+    def test_bbox(self):
+        ring = Ring([(0, 0), (2, -1), (1, 3)])
+        assert ring.bbox == Rect(0, -1, 2, 3)
+
+    def test_edges_close_the_ring(self):
+        ring = Ring([(0, 0), (1, 0), (0, 1)])
+        edges = list(ring.edges())
+        assert len(edges) == 3
+        assert edges[-1] == ((0, 1), (0, 0))
+
+    def test_edge_arrays_shapes(self):
+        ring = Ring([(0, 0), (1, 0), (0, 1)])
+        xs, ys, xe, ye = ring.edge_arrays
+        assert xs.shape == (3,)
+        assert xe[-1] == 0.0 and ye[-1] == 0.0
+
+    def test_perimeter(self):
+        ring = Ring([(0, 0), (3, 0), (3, 4)])
+        assert ring.perimeter == pytest.approx(3 + 4 + 5)
+
+
+class TestPolygon:
+    def test_shell_normalized_ccw(self):
+        p = Polygon([(0, 0), (0, 1), (1, 1), (1, 0)])  # given clockwise
+        assert p.shell.is_ccw
+
+    def test_holes_normalized_cw(self, donut):
+        assert all(not h.is_ccw for h in donut.holes)
+
+    def test_zero_area_raises(self):
+        with pytest.raises(InvalidPolygonError):
+            Polygon([(0, 0), (1, 1), (2, 2)])
+
+    def test_area_subtracts_holes(self, donut):
+        assert donut.area == pytest.approx(16.0 - 4.0)
+
+    def test_num_vertices(self, donut):
+        assert donut.num_vertices == 8
+
+    def test_contains_basic(self, square):
+        assert square.contains(0.5, 0.5)
+        assert not square.contains(1.5, 0.5)
+
+    def test_contains_concave(self, l_shape):
+        assert l_shape.contains(0.5, 1.5)
+        assert l_shape.contains(1.5, 0.5)
+        assert not l_shape.contains(1.5, 1.5)  # the notch
+
+    def test_contains_hole(self, donut):
+        assert donut.contains(0.5, 0.5)
+        assert not donut.contains(2.0, 2.0)  # inside the hole
+        assert not donut.contains(5.0, 5.0)
+
+    def test_contains_batch_matches_scalar(self, l_shape, rng):
+        xs = rng.uniform(-0.5, 2.5, 500)
+        ys = rng.uniform(-0.5, 2.5, 500)
+        batch = l_shape.contains_batch(xs, ys)
+        for i in range(0, 500, 7):
+            assert batch[i] == l_shape.contains(xs[i], ys[i])
+
+    def test_distance_zero_inside(self, square):
+        assert square.distance(0.5, 0.5) == 0.0
+
+    def test_distance_outside(self, square):
+        assert square.distance(2.0, 0.5) == pytest.approx(1.0)
+        assert square.distance(2.0, 2.0) == pytest.approx(np.sqrt(2))
+
+    def test_centroid_square(self, square):
+        assert square.centroid == pytest.approx((0.5, 0.5))
+
+    def test_centroid_donut_symmetric(self, donut):
+        assert donut.centroid == pytest.approx((2.0, 2.0))
+
+    def test_centroid_tiny_polygon_far_from_origin(self):
+        """Regression: shoelace cancellation at large coordinates must not
+        corrupt the centroid of meter-scale polygons (GPS use case)."""
+        tiny = regular_polygon(-73.95, 40.7, 1e-5, 6)
+        cx, cy = tiny.centroid
+        assert cx == pytest.approx(-73.95, abs=1e-9)
+        assert cy == pytest.approx(40.7, abs=1e-9)
+        assert tiny.contains(cx, cy)
+
+    def test_any_edge_intersects_rect(self, square):
+        assert square.any_edge_intersects_rect(Rect(0.9, 0.9, 2, 2))
+        assert not square.any_edge_intersects_rect(Rect(0.4, 0.4, 0.6, 0.6))
+        assert not square.any_edge_intersects_rect(Rect(5, 5, 6, 6))
+
+    def test_equality(self, square):
+        other = Polygon([(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)])
+        assert square == other
+
+
+class TestMultiPolygon:
+    def test_requires_polygons(self):
+        with pytest.raises(InvalidPolygonError):
+            MultiPolygon([])
+
+    def test_contains_any(self, square):
+        far = Polygon([(10, 10), (11, 10), (11, 11), (10, 11)])
+        multi = MultiPolygon([square, far])
+        assert multi.contains(0.5, 0.5)
+        assert multi.contains(10.5, 10.5)
+        assert not multi.contains(5, 5)
+
+    def test_area_and_bbox(self, square):
+        far = Polygon([(10, 10), (11, 10), (11, 11), (10, 11)])
+        multi = MultiPolygon([square, far])
+        assert multi.area == pytest.approx(2.0)
+        assert multi.bbox == Rect(0, 0, 11, 11)
+
+    def test_distance_min_over_members(self, square):
+        far = Polygon([(10, 0), (11, 0), (11, 1), (10, 1)])
+        multi = MultiPolygon([square, far])
+        assert multi.distance(2.0, 0.5) == pytest.approx(1.0)
+
+
+class TestHelpers:
+    def test_regular_polygon_area_converges_to_circle(self):
+        p = regular_polygon(0, 0, 1.0, 256)
+        assert p.area == pytest.approx(np.pi, rel=1e-3)
+
+    def test_regular_polygon_needs_three_sides(self):
+        with pytest.raises(InvalidPolygonError):
+            regular_polygon(0, 0, 1.0, 2)
+
+    def test_box_polygon_roundtrip(self, small_rect):
+        p = box_polygon(small_rect)
+        assert p.bbox == small_rect
+        assert p.area == pytest.approx(small_rect.area)
+
+    @given(st.floats(-50, 50), st.floats(-50, 50),
+           st.floats(0.1, 10), st.integers(3, 32))
+    def test_regular_polygon_contains_center(self, cx, cy, radius, n):
+        p = regular_polygon(cx, cy, radius, n)
+        assert p.contains(cx, cy)
+        assert p.area <= np.pi * radius * radius * 1.001

@@ -1,0 +1,130 @@
+"""Unit tests for repro.geometry.relate — cell/polygon classification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.bbox import Rect
+from repro.geometry.polygon import Polygon, regular_polygon
+from repro.geometry.relate import (
+    EdgeClassifier,
+    Relation,
+    edges_intersect_rect_mask,
+    relate_rect,
+)
+
+
+class TestRelateRect:
+    def test_within(self, square):
+        assert relate_rect(square, Rect(0.4, 0.4, 0.6, 0.6)) == Relation.WITHIN
+
+    def test_disjoint(self, square):
+        assert relate_rect(square, Rect(2, 2, 3, 3)) == Relation.DISJOINT
+
+    def test_boundary_intersects(self, square):
+        assert relate_rect(square, Rect(0.5, 0.5, 2, 2)) == Relation.INTERSECTS
+
+    def test_rect_containing_polygon_intersects(self, square):
+        assert relate_rect(square, Rect(-1, -1, 2, 2)) == Relation.INTERSECTS
+
+    def test_touching_edge_is_intersects(self, square):
+        # closed-cell semantics: grazing the boundary counts
+        assert relate_rect(square, Rect(1.0, 0.0, 2.0, 1.0)) == \
+            Relation.INTERSECTS
+
+    def test_hole_interior_is_disjoint(self, donut):
+        assert relate_rect(donut, Rect(1.8, 1.8, 2.2, 2.2)) == \
+            Relation.DISJOINT
+
+    def test_ring_between_hole_and_shell_within(self, donut):
+        assert relate_rect(donut, Rect(0.2, 0.2, 0.8, 0.8)) == Relation.WITHIN
+
+
+class TestEdgeClassifier:
+    def test_edge_threading(self, l_shape):
+        classifier = EdgeClassifier(l_shape)
+        relation, edges = classifier.classify_bounds(-1, -1, 3, 3, None)
+        assert relation == Relation.INTERSECTS
+        assert len(edges) == 6  # every edge touches the big rect
+        # sub-rect in the lower arm only sees nearby edges
+        relation2, edges2 = classifier.classify_bounds(1.4, -0.1, 1.6, 0.3,
+                                                       edges)
+        assert relation2 == Relation.INTERSECTS
+        assert 0 < len(edges2) < 6
+
+    def test_empty_edge_list_classifies_by_center(self, square):
+        classifier = EdgeClassifier(square)
+        relation, _ = classifier.classify_bounds(0.4, 0.4, 0.6, 0.6, [])
+        assert relation == Relation.WITHIN
+        relation, _ = classifier.classify_bounds(0.2, 0.2, 0.4, 0.4, [])
+        assert relation == Relation.WITHIN
+
+    def test_scalar_and_numpy_paths_agree(self, rng):
+        # polygon large enough to trigger the numpy path at the root
+        poly = regular_polygon(0.0, 0.0, 1.0, 96)
+        classifier = EdgeClassifier(poly)
+        for _ in range(100):
+            cx = float(rng.uniform(-1.5, 1.5))
+            cy = float(rng.uniform(-1.5, 1.5))
+            size = float(rng.uniform(0.01, 0.8))
+            rel_all, edges_all = classifier.classify_bounds(
+                cx, cy, cx + size, cy + size, None
+            )
+            # same query through the scalar path (explicit small index list)
+            rel_scalar, edges_scalar = classifier.classify_bounds(
+                cx, cy, cx + size, cy + size, list(range(96))[:40]
+            )
+            if rel_all == Relation.INTERSECTS:
+                touching_small = [e for e in edges_all if e < 40]
+                assert touching_small == list(edges_scalar)
+
+    def test_rect_api_wrapper(self, square):
+        classifier = EdgeClassifier(square)
+        relation, _ = classifier.classify(Rect(0.4, 0.4, 0.6, 0.6))
+        assert relation == Relation.WITHIN
+
+
+class TestEdgesMask:
+    def test_mask_matches_scalar(self, rng):
+        xs = rng.uniform(-2, 2, 200)
+        ys = rng.uniform(-2, 2, 200)
+        xe = xs + rng.uniform(-1, 1, 200)
+        ye = ys + rng.uniform(-1, 1, 200)
+        rect = Rect(-0.5, -0.5, 0.5, 0.5)
+        from repro.geometry.relate import _segment_hits_bounds
+
+        mask = edges_intersect_rect_mask(xs, ys, xe, ye, rect)
+        for i in range(200):
+            want = _segment_hits_bounds(
+                xs[i], ys[i], xe[i], ye[i],
+                rect.min_x, rect.min_y, rect.max_x, rect.max_y,
+            )
+            assert mask[i] == want, i
+
+    def test_degenerate_point_segment(self):
+        rect = Rect(0, 0, 1, 1)
+        mask = edges_intersect_rect_mask(
+            np.array([0.5, 5.0]), np.array([0.5, 5.0]),
+            np.array([0.5, 5.0]), np.array([0.5, 5.0]), rect,
+        )
+        assert mask[0] and not mask[1]
+
+
+class TestConservativeness:
+    """The classification drives ACT's correctness: WITHIN must imply the
+    whole rect is inside, DISJOINT must imply no overlap."""
+
+    @given(st.floats(-1.5, 1.5), st.floats(-1.5, 1.5),
+           st.floats(0.02, 0.5), st.integers(3, 20))
+    @settings(max_examples=150)
+    def test_within_and_disjoint_verified_by_sampling(self, cx, cy, size, n):
+        poly = regular_polygon(0.0, 0.0, 1.0, n)
+        rect = Rect(cx, cy, cx + size, cy + size)
+        relation = relate_rect(poly, rect)
+        samples = list(rect.sample_grid(4, 4))
+        inside = [poly.contains(x, y) for x, y in samples]
+        if relation == Relation.WITHIN:
+            assert all(inside)
+        elif relation == Relation.DISJOINT:
+            assert not any(inside)

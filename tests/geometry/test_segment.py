@@ -1,0 +1,155 @@
+"""Unit tests for repro.geometry.segment."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.bbox import Rect
+from repro.geometry.segment import (
+    clip_segment_to_rect,
+    on_segment,
+    orientation,
+    point_segment_distance,
+    point_segment_distance_sq,
+    segment_intersection_point,
+    segment_intersects_rect,
+    segments_intersect,
+)
+
+coords = st.floats(-100.0, 100.0, allow_nan=False)
+
+
+class TestOrientation:
+    def test_ccw(self):
+        assert orientation(0, 0, 1, 0, 1, 1) == 1
+
+    def test_cw(self):
+        assert orientation(0, 0, 1, 0, 1, -1) == -1
+
+    def test_collinear(self):
+        assert orientation(0, 0, 1, 1, 2, 2) == 0
+
+    def test_scale_invariant_collinearity(self):
+        # large magnitudes should not flip collinear to a turn
+        assert orientation(1e6, 1e6, 2e6, 2e6, 3e6, 3e6) == 0
+
+
+class TestOnSegment:
+    def test_midpoint(self):
+        assert on_segment(0.5, 0.5, 0, 0, 1, 1)
+
+    def test_endpoint(self):
+        assert on_segment(1, 1, 0, 0, 1, 1)
+
+    def test_beyond(self):
+        assert not on_segment(2, 2, 0, 0, 1, 1)
+
+
+class TestSegmentsIntersect:
+    def test_proper_crossing(self):
+        assert segments_intersect(0, 0, 2, 2, 0, 2, 2, 0)
+
+    def test_disjoint(self):
+        assert not segments_intersect(0, 0, 1, 0, 0, 1, 1, 1)
+
+    def test_touching_endpoint(self):
+        assert segments_intersect(0, 0, 1, 1, 1, 1, 2, 0)
+
+    def test_collinear_overlap(self):
+        assert segments_intersect(0, 0, 2, 0, 1, 0, 3, 0)
+
+    def test_collinear_disjoint(self):
+        assert not segments_intersect(0, 0, 1, 0, 2, 0, 3, 0)
+
+    def test_t_junction(self):
+        assert segments_intersect(0, 0, 2, 0, 1, -1, 1, 0)
+
+    @given(coords, coords, coords, coords, coords, coords, coords, coords)
+    def test_symmetry(self, ax, ay, bx, by, cx, cy, dx, dy):
+        assert segments_intersect(ax, ay, bx, by, cx, cy, dx, dy) == \
+            segments_intersect(cx, cy, dx, dy, ax, ay, bx, by)
+
+
+class TestIntersectionPoint:
+    def test_crossing_point(self):
+        p = segment_intersection_point(0, 0, 2, 2, 0, 2, 2, 0)
+        assert p == pytest.approx((1.0, 1.0))
+
+    def test_parallel_returns_none(self):
+        assert segment_intersection_point(0, 0, 1, 0, 0, 1, 1, 1) is None
+
+    def test_non_crossing_returns_none(self):
+        assert segment_intersection_point(0, 0, 1, 1, 3, 0, 4, 0) is None
+
+
+class TestPointSegmentDistance:
+    def test_projection_interior(self):
+        assert point_segment_distance(1, 1, 0, 0, 2, 0) == pytest.approx(1.0)
+
+    def test_clamped_to_endpoint(self):
+        assert point_segment_distance(3, 1, 0, 0, 2, 0) == \
+            pytest.approx(math.hypot(1, 1))
+
+    def test_degenerate_segment(self):
+        assert point_segment_distance(1, 0, 0, 0, 0, 0) == pytest.approx(1.0)
+
+    def test_on_segment_is_zero(self):
+        assert point_segment_distance_sq(1, 0, 0, 0, 2, 0) == 0.0
+
+    @given(coords, coords, coords, coords, coords, coords)
+    def test_distance_at_most_endpoint_distance(self, px, py, ax, ay, bx, by):
+        d = point_segment_distance(px, py, ax, ay, bx, by)
+        assert d <= math.hypot(px - ax, py - ay) + 1e-9
+        assert d <= math.hypot(px - bx, py - by) + 1e-9
+
+
+class TestSegmentRect:
+    RECT = Rect(0.0, 0.0, 2.0, 2.0)
+
+    def test_fully_inside(self):
+        assert segment_intersects_rect(0.5, 0.5, 1.5, 1.5, self.RECT)
+
+    def test_crossing_through(self):
+        assert segment_intersects_rect(-1, 1, 3, 1, self.RECT)
+
+    def test_touching_edge(self):
+        assert segment_intersects_rect(-1, 0, 3, 0, self.RECT)
+
+    def test_outside(self):
+        assert not segment_intersects_rect(-1, -1, -2, 5, self.RECT)
+
+    def test_diagonal_corner_graze(self):
+        assert segment_intersects_rect(-1, 1, 1, 3, self.RECT)  # hits (0,2)
+
+    def test_near_miss(self):
+        assert not segment_intersects_rect(-1, 1.5, 1, 3.5, self.RECT)
+
+
+class TestClipSegment:
+    RECT = Rect(0.0, 0.0, 2.0, 2.0)
+
+    def test_clip_crossing(self):
+        clipped = clip_segment_to_rect(-1, 1, 3, 1, self.RECT)
+        assert clipped is not None
+        (x0, y0), (x1, y1) = clipped
+        assert (x0, y0) == pytest.approx((0.0, 1.0))
+        assert (x1, y1) == pytest.approx((2.0, 1.0))
+
+    def test_clip_inside_unchanged(self):
+        clipped = clip_segment_to_rect(0.5, 0.5, 1.0, 1.0, self.RECT)
+        assert clipped == ((0.5, 0.5), (1.0, 1.0))
+
+    def test_clip_outside_none(self):
+        assert clip_segment_to_rect(3, 3, 4, 4, self.RECT) is None
+
+    @given(coords, coords, coords, coords)
+    def test_clip_agrees_with_intersects(self, ax, ay, bx, by):
+        rect = Rect(-10, -10, 10, 10)
+        clipped = clip_segment_to_rect(ax, ay, bx, by, rect)
+        assert (clipped is not None) == \
+            segment_intersects_rect(ax, ay, bx, by, rect)
+        if clipped is not None:
+            for x, y in clipped:
+                assert rect.expanded(1e-9).contains_point(x, y)

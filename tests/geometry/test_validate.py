@@ -1,0 +1,85 @@
+"""Tests for polygon structural validation."""
+
+import pytest
+
+from repro.geometry.polygon import Polygon, Ring, regular_polygon
+from repro.geometry.validate import (
+    is_valid_polygon,
+    ring_is_simple,
+    validate_polygon,
+)
+
+
+class TestRingSimplicity:
+    def test_convex_simple(self, hexagon):
+        assert ring_is_simple(hexagon.shell)
+
+    def test_concave_simple(self, l_shape):
+        assert ring_is_simple(l_shape.shell)
+
+    def test_bowtie_not_simple(self):
+        bowtie = Ring([(0, 0), (2, 2), (2, 0), (0, 2)])
+        assert not ring_is_simple(bowtie)
+
+    def test_large_regular_simple(self):
+        poly = regular_polygon(0, 0, 1, 128)
+        assert ring_is_simple(poly.shell)
+
+
+class TestValidatePolygon:
+    def test_valid_square(self, square):
+        assert validate_polygon(square) == []
+        assert is_valid_polygon(square)
+
+    def test_valid_donut(self, donut):
+        assert is_valid_polygon(donut)
+
+    def test_self_intersecting_shell(self):
+        poly = Polygon([(0, 0), (4, 0), (1, 3), (3, 3)])
+        issues = validate_polygon(poly)
+        assert any(i.code == "self-intersection" for i in issues)
+
+    def test_hole_outside_shell(self):
+        poly = Polygon(
+            [(0, 0), (1, 0), (1, 1), (0, 1)],
+            holes=[[(5, 5), (6, 5), (6, 6), (5, 6)]],
+        )
+        issues = validate_polygon(poly)
+        assert any(i.code == "hole-outside-shell" for i in issues)
+
+    def test_hole_crossing_shell(self):
+        poly = Polygon(
+            [(0, 0), (4, 0), (4, 4), (0, 4)],
+            holes=[[(3, 1), (6, 1), (6, 3), (3, 3)]],
+        )
+        issues = validate_polygon(poly)
+        assert any(i.code in ("hole-crosses-shell", "hole-outside-shell")
+                   for i in issues)
+
+    def test_overlapping_holes(self):
+        poly = Polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)],
+            holes=[
+                [(1, 1), (5, 1), (5, 5), (1, 5)],
+                [(3, 3), (7, 3), (7, 7), (3, 7)],
+            ],
+        )
+        issues = validate_polygon(poly)
+        assert any(i.code == "hole-overlap" for i in issues)
+
+    def test_issue_str(self):
+        poly = Polygon([(0, 0), (4, 0), (1, 3), (3, 3)])
+        issue = validate_polygon(poly)[0]
+        assert "self-intersection" in str(issue)
+
+
+class TestDatasetsAreValid:
+    def test_synthetic_datasets_valid(self, nyc_polygons):
+        for polygon in nyc_polygons[:10]:
+            assert is_valid_polygon(polygon)
+
+    def test_census_blocks_valid(self):
+        from repro.datasets import census_blocks
+
+        for block in census_blocks(40):
+            assert is_valid_polygon(block)

@@ -1,0 +1,82 @@
+"""Unit tests for repro.geometry.wkt."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.geometry import wkt
+from repro.geometry.polygon import MultiPolygon, Polygon
+
+
+class TestLoads:
+    def test_point(self):
+        assert wkt.loads("POINT (-73.97 40.75)") == (-73.97, 40.75)
+
+    def test_polygon(self):
+        p = wkt.loads("POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))")
+        assert isinstance(p, Polygon)
+        assert p.area == pytest.approx(1.0)
+
+    def test_polygon_with_hole(self):
+        p = wkt.loads(
+            "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0), (1 1, 3 1, 3 3, 1 3, 1 1))"
+        )
+        assert len(p.holes) == 1
+        assert p.area == pytest.approx(12.0)
+
+    def test_multipolygon(self):
+        m = wkt.loads(
+            "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)),"
+            " ((5 5, 6 5, 6 6, 5 6, 5 5)))"
+        )
+        assert isinstance(m, MultiPolygon)
+        assert len(m) == 2
+
+    def test_case_insensitive_keyword(self):
+        assert wkt.loads("point (1 2)") == (1.0, 2.0)
+
+    def test_scientific_notation(self):
+        assert wkt.loads("POINT (1e-3 -2.5E2)") == (0.001, -250.0)
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(ParseError):
+            wkt.loads("LINESTRING (0 0, 1 1)")
+
+    def test_malformed_raises(self):
+        with pytest.raises(ParseError):
+            wkt.loads("POLYGON ((0 0, 1 0)")
+        with pytest.raises(ParseError):
+            wkt.loads("POINT (1)")
+        with pytest.raises(ParseError):
+            wkt.loads("POINT (1 2) trailing")
+
+    def test_garbage_raises(self):
+        with pytest.raises(ParseError):
+            wkt.loads("POINT (@ !)")
+
+
+class TestDumps:
+    def test_point_roundtrip(self):
+        text = wkt.dumps((-73.97, 40.75))
+        assert wkt.loads(text) == (-73.97, 40.75)
+
+    def test_polygon_roundtrip(self, donut):
+        parsed = wkt.loads(wkt.dumps(donut))
+        assert parsed.area == pytest.approx(donut.area)
+        assert len(parsed.holes) == 1
+
+    def test_multipolygon_roundtrip(self, square):
+        other = Polygon([(5, 5), (6, 5), (6, 6), (5, 6)])
+        multi = MultiPolygon([square, other])
+        parsed = wkt.loads(wkt.dumps(multi))
+        assert isinstance(parsed, MultiPolygon)
+        assert parsed.area == pytest.approx(multi.area)
+
+    def test_dumps_closes_rings(self, square):
+        text = wkt.dumps(square)
+        body = text[len("POLYGON (("):-2]
+        coords = body.split(",")
+        assert coords[0].strip() == coords[-1].strip()
+
+    def test_unsupported_geometry_raises(self):
+        with pytest.raises(ParseError):
+            wkt.dumps([1, 2, 3])

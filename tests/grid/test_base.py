@@ -1,0 +1,58 @@
+"""Tests for the HierarchicalGrid base utilities (frames, defaults)."""
+
+import pytest
+
+from repro.geometry.bbox import Rect
+from repro.grid import cellid
+from repro.grid.base import HierarchicalGrid
+from repro.grid.planar import PlanarGrid
+
+GRID = PlanarGrid(Rect(-74.3, 40.45, -73.65, 40.95))
+
+
+class TestFrames:
+    def test_root_frames_match_root_cells(self):
+        frames = GRID.root_frames()
+        cells = GRID.root_cells()
+        assert [GRID.frame_cell(f) for f in frames] == cells
+
+    def test_frame_children_partition_ij_space(self):
+        frame = (0, 0, 0, 0)
+        children = HierarchicalGrid.frame_children(frame)
+        assert len(children) == 4
+        half = 1 << (cellid.MAX_LEVEL - 1)
+        corners = {(f[1], f[2]) for f in children}
+        assert corners == {(0, 0), (half, 0), (0, half), (half, half)}
+        assert all(f[3] == 1 for f in children)
+
+    def test_frame_cell_roundtrip_at_depth(self):
+        leaf = GRID.leaf_cell(-73.9, 40.7)
+        for level in (0, 3, 9, 17, 30):
+            cell = cellid.parent(leaf, level)
+            frame = GRID.frame_for_cell(cell)
+            assert GRID.frame_cell(frame) == cell
+            assert frame[3] == level
+
+    def test_frame_children_consistent_with_cell_children(self):
+        """The 4 child frames address exactly the 4 child cells (order may
+        differ: frames are position-ordered, cells Hilbert-ordered)."""
+        leaf = GRID.leaf_cell(-73.9, 40.7)
+        cell = cellid.parent(leaf, 7)
+        frame = GRID.frame_for_cell(cell)
+        from_frames = {GRID.frame_cell(f)
+                       for f in HierarchicalGrid.frame_children(frame)}
+        assert from_frames == set(cellid.children(cell))
+
+
+class TestGenericCellRect:
+    def test_cell_rect_consistent_with_frame_bounds(self):
+        leaf = GRID.leaf_cell(-73.9, 40.7)
+        cell = cellid.parent(leaf, 11)
+        rect = GRID.cell_rect(cell)
+        bounds = GRID.frame_bounds(GRID.frame_for_cell(cell))
+        assert (rect.min_x, rect.min_y, rect.max_x, rect.max_y) == bounds
+
+    def test_cell_polygon_corners(self):
+        leaf = GRID.leaf_cell(-73.9, 40.7)
+        corners = GRID.cell_polygon_corners(cellid.parent(leaf, 10))
+        assert len(corners) == 4

@@ -1,0 +1,104 @@
+"""Unit tests for CellUnion normalization and queries."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid import cellid
+from repro.grid.cellunion import CellUnion
+
+faces = st.integers(0, 5)
+ij30 = st.integers(0, (1 << 30) - 1)
+
+
+def make_cell(face, i, j, level):
+    return cellid.parent(cellid.from_face_ij(face, i, j), level)
+
+
+class TestNormalization:
+    def test_drops_contained_cells(self):
+        parent = make_cell(0, 100, 100, 8)
+        child = cellid.children(parent)[2]
+        union = CellUnion([parent, child])
+        assert union.cells == [parent]
+
+    def test_merges_complete_sibling_groups(self):
+        parent = make_cell(0, 100, 100, 8)
+        union = CellUnion(list(cellid.children(parent)))
+        assert union.cells == [parent]
+
+    def test_merges_recursively(self):
+        grandparent = make_cell(0, 100, 100, 7)
+        leaves = []
+        for child in cellid.children(grandparent):
+            leaves.extend(cellid.children(child))
+        union = CellUnion(leaves)
+        assert union.cells == [grandparent]
+
+    def test_incomplete_group_not_merged(self):
+        parent = make_cell(0, 100, 100, 8)
+        kids = list(cellid.children(parent))[:3]
+        union = CellUnion(kids)
+        assert len(union) == 3
+
+    def test_duplicates_removed(self):
+        cell = make_cell(1, 5, 5, 10)
+        union = CellUnion([cell, cell, cell])
+        assert union.cells == [cell]
+
+    def test_unnormalized_keeps_input(self):
+        parent = make_cell(0, 100, 100, 8)
+        child = cellid.children(parent)[0]
+        union = CellUnion([parent, child], normalize=False)
+        assert len(union) == 2
+
+
+class TestQueries:
+    def test_contains_leaf(self):
+        cell = make_cell(2, 777, 888, 12)
+        union = CellUnion([cell])
+        assert union.contains_leaf(cellid.range_min(cell))
+        assert union.contains_leaf(cellid.range_max(cell))
+        assert not union.contains_leaf(cellid.range_max(cell) + 2)
+
+    def test_contains_cell(self):
+        cell = make_cell(2, 777, 888, 12)
+        union = CellUnion([cell])
+        assert union.contains_cell(cellid.children(cell)[1])
+        assert not union.contains_cell(cellid.parent(cell))
+
+    def test_intersects_cell(self):
+        cell = make_cell(2, 777, 888, 12)
+        union = CellUnion([cell])
+        assert union.intersects_cell(cellid.parent(cell))  # coarser overlaps
+        assert union.intersects_cell(cellid.children(cell)[0])
+        far = make_cell(5, 1, 1, 12)
+        assert not union.intersects_cell(far)
+
+    def test_num_leaves(self):
+        cell = make_cell(0, 0, 0, 29)
+        union = CellUnion([cell])
+        assert union.num_leaves() == 4
+
+    @given(st.lists(st.tuples(faces, ij30, ij30, st.integers(4, 30)),
+                    min_size=1, max_size=30))
+    @settings(max_examples=60)
+    def test_normalized_union_equivalent_membership(self, specs):
+        cells = [make_cell(*spec) for spec in specs]
+        union = CellUnion(cells)
+        # membership must be identical to the brute-force check
+        probes = [cellid.range_min(c) for c in cells]
+        probes += [cellid.range_max(c) for c in cells]
+        for leaf in probes:
+            brute = any(cellid.contains(c, leaf) for c in cells)
+            assert union.contains_leaf(leaf) == brute
+
+    @given(st.lists(st.tuples(faces, ij30, ij30, st.integers(2, 30)),
+                    min_size=1, max_size=25))
+    @settings(max_examples=60)
+    def test_normalized_cells_disjoint_and_sorted(self, specs):
+        union = CellUnion([make_cell(*spec) for spec in specs])
+        cells = union.cells
+        assert cells == sorted(cells)
+        ordered = sorted(cells, key=cellid.range_min)
+        for a, b in zip(ordered, ordered[1:]):
+            assert cellid.range_max(a) < cellid.range_min(b)

@@ -1,0 +1,161 @@
+"""Tests for the region coverer — the covering invariants ACT relies on."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CoveringError
+from repro.geometry.bbox import Rect
+from repro.geometry.polygon import Polygon, regular_polygon
+from repro.grid import cellid
+from repro.grid.cellunion import CellUnion
+from repro.grid.coverer import RegionCoverer
+from repro.grid.planar import PlanarGrid
+from repro.grid.s2like import S2LikeGrid
+
+BOUNDS = Rect(-74.3, 40.45, -73.65, 40.95)
+GRID = PlanarGrid(BOUNDS)
+POLY = regular_polygon(-73.95, 40.7, 0.08, 14)
+COVERER = RegionCoverer(GRID)
+COVERING = COVERER.cover(POLY, boundary_level=11)
+
+
+class TestCoverInvariants:
+    def test_boundary_cells_at_requested_level(self):
+        assert COVERING.boundary
+        assert all(cellid.level(c) == 11 for c in COVERING.boundary)
+
+    def test_interior_cells_not_deeper_than_boundary(self):
+        assert COVERING.interior
+        assert all(cellid.level(c) <= 11 for c in COVERING.interior)
+
+    def test_cells_sorted_and_unique(self):
+        for cells in (COVERING.boundary, COVERING.interior):
+            assert cells == sorted(cells)
+            assert len(set(cells)) == len(cells)
+
+    def test_covering_cells_disjoint(self):
+        union = CellUnion(COVERING.boundary + COVERING.interior,
+                          normalize=False)
+        ordered = sorted(union.cells, key=cellid.range_min)
+        for a, b in zip(ordered, ordered[1:]):
+            assert cellid.range_max(a) < cellid.range_min(b)
+
+    def test_interior_cells_fully_inside(self, rng):
+        for cell in COVERING.interior[::max(1, len(COVERING.interior) // 40)]:
+            rect = GRID.cell_rect(cell)
+            for x, y in rect.sample_grid(3, 3):
+                assert POLY.contains(x, y)
+
+    def test_boundary_cells_touch_boundary(self):
+        """Every boundary cell must intersect a polygon edge."""
+        for cell in COVERING.boundary[::max(1, len(COVERING.boundary) // 40)]:
+            assert POLY.any_edge_intersects_rect(GRID.cell_rect(cell))
+
+    def test_covering_covers_polygon(self, rng):
+        """No false negatives: every point inside the polygon must hit a
+        covering cell."""
+        union = CellUnion(COVERING.boundary + COVERING.interior)
+        box = POLY.bbox
+        hits = 0
+        for _ in range(2000):
+            x = float(rng.uniform(box.min_x, box.max_x))
+            y = float(rng.uniform(box.min_y, box.max_y))
+            if not POLY.contains(x, y):
+                continue
+            hits += 1
+            leaf = GRID.leaf_cell(x, y)
+            assert union.contains_leaf(leaf), (x, y)
+        assert hits > 100  # sanity: the sample actually exercised the test
+
+    def test_interior_majority_of_area(self):
+        """The paper: interior cells cover the majority of the polygon.
+
+        At a boundary level well below the polygon size, interior area
+        should dominate boundary area."""
+        interior_area = sum(GRID.cell_rect(c).area for c in COVERING.interior)
+        boundary_area = sum(GRID.cell_rect(c).area for c in COVERING.boundary)
+        assert interior_area > boundary_area
+
+    def test_interior_min_level_respected(self):
+        covering = COVERER.cover(POLY, boundary_level=11,
+                                 interior_min_level=9)
+        assert all(cellid.level(c) >= 9 for c in covering.interior)
+
+    def test_max_boundary_diag(self):
+        diag = COVERING.max_boundary_level_diag(GRID)
+        assert diag == pytest.approx(GRID.max_diag_meters(11))
+
+
+class TestErrors:
+    def test_level_too_deep(self):
+        with pytest.raises(CoveringError):
+            COVERER.cover(POLY, boundary_level=31)
+
+    def test_polygon_outside_domain(self):
+        far = Polygon([(10, 10), (11, 10), (11, 11), (10, 11)])
+        with pytest.raises(CoveringError):
+            COVERER.cover(far, boundary_level=8)
+
+
+class TestBudgeted:
+    def test_budget_respected(self):
+        covering = COVERER.cover_budgeted(POLY, max_cells=64,
+                                          boundary_level=14)
+        assert covering.num_cells <= 64
+
+    def test_budget_coarser_than_precise(self):
+        precise = COVERER.cover(POLY, boundary_level=11)
+        budgeted = COVERER.cover_budgeted(POLY, max_cells=64,
+                                          boundary_level=11)
+        assert budgeted.num_cells < precise.num_cells
+        coarsest = min(cellid.level(c) for c in budgeted.boundary)
+        assert coarsest < 11
+
+    def test_budget_still_covers_polygon(self, rng):
+        covering = COVERER.cover_budgeted(POLY, max_cells=48,
+                                          boundary_level=12)
+        union = CellUnion(covering.boundary + covering.interior)
+        box = POLY.bbox
+        for _ in range(500):
+            x = float(rng.uniform(box.min_x, box.max_x))
+            y = float(rng.uniform(box.min_y, box.max_y))
+            if POLY.contains(x, y):
+                assert union.contains_leaf(GRID.leaf_cell(x, y))
+
+    def test_generous_budget_reaches_target_level(self):
+        covering = COVERER.cover_budgeted(POLY, max_cells=10 ** 6,
+                                          boundary_level=10)
+        assert all(cellid.level(c) == 10 for c in covering.boundary)
+
+    def test_budget_too_small_raises(self):
+        with pytest.raises(CoveringError):
+            COVERER.cover_budgeted(POLY, max_cells=0, boundary_level=8)
+
+
+class TestOnS2Grid:
+    def test_covering_on_sphere_covers_polygon(self, rng):
+        grid = S2LikeGrid()
+        coverer = RegionCoverer(grid)
+        poly = regular_polygon(-73.95, 40.7, 0.05, 10)
+        covering = coverer.cover(poly, boundary_level=13)
+        union = CellUnion(covering.boundary + covering.interior)
+        box = poly.bbox
+        hits = 0
+        for _ in range(800):
+            x = float(rng.uniform(box.min_x, box.max_x))
+            y = float(rng.uniform(box.min_y, box.max_y))
+            if poly.contains(x, y):
+                hits += 1
+                assert union.contains_leaf(grid.leaf_cell(x, y))
+        assert hits > 50
+
+    def test_s2_interior_cells_inside(self):
+        grid = S2LikeGrid()
+        coverer = RegionCoverer(grid)
+        poly = regular_polygon(-73.95, 40.7, 0.05, 10)
+        covering = coverer.cover(poly, boundary_level=13)
+        assert covering.interior
+        for cell in covering.interior[::3]:
+            rect = grid.cell_rect(cell)
+            cx, cy = rect.center
+            assert poly.contains(cx, cy)

@@ -1,0 +1,95 @@
+"""Unit tests for the Hilbert-curve lookup tables."""
+
+import numpy as np
+
+from repro.grid.hilbert import (
+    IJ_TO_POS,
+    INVERT_MASK,
+    LOOKUP_IJ,
+    LOOKUP_POS,
+    LOOKUP_POS_NP,
+    POS_TO_IJ,
+    POS_TO_ORIENTATION,
+    SWAP_MASK,
+)
+
+
+class TestBaseTables:
+    def test_pos_to_ij_rows_are_permutations(self):
+        for row in POS_TO_IJ:
+            assert sorted(row) == [0, 1, 2, 3]
+
+    def test_ij_to_pos_inverts_pos_to_ij(self):
+        for orientation in range(4):
+            for pos in range(4):
+                ij = POS_TO_IJ[orientation][pos]
+                assert IJ_TO_POS[orientation][ij] == pos
+
+    def test_canonical_order_is_hilbert_u(self):
+        # canonical orientation traverses (0,0),(0,1),(1,1),(1,0)
+        assert POS_TO_IJ[0] == (0, 1, 3, 2)
+
+    def test_orientation_masks(self):
+        assert SWAP_MASK == 1 and INVERT_MASK == 2
+        assert POS_TO_ORIENTATION == (1, 0, 0, 3)
+
+
+class TestLookupTables:
+    def test_tables_are_bijective_per_orientation(self):
+        for orientation in range(4):
+            seen = set()
+            for ij in range(256):
+                value = LOOKUP_POS[(ij << 2) | orientation]
+                pos = value >> 2
+                assert pos not in seen
+                seen.add(pos)
+            assert len(seen) == 256
+
+    def test_lookup_ij_inverts_lookup_pos(self):
+        for orientation in range(4):
+            for ij in range(256):
+                value = LOOKUP_POS[(ij << 2) | orientation]
+                pos = value >> 2
+                back = LOOKUP_IJ[(pos << 2) | orientation]
+                assert back >> 2 == ij
+
+    def test_orientation_consistency(self):
+        # the output orientation must match between the two tables
+        for orientation in range(4):
+            for ij in range(256):
+                value = LOOKUP_POS[(ij << 2) | orientation]
+                pos = value >> 2
+                assert (value & 3) == (LOOKUP_IJ[(pos << 2) | orientation] & 3)
+
+    def test_numpy_views_match_lists(self):
+        assert LOOKUP_POS_NP.dtype == np.uint64
+        assert LOOKUP_POS_NP.tolist() == LOOKUP_POS
+
+
+class TestLocality:
+    def test_hilbert_adjacent_positions_are_adjacent_cells(self):
+        """Consecutive curve positions differ by one grid step — the
+        locality property that makes cache behaviour predictable."""
+        from repro.grid import cellid
+
+        # walk 256 consecutive leaf-range positions at level 4 on face 0
+        cells = []
+        root = cellid.from_face(0)
+        stack = [root]
+        level4 = []
+
+        def descend(cell, depth):
+            if depth == 4:
+                level4.append(cell)
+                return
+            for child in cellid.children(cell):
+                descend(child, depth + 1)
+
+        descend(root, 0)
+        assert len(level4) == 256
+        coords = []
+        for cell in sorted(level4):
+            _, i, j = cellid.to_face_ij(cellid.range_min(cell))
+            coords.append((i >> 26, j >> 26))
+        for (i0, j0), (i1, j1) in zip(coords, coords[1:]):
+            assert abs(i0 - i1) + abs(j0 - j1) == 1, "curve must be continuous"

@@ -1,0 +1,144 @@
+"""Unit tests for the planar quadtree grid."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GridError, OutOfBoundsError, PrecisionError
+from repro.geometry.bbox import Rect
+from repro.grid import cellid
+from repro.grid.planar import PlanarGrid
+
+BOUNDS = Rect(-74.3, 40.45, -73.65, 40.95)
+GRID = PlanarGrid(BOUNDS)
+
+in_lngs = st.floats(BOUNDS.min_x, BOUNDS.max_x)
+in_lats = st.floats(BOUNDS.min_y, BOUNDS.max_y)
+
+
+class TestConstruction:
+    def test_invalid_max_level(self):
+        with pytest.raises(GridError):
+            PlanarGrid(BOUNDS, max_level=0)
+        with pytest.raises(GridError):
+            PlanarGrid(BOUNDS, max_level=31)
+
+    def test_degenerate_bounds(self):
+        with pytest.raises(GridError):
+            PlanarGrid(Rect(0, 0, 0, 1))
+
+    def test_for_polygons_covers_them(self, nyc_polygons):
+        grid = PlanarGrid.for_polygons(nyc_polygons)
+        for polygon in nyc_polygons:
+            assert grid.bounds.contains_rect(polygon.bbox)
+
+    def test_for_polygons_empty_raises(self):
+        with pytest.raises(GridError):
+            PlanarGrid.for_polygons([])
+
+    def test_name(self):
+        assert GRID.name == "planar"
+
+
+class TestLeafCells:
+    @given(in_lngs, in_lats)
+    def test_leaf_cell_contains_point(self, lng, lat):
+        cell = GRID.leaf_cell(lng, lat)
+        assert cell is not None and cellid.is_leaf(cell)
+        rect = GRID.cell_rect(cellid.parent(cell, 10))
+        assert rect.contains_point(lng, lat)
+
+    def test_out_of_bounds_none(self):
+        assert GRID.leaf_cell(0.0, 0.0) is None
+
+    def test_strict_raises(self):
+        with pytest.raises(OutOfBoundsError):
+            GRID.leaf_cell_strict(0.0, 0.0)
+
+    def test_corner_points_covered(self):
+        for x, y in BOUNDS.corners():
+            assert GRID.leaf_cell(x, y) is not None
+
+    def test_batch_matches_scalar(self, rng):
+        lngs = rng.uniform(BOUNDS.min_x - 0.2, BOUNDS.max_x + 0.2, 400)
+        lats = rng.uniform(BOUNDS.min_y - 0.2, BOUNDS.max_y + 0.2, 400)
+        batch = GRID.leaf_cells_batch(lngs, lats)
+        for k in range(0, 400, 7):
+            scalar = GRID.leaf_cell(float(lngs[k]), float(lats[k]))
+            assert int(batch[k]) == (scalar if scalar is not None else 0)
+
+
+class TestCellGeometry:
+    @given(in_lngs, in_lats, st.integers(0, 20))
+    @settings(max_examples=100)
+    def test_cell_rect_nesting(self, lng, lat, level):
+        leaf = GRID.leaf_cell(lng, lat)
+        cell = cellid.parent(leaf, level)
+        rect = GRID.cell_rect(cell)
+        child_rect = GRID.cell_rect(cellid.parent(leaf, level + 4))
+        assert rect.expanded(1e-12).contains_rect(child_rect)
+
+    def test_root_cell_rect_is_bounds(self):
+        rect = GRID.cell_rect(cellid.from_face(0))
+        assert rect.min_x == pytest.approx(BOUNDS.min_x)
+        assert rect.max_y == pytest.approx(BOUNDS.max_y)
+
+    def test_children_tile_parent(self):
+        leaf = GRID.leaf_cell(-73.97, 40.75)
+        parent = cellid.parent(leaf, 8)
+        parent_rect = GRID.cell_rect(parent)
+        kid_area = sum(GRID.cell_rect(k).area for k in cellid.children(parent))
+        assert kid_area == pytest.approx(parent_rect.area)
+
+    def test_frame_roundtrip(self):
+        leaf = GRID.leaf_cell(-73.97, 40.75)
+        cell = cellid.parent(leaf, 13)
+        frame = GRID.frame_for_cell(cell)
+        assert GRID.frame_cell(frame) == cell
+
+    def test_frame_children_cover_frame(self):
+        frame = (0, 0, 0, 3)
+        bounds = GRID.frame_bounds(frame)
+        for child in GRID.frame_children(frame):
+            cb = GRID.frame_bounds(child)
+            assert cb[0] >= bounds[0] - 1e-12 and cb[2] <= bounds[2] + 1e-12
+
+
+class TestMetrics:
+    def test_diag_halves_per_level(self):
+        for level in range(0, 20):
+            ratio = GRID.max_diag_meters(level) / GRID.max_diag_meters(level + 1)
+            assert ratio == pytest.approx(2.0)
+
+    def test_level_for_precision_monotone(self):
+        l60 = GRID.level_for_precision(60.0)
+        l15 = GRID.level_for_precision(15.0)
+        l4 = GRID.level_for_precision(4.0)
+        assert l60 < l15 < l4
+        assert GRID.max_diag_meters(l4) <= 4.0
+        assert GRID.max_diag_meters(l4 - 1) > 4.0
+
+    def test_level_for_precision_invalid(self):
+        with pytest.raises(PrecisionError):
+            GRID.level_for_precision(0.0)
+        with pytest.raises(PrecisionError):
+            GRID.level_for_precision(1e-9)  # finer than level 30
+
+    def test_diag_metric_is_conservative(self, rng):
+        """Measured cell diagonals never exceed the metric's bound."""
+        from repro.geometry.distance import LocalProjection
+
+        proj = LocalProjection(BOUNDS.center[1])
+        for level in (6, 10, 14):
+            bound = GRID.max_diag_meters(level)
+            for _ in range(20):
+                lng = float(rng.uniform(BOUNDS.min_x, BOUNDS.max_x))
+                lat = float(rng.uniform(BOUNDS.min_y, BOUNDS.max_y))
+                rect = GRID.cell_rect(
+                    cellid.parent(GRID.leaf_cell(lng, lat), level)
+                )
+                x0, y0 = proj.to_xy(rect.min_x, rect.min_y)
+                x1, y1 = proj.to_xy(rect.max_x, rect.max_y)
+                measured = float(np.hypot(x1 - x0, y1 - y0))
+                assert measured <= bound * 1.0001

@@ -1,0 +1,113 @@
+"""Unit tests for the sphere-to-cube projection pipeline."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid import projection as prj
+
+lngs = st.floats(-179.9, 179.9)
+lats = st.floats(-89.9, 89.9)
+uv = st.floats(-1.0, 1.0)
+sts = st.floats(0.0, 1.0)
+
+
+class TestXYZ:
+    @given(lngs, lats)
+    def test_unit_length(self, lng, lat):
+        x, y, z = prj.xyz_from_lnglat(lng, lat)
+        assert math.hypot(math.hypot(x, y), z) == pytest.approx(1.0)
+
+    @given(lngs, lats)
+    def test_roundtrip(self, lng, lat):
+        x, y, z = prj.xyz_from_lnglat(lng, lat)
+        lng2, lat2 = prj.lnglat_from_xyz(x, y, z)
+        assert lat2 == pytest.approx(lat, abs=1e-9)
+        assert lng2 == pytest.approx(lng, abs=1e-9)
+
+    def test_cardinal_points(self):
+        assert prj.xyz_from_lnglat(0, 0) == pytest.approx((1, 0, 0))
+        assert prj.xyz_from_lnglat(90, 0) == pytest.approx((0, 1, 0))
+        assert prj.xyz_from_lnglat(0, 90) == pytest.approx((0, 0, 1), abs=1e-12)
+
+
+class TestFaceUV:
+    def test_face_centers(self):
+        assert prj.face_from_xyz(1, 0, 0) == 0
+        assert prj.face_from_xyz(0, 1, 0) == 1
+        assert prj.face_from_xyz(0, 0, 1) == 2
+        assert prj.face_from_xyz(-1, 0, 0) == 3
+        assert prj.face_from_xyz(0, -1, 0) == 4
+        assert prj.face_from_xyz(0, 0, -1) == 5
+
+    @given(lngs, lats)
+    def test_uv_in_range(self, lng, lat):
+        x, y, z = prj.xyz_from_lnglat(lng, lat)
+        _, u, v = prj.face_uv_from_xyz(x, y, z)
+        assert -1.0 - 1e-12 <= u <= 1.0 + 1e-12
+        assert -1.0 - 1e-12 <= v <= 1.0 + 1e-12
+
+    @given(lngs, lats)
+    def test_face_uv_roundtrip(self, lng, lat):
+        x, y, z = prj.xyz_from_lnglat(lng, lat)
+        f, u, v = prj.face_uv_from_xyz(x, y, z)
+        x2, y2, z2 = prj.xyz_from_face_uv(f, u, v)
+        # xyz_from_face_uv is unnormalized; compare directions
+        norm = math.sqrt(x2 * x2 + y2 * y2 + z2 * z2)
+        assert (x2 / norm, y2 / norm, z2 / norm) == pytest.approx(
+            (x, y, z), abs=1e-12
+        )
+
+
+class TestSTTransform:
+    @given(uv)
+    def test_st_uv_roundtrip(self, u):
+        assert prj.uv_from_st(prj.st_from_uv(u)) == pytest.approx(u, abs=1e-12)
+
+    def test_st_monotone(self):
+        values = [prj.st_from_uv(u) for u in np.linspace(-1, 1, 101)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_st_range(self):
+        assert prj.st_from_uv(-1.0) == pytest.approx(0.0)
+        assert prj.st_from_uv(0.0) == pytest.approx(0.5)
+        assert prj.st_from_uv(1.0) == pytest.approx(1.0)
+
+
+class TestIJ:
+    def test_clamping(self):
+        assert prj.ij_from_st(-0.1) == 0
+        assert prj.ij_from_st(1.5) == prj.IJ_SIZE - 1
+
+    @given(sts)
+    def test_ij_st_near_roundtrip(self, s):
+        i = prj.ij_from_st(s)
+        assert abs(prj.st_from_ij(i) - s) <= 1.0 / prj.IJ_SIZE
+
+    @given(lngs, lats)
+    @settings(max_examples=200)
+    def test_full_pipeline_roundtrip_precision(self, lng, lat):
+        """Leaf cells are ~cm² — the roundtrip must be centimeter-exact."""
+        from repro.geometry.distance import haversine_meters
+
+        f, i, j = prj.face_ij_from_lnglat(lng, lat)
+        lng2, lat2 = prj.lnglat_from_face_st(
+            f, prj.st_from_ij(i), prj.st_from_ij(j)
+        )
+        # a leaf cell diagonal is ~1 cm; allow a few cells of slack
+        assert haversine_meters(lng, lat, lng2, lat2) < 0.05
+
+
+class TestBatch:
+    @given(st.lists(st.tuples(lngs, lats), min_size=1, max_size=50))
+    @settings(max_examples=50)
+    def test_batch_matches_scalar(self, points):
+        lng_arr = np.asarray([p[0] for p in points])
+        lat_arr = np.asarray([p[1] for p in points])
+        f, i, j = prj.face_ij_from_lnglat_batch(lng_arr, lat_arr)
+        for k, (lng, lat) in enumerate(points):
+            assert (int(f[k]), int(i[k]), int(j[k])) == \
+                prj.face_ij_from_lnglat(lng, lat)

@@ -1,0 +1,117 @@
+"""Unit tests for the S2-like spherical grid."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid import cellid
+from repro.grid.s2like import S2LikeGrid
+
+GRID = S2LikeGrid()
+
+# covering-safe domain (documented limitation: |lat| < 60, away from ±180)
+lngs = st.floats(-170.0, 170.0)
+lats = st.floats(-59.0, 59.0)
+
+
+class TestLeafCells:
+    @given(lngs, lats)
+    def test_leaf_level_and_validity(self, lng, lat):
+        cell = GRID.leaf_cell(lng, lat)
+        assert cellid.is_leaf(cell)
+        assert cellid.is_valid(cell)
+
+    @given(lngs, lats)
+    @settings(max_examples=100)
+    def test_cell_rect_contains_point(self, lng, lat):
+        leaf = GRID.leaf_cell(lng, lat)
+        for level in (4, 8, 12, 16):
+            rect = GRID.cell_rect(cellid.parent(leaf, level))
+            assert rect.contains_point(lng, lat), level
+
+    def test_batch_matches_scalar(self, rng):
+        lng_arr = rng.uniform(-179, 179, 500)
+        lat_arr = rng.uniform(-85, 85, 500)
+        batch = GRID.leaf_cells_batch(lng_arr, lat_arr)
+        for k in range(0, 500, 7):
+            assert int(batch[k]) == GRID.leaf_cell(
+                float(lng_arr[k]), float(lat_arr[k])
+            )
+
+    def test_all_faces_reachable(self, rng):
+        lng_arr = rng.uniform(-180, 180, 4000)
+        lat_arr = rng.uniform(-90, 90, 4000)
+        faces = set(
+            (int(c) >> cellid.POS_BITS)
+            for c in GRID.leaf_cells_batch(lng_arr, lat_arr)
+        )
+        assert faces == {0, 1, 2, 3, 4, 5}
+
+
+class TestRectBounds:
+    def test_root_frames_are_faces(self):
+        frames = GRID.root_frames()
+        assert len(frames) == 6
+        assert all(f[3] == 0 for f in frames)
+
+    @given(lngs, lats, st.integers(6, 24))
+    @settings(max_examples=100)
+    def test_rect_bound_contains_sampled_interior(self, lng, lat, level):
+        """The rect bound must contain the whole cell: sample interior
+        leaf points of the cell and check them."""
+        leaf = GRID.leaf_cell(lng, lat)
+        cell = cellid.parent(leaf, level)
+        rect = GRID.cell_rect(cell)
+        from repro.grid.projection import lnglat_from_face_st, st_from_ij
+
+        face, i, j = cellid.to_face_ij(cellid.range_min(cell))
+        size = 1 << (cellid.MAX_LEVEL - level)
+        i0, j0 = i & ~(size - 1), j & ~(size - 1)
+        for fx in (0.1, 0.5, 0.9):
+            for fy in (0.1, 0.5, 0.9):
+                s = (i0 + fx * size) / (1 << cellid.MAX_LEVEL)
+                t = (j0 + fy * size) / (1 << cellid.MAX_LEVEL)
+                plng, plat = lnglat_from_face_st(face, s, t)
+                assert rect.contains_point(plng, plat)
+
+    def test_nested_rects(self):
+        leaf = GRID.leaf_cell(-73.97, 40.75)
+        outer = GRID.cell_rect(cellid.parent(leaf, 8))
+        inner = GRID.cell_rect(cellid.parent(leaf, 14))
+        assert outer.intersects(inner)
+        assert outer.area > inner.area
+
+
+class TestMetrics:
+    def test_diag_halves_per_level(self):
+        for level in range(0, 25):
+            ratio = GRID.max_diag_meters(level) / GRID.max_diag_meters(level + 1)
+            assert ratio == pytest.approx(2.0)
+
+    def test_leaf_cells_are_subcentimeter(self):
+        assert GRID.max_diag_meters(30) < 0.05
+
+    def test_precision_levels_reasonable(self):
+        # 60 m should be low twenties at most, 4 m a few levels deeper
+        l60 = GRID.level_for_precision(60.0)
+        l4 = GRID.level_for_precision(4.0)
+        assert 15 <= l60 <= 20
+        assert l4 - l60 == pytest.approx(np.log2(60 / 4), abs=1)
+
+    def test_metric_conservative_against_measured_cells(self, rng):
+        """Measured rect-bound diagonals stay under the metric."""
+        from repro.geometry.distance import LocalProjection
+
+        for level in (8, 12, 16):
+            bound = GRID.max_diag_meters(level)
+            for _ in range(25):
+                lng = float(rng.uniform(-170, 170))
+                lat = float(rng.uniform(-55, 55))
+                leaf = GRID.leaf_cell(lng, lat)
+                rect = GRID.cell_rect(cellid.parent(leaf, level))
+                proj = LocalProjection(lat)
+                x0, y0 = proj.to_xy(rect.min_x, rect.min_y)
+                x1, y1 = proj.to_xy(rect.max_x, rect.max_y)
+                measured = float(np.hypot(x1 - x0, y1 - y0))
+                assert measured <= bound * 1.01, (level, lng, lat)

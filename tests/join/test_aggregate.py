@@ -1,0 +1,70 @@
+"""Tests for count aggregation across batches."""
+
+import numpy as np
+import pytest
+
+from repro.errors import JoinError
+from repro.join.aggregate import (
+    CountAggregator,
+    count_points_per_polygon,
+    count_stream,
+)
+
+
+class TestCountAggregator:
+    def test_requires_positive_size(self):
+        with pytest.raises(JoinError):
+            CountAggregator(0)
+
+    def test_update_accumulates(self):
+        agg = CountAggregator(3)
+        agg.update(np.array([1, 0, 2]), 5)
+        agg.update(np.array([0, 1, 1]), 5)
+        assert agg.counts.tolist() == [1, 1, 3]
+        assert agg.num_points == 10
+        assert agg.num_batches == 2
+
+    def test_shape_mismatch_raises(self):
+        agg = CountAggregator(3)
+        with pytest.raises(JoinError):
+            agg.update(np.zeros(4, dtype=np.int64), 1)
+
+    def test_merge(self):
+        a = CountAggregator(2)
+        a.update(np.array([1, 2]), 3)
+        b = CountAggregator(2)
+        b.update(np.array([10, 0]), 4)
+        merged = a.merge(b)
+        assert merged.counts.tolist() == [11, 2]
+        assert merged.num_points == 7
+
+    def test_top_k_and_dict(self):
+        agg = CountAggregator(4)
+        agg.update(np.array([5, 0, 9, 1]), 15)
+        assert list(agg.top_k(2)) == [2, 0]
+        assert agg.as_dict() == {0: 5, 2: 9, 3: 1}
+
+
+class TestChunkedCounting:
+    def test_chunked_equals_single_shot(self, nyc_index, taxi_batch):
+        lngs, lats = taxi_batch
+        whole = nyc_index.count_points(lngs, lats)
+        chunked = count_points_per_polygon(nyc_index, lngs, lats,
+                                           batch_size=700)
+        assert chunked.tolist() == whole.tolist()
+
+    def test_chunked_exact_mode(self, nyc_index, taxi_batch):
+        lngs, lats = taxi_batch
+        whole = nyc_index.count_points(lngs, lats, exact=True)
+        chunked = count_points_per_polygon(nyc_index, lngs, lats,
+                                           exact=True, batch_size=1000)
+        assert chunked.tolist() == whole.tolist()
+
+
+class TestStreamCounting:
+    def test_stream_totals(self, nyc_index):
+        from repro.datasets import point_stream
+
+        agg = count_stream(nyc_index, point_stream(2500, 600, seed=3))
+        assert agg.num_points == 2500
+        assert agg.num_batches == 5  # 600*4 + 100

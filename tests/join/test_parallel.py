@@ -1,0 +1,66 @@
+"""Tests for the multiprocessing scaling harness."""
+
+import pytest
+
+from repro.join.parallel import (
+    ScalingPoint,
+    fork_available,
+    parallel_count,
+    parallel_counts_array,
+    scaling_sweep,
+)
+
+needs_fork = pytest.mark.skipif(not fork_available(),
+                                reason="fork start method unavailable")
+
+
+class TestScalingPoint:
+    def test_throughput(self):
+        point = ScalingPoint(workers=2, seconds=0.5, num_points=1_000_000)
+        assert point.throughput_mpts == pytest.approx(2.0)
+
+    def test_zero_seconds(self):
+        assert ScalingPoint(1, 0.0, 10).throughput_mpts == 0.0
+
+
+class TestParallelCount:
+    def test_single_worker_path(self, nyc_index, taxi_batch):
+        lngs, lats = taxi_batch
+        point = parallel_count(nyc_index, lngs, lats, workers=1)
+        assert point.workers == 1
+        assert point.num_points == len(lngs)
+        assert point.seconds > 0
+
+    @needs_fork
+    def test_multiworker_counts_match_serial(self, nyc_index, taxi_batch):
+        lngs, lats = taxi_batch
+        serial = nyc_index.count_points(lngs, lats)
+        for workers in (2, 3, 4):
+            parallel = parallel_counts_array(nyc_index, lngs, lats,
+                                             workers=workers)
+            assert parallel.tolist() == serial.tolist(), workers
+
+    @needs_fork
+    def test_multiworker_exact_counts(self, nyc_index, taxi_batch):
+        lngs, lats = taxi_batch
+        serial = nyc_index.count_points(lngs, lats, exact=True)
+        parallel = parallel_counts_array(nyc_index, lngs, lats,
+                                         workers=2, exact=True)
+        assert parallel.tolist() == serial.tolist()
+
+    @needs_fork
+    def test_uneven_splits(self, nyc_index, taxi_batch):
+        lngs, lats = taxi_batch
+        # 4000 points, 7 workers -> uneven slices
+        parallel = parallel_counts_array(nyc_index, lngs, lats, workers=7)
+        serial = nyc_index.count_points(lngs, lats)
+        assert parallel.tolist() == serial.tolist()
+
+
+class TestSweep:
+    @needs_fork
+    def test_sweep_shape(self, nyc_index, taxi_batch):
+        lngs, lats = taxi_batch
+        points = scaling_sweep(nyc_index, lngs, lats, worker_counts=[1, 2])
+        assert [p.workers for p in points] == [1, 2]
+        assert all(p.num_points == len(lngs) for p in points)

@@ -1,0 +1,47 @@
+"""Unit tests for join result containers."""
+
+import numpy as np
+import pytest
+
+from repro.join.result import JoinResult, JoinStats
+
+
+class TestJoinStats:
+    def test_throughput(self):
+        stats = JoinStats(num_points=2_000_000, seconds=2.0)
+        assert stats.throughput_mpts == pytest.approx(1.0)
+
+    def test_throughput_zero_seconds(self):
+        assert JoinStats(num_points=10).throughput_mpts == float("inf")
+
+    def test_true_hit_ratio(self):
+        stats = JoinStats(num_true_hits=9, num_result_pairs=10)
+        assert stats.true_hit_ratio == pytest.approx(0.9)
+
+    def test_true_hit_ratio_no_pairs(self):
+        assert JoinStats().true_hit_ratio == 1.0
+
+    def test_merged(self):
+        a = JoinStats(num_points=10, num_true_hits=5, num_candidate_refs=2,
+                      num_refined=1, num_result_pairs=6, seconds=0.5)
+        b = JoinStats(num_points=20, num_true_hits=15, num_candidate_refs=4,
+                      num_refined=3, num_result_pairs=16, seconds=1.5)
+        merged = a.merged(b)
+        assert merged.num_points == 30
+        assert merged.num_true_hits == 20
+        assert merged.num_refined == 4
+        assert merged.seconds == pytest.approx(2.0)
+
+
+class TestJoinResult:
+    def test_total_pairs(self):
+        result = JoinResult(np.array([3, 0, 7]))
+        assert result.total_pairs == 10
+
+    def test_top_k_skips_zeros(self):
+        result = JoinResult(np.array([0, 5, 0, 2]))
+        assert result.top_k(4) == {1: 5, 3: 2}
+
+    def test_top_k_ordering(self):
+        result = JoinResult(np.array([1, 9, 4]))
+        assert list(result.top_k(2)) == [1, 2]

@@ -1,0 +1,96 @@
+"""Tests for the benchmark harness utilities and report rendering."""
+
+import pytest
+
+from repro.bench.harness import (
+    DATASETS,
+    PRECISIONS,
+    IndexCache,
+    dataset_polygons,
+    throughput_mpts,
+    time_callable,
+    workload,
+)
+from repro.bench.reporting import (
+    drain_reports,
+    format_value,
+    record_row,
+    record_text,
+    render_comparison,
+    render_series,
+    render_table,
+)
+
+
+class TestReporting:
+    def test_format_value(self):
+        assert format_value(0.0) == "0"
+        assert format_value(1234.5) == "1234"
+        assert format_value(3.14159) == "3.14"
+        assert format_value(0.00123) == "0.00123"
+        assert format_value("abc") == "abc"
+        assert format_value(42) == "42"
+
+    def test_render_table_alignment(self):
+        text = render_table("T", ["a", "longcol"], [[1, 2.5], [300, 4]])
+        lines = text.splitlines()
+        assert lines[0] == ""  # leading blank separates from pytest output
+        assert "=== T ===" in lines[1]
+        assert len(lines) == 6
+        widths = {len(line) for line in lines[2:]}
+        assert len(widths) == 1  # header/rule/rows padded to equal width
+
+    def test_render_series(self):
+        text = render_series("S", "x", {"act": {1: 10.0, 2: 20.0}}, [1, 2])
+        assert "act" in text and "10" in text and "20" in text
+
+    def test_render_comparison(self):
+        text = render_comparison("C", "base", 2.0, {"fast": 8.0})
+        assert "4" in text  # 8/2 = 4x factor
+
+    def test_record_and_drain(self):
+        record_row("tbl", ["c1"], [1])
+        record_row("tbl", ["c1"], [1])  # duplicate rows collapse
+        record_row("tbl", ["c1"], [2])
+        record_text("tbl", "[note] hello")
+        reports = drain_reports()
+        assert len(reports) == 2  # table + note
+        assert "tbl" in reports[0]
+        assert drain_reports() == []  # drained
+
+
+class TestHarness:
+    def test_paper_constants(self):
+        assert DATASETS == ("boroughs", "neighborhoods", "census")
+        assert PRECISIONS == (60.0, 15.0, 4.0)
+
+    def test_dataset_polygons(self):
+        assert len(dataset_polygons("boroughs")) == 5
+        with pytest.raises(ValueError):
+            dataset_polygons("mars")
+
+    def test_workload_scaled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.01")
+        lngs, lats = workload(10_000)
+        assert len(lngs) == 100
+
+    def test_throughput(self):
+        assert throughput_mpts(2_000_000, 1.0) == pytest.approx(2.0)
+        assert throughput_mpts(1, 0.0) == float("inf")
+
+    def test_time_callable(self):
+        calls = []
+        seconds = time_callable(lambda: calls.append(1), repeats=3)
+        assert len(calls) == 3
+        assert seconds >= 0.0
+
+    def test_index_cache_reuses(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.1")
+        cache = IndexCache()
+        a = cache.get("census", 120.0)
+        b = cache.get("census", 120.0)
+        assert a is b
+        assert ("census", 120.0) in cache.build_seconds
+        cache.evict("census", 120.0)
+        c = cache.get("census", 120.0)
+        assert c is not a

@@ -1,0 +1,53 @@
+"""Tests for configuration helpers and the exception hierarchy."""
+
+import pytest
+
+from repro import config, errors
+
+
+class TestConfig:
+    def test_scale_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert config.bench_scale() == 1.0
+
+    def test_scale_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "2.5")
+        assert config.bench_scale() == 2.5
+
+    def test_scale_invalid_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "banana")
+        assert config.bench_scale() == 1.0
+        monkeypatch.setenv("REPRO_SCALE", "-3")
+        assert config.bench_scale() == 1.0
+
+    def test_bench_points(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.001")
+        assert config.bench_points(100) == 1  # floor of 1 point
+
+    def test_paper_constants(self):
+        assert config.PRECISION_PRESETS_METERS == (60.0, 15.0, 4.0)
+        assert config.PAPER_NUM_NEIGHBORHOODS == 289
+        assert config.PAPER_NUM_CENSUS_BLOCKS == 39_184
+        assert config.MAX_LEVEL == 30
+        assert config.DEFAULT_FANOUT == 256
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("exc", [
+        errors.GeometryError, errors.InvalidPolygonError, errors.ParseError,
+        errors.GridError, errors.InvalidCellError, errors.OutOfBoundsError,
+        errors.CoveringError, errors.ACTError, errors.BuildError,
+        errors.CapacityError, errors.PrecisionError, errors.JoinError,
+        errors.DatasetError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_specific_parents(self):
+        assert issubclass(errors.InvalidPolygonError, errors.GeometryError)
+        assert issubclass(errors.BuildError, errors.ACTError)
+        assert issubclass(errors.OutOfBoundsError, errors.GridError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.CapacityError("too big")

@@ -1,0 +1,63 @@
+"""Tests for the SVG renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.geometry.bbox import Rect
+from repro.viz import SvgCanvas, render_covering
+
+
+class TestSvgCanvas:
+    def test_aspect_ratio(self):
+        canvas = SvgCanvas(Rect(0, 0, 2, 1), width_px=800,
+                           margin_fraction=0.0)
+        assert canvas.height_px == 400
+
+    def test_coordinate_mapping_flips_y(self):
+        canvas = SvgCanvas(Rect(0, 0, 1, 1), width_px=100,
+                           margin_fraction=0.0)
+        assert canvas.to_px(0, 1) == (0.0, 0.0)       # top-left
+        assert canvas.to_px(1, 0) == (100.0, 100.0)   # bottom-right
+
+    def test_output_is_valid_xml(self, square, donut):
+        canvas = SvgCanvas(Rect(-1, -1, 5, 5))
+        canvas.add_polygon(square, {"fill": "#aaa"})
+        canvas.add_polygon(donut, {"fill": "#bbb"})
+        canvas.add_rect(Rect(0, 0, 1, 1), {"fill": "#ccc"})
+        canvas.add_point(0.5, 0.5)
+        canvas.add_label(0.1, 0.1, "a<b&c")
+        root = ET.fromstring(canvas.to_svg())
+        assert root.tag.endswith("svg")
+        # background + 5 shapes
+        assert len(list(root)) == 6
+
+    def test_save(self, tmp_path, square):
+        canvas = SvgCanvas(square.bbox)
+        canvas.add_polygon(square, {"fill": "#abc"})
+        path = tmp_path / "out.svg"
+        canvas.save(path)
+        assert path.read_text().startswith("<svg")
+
+    def test_hole_renders_as_evenodd_path(self, donut):
+        canvas = SvgCanvas(donut.bbox)
+        canvas.add_polygon(donut, {"fill": "#abc"})
+        svg = canvas.to_svg()
+        assert 'fill-rule="evenodd"' in svg
+        assert svg.count("Z") >= 2  # shell + hole subpaths
+
+
+class TestRenderCovering:
+    def test_figure1_render(self, nyc_index, nyc_polygons):
+        from repro.grid import cellid
+
+        polygon = nyc_polygons[0]
+        # take a handful of cells from the live index for the smoke render
+        cells = [cell for cell, _ in
+                 zip(nyc_index.trie.iter_cells(), range(200))]
+        boundary = [c for c, _e in cells[:100]]
+        canvas = render_covering([polygon], nyc_index.grid,
+                                 boundary_cells=boundary,
+                                 interior_cells=[])
+        root = ET.fromstring(canvas.to_svg())
+        assert len(list(root)) == 1 + len(boundary) + 1  # bg + cells + poly
