@@ -205,9 +205,11 @@ class ACTIndex:
         return counts
 
     # ------------------------------------------------------------------
-    # Internals
+    # Entry decoding
     # ------------------------------------------------------------------
-    def _decode(self, entry: int) -> QueryResult:
+    def decode_entry(self, entry: int) -> QueryResult:
+        """Decode one encoded trie entry (as produced by
+        :meth:`lookup_batch`) into a classified :class:`QueryResult`."""
         tag = entry_codec.tag(entry)
         if tag == entry_codec.TAG_POINTER:
             return QueryResult((), ())
@@ -222,6 +224,9 @@ class ACTIndex:
         candidates = tuple(entry_codec.ref_polygon_id(r) for r in refs
                            if not entry_codec.ref_is_true_hit(r))
         return QueryResult(true_hits, candidates)
+
+    #: Backwards-compatible private alias for :meth:`decode_entry`.
+    _decode = decode_entry
 
     def memory_report(self) -> dict:
         """Size breakdown in bytes (C++-layout accounting, like Table I)."""

@@ -8,7 +8,9 @@ Small operational front end over the library:
   build (or reuse within the process) and run a point query;
 * ``repro-act join --dataset census --points 100000`` — run the
   count-per-polygon workload and print throughput;
-* ``repro-act demo`` — a 30-second end-to-end tour.
+* ``repro-act demo`` — a 30-second end-to-end tour;
+* ``repro-act serve --dataset neighborhoods --port 8080`` — run the
+  long-lived HTTP query service (see :mod:`repro.serve`).
 """
 
 from __future__ import annotations
@@ -21,6 +23,9 @@ from typing import List, Optional
 from . import __version__
 from .act.index import ACTIndex
 from .datasets import nyc, points
+
+#: Synthetic datasets the CLI can build indexes over.
+DATASET_CHOICES = ("boroughs", "neighborhoods", "census")
 
 
 def _dataset(name: str, size: Optional[int]):
@@ -91,6 +96,49 @@ def cmd_join(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from .serve import ACTService, ServeConfig, create_server
+
+    service = ACTService(config=ServeConfig(
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        cache_capacity=args.cache_capacity,
+        default_budget_ms=args.budget_ms,
+        inline_miss_threshold=args.inline_miss_threshold,
+    ))
+    if args.index_file:
+        name = args.dataset
+        service.registry.register_path(name, args.index_file)
+    else:
+        name = args.dataset
+        dataset, size, precision = args.dataset, args.size, args.precision
+
+        def build() -> ACTIndex:
+            polygons = _dataset(dataset, size)
+            return ACTIndex.build(polygons, precision_meters=precision)
+
+        service.registry.register(name, build)
+    if not args.lazy:
+        start = time.perf_counter()
+        index = service.registry.get(name)
+        print(f"materialized {index} in {time.perf_counter() - start:.1f} s",
+              file=sys.stderr)
+    server = create_server(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(f"serving index {name!r} on http://{host}:{port}", file=sys.stderr)
+    print(f"  try: curl 'http://{host}:{port}/query?index={name}"
+          f"&lng=-73.97&lat=40.75'", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+    return 0
+
+
 def cmd_demo(args) -> int:
     args.dataset = "neighborhoods"
     args.size = 60
@@ -122,7 +170,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     def common(p):
         p.add_argument("--dataset", default="neighborhoods",
-                       help="boroughs | neighborhoods | census")
+                       choices=DATASET_CHOICES,
+                       help="synthetic dataset to index")
         p.add_argument("--size", type=int, default=None,
                        help="polygon count override")
         p.add_argument("--precision", type=float, default=15.0,
@@ -148,6 +197,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_demo = sub.add_parser("demo", help="30-second tour")
     p_demo.set_defaults(func=cmd_demo)
+
+    p_serve = sub.add_parser("serve", help="run the HTTP query service")
+    common(p_serve)
+    p_serve.add_argument("--index-file", default=None,
+                         help="serve a serialized .npz index instead of "
+                              "building from --dataset")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8080)
+    p_serve.add_argument("--max-batch", type=int, default=512,
+                         help="micro-batch size cap (default 512)")
+    p_serve.add_argument("--max-wait-ms", type=float, default=0.0,
+                         help="extra wait for fuller batches in ms "
+                              "(default 0 = adaptive greedy batching)")
+    p_serve.add_argument("--inline-miss-threshold", type=int, default=2,
+                         help="cache misses at or below this many in "
+                              "flight answer inline; above it they are "
+                              "micro-batched (default 2)")
+    p_serve.add_argument("--cache-capacity", type=int, default=65536,
+                         help="cell result cache entries (0 disables)")
+    p_serve.add_argument("--budget-ms", type=float, default=None,
+                         help="default per-request latency budget")
+    p_serve.add_argument("--lazy", action="store_true",
+                         help="build/load the index on first query "
+                              "instead of at startup")
+    p_serve.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -63,5 +63,17 @@ class JoinError(ReproError):
     """A join pipeline was misconfigured or failed at runtime."""
 
 
+class ServeError(ReproError):
+    """A query-serving subsystem operation failed."""
+
+
+class UnknownIndexError(ServeError):
+    """A request named an index the registry does not know."""
+
+
+class BudgetExceededError(ServeError):
+    """A request's latency budget ran out before it could be served."""
+
+
 class DatasetError(ReproError):
     """A synthetic dataset generator received invalid parameters."""

@@ -83,6 +83,21 @@ class HierarchicalGrid(ABC):
         bound, in meters. This is the quantity the paper's precision
         guarantee is stated in terms of."""
 
+    def point_key(self, lng: float, lat: float, level: int) -> Optional[int]:
+        """Opaque hashable key identifying the level-``level`` cell that
+        contains the point, or ``None`` outside the domain.
+
+        Two points map to the same key iff they share the level-``level``
+        cell, which is what per-cell result caches need; the key is NOT
+        guaranteed to be a valid cell id. The default derives it from
+        :meth:`leaf_cell`; grids may override with cheaper arithmetic
+        (the planar grid skips the bit-interleave entirely).
+        """
+        leaf = self.leaf_cell(lng, lat)
+        if leaf is None:
+            return None
+        return cellid.parent(leaf, level)
+
     # ------------------------------------------------------------------
     # Frames (integer-space quadtree descent)
     # ------------------------------------------------------------------

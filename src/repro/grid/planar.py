@@ -82,6 +82,20 @@ class PlanarGrid(HierarchicalGrid):
         j = self._coord_to_ij(lat, self.bounds.min_y, self._sy)
         return cellid.from_face_ij(0, i, j)
 
+    def point_key(self, lng: float, lat: float, level: int) -> Optional[int]:
+        """Serving hot-path override: the (i, j) pair truncated to
+        level-``level`` resolution, packed into one int. Equivalent
+        partition of the domain to the base implementation but with no
+        Hilbert bit-interleave (about 3x cheaper per point)."""
+        bounds = self.bounds
+        if not (bounds.min_x <= lng <= bounds.max_x
+                and bounds.min_y <= lat <= bounds.max_y):
+            return None
+        shift = cellid.MAX_LEVEL - level
+        i = self._coord_to_ij(lng, bounds.min_x, self._sx)
+        j = self._coord_to_ij(lat, bounds.min_y, self._sy)
+        return ((i >> shift) << cellid.MAX_LEVEL) | (j >> shift)
+
     def leaf_cell_strict(self, lng: float, lat: float) -> int:
         """Like :meth:`leaf_cell` but raises on out-of-domain points."""
         cell = self.leaf_cell(lng, lat)

@@ -1,0 +1,46 @@
+"""repro.serve — long-lived query serving over ACT indexes.
+
+Turns the build-then-benchmark library into a service: named indexes are
+built or loaded once and pinned (:class:`IndexRegistry`), concurrent
+point queries are micro-batched through the vectorized engine
+(:class:`MicroBatcher`), hot cells are answered from an LRU cache keyed
+by boundary-level cell (:class:`CellResultCache`), requests carry
+latency budgets with deadline propagation (:class:`Budget`), and the
+whole stack is observable (:class:`MetricsRegistry`) and drivable over
+HTTP (:func:`create_server`, or ``repro-act serve`` from the CLI).
+
+Quickstart::
+
+    from repro import ACTIndex
+    from repro.datasets import nyc
+    from repro.serve import ACTService
+
+    service = ACTService()
+    service.registry.register(
+        "neighborhoods",
+        lambda: ACTIndex.build(nyc.neighborhoods(60), precision_meters=30.0),
+    )
+    result = service.query("neighborhoods", -73.97, 40.75)
+"""
+
+from .batcher import MicroBatcher
+from .budget import Budget
+from .cache import CellResultCache
+from .metrics import Counter, Histogram, MetricsRegistry
+from .registry import IndexRegistry
+from .server import ACTHTTPServer, create_server
+from .service import ACTService, ServeConfig
+
+__all__ = [
+    "ACTHTTPServer",
+    "ACTService",
+    "Budget",
+    "CellResultCache",
+    "Counter",
+    "Histogram",
+    "IndexRegistry",
+    "MetricsRegistry",
+    "MicroBatcher",
+    "ServeConfig",
+    "create_server",
+]

@@ -1,0 +1,214 @@
+"""Micro-batching engine for concurrent point queries.
+
+One-at-a-time ``ACTIndex.query`` pays a pure-Python trie descent per
+point; the vectorized engine amortizes that across a batch but needs the
+batch to exist. The :class:`MicroBatcher` manufactures batches out of
+concurrency: callers submit single points and get futures back, a worker
+thread collects everything that arrives within a bounded window
+(``max_batch`` points or ``max_wait`` seconds, whichever first) and
+dispatches one :meth:`~repro.act.index.ACTIndex.lookup_batch` call
+through :class:`~repro.act.vectorized.VectorizedACT` for the lot.
+
+Batch formation is *adaptive*: the worker greedily drains everything
+already queued (natural batches form from backlog, with zero added
+latency), and only when ``max_wait > 0`` does it additionally hold an
+underfull batch open waiting for stragglers. ``max_wait = 0`` — the
+default — is the recommended policy: batch size tracks instantaneous
+load instead of trading latency for it.
+
+Deadlines propagate into dispatch: the flush time is the minimum of the
+batching window and every member's deadline, so a tight budget shrinks
+the window instead of being blown by it, and requests whose budget is
+already spent at dispatch time are shed with
+:class:`~repro.errors.BudgetExceededError` rather than served late.
+
+Thread-safety: lookups only read the frozen uint64 arrays of the
+vectorized snapshot (plus a benign memoization dict), so a single worker
+per index, or several, may run against one ``ACTIndex`` concurrently;
+the registry freezes the snapshot at materialization time so the lazy
+``index.vectorized`` property is never raced.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import List, Optional
+
+import numpy as np
+
+from ..act.index import ACTIndex
+from ..errors import BudgetExceededError, ServeError
+from .budget import Budget
+from .metrics import MetricsRegistry
+
+#: Poison pill that tells the worker to exit.
+_SHUTDOWN = object()
+
+#: Flush this long before the earliest member deadline, so a batch is
+#: dispatched while its tightest request can still be served rather than
+#: exactly when it expires.
+_DISPATCH_MARGIN = 0.001
+
+
+class _Request:
+    __slots__ = ("lng", "lat", "deadline", "future")
+
+    def __init__(self, lng: float, lat: float, deadline: Optional[float]):
+        self.lng = lng
+        self.lat = lat
+        self.deadline = deadline
+        self.future: "Future" = Future()
+
+
+class MicroBatcher:
+    """Collects concurrent point queries and serves them in batches."""
+
+    def __init__(self, index: ACTIndex, *, max_batch: int = 256,
+                 max_wait: float = 0.0,
+                 metrics: Optional[MetricsRegistry] = None,
+                 name: str = "default"):
+        if max_batch < 1:
+            raise ServeError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait < 0:
+            raise ServeError(f"max_wait must be >= 0, got {max_wait}")
+        self.index = index
+        self.max_batch = max_batch
+        self.max_wait = max_wait
+        self.name = name
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
+        self._queue: "queue.Queue" = queue.Queue()
+        self._worker: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "MicroBatcher":
+        """Start the worker thread (idempotent)."""
+        with self._lock:
+            if self._stopped:
+                raise ServeError(f"batcher {self.name!r} is stopped")
+            if self._worker is None or not self._worker.is_alive():
+                self._worker = threading.Thread(
+                    target=self._run, name=f"act-batcher-{self.name}",
+                    daemon=True,
+                )
+                self._worker.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the worker; pending requests fail with ``ServeError``."""
+        with self._lock:
+            if self._stopped:
+                return
+            self._stopped = True
+            worker = self._worker
+        self._queue.put(_SHUTDOWN)
+        if worker is not None:
+            worker.join(timeout=5.0)
+        while True:
+            try:
+                leftover = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if leftover is not _SHUTDOWN:
+                leftover.future.set_exception(
+                    ServeError(f"batcher {self.name!r} shut down")
+                )
+
+    def __enter__(self) -> "MicroBatcher":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, lng: float, lat: float,
+               budget: Optional[Budget] = None) -> "Future":
+        """Enqueue one point; the future resolves to a
+        :class:`~repro.act.index.QueryResult`."""
+        if self._stopped:
+            raise ServeError(f"batcher {self.name!r} is stopped")
+        if self._worker is None or not self._worker.is_alive():
+            self.start()
+        deadline = None if budget is None else budget.deadline
+        request = _Request(lng, lat, deadline)
+        self._queue.put(request)
+        return request.future
+
+    def query(self, lng: float, lat: float,
+              budget: Optional[Budget] = None,
+              timeout: Optional[float] = 30.0):
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(lng, lat, budget).result(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Worker
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            first = self._queue.get()
+            if first is _SHUTDOWN:
+                return
+            batch = [first]
+            flush_at = time.monotonic() + self.max_wait
+            if first.deadline is not None:
+                flush_at = min(flush_at, first.deadline - _DISPATCH_MARGIN)
+            shutdown = False
+            while len(batch) < self.max_batch:
+                timeout = flush_at - time.monotonic()
+                try:
+                    if timeout <= 0:
+                        # window closed: greedily drain the backlog, then
+                        # dispatch without waiting for stragglers
+                        nxt = self._queue.get_nowait()
+                    else:
+                        nxt = self._queue.get(timeout=timeout)
+                except queue.Empty:
+                    break
+                if nxt is _SHUTDOWN:
+                    shutdown = True
+                    break
+                batch.append(nxt)
+                if nxt.deadline is not None:
+                    flush_at = min(flush_at, nxt.deadline - _DISPATCH_MARGIN)
+            self._dispatch(batch)
+            if shutdown:
+                return
+
+    def _dispatch(self, batch: List[_Request]) -> None:
+        now = time.monotonic()
+        live: List[_Request] = []
+        for request in batch:
+            if request.deadline is not None and now >= request.deadline:
+                self._metrics.counter("batcher.shed").inc()
+                request.future.set_exception(BudgetExceededError(
+                    "latency budget exhausted before batch dispatch"
+                ))
+            else:
+                live.append(request)
+        if not live:
+            return
+        try:
+            lngs = np.fromiter((r.lng for r in live), dtype=np.float64,
+                               count=len(live))
+            lats = np.fromiter((r.lat for r in live), dtype=np.float64,
+                               count=len(live))
+            entries = self.index.lookup_batch(lngs, lats)
+            results = [self.index.decode_entry(int(e)) for e in entries]
+        except BaseException as exc:  # propagate to every waiter
+            for request in live:
+                if not request.future.done():
+                    request.future.set_exception(exc)
+            return
+        self._metrics.counter("batcher.batches").inc()
+        self._metrics.counter("batcher.queries").inc(len(live))
+        self._metrics.histogram("batcher.batch_size").observe(len(live))
+        for request, result in zip(live, results):
+            request.future.set_result(result)

@@ -1,0 +1,71 @@
+"""Per-request latency budgets with deadline propagation.
+
+A serving layer should know its remaining latency budget at every hop —
+admission, cache lookup, batch dispatch — instead of discovering SLO
+overruns after the fact. :class:`Budget` is a thin monotonic-clock
+deadline that requests carry through the stack:
+
+* the service sheds a request whose budget is already spent
+  (:meth:`Budget.require` raises :class:`~repro.errors.BudgetExceededError`);
+* the micro-batcher never holds a request past its deadline — the batch
+  flush time is the minimum of the batching window and every member's
+  deadline;
+* a nearly-spent budget (less than the batching window remaining) takes
+  the fast path: a direct scalar lookup that skips queueing entirely.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from ..errors import BudgetExceededError
+
+
+class Budget:
+    """Remaining-latency budget for one request.
+
+    ``Budget(0.050)`` means "this request must finish within 50 ms of
+    now". A ``deadline`` of ``None`` means unlimited (never expires).
+    """
+
+    __slots__ = ("deadline",)
+
+    def __init__(self, seconds: Optional[float]):
+        self.deadline = None if seconds is None else time.monotonic() + seconds
+
+    @classmethod
+    def unlimited(cls) -> "Budget":
+        return cls(None)
+
+    @classmethod
+    def from_ms(cls, ms: Optional[float]) -> "Budget":
+        """Budget from a millisecond figure (``None`` -> unlimited)."""
+        return cls(None if ms is None else ms / 1000.0)
+
+    @property
+    def is_unlimited(self) -> bool:
+        return self.deadline is None
+
+    def remaining(self) -> float:
+        """Seconds left (``inf`` when unlimited; may be negative)."""
+        if self.deadline is None:
+            return float("inf")
+        return self.deadline - time.monotonic()
+
+    @property
+    def expired(self) -> bool:
+        return self.deadline is not None and time.monotonic() >= self.deadline
+
+    def require(self, operation: str) -> None:
+        """Raise :class:`~repro.errors.BudgetExceededError` if spent."""
+        if self.expired:
+            raise BudgetExceededError(
+                f"latency budget exhausted before {operation} "
+                f"(overrun by {-self.remaining() * 1e3:.1f} ms)"
+            )
+
+    def __repr__(self) -> str:
+        if self.deadline is None:
+            return "Budget(unlimited)"
+        return f"Budget({self.remaining() * 1e3:.1f} ms remaining)"

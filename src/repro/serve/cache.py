@@ -1,0 +1,96 @@
+"""Cell-keyed LRU result cache.
+
+ACT answers are constant within a grid cell at the index's boundary
+level: every covering cell sits at a level at or above ``boundary_level``
+(boundary cells are refined *to* that level, interior cells are coarser,
+and conflict push-down never descends past it), so all leaf cells sharing
+a boundary-level ancestor decode to the same reference set. Caching the
+classified :class:`~repro.act.index.QueryResult` under
+``(index_name, parent(leaf, boundary_level))`` therefore serves repeat
+traffic on hot locations with one dict lookup and zero trie descents —
+exact-mode refinement still runs per point on top of the cached cell
+result, so caching never weakens exactness.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Hashable, Optional, Tuple
+
+from ..act.index import QueryResult
+
+#: Cache key: (index name, boundary-level cell id).
+CacheKey = Tuple[str, int]
+
+
+class CellResultCache:
+    """Thread-safe LRU mapping boundary-level cells to query results.
+
+    ``capacity <= 0`` disables the cache (every ``get`` misses, ``put``
+    is a no-op) so callers can keep one code path.
+    """
+
+    def __init__(self, capacity: int = 65536):
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, QueryResult]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: CacheKey) -> Optional[QueryResult]:
+        if self.capacity <= 0:
+            return None
+        with self._lock:
+            result = self._entries.get(key)
+            if result is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return result
+
+    def put(self, key: CacheKey, result: QueryResult) -> None:
+        if self.capacity <= 0:
+            return
+        with self._lock:
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def invalidate_index(self, index_name: str) -> int:
+        """Drop every entry for one index (after a reload); returns the
+        number of entries removed."""
+        with self._lock:
+            stale = [k for k in self._entries if k[0] == index_name]
+            for key in stale:
+                del self._entries[key]
+            return len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        with self._lock:
+            size = len(self._entries)
+        return {
+            "capacity": self.capacity,
+            "size": size,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }

@@ -1,0 +1,137 @@
+"""Serving metrics: thread-safe counters and latency histograms.
+
+Deliberately stdlib-only (no prometheus client in the reproduction
+environment). Counters are monotone integers; histograms keep a bounded
+ring of recent samples, which is enough for the p50/p99 figures the
+serving benchmarks and the ``/stats`` endpoint report.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, List, Optional, Sequence
+
+
+class Counter:
+    """Monotonically increasing thread-safe counter."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Histogram:
+    """Bounded-reservoir histogram of float samples (e.g. seconds).
+
+    Keeps the most recent ``capacity`` samples in a ring buffer, plus
+    exact lifetime count/sum, so percentiles reflect recent traffic while
+    the mean and count stay exact.
+    """
+
+    __slots__ = ("_lock", "_ring", "_capacity", "_next", "count", "total")
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError(f"histogram capacity must be positive: {capacity}")
+        self._lock = threading.Lock()
+        self._ring: List[float] = []
+        self._capacity = capacity
+        self._next = 0
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if len(self._ring) < self._capacity:
+                self._ring.append(value)
+            else:
+                self._ring[self._next] = value
+                self._next = (self._next + 1) % self._capacity
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-quantile (0..1) of retained samples (0.0 if empty)."""
+        with self._lock:
+            samples = sorted(self._ring)
+        if not samples:
+            return 0.0
+        rank = min(len(samples) - 1, max(0, math.ceil(q * len(samples)) - 1))
+        return samples[rank]
+
+    def percentiles(self, qs: Sequence[float]) -> List[float]:
+        with self._lock:
+            samples = sorted(self._ring)
+        if not samples:
+            return [0.0 for _ in qs]
+        out = []
+        for q in qs:
+            rank = min(len(samples) - 1, max(0, math.ceil(q * len(samples)) - 1))
+            out.append(samples[rank])
+        return out
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        p50, p90, p99, top = self.percentiles((0.50, 0.90, 0.99, 1.0))
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": p50,
+            "p90": p90,
+            "p99": p99,
+            "max": top,
+        }
+
+
+class MetricsRegistry:
+    """Named counters and histograms behind one snapshot call."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = self._counters[name] = Counter()
+            return counter
+
+    def histogram(self, name: str, capacity: int = 4096) -> Histogram:
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram(capacity)
+            return histogram
+
+    def ratio(self, numerator: str, denominator: str) -> Optional[float]:
+        """``numerator / denominator`` counter ratio, or ``None`` when the
+        denominator is still zero."""
+        denom = self.counter(denominator).value
+        if denom == 0:
+            return None
+        return self.counter(numerator).value / denom
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {name: c.value for name, c in counters.items()},
+            "histograms": {name: h.snapshot() for name, h in histograms.items()},
+        }

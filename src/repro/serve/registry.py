@@ -1,0 +1,154 @@
+"""Index registry: named, lazily materialized, pinned ACT indexes.
+
+Every pre-serve entry point (CLI, benchmarks, examples) rebuilt its index
+per process and threw it away. The registry gives indexes names and
+lifetimes: a name maps to either a *builder* (a zero-argument callable
+returning an :class:`~repro.act.index.ACTIndex`) or a *path* (an ``.npz``
+written by :mod:`repro.act.serialize`). The first ``get`` materializes
+the index — build or load — and pins it for every later request; builds
+of distinct names can proceed concurrently, while concurrent ``get`` of
+the same name build exactly once (per-name locks).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from ..act import serialize
+from ..act.index import ACTIndex
+from ..errors import ServeError, UnknownIndexError
+
+
+@dataclass
+class _Registration:
+    """One named index: how to materialize it, and the pinned instance."""
+
+    name: str
+    builder: Optional[Callable[[], ACTIndex]] = None
+    path: Optional[Path] = None
+    index: Optional[ACTIndex] = None
+    materialize_seconds: Optional[float] = None
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class IndexRegistry:
+    """Named ACT indexes, built or loaded on first use and reused after."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._registrations: Dict[str, _Registration] = {}
+        #: Lock-free hot-path view: name -> pinned index. Plain dict reads
+        #: are GIL-atomic, so request threads skip the registry lock.
+        self.materialized: Dict[str, ACTIndex] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, name: str, builder: Callable[[], ACTIndex]) -> None:
+        """Register ``name`` to be built by ``builder`` on first use."""
+        self._add(_Registration(name=name, builder=builder))
+
+    def register_path(self, name: str, path: Union[str, Path]) -> None:
+        """Register ``name`` to be loaded from a serialized index file."""
+        self._add(_Registration(name=name, path=Path(path)))
+
+    def register_index(self, name: str, index: ACTIndex) -> None:
+        """Register an already-built index (pinned immediately)."""
+        index.vectorized  # freeze the batch snapshot before sharing
+        self._add(_Registration(name=name, index=index,
+                                materialize_seconds=0.0))
+        self.materialized[name] = index
+
+    def _add(self, registration: _Registration) -> None:
+        with self._lock:
+            if registration.name in self._registrations:
+                raise ServeError(
+                    f"index {registration.name!r} is already registered"
+                )
+            self._registrations[registration.name] = registration
+
+    # ------------------------------------------------------------------
+    # Materialization
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> ACTIndex:
+        """The pinned index for ``name``, building/loading it on first use."""
+        index = self.materialized.get(name)
+        if index is not None:
+            return index
+        registration = self._registration(name)
+        with registration.lock:
+            if registration.index is None:
+                start = time.perf_counter()
+                if registration.path is not None:
+                    index = serialize.load_index(registration.path)
+                else:
+                    assert registration.builder is not None
+                    index = registration.builder()
+                # freeze the vectorized snapshot now, while we hold the
+                # materialization lock, so the batcher never races its
+                # lazy construction
+                index.vectorized
+                registration.materialize_seconds = (
+                    time.perf_counter() - start
+                )
+                registration.index = index
+                self.materialized[registration.name] = index
+            return registration.index
+
+    def save(self, name: str, path: Union[str, Path]) -> None:
+        """Persist the (materialized) index to ``path``."""
+        serialize.save_index(self.get(name), path)
+
+    def evict(self, name: str) -> None:
+        """Drop the pinned instance; the next ``get`` re-materializes."""
+        registration = self._registration(name)
+        with registration.lock:
+            self.materialized.pop(name, None)
+            registration.index = None
+            registration.materialize_seconds = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._registrations)
+
+    def is_materialized(self, name: str) -> bool:
+        return self._registration(name).index is not None
+
+    def describe(self, name: str) -> dict:
+        """Status dict for ``/stats``; never triggers materialization."""
+        registration = self._registration(name)
+        info: dict = {
+            "name": name,
+            "materialized": registration.index is not None,
+            "source": "path" if registration.path is not None else (
+                "index" if registration.builder is None else "builder"
+            ),
+        }
+        if registration.path is not None:
+            info["path"] = str(registration.path)
+        index = registration.index
+        if index is not None:
+            info.update({
+                "num_polygons": index.num_polygons,
+                "precision_meters": index.precision_meters,
+                "boundary_level": index.boundary_level,
+                "trie_bytes": index.trie.size_bytes,
+                "materialize_seconds": registration.materialize_seconds,
+            })
+        return info
+
+    def _registration(self, name: str) -> _Registration:
+        with self._lock:
+            registration = self._registrations.get(name)
+        if registration is None:
+            raise UnknownIndexError(
+                f"unknown index {name!r} (registered: {self.names()})"
+            )
+        return registration

@@ -1,0 +1,208 @@
+"""Stdlib HTTP front end for the query service.
+
+A :class:`~http.server.ThreadingHTTPServer` speaking a small JSON API so
+the service is drivable with ``curl`` (no web framework in the
+reproduction environment):
+
+* ``GET  /healthz`` — liveness plus registered index names;
+* ``GET  /query?index=NAME&lng=X&lat=Y[&exact=1][&budget_ms=N]`` —
+  one point lookup through cache + batcher;
+* ``POST /join`` — body ``{"index": NAME, "points": [[lng, lat], ...],
+  "exact": false}`` — bulk count-per-polygon aggregation;
+* ``GET  /stats`` — metrics snapshot (qps counters, latency percentiles,
+  cache hit rate, index inventory).
+
+Budget overruns surface as HTTP 503 (shed), unknown indexes as 404, and
+malformed requests as 400 — so load balancers and clients can react
+without parsing bodies.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from ..errors import BudgetExceededError, ServeError, UnknownIndexError
+from .budget import Budget
+from .service import ACTService
+
+
+class ACTRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the attached :class:`ACTService`."""
+
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # the service is attached to the server object by create_server()
+    @property
+    def service(self) -> ACTService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        parsed = urlparse(self.path)
+        try:
+            if parsed.path == "/healthz":
+                self._send(200, {
+                    "status": "ok",
+                    "indexes": self.service.registry.names(),
+                })
+            elif parsed.path == "/stats":
+                self._send(200, self.service.stats())
+            elif parsed.path == "/query":
+                self._handle_query(parse_qs(parsed.query))
+            else:
+                self._send(404, {"error": f"no route {parsed.path!r}"})
+        except Exception as exc:  # pragma: no cover - last-resort guard
+            self._send_error_for(exc)
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+        parsed = urlparse(self.path)
+        try:
+            if parsed.path == "/join":
+                self._handle_join()
+            else:
+                self._send(404, {"error": f"no route {parsed.path!r}"})
+        except Exception as exc:  # pragma: no cover - last-resort guard
+            self._send_error_for(exc)
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    def _handle_query(self, params: dict) -> None:
+        try:
+            index_name = params["index"][0]
+            lng = float(params["lng"][0])
+            lat = float(params["lat"][0])
+        except (KeyError, ValueError, IndexError):
+            self._send(400, {
+                "error": "need index=NAME&lng=FLOAT&lat=FLOAT",
+            })
+            return
+        exact = params.get("exact", ["0"])[0] not in ("0", "false", "")
+        try:
+            budget = self._parse_budget(params.get("budget_ms", [None])[0])
+        except ValueError:
+            self._send(400, {"error": "budget_ms must be a number"})
+            return
+        try:
+            result = self.service.query(index_name, lng, lat, exact=exact,
+                                        budget=budget)
+        except (UnknownIndexError, BudgetExceededError, ServeError) as exc:
+            self._send_error_for(exc)
+            return
+        self._send(200, {
+            "index": index_name,
+            "lng": lng,
+            "lat": lat,
+            "exact": exact,
+            "true_hits": list(result.true_hits),
+            "candidates": list(result.candidates),
+            "polygon_ids": list(result.all_ids),
+            "is_hit": result.is_hit,
+        })
+
+    def _handle_join(self) -> None:
+        body = self._read_json_body()
+        if body is None:
+            return
+        index_name = body.get("index")
+        points = body.get("points")
+        if not isinstance(index_name, str) or not isinstance(points, list):
+            self._send(400, {
+                "error": 'need {"index": NAME, "points": [[lng, lat], ...]}',
+            })
+            return
+        try:
+            lngs = [float(p[0]) for p in points]
+            lats = [float(p[1]) for p in points]
+        except (TypeError, ValueError, IndexError):
+            self._send(400, {"error": "points must be [lng, lat] pairs"})
+            return
+        exact = bool(body.get("exact", False))
+        try:
+            budget = self._parse_budget(body.get("budget_ms"))
+        except ValueError:
+            self._send(400, {"error": "budget_ms must be a number"})
+            return
+        try:
+            counts = self.service.join(index_name, lngs, lats, exact=exact,
+                                       budget=budget)
+        except (UnknownIndexError, BudgetExceededError, ServeError) as exc:
+            self._send_error_for(exc)
+            return
+        nonzero = {int(pid): int(c) for pid, c in enumerate(counts) if c}
+        self._send(200, {
+            "index": index_name,
+            "num_points": len(points),
+            "exact": exact,
+            "counts": nonzero,
+        })
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _parse_budget(self, raw) -> Optional[Budget]:
+        """``None`` -> no budget; malformed values raise ``ValueError``."""
+        if raw is None:
+            return None
+        try:
+            return Budget.from_ms(float(raw))
+        except (TypeError, ValueError):
+            raise ValueError(f"budget_ms must be a number, got {raw!r}")
+
+    def _read_json_body(self) -> Optional[dict]:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            body = json.loads(self.rfile.read(length) or b"{}")
+        except (ValueError, json.JSONDecodeError):
+            self._send(400, {"error": "body must be JSON"})
+            return None
+        if not isinstance(body, dict):
+            self._send(400, {"error": "body must be a JSON object"})
+            return None
+        return body
+
+    def _send_error_for(self, exc: Exception) -> None:
+        if isinstance(exc, UnknownIndexError):
+            self._send(404, {"error": str(exc)})
+        elif isinstance(exc, BudgetExceededError):
+            self._send(503, {"error": str(exc), "shed": True})
+        else:
+            self._send(500, {"error": str(exc)})
+
+    def _send(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:
+        """Route per-request lines to metrics instead of stderr noise."""
+        try:
+            self.service.metrics.counter("http.requests").inc()
+        except Exception:
+            pass
+
+
+class ACTHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server with an attached :class:`ACTService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], service: ACTService):
+        super().__init__(address, ACTRequestHandler)
+        self.service = service
+
+
+def create_server(service: ACTService, host: str = "127.0.0.1",
+                  port: int = 8080) -> ACTHTTPServer:
+    """Bind an :class:`ACTHTTPServer`; ``port=0`` picks a free port."""
+    return ACTHTTPServer((host, port), service)

@@ -1,0 +1,269 @@
+"""The query service: admission, cache, batching, and aggregation.
+
+:class:`ACTService` is the long-lived object behind every serving entry
+point (HTTP server, CLI, benchmarks). Per point query it:
+
+1. resolves the named index through the :class:`~repro.serve.registry.
+   IndexRegistry` (lazy build/load, pinned afterwards, lock-free once
+   materialized);
+2. sheds the request immediately if its latency budget is already spent;
+3. consults the :class:`~repro.serve.cache.CellResultCache` keyed by the
+   boundary-level cell — a hit answers with one dict lookup and no trie
+   descent, which is why the hot path is cheaper than a bare
+   ``ACTIndex.query`` call;
+4. on a miss, routes adaptively: a lone miss is answered inline with one
+   scalar lookup (no queueing latency), while concurrent misses above
+   ``inline_miss_threshold`` in-flight are funneled through the
+   :class:`~repro.serve.batcher.MicroBatcher` so bursts are served by
+   vectorized batch lookups; a nearly-spent budget always takes the
+   inline path;
+5. refines candidates per point for ``exact`` mode (cached cell results
+   are classified, so exactness survives caching) and records latency.
+
+Bulk joins go straight to the vectorized ``count_points`` engine — they
+arrive pre-batched, so micro-batching would only add latency.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..act.index import ACTIndex, QueryResult
+from ..errors import BudgetExceededError
+from .batcher import MicroBatcher
+from .budget import Budget
+from .cache import CellResultCache
+from .metrics import MetricsRegistry
+from .registry import IndexRegistry
+
+#: Empty result reused for out-of-domain points.
+_MISS = QueryResult((), ())
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tuning knobs for one service instance."""
+
+    max_batch: int = 512
+    max_wait_ms: float = 0.0  # 0 = adaptive greedy batching (recommended)
+    cache_capacity: int = 65536
+    default_budget_ms: Optional[float] = None
+    #: Misses at or below this many in flight answer inline (scalar);
+    #: above it they micro-batch through the vectorized engine.
+    inline_miss_threshold: int = 2
+
+    @property
+    def max_wait_seconds(self) -> float:
+        return self.max_wait_ms / 1000.0
+
+
+class ACTService:
+    """Serves point queries and joins over registered ACT indexes."""
+
+    def __init__(self, registry: Optional[IndexRegistry] = None,
+                 config: Optional[ServeConfig] = None):
+        self.registry = registry if registry is not None else IndexRegistry()
+        self.config = config if config is not None else ServeConfig()
+        self.metrics = MetricsRegistry()
+        self.cache = CellResultCache(self.config.cache_capacity)
+        self._batchers: Dict[str, MicroBatcher] = {}
+        # per-index hot-path state: (index, boundary_level); plain dict
+        # reads are GIL-atomic so requests skip all locks once warmed
+        self._hot: Dict[str, Tuple[ACTIndex, int]] = {}
+        self._miss_lock = threading.Lock()
+        self._misses_in_flight = 0
+        self._started = time.monotonic()
+        # pre-bound hot-path metrics (registry lookups are off the path)
+        self._queries_total = self.metrics.counter("queries.total")
+        self._queries_errors = self.metrics.counter("queries.errors")
+        self._queries_ood = self.metrics.counter("queries.out_of_domain")
+        self._cache_hits = self.metrics.counter("queries.cache_hits")
+        self._fast_path = self.metrics.counter("queries.fast_path")
+        self._inline_miss = self.metrics.counter("queries.inline_miss")
+        self._latency = self.metrics.histogram("queries.latency_seconds")
+
+    # ------------------------------------------------------------------
+    # Point queries
+    # ------------------------------------------------------------------
+    def query(self, index_name: str, lng: float, lat: float,
+              exact: bool = False,
+              budget: Optional[Budget] = None) -> QueryResult:
+        """One classified point lookup through the full serving stack.
+
+        Raises :class:`~repro.errors.BudgetExceededError` when the budget
+        runs out (shed), :class:`~repro.errors.UnknownIndexError` for
+        unregistered names.
+        """
+        start = time.perf_counter()
+        self._queries_total.inc()
+        if budget is None and self.config.default_budget_ms is not None:
+            budget = Budget.from_ms(self.config.default_budget_ms)
+        try:
+            hot = self._hot.get(index_name)
+            # the identity check keeps the pinned view coherent with the
+            # registry: after evict()/re-materialization the names no
+            # longer map to the same object and the next query re-warms
+            if hot is None or hot[0] is not self.registry.materialized.get(
+                    index_name):
+                hot = self._warm(index_name)
+            index, boundary_level = hot
+            if budget is not None:
+                budget.require("admission")
+            cell = index.grid.point_key(lng, lat, boundary_level)
+            if cell is None:
+                self._queries_ood.inc()
+                result = _MISS
+            else:
+                key = (index_name, cell)
+                result = self.cache.get(key)
+                if result is not None:
+                    self._cache_hits.inc()
+                else:
+                    result = self._miss(index_name, index, lng, lat, key,
+                                        budget)
+            if exact:
+                refined = tuple(
+                    pid for pid in result.candidates
+                    if index.polygons[pid].contains(lng, lat)
+                )
+                result = QueryResult(result.true_hits + refined, ())
+        except Exception:
+            self._queries_errors.inc()
+            raise
+        self._latency.observe(time.perf_counter() - start)
+        return result
+
+    def _warm(self, index_name: str) -> Tuple[ACTIndex, int]:
+        """Materialize an index and pin its cache-key resolution.
+
+        Re-warming after the registry swapped the instance (evict +
+        re-materialize) retires the stale batcher and invalidates the
+        index's cache entries so point queries, joins, and the cache all
+        agree on one instance."""
+        index = self.registry.get(index_name)
+        stale = self._hot.get(index_name)
+        if stale is not None and stale[0] is not index:
+            self.cache.invalidate_index(index_name)
+            batcher = self._batchers.pop(index_name, None)
+            if batcher is not None:
+                batcher.stop()
+        hot = (index, index.boundary_level)
+        self._hot[index_name] = hot
+        return hot
+
+    def _miss(self, index_name: str, index: ACTIndex, lng: float, lat: float,
+              key, budget: Optional[Budget]) -> QueryResult:
+        batch = False
+        if budget is not None:
+            budget.require("dispatch")
+            if budget.remaining() <= self.config.max_wait_seconds:
+                # not enough budget left to sit in a batching window:
+                # answer inline, skipping queueing entirely
+                self._fast_path.inc()
+                result = index.query(lng, lat)
+                self.cache.put(key, result)
+                return result
+        with self._miss_lock:
+            self._misses_in_flight += 1
+            batch = self._misses_in_flight > self.config.inline_miss_threshold
+        try:
+            if batch:
+                timeout = None
+                if budget is not None and not budget.is_unlimited:
+                    timeout = budget.remaining()
+                future = self._batcher(index_name, index).submit(
+                    lng, lat, budget)
+                try:
+                    result = future.result(timeout=timeout)
+                except FuturesTimeoutError:
+                    # queue time ate the budget before dispatch could
+                    # shed it; surface the same contract either way
+                    raise BudgetExceededError(
+                        "latency budget exhausted while queued for batch "
+                        "dispatch"
+                    ) from None
+            else:
+                self._inline_miss.inc()
+                result = index.query(lng, lat)
+        finally:
+            with self._miss_lock:
+                self._misses_in_flight -= 1
+        self.cache.put(key, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Bulk joins
+    # ------------------------------------------------------------------
+    def join(self, index_name: str, lngs: Sequence[float],
+             lats: Sequence[float], exact: bool = False,
+             budget: Optional[Budget] = None) -> np.ndarray:
+        """Count points per polygon (the paper's aggregation workload)."""
+        start = time.perf_counter()
+        if budget is not None:
+            budget.require("join admission")
+        index = self.registry.get(index_name)
+        counts = index.count_points(
+            np.asarray(lngs, dtype=np.float64),
+            np.asarray(lats, dtype=np.float64),
+            exact=exact,
+        )
+        self.metrics.counter("joins.total").inc()
+        self.metrics.counter("joins.points").inc(len(lngs))
+        self.metrics.histogram("joins.latency_seconds").observe(
+            time.perf_counter() - start
+        )
+        return counts
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Everything ``/stats`` reports: metrics, cache, indexes."""
+        snapshot = self.metrics.snapshot()
+        hit_rate = self.metrics.ratio("queries.cache_hits", "queries.total")
+        return {
+            "uptime_seconds": time.monotonic() - self._started,
+            "indexes": [self.registry.describe(n)
+                        for n in self.registry.names()],
+            "cache": self.cache.stats(),
+            "cache_hit_rate": hit_rate,
+            "metrics": snapshot,
+            "config": {
+                "max_batch": self.config.max_batch,
+                "max_wait_ms": self.config.max_wait_ms,
+                "cache_capacity": self.config.cache_capacity,
+                "default_budget_ms": self.config.default_budget_ms,
+                "inline_miss_threshold": self.config.inline_miss_threshold,
+            },
+        }
+
+    def close(self) -> None:
+        """Stop all batcher workers (idempotent)."""
+        for batcher in list(self._batchers.values()):
+            batcher.stop()
+        self._batchers.clear()
+
+    def __enter__(self) -> "ACTService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _batcher(self, name: str, index: ACTIndex) -> MicroBatcher:
+        batcher = self._batchers.get(name)
+        if batcher is None:
+            # setdefault keeps exactly one batcher per index under races
+            batcher = self._batchers.setdefault(name, MicroBatcher(
+                index,
+                max_batch=self.config.max_batch,
+                max_wait=self.config.max_wait_seconds,
+                metrics=self.metrics,
+                name=name,
+            ))
+        return batcher

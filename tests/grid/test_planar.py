@@ -142,3 +142,34 @@ class TestMetrics:
                 x1, y1 = proj.to_xy(rect.max_x, rect.max_y)
                 measured = float(np.hypot(x1 - x0, y1 - y0))
                 assert measured <= bound * 1.0001
+
+
+class TestPointKey:
+    """The serving cache keys points by cell; the planar override must
+    induce the exact same partition as the default leaf+parent path."""
+
+    @given(in_lngs, in_lats, in_lngs, in_lats,
+           st.integers(min_value=4, max_value=20))
+    @settings(max_examples=200, deadline=None)
+    def test_override_partition_matches_default(self, lng1, lat1, lng2,
+                                                lat2, level):
+        fast1 = GRID.point_key(lng1, lat1, level)
+        fast2 = GRID.point_key(lng2, lat2, level)
+        slow1 = cellid.parent(GRID.leaf_cell(lng1, lat1), level)
+        slow2 = cellid.parent(GRID.leaf_cell(lng2, lat2), level)
+        assert (fast1 == fast2) == (slow1 == slow2)
+
+    def test_out_of_domain_is_none(self):
+        assert GRID.point_key(0.0, 0.0, 10) is None
+        assert GRID.point_key(BOUNDS.min_x - 1e-6, BOUNDS.min_y, 10) is None
+
+    def test_same_cell_same_key(self, rng):
+        for level in (6, 12, 18):
+            lng = float(rng.uniform(BOUNDS.min_x, BOUNDS.max_x))
+            lat = float(rng.uniform(BOUNDS.min_y, BOUNDS.max_y))
+            rect = GRID.cell_rect(
+                cellid.parent(GRID.leaf_cell(lng, lat), level))
+            other = (min(rect.max_x, rect.min_x + rect.width * 0.9),
+                     min(rect.max_y, rect.min_y + rect.height * 0.9))
+            assert (GRID.point_key(lng, lat, level)
+                    == GRID.point_key(other[0], other[1], level))

@@ -1,0 +1,31 @@
+"""Shared fixtures for the serving-subsystem tests.
+
+Reuses the session-scoped ``nyc_index`` / ``nyc_polygons`` fixtures from
+the top-level conftest; adds a deterministic query workload that stays
+inside the NYC region so most points actually hit polygons.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import taxi_points
+
+
+@pytest.fixture(scope="session")
+def query_points():
+    """A fixed (lngs, lats) workload of 400 taxi-like points."""
+    return taxi_points(400, seed=77)
+
+
+@pytest.fixture(scope="session")
+def serial_results(nyc_index, query_points):
+    """Ground-truth per-point results from the scalar query path."""
+    lngs, lats = query_points
+    return [nyc_index.query(lng, lat) for lng, lat in zip(lngs, lats)]
+
+
+@pytest.fixture()
+def rng_serve():
+    return np.random.default_rng(4242)

@@ -1,0 +1,130 @@
+"""Tests for the micro-batching engine.
+
+Covers correctness against the serial baseline, the concurrency
+hammering required to trust one ``ACTIndex`` shared across threads (the
+vectorized snapshot's arrays are frozen, so concurrent reads are safe —
+this suite is the evidence), deadline shedding, and lifecycle.
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import BudgetExceededError, ServeError
+from repro.serve import Budget, MetricsRegistry, MicroBatcher
+
+
+class TestCorrectness:
+    def test_single_query_matches_serial(self, nyc_index):
+        with MicroBatcher(nyc_index, max_wait=0.001) as batcher:
+            lng, lat = -73.97, 40.75
+            assert batcher.query(lng, lat) == nyc_index.query(lng, lat)
+
+    def test_batch_results_match_serial(self, nyc_index, query_points,
+                                        serial_results):
+        lngs, lats = query_points
+        with MicroBatcher(nyc_index, max_batch=64,
+                          max_wait=0.001) as batcher:
+            futures = [batcher.submit(lng, lat)
+                       for lng, lat in zip(lngs, lats)]
+            results = [f.result(timeout=10.0) for f in futures]
+        assert results == serial_results
+
+    def test_out_of_domain_point_is_empty(self, nyc_index):
+        with MicroBatcher(nyc_index, max_wait=0.001) as batcher:
+            result = batcher.query(0.0, 0.0)  # far outside NYC bounds
+        assert result.true_hits == () and result.candidates == ()
+
+
+class TestConcurrentHammering:
+    """Many threads, one index, one batcher: results must equal the
+    serial baseline (documents that shared reads are thread-safe)."""
+
+    def test_hammer_matches_serial(self, nyc_index, query_points,
+                                   serial_results):
+        lngs, lats = query_points
+        requests = list(zip(lngs, lats, serial_results))
+        metrics = MetricsRegistry()
+        mismatches = []
+        errors = []
+        start = threading.Barrier(8)
+
+        def worker(offset: int):
+            start.wait()
+            with_stride = requests[offset::8] * 3  # 150 queries per thread
+            for lng, lat, expected in with_stride:
+                try:
+                    result = batcher.query(lng, lat, timeout=30.0)
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+                    return
+                if result != expected:
+                    mismatches.append((lng, lat, result, expected))
+
+        with MicroBatcher(nyc_index, max_batch=128, max_wait=0.002,
+                          metrics=metrics) as batcher:
+            threads = [threading.Thread(target=worker, args=(i,))
+                       for i in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+        assert not errors
+        assert not mismatches
+        total = metrics.counter("batcher.queries").value
+        batches = metrics.counter("batcher.batches").value
+        assert total == len(requests) * 3
+        # concurrency actually produced multi-point batches
+        assert batches < total
+        assert metrics.histogram("batcher.batch_size").percentile(1.0) > 1
+
+
+class TestDeadlines:
+    def test_expired_budget_is_shed(self, nyc_index):
+        with MicroBatcher(nyc_index, max_wait=0.001) as batcher:
+            future = batcher.submit(-73.97, 40.75, budget=Budget(-1.0))
+            with pytest.raises(BudgetExceededError):
+                future.result(timeout=10.0)
+
+    def test_generous_budget_is_served(self, nyc_index):
+        with MicroBatcher(nyc_index, max_wait=0.001) as batcher:
+            future = batcher.submit(-73.97, 40.75, budget=Budget(30.0))
+            assert future.result(timeout=10.0) == nyc_index.query(
+                -73.97, 40.75)
+
+    def test_tight_deadline_shrinks_window(self, nyc_index):
+        # a deadline much shorter than max_wait must not wait max_wait
+        with MicroBatcher(nyc_index, max_wait=5.0) as batcher:
+            future = batcher.submit(-73.97, 40.75, budget=Budget(0.05))
+            # resolves well before the 5 s window because the deadline
+            # bounds the flush time
+            assert future.result(timeout=2.0) is not None
+
+
+class TestLifecycle:
+    def test_config_validation(self, nyc_index):
+        with pytest.raises(ServeError):
+            MicroBatcher(nyc_index, max_batch=0)
+        with pytest.raises(ServeError):
+            MicroBatcher(nyc_index, max_wait=-1.0)
+
+    def test_submit_after_stop_raises(self, nyc_index):
+        batcher = MicroBatcher(nyc_index, max_wait=0.001).start()
+        batcher.stop()
+        with pytest.raises(ServeError):
+            batcher.submit(-73.97, 40.75)
+
+    def test_stop_is_idempotent(self, nyc_index):
+        batcher = MicroBatcher(nyc_index, max_wait=0.001).start()
+        batcher.stop()
+        batcher.stop()
+
+    def test_submit_autostarts(self, nyc_index):
+        batcher = MicroBatcher(nyc_index, max_wait=0.001)
+        try:
+            future = batcher.submit(-73.97, 40.75)
+            assert future.result(timeout=10.0) == nyc_index.query(
+                -73.97, 40.75)
+        finally:
+            batcher.stop()

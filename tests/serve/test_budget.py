@@ -1,0 +1,48 @@
+"""Tests for per-request latency budgets."""
+
+import time
+
+import pytest
+
+from repro.errors import BudgetExceededError, ReproError, ServeError
+from repro.serve import Budget
+
+
+class TestBudget:
+    def test_unlimited_never_expires(self):
+        budget = Budget.unlimited()
+        assert budget.is_unlimited
+        assert not budget.expired
+        assert budget.remaining() == float("inf")
+        budget.require("anything")  # must not raise
+
+    def test_from_ms_none_is_unlimited(self):
+        assert Budget.from_ms(None).is_unlimited
+
+    def test_remaining_decreases(self):
+        budget = Budget(0.5)
+        first = budget.remaining()
+        time.sleep(0.01)
+        assert budget.remaining() < first
+        assert not budget.expired
+
+    def test_expired_budget_raises(self):
+        budget = Budget(-0.001)  # deadline already in the past
+        assert budget.expired
+        with pytest.raises(BudgetExceededError) as exc:
+            budget.require("dispatch")
+        assert "dispatch" in str(exc.value)
+
+    def test_zero_budget_expires_immediately(self):
+        budget = Budget(0.0)
+        time.sleep(0.001)
+        assert budget.expired
+
+    def test_error_hierarchy(self):
+        # callers catching the library base class also catch shed errors
+        assert issubclass(BudgetExceededError, ServeError)
+        assert issubclass(ServeError, ReproError)
+
+    def test_repr(self):
+        assert "unlimited" in repr(Budget.unlimited())
+        assert "remaining" in repr(Budget(1.0))

@@ -1,0 +1,95 @@
+"""Tests for the cell-keyed LRU result cache.
+
+Includes the correctness property the cache relies on: ACT answers are
+constant within a boundary-level grid cell.
+"""
+
+import numpy as np
+
+from repro.act.index import QueryResult
+from repro.grid import cellid
+from repro.serve import CellResultCache
+
+
+def _result(*ids):
+    return QueryResult(tuple(ids), ())
+
+
+class TestLRUBehavior:
+    def test_get_miss_then_hit(self):
+        cache = CellResultCache(capacity=4)
+        key = ("idx", 123)
+        assert cache.get(key) is None
+        cache.put(key, _result(1))
+        assert cache.get(key) == _result(1)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_eviction_drops_least_recently_used(self):
+        cache = CellResultCache(capacity=2)
+        cache.put(("i", 1), _result(1))
+        cache.put(("i", 2), _result(2))
+        cache.get(("i", 1))          # 1 becomes most recent
+        cache.put(("i", 3), _result(3))  # evicts 2
+        assert cache.get(("i", 2)) is None
+        assert cache.get(("i", 1)) == _result(1)
+        assert cache.get(("i", 3)) == _result(3)
+        assert cache.evictions == 1
+        assert len(cache) == 2
+
+    def test_zero_capacity_disables(self):
+        cache = CellResultCache(capacity=0)
+        cache.put(("i", 1), _result(1))
+        assert cache.get(("i", 1)) is None
+        assert len(cache) == 0
+
+    def test_invalidate_index_only_touches_that_index(self):
+        cache = CellResultCache(capacity=8)
+        cache.put(("a", 1), _result(1))
+        cache.put(("a", 2), _result(2))
+        cache.put(("b", 1), _result(3))
+        assert cache.invalidate_index("a") == 2
+        assert cache.get(("b", 1)) == _result(3)
+        assert cache.get(("a", 1)) is None
+
+    def test_stats_shape(self):
+        cache = CellResultCache(capacity=2)
+        cache.put(("i", 1), _result(1))
+        cache.get(("i", 1))
+        cache.get(("i", 9))
+        stats = cache.stats()
+        assert stats["size"] == 1
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+
+
+class TestCellConstancy:
+    """The invariant that justifies keying results by boundary-level cell:
+    every point whose leaf cell shares a boundary-level ancestor gets an
+    identical classified answer."""
+
+    def test_results_constant_within_boundary_cell(self, nyc_index, rng_serve):
+        grid = nyc_index.grid
+        level = nyc_index.boundary_level
+        # clustered points so many share a boundary-level cell
+        centers = rng_serve.uniform(
+            [grid.bounds.min_x, grid.bounds.min_y],
+            [grid.bounds.max_x, grid.bounds.max_y],
+            size=(20, 2),
+        )
+        by_cell = {}
+        for cx, cy in centers:
+            for _ in range(25):
+                lng = float(np.clip(cx + rng_serve.normal(0, 1e-3),
+                                    grid.bounds.min_x, grid.bounds.max_x))
+                lat = float(np.clip(cy + rng_serve.normal(0, 1e-3),
+                                    grid.bounds.min_y, grid.bounds.max_y))
+                leaf = grid.leaf_cell(lng, lat)
+                if leaf is None:
+                    continue
+                key = cellid.parent(leaf, level)
+                by_cell.setdefault(key, []).append(
+                    nyc_index.query(lng, lat))
+        shared = [results for results in by_cell.values() if len(results) > 1]
+        assert shared, "workload produced no co-located points"
+        for results in shared:
+            assert all(r == results[0] for r in results)

@@ -1,0 +1,75 @@
+"""End-to-end smoke test: the real ``repro-act serve`` process answers
+``/healthz`` and ``/query`` over HTTP."""
+
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+@pytest.fixture(scope="module")
+def serve_process():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONUNBUFFERED"] = "1"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--dataset", "neighborhoods", "--size", "12",
+         "--precision", "300", "--port", "0"],
+        env=env, stderr=subprocess.PIPE, text=True,
+    )
+    port = None
+    deadline = time.monotonic() + 120.0
+    try:
+        while time.monotonic() < deadline:
+            line = proc.stderr.readline()
+            if not line and proc.poll() is not None:
+                pytest.fail(f"serve exited early with {proc.returncode}")
+            match = re.search(r"on http://[\d.]+:(\d+)", line)
+            if match:
+                port = int(match.group(1))
+                break
+        if port is None:
+            pytest.fail("serve never announced its port")
+        yield port
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(timeout=10.0)
+        except subprocess.TimeoutExpired:  # pragma: no cover
+            proc.kill()
+
+
+def _get(port, path):
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}",
+                                timeout=10.0) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+class TestServeSmoke:
+    def test_healthz(self, serve_process):
+        status, body = _get(serve_process, "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["indexes"] == ["neighborhoods"]
+
+    def test_query(self, serve_process):
+        status, body = _get(
+            serve_process,
+            "/query?index=neighborhoods&lng=-73.97&lat=40.75")
+        assert status == 200
+        assert body["is_hit"] in (True, False)
+        assert isinstance(body["polygon_ids"], list)
+
+    def test_stats(self, serve_process):
+        status, body = _get(serve_process, "/stats")
+        assert status == 200
+        assert body["metrics"]["counters"]["queries.total"] >= 1

@@ -1,0 +1,85 @@
+"""Tests for serving counters and histograms."""
+
+import threading
+
+import pytest
+
+from repro.serve import Counter, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter()
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_concurrent_increments_are_not_lost(self):
+        counter = Counter()
+
+        def hammer():
+            for _ in range(10_000):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 40_000
+
+
+class TestHistogram:
+    def test_percentiles_on_known_data(self):
+        histogram = Histogram()
+        for v in range(1, 101):  # 1..100
+            histogram.observe(float(v))
+        assert histogram.percentile(0.50) == 50.0
+        assert histogram.percentile(0.99) == 99.0
+        assert histogram.percentile(1.0) == 100.0
+        assert histogram.count == 100
+        assert histogram.mean == pytest.approx(50.5)
+
+    def test_empty_percentile_is_zero(self):
+        assert Histogram().percentile(0.99) == 0.0
+
+    def test_ring_keeps_recent_samples(self):
+        histogram = Histogram(capacity=10)
+        for v in range(100):
+            histogram.observe(float(v))
+        # retained window is the last 10 samples (90..99)
+        assert histogram.percentile(0.0) >= 90.0
+        assert histogram.count == 100  # lifetime count stays exact
+
+    def test_snapshot_keys(self):
+        histogram = Histogram()
+        histogram.observe(1.0)
+        snap = histogram.snapshot()
+        assert set(snap) == {"count", "mean", "p50", "p90", "p99", "max"}
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Histogram(capacity=0)
+
+
+class TestMetricsRegistry:
+    def test_same_name_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_ratio(self):
+        registry = MetricsRegistry()
+        assert registry.ratio("hits", "total") is None
+        registry.counter("total").inc(4)
+        registry.counter("hits").inc(3)
+        assert registry.ratio("hits", "total") == pytest.approx(0.75)
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.histogram("h").observe(0.5)
+        snap = registry.snapshot()
+        assert snap["counters"]["c"] == 1
+        assert snap["histograms"]["h"]["count"] == 1

@@ -1,0 +1,167 @@
+"""HTTP smoke tests: the JSON API served by ``repro-act serve``."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import ACTService, ServeConfig, create_server
+
+
+@pytest.fixture(scope="module")
+def http_server(nyc_index):
+    service = ACTService(config=ServeConfig(max_wait_ms=1.0))
+    service.registry.register_index("nyc", nyc_index)
+    server = create_server(service, port=0)  # free port
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    service.close()
+    thread.join(timeout=5.0)
+
+
+def _get(server, path):
+    port = server.server_address[1]
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}",
+                                timeout=10.0) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def _post(server, path, payload):
+    port = server.server_address[1]
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=10.0) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+class TestRoutes:
+    def test_healthz(self, http_server):
+        status, body = _get(http_server, "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["indexes"] == ["nyc"]
+
+    def test_query(self, http_server, nyc_index):
+        status, body = _get(
+            http_server, "/query?index=nyc&lng=-73.97&lat=40.75")
+        assert status == 200
+        expected = nyc_index.query(-73.97, 40.75)
+        assert tuple(body["true_hits"]) == expected.true_hits
+        assert tuple(body["candidates"]) == expected.candidates
+        assert body["is_hit"] == expected.is_hit
+
+    def test_query_exact(self, http_server, nyc_index):
+        status, body = _get(
+            http_server, "/query?index=nyc&lng=-73.97&lat=40.75&exact=1")
+        assert status == 200
+        assert sorted(body["true_hits"]) == sorted(
+            nyc_index.query_exact(-73.97, 40.75))
+        assert body["candidates"] == []
+
+    def test_join(self, http_server, nyc_index):
+        points = [[-73.97, 40.75], [-74.0, 40.7], [0.0, 0.0]]
+        status, body = _post(http_server, "/join",
+                             {"index": "nyc", "points": points})
+        assert status == 200
+        assert body["num_points"] == 3
+        counts = nyc_index.count_points(
+            [p[0] for p in points], [p[1] for p in points])
+        expected = {str(i): int(c) for i, c in enumerate(counts) if c}
+        assert body["counts"] == expected
+
+    def test_stats(self, http_server):
+        status, body = _get(http_server, "/stats")
+        assert status == 200
+        assert body["indexes"][0]["name"] == "nyc"
+        assert "cache" in body and "metrics" in body
+
+
+class TestErrorMapping:
+    def _get_error(self, server, path):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _get(server, path)
+        return exc.value.code, json.loads(exc.value.read())
+
+    def test_unknown_route_404(self, http_server):
+        code, _ = self._get_error(http_server, "/nope")
+        assert code == 404
+
+    def test_unknown_index_404(self, http_server):
+        code, body = self._get_error(
+            http_server, "/query?index=zzz&lng=0&lat=0")
+        assert code == 404
+        assert "zzz" in body["error"]
+
+    def test_missing_params_400(self, http_server):
+        code, _ = self._get_error(http_server, "/query?index=nyc")
+        assert code == 400
+
+    def test_bad_floats_400(self, http_server):
+        code, _ = self._get_error(
+            http_server, "/query?index=nyc&lng=abc&lat=40.7")
+        assert code == 400
+
+    def test_malformed_budget_400(self, http_server):
+        code, body = self._get_error(
+            http_server,
+            "/query?index=nyc&lng=-73.97&lat=40.75&budget_ms=fifty")
+        assert code == 400
+        assert "budget_ms" in body["error"]
+
+    def test_spent_budget_503(self, http_server):
+        code, body = self._get_error(
+            http_server,
+            "/query?index=nyc&lng=-73.97&lat=40.75&budget_ms=-1")
+        assert code == 503
+        assert body["shed"] is True
+
+    def test_bad_join_body_400(self, http_server):
+        port = http_server.server_address[1]
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}/join", data=b"not json",
+            headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(request, timeout=10.0)
+        assert exc.value.code == 400
+
+    def test_join_missing_fields_400(self, http_server):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _post(http_server, "/join", {"index": "nyc"})
+        assert exc.value.code == 400
+
+
+class TestConcurrentClients:
+    def test_parallel_requests(self, http_server, nyc_index, query_points):
+        lngs, lats = query_points
+        expected = [nyc_index.query(lng, lat)
+                    for lng, lat in zip(lngs[:64], lats[:64])]
+        failures = []
+
+        def client(i):
+            try:
+                status, body = _get(
+                    http_server,
+                    f"/query?index=nyc&lng={lngs[i]}&lat={lats[i]}")
+                if (status != 200
+                        or tuple(body["true_hits"]) != expected[i].true_hits
+                        or tuple(body["candidates"])
+                        != expected[i].candidates):
+                    failures.append((i, body))
+            except Exception as exc:  # pragma: no cover - failure path
+                failures.append((i, exc))
+
+        threads = [threading.Thread(target=client, args=(i,))
+                   for i in range(64)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures

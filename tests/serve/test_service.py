@@ -1,0 +1,188 @@
+"""Tests for the full serving stack (cache + batcher + budget)."""
+
+import pytest
+
+from repro.errors import BudgetExceededError, UnknownIndexError
+from repro.serve import ACTService, Budget, ServeConfig
+
+
+@pytest.fixture()
+def service(nyc_index):
+    svc = ACTService(config=ServeConfig(max_wait_ms=1.0))
+    svc.registry.register_index("nyc", nyc_index)
+    with svc:
+        yield svc
+
+
+class TestQueryPath:
+    def test_matches_serial_baseline(self, service, nyc_index, query_points,
+                                     serial_results):
+        lngs, lats = query_points
+        for lng, lat, expected in zip(lngs, lats, serial_results):
+            assert service.query("nyc", lng, lat) == expected
+
+    def test_repeat_query_hits_cache(self, service):
+        service.query("nyc", -73.97, 40.75)
+        before = service.metrics.counter("queries.cache_hits").value
+        service.query("nyc", -73.97, 40.75)
+        assert service.metrics.counter("queries.cache_hits").value == before + 1
+
+    def test_exact_mode_matches_query_exact(self, service, nyc_index,
+                                            query_points):
+        lngs, lats = query_points
+        for lng, lat in zip(lngs[:100], lats[:100]):
+            served = service.query("nyc", lng, lat, exact=True)
+            assert served.candidates == ()
+            assert sorted(served.true_hits) == sorted(
+                nyc_index.query_exact(lng, lat))
+
+    def test_exact_mode_correct_after_cache_hit(self, service, nyc_index,
+                                                query_points):
+        # cached cell results are classified; exact refinement must still
+        # run per point on top of them
+        lngs, lats = query_points
+        for lng, lat in zip(lngs[:50], lats[:50]):
+            service.query("nyc", lng, lat)  # populate cache
+            served = service.query("nyc", lng, lat, exact=True)
+            assert sorted(served.true_hits) == sorted(
+                nyc_index.query_exact(lng, lat))
+
+    def test_out_of_domain_is_empty(self, service):
+        result = service.query("nyc", 100.0, -45.0)
+        assert not result.is_hit
+
+    def test_unknown_index(self, service):
+        with pytest.raises(UnknownIndexError):
+            service.query("missing", -73.97, 40.75)
+        # unknown indexes count as errors in /stats, not silent misses
+        assert service.metrics.counter("queries.errors").value >= 1
+
+    def test_registry_evict_rewarms_and_invalidates(self, nyc_polygons):
+        from repro import ACTIndex
+
+        svc = ACTService()
+        svc.registry.register(
+            "n", lambda: ACTIndex.build(nyc_polygons,
+                                        precision_meters=300.0))
+        with svc:
+            first = svc.query("n", -73.97, 40.75)
+            old_index = svc.registry.get("n")
+            svc.registry.evict("n")
+            # next query re-materializes, drops stale cache entries, and
+            # pins the fresh instance
+            assert svc.query("n", -73.97, 40.75) == first
+            new_index = svc.registry.get("n")
+            assert new_index is not old_index
+            assert svc._hot["n"][0] is new_index
+
+
+class TestBudgets:
+    def test_spent_budget_is_shed(self, service):
+        with pytest.raises(BudgetExceededError):
+            service.query("nyc", -73.97, 40.75, budget=Budget(-1.0))
+        assert service.metrics.counter("queries.errors").value >= 1
+
+    def test_tight_budget_takes_fast_path(self, nyc_index):
+        svc = ACTService(config=ServeConfig(max_wait_ms=50.0))
+        svc.registry.register_index("nyc", nyc_index)
+        with svc:
+            # remaining budget < batching window -> direct scalar lookup
+            result = svc.query("nyc", -73.97, 40.75, budget=Budget(0.020))
+            assert result == nyc_index.query(-73.97, 40.75)
+            assert svc.metrics.counter("queries.fast_path").value == 1
+
+    def test_default_budget_from_config(self, nyc_index):
+        svc = ACTService(config=ServeConfig(default_budget_ms=-1.0))
+        svc.registry.register_index("nyc", nyc_index)
+        with svc:
+            with pytest.raises(BudgetExceededError):
+                svc.query("nyc", -73.97, 40.75)
+
+
+class TestMissRouting:
+    def test_lone_misses_answer_inline(self, nyc_index, query_points):
+        svc = ACTService()
+        svc.registry.register_index("nyc", nyc_index)
+        lngs, lats = query_points
+        with svc:
+            for lng, lat in zip(lngs[:50], lats[:50]):
+                svc.query("nyc", lng, lat)
+            # single-threaded traffic never exceeds the inline threshold
+            assert svc.metrics.counter("batcher.queries").value == 0
+            assert svc.metrics.counter("queries.inline_miss").value > 0
+
+    def test_forced_batch_path_matches_serial(self, nyc_index, query_points,
+                                              serial_results):
+        import threading
+
+        # threshold 0 + no cache: every concurrent miss goes through the
+        # micro-batcher
+        svc = ACTService(config=ServeConfig(
+            inline_miss_threshold=0, cache_capacity=0))
+        svc.registry.register_index("nyc", nyc_index)
+        lngs, lats = query_points
+        requests = list(zip(lngs, lats, serial_results))
+        mismatches = []
+        errors = []
+
+        def worker(offset):
+            for lng, lat, expected in requests[offset::4]:
+                try:
+                    if svc.query("nyc", lng, lat) != expected:
+                        mismatches.append((lng, lat))
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+        with svc:
+            threads = [threading.Thread(target=worker, args=(i,))
+                       for i in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            assert not mismatches
+            assert svc.metrics.counter("batcher.queries").value > 0
+
+
+class TestJoin:
+    def test_join_matches_count_points(self, service, nyc_index,
+                                       query_points):
+        import numpy as np
+
+        lngs, lats = query_points
+        served = service.join("nyc", lngs, lats)
+        np.testing.assert_array_equal(
+            served, nyc_index.count_points(lngs, lats))
+        served_exact = service.join("nyc", lngs, lats, exact=True)
+        np.testing.assert_array_equal(
+            served_exact, nyc_index.count_points(lngs, lats, exact=True))
+
+    def test_join_budget_admission(self, service, query_points):
+        lngs, lats = query_points
+        with pytest.raises(BudgetExceededError):
+            service.join("nyc", lngs, lats, budget=Budget(-1.0))
+
+
+class TestStats:
+    def test_stats_shape(self, service, query_points):
+        lngs, lats = query_points
+        for lng, lat in zip(lngs[:20], lats[:20]):
+            service.query("nyc", lng, lat)
+        service.join("nyc", lngs, lats)
+        stats = service.stats()
+        assert stats["indexes"][0]["name"] == "nyc"
+        assert stats["cache"]["capacity"] == 65536
+        assert stats["metrics"]["counters"]["queries.total"] == 20
+        assert stats["metrics"]["counters"]["joins.total"] == 1
+        assert stats["metrics"]["histograms"][
+            "queries.latency_seconds"]["count"] == 20
+        assert 0.0 <= (stats["cache_hit_rate"] or 0.0) <= 1.0
+        assert stats["config"]["max_wait_ms"] == 1.0
+
+    def test_close_is_idempotent(self, nyc_index):
+        svc = ACTService()
+        svc.registry.register_index("nyc", nyc_index)
+        svc.query("nyc", -73.97, 40.75)
+        svc.close()
+        svc.close()

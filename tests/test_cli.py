@@ -24,6 +24,29 @@ class TestParser:
             build_parser().parse_args(["--version"])
         assert exc.value.code == 0
 
+    def test_unknown_dataset_fails_at_parse_time(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["info", "--dataset", "mars"])
+        assert exc.value.code == 2  # argparse usage error
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.dataset == "neighborhoods"
+        assert args.port == 8080
+        assert args.max_batch == 512
+        assert args.max_wait_ms == 0.0
+        assert args.inline_miss_threshold == 2
+        assert args.cache_capacity == 65536
+        assert args.budget_ms is None
+        assert args.func.__name__ == "cmd_serve"
+
+    def test_serve_accepts_index_file(self):
+        args = build_parser().parse_args(
+            ["serve", "--index-file", "idx.npz", "--port", "0"])
+        assert args.index_file == "idx.npz"
+        assert args.port == 0
+
 
 class TestCommands:
     def test_info_runs(self, capsys):
