@@ -58,12 +58,12 @@ def test_figure3_act_scalar(benchmark, cache, probe_points, dataset,
     """Per-point ACT lookups — like-for-like against the R-tree probe."""
     lngs, lats = probe_points
     index = cache.get(dataset, precision)
-    trie = index.trie
+    core = index.core
     grid = index.grid
     cells = grid.leaf_cells_batch(lngs, lats).tolist()
 
     def run():
-        lookup = trie.lookup_entry
+        lookup = core.lookup_entry
         hits = 0
         for cell in cells:
             if cell and lookup(cell):

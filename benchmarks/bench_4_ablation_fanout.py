@@ -38,11 +38,11 @@ def test_ablation_fanout(benchmark, probe_points, fanout):
     )
     assert result.sum() >= 0
     mpts = throughput_mpts(len(lngs), benchmark.stats.stats.min)
-    benchmark.extra_info.update(fanout=fanout, trie_mb=index.trie.size_bytes / 1e6)
+    benchmark.extra_info.update(fanout=fanout, trie_mb=index.core.size_bytes / 1e6)
     record_row("Ablation A1: fanout trade-off", _COLUMNS, [
         fanout,
-        index.trie.max_steps,
-        index.trie.size_bytes / 1e6,
+        index.core.max_steps,
+        index.core.size_bytes / 1e6,
         index.stats.indexed_cells / 1e6,
         mpts,
     ])

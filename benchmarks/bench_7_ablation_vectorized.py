@@ -31,7 +31,7 @@ def test_vectorized_lookup(benchmark, cache, probe_points):
     mpts = throughput_mpts(len(lngs), benchmark.stats.stats.min)
     record_row(_TABLE, _COLUMNS, [
         "planar grid, vectorized", mpts,
-        index.stats.indexed_cells / 1e6, index.trie.size_bytes / 1e6,
+        index.stats.indexed_cells / 1e6, index.core.size_bytes / 1e6,
     ])
 
 
@@ -39,18 +39,18 @@ def test_scalar_lookup(benchmark, cache, probe_points):
     lngs, lats = probe_points
     index = cache.get("boroughs", 15.0)
     grid = index.grid
-    trie = index.trie
+    core = index.core
     cells = grid.leaf_cells_batch(lngs, lats).tolist()
 
     def run():
-        lookup = trie.lookup_entry
+        lookup = core.lookup_entry
         return sum(1 for c in cells if c and lookup(c))
 
     benchmark.pedantic(run, rounds=2, iterations=1)
     mpts = throughput_mpts(len(lngs), benchmark.stats.stats.min)
     record_row(_TABLE, _COLUMNS, [
         "planar grid, scalar python", mpts,
-        index.stats.indexed_cells / 1e6, index.trie.size_bytes / 1e6,
+        index.stats.indexed_cells / 1e6, index.core.size_bytes / 1e6,
     ])
 
 
@@ -66,5 +66,5 @@ def test_s2like_backend(benchmark, probe_points):
     mpts = throughput_mpts(len(lngs), benchmark.stats.stats.min)
     record_row(_TABLE, _COLUMNS, [
         "s2like grid, vectorized", mpts,
-        index.stats.indexed_cells / 1e6, index.trie.size_bytes / 1e6,
+        index.stats.indexed_cells / 1e6, index.core.size_bytes / 1e6,
     ])

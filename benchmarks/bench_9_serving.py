@@ -166,7 +166,10 @@ def test_served_batching_and_cache(benchmark, cache):
         best = max(_STATE["served_qps"])
         record_text(_TABLE, f"best served speedup over naive loop: "
                             f"{best / naive_qps:.2f}x sustained qps")
-        assert best > naive_qps, (
-            f"serving stack (best {best:,.0f} qps) must beat the naive "
-            f"loop ({naive_qps:,.0f} qps) on sustained throughput"
-        )
+        if config.bench_scale() >= 1.0:
+            # wall-clock comparison is meaningless on noisy smoke runs
+            assert best > naive_qps, (
+                f"serving stack (best {best:,.0f} qps) must beat the "
+                f"naive loop ({naive_qps:,.0f} qps) on sustained "
+                f"throughput"
+            )

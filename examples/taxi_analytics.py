@@ -27,7 +27,7 @@ def run_dataset(name, polygons, lngs, lats, precision=15.0):
     index = ACTIndex.build(polygons, precision_meters=precision)
     print(f"build: {time.perf_counter() - start:.1f} s   "
           f"cells={index.stats.indexed_cells:,}   "
-          f"trie={index.trie.size_bytes / 1e6:.1f} MB")
+          f"trie={index.core.size_bytes / 1e6:.1f} MB")
 
     approx = ApproximateJoin(index).join(lngs, lats)
     print(f"ACT approximate : {approx.stats.throughput_mpts:6.2f} M pts/s  "

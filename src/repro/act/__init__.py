@@ -2,25 +2,28 @@
 
 Submodules mirror the paper's Section II structure: per-polygon coverings
 (:mod:`repro.grid.coverer`), the merged super covering
-(:mod:`~repro.act.supercovering`), the radix tree (:mod:`~repro.act.trie`)
-with tagged entries (:mod:`~repro.act.entry`) and the deduplicated lookup
-table (:mod:`~repro.act.lookup_table`), plus the vectorized batch engine
-(:mod:`~repro.act.vectorized`) and the memory-budgeted adaptive variant
+(:mod:`~repro.act.supercovering`), the build-time radix tree
+(:mod:`~repro.act.trie`) with tagged entries (:mod:`~repro.act.entry`)
+and the deduplicated lookup table (:mod:`~repro.act.lookup_table`). The
+canonical query-time representation is the columnar
+:class:`~repro.act.core.ACTCore` — the flat-array form every scalar and
+batch lookup runs against — plus the memory-budgeted adaptive variant
 (:mod:`~repro.act.adaptive`).
 """
 
 from .adaptive import AdaptiveACTIndex
 from .builder import ACTBuilder, BuildResult
+from .core import ACTCore
 from .index import ACTIndex, QueryResult
 from .lookup_table import LookupTable
 from .stats import IndexStats
 from .supercovering import SuperCovering
 from .trie import AdaptiveCellTrie
-from .vectorized import VectorizedACT
 
 __all__ = [
     "AdaptiveACTIndex",
     "ACTBuilder",
+    "ACTCore",
     "BuildResult",
     "ACTIndex",
     "QueryResult",
@@ -28,5 +31,4 @@ __all__ = [
     "IndexStats",
     "SuperCovering",
     "AdaptiveCellTrie",
-    "VectorizedACT",
 ]

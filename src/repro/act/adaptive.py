@@ -36,9 +36,9 @@ from ..grid.base import HierarchicalGrid
 from ..grid.coverer import RegionCoverer
 from ..grid.planar import PlanarGrid
 from . import entry as entry_codec
+from .core import ACTCore
 from .lookup_table import LookupTable
 from .trie import AdaptiveCellTrie
-from .vectorized import VectorizedACT
 
 #: packed ref layout shared with the rest of the act package
 _TRUE = 1
@@ -126,9 +126,9 @@ class AdaptiveACTIndex:
             else:
                 trie.insert(cell, entry_codec.make_offset(
                     table.intern_refs(refs)))
-        self.trie = trie
+        # the trie is rebuild scaffolding; the columnar core is what serves
+        self.core = ACTCore.from_trie(trie, table)
         self.lookup_table = table
-        self.vectorized = VectorizedACT(trie, table)
         # sorted boundary-cell directory for hit attribution
         self._sorted_cells = sorted(self._cells)
 
@@ -138,7 +138,7 @@ class AdaptiveACTIndex:
 
     @property
     def size_bytes(self) -> int:
-        return self.trie.size_bytes + self.lookup_table.size_bytes
+        return self.core.total_bytes
 
     # ------------------------------------------------------------------
     # Queries
@@ -148,7 +148,7 @@ class AdaptiveACTIndex:
         leaf = self.grid.leaf_cell(lng, lat)
         if leaf is None:
             return ()
-        entry = self.trie.lookup_entry(leaf)
+        entry = self.core.lookup_entry(leaf)
         true_ids, cand_ids = self._decode(entry)
         return tuple(true_ids) + tuple(
             pid for pid in cand_ids if self.polygons[pid].contains(lng, lat)
@@ -156,13 +156,13 @@ class AdaptiveACTIndex:
 
     def refinement_rate(self, lngs: np.ndarray, lats: np.ndarray) -> float:
         """Fraction of points whose lookup needs at least one PIP test."""
-        entries = self.vectorized.lookup_entries(
+        entries = self.core.lookup_entries(
             self.grid.leaf_cells_batch(
                 np.asarray(lngs, dtype=np.float64),
                 np.asarray(lats, dtype=np.float64),
             )
         )
-        point_idx, _ = self.vectorized.candidate_pairs(entries)
+        point_idx, _ = self.core.candidate_pairs(entries)
         if entries.shape[0] == 0:
             return 0.0
         return float(np.unique(point_idx).shape[0]) / float(entries.shape[0])
@@ -205,8 +205,8 @@ class AdaptiveACTIndex:
                         ) -> Dict[int, int]:
         """Candidate-hit counts per indexed cell for a sample."""
         leaves = self.grid.leaf_cells_batch(lngs, lats)
-        entries = self.vectorized.lookup_entries(leaves)
-        point_idx, _ = self.vectorized.candidate_pairs(entries)
+        entries = self.core.lookup_entries(leaves)
+        point_idx, _ = self.core.candidate_pairs(entries)
         heat: Dict[int, int] = {}
         cells = self._sorted_cells
         for leaf in leaves[np.unique(point_idx)].tolist():

@@ -8,7 +8,7 @@ the claims can be inspected (and are asserted in tests):
 
 * :func:`level_histogram` — indexed cells per grid level, split into
   true-hit and candidate slots;
-* :func:`node_occupancy` — distribution of non-empty slots per trie node;
+* :func:`node_occupancy` — distribution of non-empty slots per node;
 * :func:`interior_area_fraction` — fraction of each polygon's area covered
   by its interior cells (the paper's "majority of the interior area");
 * :func:`summarize` — one dict with the headline numbers.
@@ -25,18 +25,18 @@ from ..grid import cellid
 from ..grid.base import HierarchicalGrid
 from ..grid.coverer import Covering
 from . import entry as entry_codec
+from .core import ACTCore
 from .index import ACTIndex
-from .trie import AdaptiveCellTrie
 
 
-def level_histogram(trie: AdaptiveCellTrie) -> Dict[int, Tuple[int, int]]:
+def level_histogram(core: ACTCore) -> Dict[int, Tuple[int, int]]:
     """``{level: (true_hit_slots, candidate_slots)}`` over indexed cells.
 
     Levels reflect the post-denormalization placement (the node depth a
     lookup actually touches).
     """
     histogram: Dict[int, Tuple[int, int]] = {}
-    for cell, entry in trie.iter_cells():
+    for cell, entry in core.iter_cells():
         level = cellid.level(cell)
         true_slots, cand_slots = histogram.get(level, (0, 0))
         tag = entry_codec.tag(entry)
@@ -52,20 +52,17 @@ def level_histogram(trie: AdaptiveCellTrie) -> Dict[int, Tuple[int, int]]:
     return histogram
 
 
-def node_occupancy(trie: AdaptiveCellTrie) -> Dict[str, float]:
+def node_occupancy(core: ACTCore) -> Dict[str, float]:
     """Slot-occupancy statistics over all nodes (sparsity of fanout 256)."""
-    if trie.num_nodes == 0:
+    if core.num_nodes == 0:
         return {"nodes": 0, "mean": 0.0, "median": 0.0, "max": 0}
-    fills = np.array([
-        sum(1 for slot in node if slot != entry_codec.SENTINEL)
-        for node in trie._nodes
-    ])
+    fills = np.count_nonzero(core.nodes, axis=1)
     return {
-        "nodes": int(trie.num_nodes),
+        "nodes": int(core.num_nodes),
         "mean": float(fills.mean()),
         "median": float(np.median(fills)),
         "max": int(fills.max()),
-        "occupancy": float(fills.mean()) / trie.fanout,
+        "occupancy": float(fills.mean()) / core.fanout,
     }
 
 
@@ -86,8 +83,8 @@ def interior_area_fraction(covering: Covering, polygon: Polygon,
 
 def summarize(index: ACTIndex) -> Dict[str, object]:
     """Headline introspection numbers for one index."""
-    histogram = level_histogram(index.trie)
-    occupancy = node_occupancy(index.trie)
+    histogram = level_histogram(index.core)
+    occupancy = node_occupancy(index.core)
     total_true = sum(t for t, _ in histogram.values())
     total_cand = sum(c for _, c in histogram.values())
     coarse_true = sum(
@@ -106,6 +103,6 @@ def summarize(index: ACTIndex) -> Dict[str, object]:
         "node_occupancy": occupancy,
         "boundary_level": index.boundary_level,
         "bytes_per_indexed_cell": (
-            index.trie.size_bytes / max(1, index.stats.indexed_cells)
+            index.core.size_bytes / max(1, index.stats.indexed_cells)
         ),
     }

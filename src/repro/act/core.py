@@ -1,0 +1,449 @@
+"""The columnar ACT core: flat arrays as the canonical representation.
+
+The paper credits ACT's speed to lookups costing "a few basic integer
+arithmetics and bitwise operations". :class:`ACTCore` is the form in
+which that promise is kept: the trie is a ``(num_nodes, fanout)`` uint64
+node pool plus six face-root entries, the lookup table a uint32 array
+with a CSR (indptr/ids) decode built once at construction. Every query
+path — scalar point lookups, vectorized batch descents, per-polygon hit
+counting, candidate-pair extraction — runs against these arrays; there
+is exactly one lookup engine.
+
+:class:`~repro.act.trie.AdaptiveCellTrie` still exists, but only as
+build-time scaffolding: :meth:`ACTIndex.build <repro.act.index.ACTIndex
+.build>` inserts cells into a trie, exports it into an ``ACTCore``, and
+discards it. Persistence (:mod:`repro.act.serialize`) round-trips the
+core's arrays directly, so cold loads never reconstruct a Python object
+trie.
+
+Batch descents are level-synchronous: at each step the still-active
+points gather their next entries with one fancy-indexing operation.
+Lookup-table (>= 3 reference) entries decode through the CSR arrays with
+``searchsorted`` + ranged gathers, so even heavily overlapping polygon
+sets stay off the Python interpreter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+from ..errors import BuildError
+from ..grid import cellid
+from . import entry as entry_codec
+from .lookup_table import LookupTable
+from .trie import KEY_BITS, SUPPORTED_FANOUTS, AdaptiveCellTrie
+
+_MASK31 = np.uint64((1 << 31) - 1)
+_MASK60 = np.uint64((1 << KEY_BITS) - 1)
+_KEY_MASK = (1 << KEY_BITS) - 1
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Outcome of one point lookup.
+
+    ``true_hits`` are guaranteed containments; ``candidates`` are within
+    the precision bound of the polygon but possibly outside it.
+    """
+
+    true_hits: Tuple[int, ...]
+    candidates: Tuple[int, ...]
+
+    @property
+    def all_ids(self) -> Tuple[int, ...]:
+        """Approximate-join semantics: every reference counts as a hit."""
+        return self.true_hits + self.candidates
+
+    @property
+    def is_hit(self) -> bool:
+        return bool(self.true_hits or self.candidates)
+
+
+#: Empty result shared by every miss decode.
+_MISS = QueryResult((), ())
+
+
+class ACTCore:
+    """Flat-array ACT serving scalar and batch lookups.
+
+    Parameters
+    ----------
+    nodes:
+        ``(num_nodes, fanout)`` uint64 node pool (one zero row stands in
+        for an empty trie, matching
+        :meth:`~repro.act.trie.AdaptiveCellTrie.export_arrays`).
+    roots:
+        Per-face root entries (uint64, length = number of faces).
+    lookup_table:
+        The deduplicated reference sets for >= 3-reference cells.
+    fanout:
+        Slots per node (must be in
+        :data:`~repro.act.trie.SUPPORTED_FANOUTS`).
+    num_entries:
+        Number of indexed (post-denormalization) slots, for stats.
+    """
+
+    __slots__ = (
+        "nodes", "roots", "lookup_table", "fanout", "num_entries",
+        "bits_per_step", "levels_per_step", "max_steps", "max_cell_level",
+        "_chunk_mask", "_roots_list", "_num_nodes", "_offset_cache",
+        "_set_starts", "_true_indptr", "_true_ids", "_cand_indptr",
+        "_cand_ids",
+    )
+
+    def __init__(self, nodes: np.ndarray, roots: np.ndarray,
+                 lookup_table: LookupTable, fanout: int,
+                 num_entries: int = 0):
+        if fanout not in SUPPORTED_FANOUTS:
+            raise BuildError(
+                f"fanout must be one of {SUPPORTED_FANOUTS}, got {fanout}"
+            )
+        self.nodes = np.ascontiguousarray(nodes, dtype=np.uint64)
+        if self.nodes.ndim != 2 or self.nodes.shape[1] != fanout:
+            raise BuildError(
+                f"node pool shape {self.nodes.shape} does not match "
+                f"fanout {fanout}"
+            )
+        self.roots = np.asarray(roots, dtype=np.uint64)
+        self.lookup_table = lookup_table
+        self.fanout = fanout
+        self.num_entries = num_entries
+        self.bits_per_step = fanout.bit_length() - 1  # log2(fanout)
+        self.levels_per_step = self.bits_per_step // 2
+        self.max_steps = KEY_BITS // self.bits_per_step
+        self.max_cell_level = self.max_steps * self.levels_per_step
+        self._chunk_mask = np.uint64(fanout - 1)
+        # scalar descents index plain ints; keep the roots as a list
+        self._roots_list = [int(r) for r in self.roots]
+        # an all-zero single row is the canonical empty-pool encoding
+        if self.nodes.shape[0] == 1 and not self.nodes.any():
+            self._num_nodes = 0
+        else:
+            self._num_nodes = self.nodes.shape[0]
+        self._offset_cache: Dict[int, Tuple[Tuple[int, ...],
+                                            Tuple[int, ...]]] = {}
+        self._build_set_index()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_trie(cls, trie: AdaptiveCellTrie,
+                  lookup_table: LookupTable) -> "ACTCore":
+        """Export a built trie into its canonical flat-array form."""
+        nodes, roots = trie.export_arrays()
+        return cls(nodes, roots, lookup_table, trie.fanout,
+                   num_entries=trie.num_entries)
+
+    def _build_set_index(self) -> None:
+        """CSR decode of the lookup table, built once.
+
+        ``_set_starts`` holds the (ascending) word offset of every
+        reference set; row ``k`` of the CSR arrays holds that set's true
+        hit / candidate polygon ids. Entries map offset -> row with one
+        ``searchsorted``.
+        """
+        starts = []
+        true_indptr = [0]
+        cand_indptr = [0]
+        true_ids: list = []
+        cand_ids: list = []
+        for offset, t_ids, c_ids in self.lookup_table.iter_sets():
+            starts.append(offset)
+            true_ids.extend(t_ids)
+            cand_ids.extend(c_ids)
+            true_indptr.append(len(true_ids))
+            cand_indptr.append(len(cand_ids))
+        self._set_starts = np.asarray(starts, dtype=np.int64)
+        self._true_indptr = np.asarray(true_indptr, dtype=np.int64)
+        self._true_ids = np.asarray(true_ids, dtype=np.int64)
+        self._cand_indptr = np.asarray(cand_indptr, dtype=np.int64)
+        self._cand_ids = np.asarray(cand_ids, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Structure metrics
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    @property
+    def size_bytes(self) -> int:
+        """Memory of the C++ layout: 8-byte slots in fixed-size nodes."""
+        return self._num_nodes * self.fanout * 8
+
+    @property
+    def total_bytes(self) -> int:
+        """Node pool plus lookup table."""
+        return self.size_bytes + self.lookup_table.size_bytes
+
+    # ------------------------------------------------------------------
+    # Scalar lookups
+    # ------------------------------------------------------------------
+    def lookup_entry(self, leaf_cell: int) -> int:
+        """Encoded entry matching the leaf's path, or 0 (miss).
+
+        The descent is comparison-free: each step extracts the next path
+        chunk and indexes into the node pool.
+        """
+        entry = self._roots_list[leaf_cell >> cellid.POS_BITS]
+        if entry & 0b11:
+            return entry
+        if entry == entry_codec.SENTINEL:
+            return entry_codec.SENTINEL
+        path = (leaf_cell >> 1) & _KEY_MASK
+        bits = self.bits_per_step
+        mask = self.fanout - 1
+        nodes = self.nodes
+        shift = KEY_BITS
+        for _ in range(self.max_steps):
+            shift -= bits
+            entry = int(nodes[(entry >> 2) - 1, (path >> shift) & mask])
+            if entry & 0b11:
+                return entry
+            if entry == entry_codec.SENTINEL:
+                return entry_codec.SENTINEL
+        return entry_codec.SENTINEL
+
+    def node_accesses(self, leaf_cell: int) -> int:
+        """Number of node reads a lookup of ``leaf_cell`` performs
+        (for reproducing the paper's cost model c_avg)."""
+        entry = self._roots_list[leaf_cell >> cellid.POS_BITS]
+        if entry & 0b11 or entry == entry_codec.SENTINEL:
+            return 0
+        path = (leaf_cell >> 1) & _KEY_MASK
+        bits = self.bits_per_step
+        mask = self.fanout - 1
+        nodes = self.nodes
+        accesses = 0
+        shift = KEY_BITS
+        for _ in range(self.max_steps):
+            shift -= bits
+            accesses += 1
+            entry = int(nodes[(entry >> 2) - 1, (path >> shift) & mask])
+            if entry & 0b11 or entry == entry_codec.SENTINEL:
+                return accesses
+        return accesses
+
+    def decode_entry(self, entry: int) -> QueryResult:
+        """Decode one encoded entry into a classified :class:`QueryResult`."""
+        tag = entry & 0b11
+        if tag == entry_codec.TAG_POINTER:
+            return _MISS
+        if tag == entry_codec.TAG_OFFSET:
+            true_ids, cand_ids = self._decode_offset(entry >> 2)
+            return QueryResult(true_ids, cand_ids)
+        refs = entry_codec.payload_refs(entry)
+        true_hits = tuple(entry_codec.ref_polygon_id(r) for r in refs
+                          if entry_codec.ref_is_true_hit(r))
+        candidates = tuple(entry_codec.ref_polygon_id(r) for r in refs
+                           if not entry_codec.ref_is_true_hit(r))
+        return QueryResult(true_hits, candidates)
+
+    # ------------------------------------------------------------------
+    # Batch descent
+    # ------------------------------------------------------------------
+    def lookup_entries(self, leaf_cells: np.ndarray) -> np.ndarray:
+        """Encoded entry per leaf cell id (0 = miss / invalid cell)."""
+        cells = leaf_cells.astype(np.uint64, copy=False)
+        valid = cells != 0
+        faces = (cells >> np.uint64(cellid.POS_BITS)).astype(np.int64)
+        faces[~valid] = 0
+        entries = self.roots[faces]
+        entries[~valid] = 0
+        paths = (cells >> np.uint64(1)) & _MASK60
+
+        active = valid & ((entries & np.uint64(3)) == 0) & (entries != 0)
+        shift = KEY_BITS
+        table = self.nodes
+        for _ in range(self.max_steps):
+            idx = np.flatnonzero(active)
+            if idx.size == 0:
+                break
+            shift -= self.bits_per_step
+            node_idx = ((entries[idx] >> np.uint64(2))
+                        - np.uint64(1)).astype(np.int64)
+            chunk = ((paths[idx] >> np.uint64(shift))
+                     & self._chunk_mask).astype(np.int64)
+            found = table[node_idx, chunk]
+            entries[idx] = found
+            active[idx] = ((found & np.uint64(3)) == 0) & (found != 0)
+        # anything still pointing at a node after max_steps is a miss
+        entries[active] = 0
+        return entries
+
+    # ------------------------------------------------------------------
+    # Batch decoding
+    # ------------------------------------------------------------------
+    def hit_counts(self, entries: np.ndarray, num_polygons: int,
+                   ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(true_counts, candidate_counts)`` per polygon in one pass.
+
+        One decode of the batch serves both the approximate join (sum of
+        the two) and true-hit-only accounting, instead of two passes.
+        """
+        true_counts = np.zeros(num_polygons, dtype=np.int64)
+        cand_counts = np.zeros(num_polygons, dtype=np.int64)
+        tags = entries & np.uint64(3)
+
+        refs_parts = []
+        one = entries[tags == np.uint64(entry_codec.TAG_PAYLOAD_1)]
+        if one.size:
+            refs_parts.append((one >> np.uint64(2)) & _MASK31)
+        two = entries[tags == np.uint64(entry_codec.TAG_PAYLOAD_2)]
+        if two.size:
+            refs_parts.append((two >> np.uint64(2)) & _MASK31)
+            refs_parts.append((two >> np.uint64(33)) & _MASK31)
+        if refs_parts:
+            refs = np.concatenate(refs_parts)
+            ids = (refs >> np.uint64(1)).astype(np.int64)
+            is_true = (refs & np.uint64(1)) == np.uint64(1)
+            true_counts += np.bincount(ids[is_true], minlength=num_polygons)
+            cand_counts += np.bincount(ids[~is_true], minlength=num_polygons)
+
+        offsets = entries[tags == np.uint64(entry_codec.TAG_OFFSET)]
+        if offsets.size:
+            rows = np.searchsorted(
+                self._set_starts,
+                (offsets >> np.uint64(2)).astype(np.int64),
+            )
+            ids = _csr_gather(rows, self._true_indptr, self._true_ids)
+            if ids.size:
+                true_counts += np.bincount(ids, minlength=num_polygons)
+            ids = _csr_gather(rows, self._cand_indptr, self._cand_ids)
+            if ids.size:
+                cand_counts += np.bincount(ids, minlength=num_polygons)
+        return true_counts, cand_counts
+
+    def count_hits(self, entries: np.ndarray, num_polygons: int,
+                   include_candidates: bool = True) -> np.ndarray:
+        """Per-polygon hit counts over a batch of looked-up entries.
+
+        ``include_candidates=True`` implements the paper's *approximate*
+        join (candidate cells count as hits, with the precision bound);
+        ``False`` counts only guaranteed true hits.
+        """
+        true_counts, cand_counts = self.hit_counts(entries, num_polygons)
+        if include_candidates:
+            return true_counts + cand_counts
+        return true_counts
+
+    def pairs(self, entries: np.ndarray, want_true: bool,
+              ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(point_indices, polygon_ids)`` of references with the given
+        interior flag (``want_true=True`` -> true hits, else candidates)."""
+        flag = np.uint64(1 if want_true else 0)
+        point_idx_parts = []
+        polygon_id_parts = []
+        tags = entries & np.uint64(3)
+
+        mask1 = tags == np.uint64(entry_codec.TAG_PAYLOAD_1)
+        if mask1.any():
+            refs = (entries[mask1] >> np.uint64(2)) & _MASK31
+            keep = (refs & np.uint64(1)) == flag
+            point_idx_parts.append(np.flatnonzero(mask1)[keep])
+            polygon_id_parts.append(
+                (refs[keep] >> np.uint64(1)).astype(np.int64))
+
+        mask2 = tags == np.uint64(entry_codec.TAG_PAYLOAD_2)
+        if mask2.any():
+            base = np.flatnonzero(mask2)
+            for shift in (2, 33):
+                refs = (entries[mask2] >> np.uint64(shift)) & _MASK31
+                keep = (refs & np.uint64(1)) == flag
+                point_idx_parts.append(base[keep])
+                polygon_id_parts.append(
+                    (refs[keep] >> np.uint64(1)).astype(np.int64))
+
+        mask3 = tags == np.uint64(entry_codec.TAG_OFFSET)
+        if mask3.any():
+            base = np.flatnonzero(mask3)
+            rows = np.searchsorted(
+                self._set_starts,
+                ((entries[mask3] >> np.uint64(2))).astype(np.int64),
+            )
+            indptr = self._true_indptr if want_true else self._cand_indptr
+            ids = self._true_ids if want_true else self._cand_ids
+            lengths = indptr[rows + 1] - indptr[rows]
+            gathered = _csr_gather(rows, indptr, ids)
+            if gathered.size:
+                point_idx_parts.append(np.repeat(base, lengths))
+                polygon_id_parts.append(gathered)
+
+        if not point_idx_parts:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        return (np.concatenate(point_idx_parts),
+                np.concatenate(polygon_id_parts))
+
+    def candidate_pairs(self, entries: np.ndarray,
+                        ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(point_indices, polygon_ids)`` of all *candidate* references.
+
+        These are the pairs an exact join must refine with PIP tests; true
+        hits need no refinement by construction.
+        """
+        return self.pairs(entries, want_true=False)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def iter_cells(self) -> Iterator[Tuple[int, int]]:
+        """Yield every indexed ``(cell, entry)`` pair (tests/analysis)."""
+        for face, root in enumerate(self._roots_list):
+            if root == entry_codec.SENTINEL:
+                continue
+            if root & 0b11:
+                yield cellid.from_face(face), root
+                continue
+            stack = [((root >> 2) - 1, face, 0, 0)]
+            while stack:
+                node_idx, face_val, path, level = stack.pop()
+                row = self.nodes[node_idx].tolist()
+                for chunk, entry in enumerate(row):
+                    if entry == entry_codec.SENTINEL:
+                        continue
+                    child_path = (path << self.bits_per_step) | chunk
+                    child_level = level + self.levels_per_step
+                    if entry & 0b11:
+                        yield (cellid.from_face_path(
+                            face_val, child_path, child_level), entry)
+                    else:
+                        stack.append(((entry >> 2) - 1, face_val,
+                                      child_path, child_level))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _decode_offset(self, offset: int,
+                       ) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        cached = self._offset_cache.get(offset)
+        if cached is None:
+            cached = self.lookup_table.get(offset)
+            self._offset_cache[offset] = cached
+        return cached
+
+    def __repr__(self) -> str:
+        return (
+            f"ACTCore({self._num_nodes} nodes, fanout={self.fanout}, "
+            f"{self.num_entries:,} entries, "
+            f"{self.size_bytes / 1e6:.2f} MB)"
+        )
+
+
+def _csr_gather(rows: np.ndarray, indptr: np.ndarray,
+                ids: np.ndarray) -> np.ndarray:
+    """Concatenated ``ids[indptr[r]:indptr[r+1]]`` for every row in order."""
+    starts = indptr[rows]
+    lengths = indptr[rows + 1] - starts
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    cum = np.cumsum(lengths)
+    take = (np.arange(total, dtype=np.int64)
+            - np.repeat(cum - lengths, lengths)
+            + np.repeat(starts, lengths))
+    return ids[take]

@@ -1,9 +1,12 @@
 """Public facade: the ACT approximate geospatial join index.
 
-:class:`ACTIndex` bundles the grid, the trie, the lookup table, and the
-original polygons behind the interface a downstream user needs:
+:class:`ACTIndex` bundles the grid, the columnar :class:`~repro.act.core.
+ACTCore`, and the original polygons behind the interface a downstream
+user needs:
 
-* :meth:`ACTIndex.build` — index a set of polygons at a precision bound;
+* :meth:`ACTIndex.build` — index a set of polygons at a precision bound
+  (the object trie used during construction is exported into the core
+  and discarded; queries never touch it);
 * :meth:`query` / :meth:`query_approx` / :meth:`query_exact` — per-point
   lookups returning polygon ids;
 * :meth:`lookup_batch` / :meth:`count_points` — vectorized joins and the
@@ -14,8 +17,7 @@ original polygons behind the interface a downstream user needs:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -23,48 +25,29 @@ from ..errors import BuildError
 from ..geometry.polygon import Polygon
 from ..grid.base import HierarchicalGrid
 from ..grid.planar import PlanarGrid
-from . import entry as entry_codec
 from .builder import ACTBuilder, BuildResult
+from .core import ACTCore, QueryResult
 from .lookup_table import LookupTable
 from .stats import IndexStats
-from .trie import AdaptiveCellTrie
-from .vectorized import VectorizedACT
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (join sits above)
+    from ..join.executor import JoinExecutor
 
-@dataclass(frozen=True)
-class QueryResult:
-    """Outcome of one point lookup.
-
-    ``true_hits`` are guaranteed containments; ``candidates`` are within
-    the precision bound of the polygon but possibly outside it.
-    """
-
-    true_hits: Tuple[int, ...]
-    candidates: Tuple[int, ...]
-
-    @property
-    def all_ids(self) -> Tuple[int, ...]:
-        """Approximate-join semantics: every reference counts as a hit."""
-        return self.true_hits + self.candidates
-
-    @property
-    def is_hit(self) -> bool:
-        return bool(self.true_hits or self.candidates)
+__all__ = ["ACTIndex", "QueryResult"]
 
 
 class ACTIndex:
     """Approximate point-in-polygon join index with a precision guarantee."""
 
-    def __init__(self, grid: HierarchicalGrid, trie: AdaptiveCellTrie,
-                 lookup_table: LookupTable, polygons: Sequence[Polygon],
-                 stats: IndexStats, boundary_level: int):
+    def __init__(self, grid: HierarchicalGrid, core: ACTCore,
+                 polygons: Sequence[Polygon], stats: IndexStats,
+                 boundary_level: int):
         self.grid = grid
-        self.trie = trie
-        self.lookup_table = lookup_table
+        self.core = core
         self.polygons = list(polygons)
         self.stats = stats
         self.boundary_level = boundary_level
-        self._vectorized: Optional[VectorizedACT] = None
+        self._executor: Optional["JoinExecutor"] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -94,8 +77,11 @@ class ACTIndex:
             max_cells_per_polygon=max_cells_per_polygon,
         )
         result: BuildResult = builder.build(polygons, precision_meters)
-        return cls(grid, result.trie, result.lookup_table, polygons,
-                   result.stats, result.boundary_level)
+        # export the build-time trie into the canonical flat arrays and
+        # let the object trie go out of scope here
+        core = ACTCore.from_trie(result.trie, result.lookup_table)
+        return cls(grid, core, polygons, result.stats,
+                   result.boundary_level)
 
     # ------------------------------------------------------------------
     # Guarantees
@@ -115,6 +101,18 @@ class ACTIndex:
     def num_polygons(self) -> int:
         return len(self.polygons)
 
+    @property
+    def lookup_table(self) -> LookupTable:
+        return self.core.lookup_table
+
+    @property
+    def executor(self) -> "JoinExecutor":
+        """The columnar join engine bound to this index (cached)."""
+        if self._executor is None:
+            from ..join.executor import JoinExecutor
+            self._executor = JoinExecutor(self)
+        return self._executor
+
     # ------------------------------------------------------------------
     # Scalar queries
     # ------------------------------------------------------------------
@@ -123,7 +121,7 @@ class ACTIndex:
         leaf = self.grid.leaf_cell(lng, lat)
         if leaf is None:
             return QueryResult((), ())
-        return self._decode(self.trie.lookup_entry(leaf))
+        return self.core.decode_entry(self.core.lookup_entry(leaf))
 
     def query_approx(self, lng: float, lat: float) -> Tuple[int, ...]:
         """Approximate join: all referenced polygon ids, no refinement.
@@ -149,26 +147,20 @@ class ACTIndex:
     # ------------------------------------------------------------------
     # Vectorized queries
     # ------------------------------------------------------------------
-    @property
-    def vectorized(self) -> VectorizedACT:
-        """Lazily frozen flat-array snapshot used by the batch paths."""
-        if self._vectorized is None:
-            self._vectorized = VectorizedACT(self.trie, self.lookup_table)
-        return self._vectorized
-
     def lookup_batch(self, lngs: np.ndarray, lats: np.ndarray) -> np.ndarray:
         """Encoded entries for a batch of points (see
-        :class:`~repro.act.vectorized.VectorizedACT`)."""
+        :meth:`~repro.act.core.ACTCore.lookup_entries`)."""
         cells = self.grid.leaf_cells_batch(
             np.asarray(lngs, dtype=np.float64),
             np.asarray(lats, dtype=np.float64),
         )
-        return self.vectorized.lookup_entries(cells)
+        return self.core.lookup_entries(cells)
 
     def query_batch(self, lngs: np.ndarray, lats: np.ndarray,
                     ) -> List[QueryResult]:
         """Per-point classified results for a batch (convenience API)."""
-        return [self._decode(int(e)) for e in self.lookup_batch(lngs, lats)]
+        decode = self.core.decode_entry
+        return [decode(int(e)) for e in self.lookup_batch(lngs, lats)]
 
     def count_points(self, lngs: np.ndarray, lats: np.ndarray,
                      exact: bool = False) -> np.ndarray:
@@ -177,53 +169,18 @@ class ACTIndex:
         With ``exact=False`` this is the pure approximate join (true hits
         plus candidates, zero PIP tests). With ``exact=True`` candidates
         are refined against the actual polygons, giving exact counts while
-        still skipping refinement for every true hit.
+        still skipping refinement for every true hit. Both paths run
+        through the columnar :class:`~repro.join.executor.JoinExecutor`.
         """
-        lngs = np.asarray(lngs, dtype=np.float64)
-        lats = np.asarray(lats, dtype=np.float64)
-        entries = self.lookup_batch(lngs, lats)
-        if not exact:
-            return self.vectorized.count_hits(entries, self.num_polygons,
-                                              include_candidates=True)
-        counts = self.vectorized.count_hits(entries, self.num_polygons,
-                                            include_candidates=False)
-        point_idx, polygon_ids = self.vectorized.candidate_pairs(entries)
-        if point_idx.size:
-            order = np.argsort(polygon_ids, kind="stable")
-            point_idx = point_idx[order]
-            polygon_ids = polygon_ids[order]
-            boundaries = np.flatnonzero(np.diff(polygon_ids)) + 1
-            for chunk_idx, chunk_pts in zip(
-                np.split(polygon_ids, boundaries),
-                np.split(point_idx, boundaries),
-            ):
-                pid = int(chunk_idx[0])
-                inside = self.polygons[pid].contains_batch(
-                    lngs[chunk_pts], lats[chunk_pts]
-                )
-                counts[pid] += int(np.count_nonzero(inside))
-        return counts
+        return self.executor.count_points(lngs, lats, exact=exact)
 
     # ------------------------------------------------------------------
     # Entry decoding
     # ------------------------------------------------------------------
     def decode_entry(self, entry: int) -> QueryResult:
-        """Decode one encoded trie entry (as produced by
-        :meth:`lookup_batch`) into a classified :class:`QueryResult`."""
-        tag = entry_codec.tag(entry)
-        if tag == entry_codec.TAG_POINTER:
-            return QueryResult((), ())
-        if tag == entry_codec.TAG_OFFSET:
-            true_ids, cand_ids = self.lookup_table.get(
-                entry_codec.offset_value(entry)
-            )
-            return QueryResult(true_ids, cand_ids)
-        refs = entry_codec.payload_refs(entry)
-        true_hits = tuple(entry_codec.ref_polygon_id(r) for r in refs
-                          if entry_codec.ref_is_true_hit(r))
-        candidates = tuple(entry_codec.ref_polygon_id(r) for r in refs
-                           if not entry_codec.ref_is_true_hit(r))
-        return QueryResult(true_hits, candidates)
+        """Decode one encoded entry (as produced by :meth:`lookup_batch`)
+        into a classified :class:`QueryResult`."""
+        return self.core.decode_entry(entry)
 
     #: Backwards-compatible private alias for :meth:`decode_entry`.
     _decode = decode_entry
@@ -231,10 +188,10 @@ class ACTIndex:
     def memory_report(self) -> dict:
         """Size breakdown in bytes (C++-layout accounting, like Table I)."""
         return {
-            "trie_bytes": self.trie.size_bytes,
-            "trie_nodes": self.trie.num_nodes,
-            "lookup_table_bytes": self.lookup_table.size_bytes,
-            "total_bytes": self.trie.size_bytes + self.lookup_table.size_bytes,
+            "trie_bytes": self.core.size_bytes,
+            "trie_nodes": self.core.num_nodes,
+            "lookup_table_bytes": self.core.lookup_table.size_bytes,
+            "total_bytes": self.core.total_bytes,
             "indexed_cells": self.stats.indexed_cells,
         }
 
@@ -242,6 +199,6 @@ class ACTIndex:
         return (
             f"ACTIndex({self.num_polygons} polygons, "
             f"precision={self.precision_meters:g} m, "
-            f"grid={self.grid.name}, fanout={self.trie.fanout}, "
+            f"grid={self.grid.name}, fanout={self.core.fanout}, "
             f"cells={self.stats.indexed_cells:,})"
         )

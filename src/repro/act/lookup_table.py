@@ -9,7 +9,7 @@ so identical sets are deduplicated and share one offset.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -24,25 +24,44 @@ class LookupTable:
 
     def __init__(self) -> None:
         self._data: List[int] = []
-        self._offsets: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], int] = {}
+        self._offsets: Optional[
+            Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], int]] = {}
 
     @classmethod
     def from_array(cls, data: np.ndarray) -> "LookupTable":
         """Rebuild a table from its encoded uint32 array (persistence).
 
-        The dedup map is reconstructed by walking the encoded entries so
-        further ``intern`` calls keep deduplicating correctly.
+        The dedup map is *not* rebuilt here — loaded indexes are almost
+        always read-only, so cold loads skip the walk; the first
+        ``intern`` call reconstructs it lazily and deduplicates against
+        everything already encoded.
         """
         table = cls()
-        table._data = [int(v) for v in data]
-        offset = 0
-        n = len(table._data)
-        while offset < n:
-            true_ids, cand_ids = table.get(offset)
-            table._offsets[(tuple(sorted(true_ids)),
-                            tuple(sorted(cand_ids)))] = offset
-            offset += 2 + len(true_ids) + len(cand_ids)
+        table._data = data.tolist()
+        table._offsets = None  # lazily rebuilt by _ensure_offsets
         return table
+
+    def _ensure_offsets(self) -> Dict:
+        offsets = self._offsets
+        if offsets is None:
+            offsets = {
+                (tuple(sorted(true_ids)), tuple(sorted(cand_ids))): offset
+                for offset, true_ids, cand_ids in self.iter_sets()
+            }
+            self._offsets = offsets
+        return offsets
+
+    def iter_sets(self) -> Iterator[
+            Tuple[int, Tuple[int, ...], Tuple[int, ...]]]:
+        """Yield ``(offset, true_ids, candidate_ids)`` for every encoded
+        set, in storage order — the one walk of the encoding shared by
+        the dedup map and the core's CSR decode."""
+        offset = 0
+        n = len(self._data)
+        while offset < n:
+            true_ids, cand_ids = self.get(offset)
+            yield offset, true_ids, cand_ids
+            offset += 2 + len(true_ids) + len(cand_ids)
 
     def __len__(self) -> int:
         """Number of uint32 words in the encoded array."""
@@ -50,7 +69,7 @@ class LookupTable:
 
     @property
     def num_unique_sets(self) -> int:
-        return len(self._offsets)
+        return len(self._ensure_offsets())
 
     @property
     def size_bytes(self) -> int:
@@ -58,10 +77,11 @@ class LookupTable:
 
     def intern(self, true_ids: Iterable[int], candidate_ids: Iterable[int]) -> int:
         """Offset of the (deduplicated) reference set, appending if new."""
+        offsets = self._ensure_offsets()
         true_key = tuple(sorted(true_ids))
         cand_key = tuple(sorted(candidate_ids))
         key = (true_key, cand_key)
-        offset = self._offsets.get(key)
+        offset = offsets.get(key)
         if offset is not None:
             return offset
         offset = len(self._data)
@@ -73,7 +93,7 @@ class LookupTable:
         self._data.extend(true_key)
         self._data.append(len(cand_key))
         self._data.extend(cand_key)
-        self._offsets[key] = offset
+        offsets[key] = offset
         return offset
 
     def intern_refs(self, refs: Sequence[int]) -> int:

@@ -4,14 +4,19 @@ The paper targets *static* polygon sets, so building once and shipping
 the index to query nodes is the natural deployment. The on-disk format
 is a single compressed ``.npz``:
 
-* the trie node pool (``(num_nodes, fanout)`` uint64) and face roots;
+* the node pool (``(num_nodes, fanout)`` uint64) and face roots;
 * the lookup-table uint32 array;
 * grid parameters (kind, bounds, max level);
 * the original polygons (GeoJSON, needed for exact-mode refinement);
 * build stats (JSON) so Table-I metrics survive the roundtrip.
 
-Loading reconstructs an :class:`~repro.act.index.ACTIndex` that answers
-identically to the original (tests assert bit-equal lookups).
+The stored arrays *are* the canonical :class:`~repro.act.core.ACTCore`
+representation, so :func:`load_index` materializes the core directly
+from the ``.npz`` buffers — no :class:`~repro.act.trie.AdaptiveCellTrie`
+is ever reconstructed, which keeps cold loads (e.g. the serve registry
+pinning an index on first request) at array-copy speed. Loading returns
+an :class:`~repro.act.index.ACTIndex` that answers identically to the
+original (tests assert bit-equal lookups).
 """
 
 from __future__ import annotations
@@ -27,10 +32,10 @@ from ..geometry import geojson
 from ..geometry.bbox import Rect
 from ..grid.planar import PlanarGrid
 from ..grid.s2like import S2LikeGrid
+from .core import ACTCore
 from .index import ACTIndex
 from .lookup_table import LookupTable
 from .stats import IndexStats
-from .trie import AdaptiveCellTrie
 
 #: On-disk format version (bump on layout changes).
 FORMAT_VERSION = 1
@@ -38,7 +43,7 @@ FORMAT_VERSION = 1
 
 def save_index(index: ACTIndex, path: Union[str, Path]) -> None:
     """Persist ``index`` to ``path`` (``.npz``; extension not enforced)."""
-    table, roots = index.trie.export_arrays()
+    core = index.core
     polygons_doc = geojson.feature_collection(
         geojson.feature(p, {"id": pid})
         for pid, p in enumerate(index.polygons)
@@ -59,17 +64,17 @@ def save_index(index: ACTIndex, path: Union[str, Path]) -> None:
         )
     meta = {
         "version": FORMAT_VERSION,
-        "fanout": index.trie.fanout,
-        "num_trie_entries": index.trie.num_entries,
+        "fanout": core.fanout,
+        "num_trie_entries": core.num_entries,
         "boundary_level": index.boundary_level,
         "grid_kind": grid_kind,
         "stats": _stats_to_dict(index.stats),
     }
     np.savez_compressed(
         path,
-        nodes=table,
-        roots=roots,
-        lookup=index.lookup_table.as_array(),
+        nodes=core.nodes,
+        roots=core.roots,
+        lookup=core.lookup_table.as_array(),
         grid_params=np.asarray(grid_params, dtype=np.float64),
         meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
         polygons=np.frombuffer(
@@ -79,7 +84,11 @@ def save_index(index: ACTIndex, path: Union[str, Path]) -> None:
 
 
 def load_index(path: Union[str, Path]) -> ACTIndex:
-    """Load an index written by :func:`save_index`."""
+    """Load an index written by :func:`save_index`.
+
+    The node pool and roots feed :class:`~repro.act.core.ACTCore`
+    directly; nothing rebuilds a Python object trie.
+    """
     with np.load(path) as data:
         meta = json.loads(bytes(data["meta"].tobytes()).decode("utf-8"))
         if meta.get("version") != FORMAT_VERSION:
@@ -102,18 +111,16 @@ def load_index(path: Union[str, Path]) -> ACTIndex:
     else:
         raise ACTError(f"unknown grid kind {meta['grid_kind']!r}")
 
-    trie = AdaptiveCellTrie.from_arrays(
-        nodes, roots, fanout=meta["fanout"],
-        num_entries=meta["num_trie_entries"],
+    core = ACTCore(
+        nodes, roots, LookupTable.from_array(lookup_array),
+        fanout=meta["fanout"], num_entries=meta["num_trie_entries"],
     )
-    lookup_table = LookupTable.from_array(lookup_array)
     polygons = []
     for feat in polygons_doc["features"]:
         geom = geojson.geometry_from_geojson(feat["geometry"])
         polygons.append(geom)
     stats = _stats_from_dict(meta["stats"])
-    return ACTIndex(grid, trie, lookup_table, polygons, stats,
-                    meta["boundary_level"])
+    return ACTIndex(grid, core, polygons, stats, meta["boundary_level"])
 
 
 def _stats_to_dict(stats: IndexStats) -> dict:

@@ -17,6 +17,13 @@ Cells may only be inserted at levels aligned to the fanout granularity
 (``level % levels_per_step == 0``); the builder denormalizes coverings
 accordingly (paper: "we need to denormalize cells upon insertion and
 replicate their payloads").
+
+This class is **build-time scaffolding**: it exists so insertion (node
+allocation, denormalization, conflict detection) has a convenient
+pointer structure to mutate. Once a build finishes, the trie is exported
+(:meth:`AdaptiveCellTrie.export_arrays`) into the canonical columnar
+:class:`~repro.act.core.ACTCore` and discarded; no query path descends
+Python node objects.
 """
 
 from __future__ import annotations
@@ -286,7 +293,7 @@ class AdaptiveCellTrie:
 
     def export_arrays(self):
         """Node pool as a ``(num_nodes, fanout)`` uint64 array plus the
-        root entries — the input to :mod:`repro.act.vectorized`."""
+        root entries — the input to :class:`repro.act.core.ACTCore`."""
         import numpy as np
 
         table = np.zeros((max(1, len(self._nodes)), self.fanout),

@@ -5,7 +5,7 @@ region coverer that turns polygons into boundary/interior cell sets.
 """
 
 from . import cellid
-from .base import INVALID_CELL, HierarchicalGrid
+from .base import INVALID_CELL, INVALID_KEY, HierarchicalGrid
 from .cellunion import CellUnion
 from .coverer import Covering, RegionCoverer
 from .planar import PlanarGrid
@@ -14,6 +14,7 @@ from .s2like import S2LikeGrid
 __all__ = [
     "cellid",
     "INVALID_CELL",
+    "INVALID_KEY",
     "HierarchicalGrid",
     "CellUnion",
     "Covering",

@@ -37,6 +37,11 @@ from . import cellid
 #: Batch cell id used for points outside the grid domain (never valid).
 INVALID_CELL = 0
 
+#: Batch point key for points outside the grid domain. All-ones is never
+#: a valid cell id (faces stop at 5) nor a planar packed (i, j) key
+#: (those use at most 60 bits).
+INVALID_KEY = np.uint64(0xFFFFFFFFFFFFFFFF)
+
 #: (face, i0, j0, level): cell addressed by its min corner in leaf units.
 Frame = Tuple[int, int, int, int]
 
@@ -97,6 +102,24 @@ class HierarchicalGrid(ABC):
         if leaf is None:
             return None
         return cellid.parent(leaf, level)
+
+    def point_keys(self, lngs: np.ndarray, lats: np.ndarray,
+                   level: int) -> np.ndarray:
+        """Vectorized :meth:`point_key`: one uint64 key per point.
+
+        Out-of-domain points map to :data:`INVALID_KEY`. For in-domain
+        points the value equals ``point_key(lng, lat, level)`` exactly,
+        so scalar and batch callers share one cache keyspace. The default
+        goes through :meth:`leaf_cells_batch`; grids may override with
+        cheaper arithmetic (the planar grid skips the bit-interleave).
+        """
+        cells = self.leaf_cells_batch(
+            np.asarray(lngs, dtype=np.float64),
+            np.asarray(lats, dtype=np.float64),
+        )
+        keys = cellid.parent_batch(cells, level)
+        keys[cells == INVALID_CELL] = INVALID_KEY
+        return keys
 
     # ------------------------------------------------------------------
     # Frames (integer-space quadtree descent)

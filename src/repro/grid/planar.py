@@ -18,7 +18,7 @@ from ..errors import GridError, OutOfBoundsError
 from ..geometry.bbox import Rect
 from ..geometry.distance import meters_per_degree
 from . import cellid
-from .base import INVALID_CELL, HierarchicalGrid
+from .base import INVALID_CELL, INVALID_KEY, HierarchicalGrid
 
 
 class PlanarGrid(HierarchicalGrid):
@@ -95,6 +95,26 @@ class PlanarGrid(HierarchicalGrid):
         i = self._coord_to_ij(lng, bounds.min_x, self._sx)
         j = self._coord_to_ij(lat, bounds.min_y, self._sy)
         return ((i >> shift) << cellid.MAX_LEVEL) | (j >> shift)
+
+    def point_keys(self, lngs: np.ndarray, lats: np.ndarray,
+                   level: int) -> np.ndarray:
+        """Vectorized :meth:`point_key`: truncated (i, j) packing with no
+        Hilbert bit-interleave, one numpy pass for the whole batch."""
+        lngs = np.asarray(lngs, dtype=np.float64)
+        lats = np.asarray(lats, dtype=np.float64)
+        bounds = self.bounds
+        inside = (
+            (lngs >= bounds.min_x) & (lngs <= bounds.max_x)
+            & (lats >= bounds.min_y) & (lats <= bounds.max_y)
+        )
+        i = np.clip(((lngs - bounds.min_x) * self._sx).astype(np.int64),
+                    0, self._ij_size - 1).astype(np.uint64)
+        j = np.clip(((lats - bounds.min_y) * self._sy).astype(np.int64),
+                    0, self._ij_size - 1).astype(np.uint64)
+        shift = np.uint64(cellid.MAX_LEVEL - level)
+        keys = ((i >> shift) << np.uint64(cellid.MAX_LEVEL)) | (j >> shift)
+        keys[~inside] = INVALID_KEY
+        return keys
 
     def leaf_cell_strict(self, lng: float, lat: float) -> int:
         """Like :meth:`leaf_cell` but raises on out-of-domain points."""

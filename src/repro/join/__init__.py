@@ -1,8 +1,10 @@
 """Join operators: approximate (ACT), exact (filter+refine), streaming,
-aggregation, and multi-worker scaling."""
+aggregation, and multi-worker scaling — all executing through the
+columnar :class:`~repro.join.executor.JoinExecutor`."""
 
 from .aggregate import CountAggregator, count_points_per_polygon, count_stream
 from .approximate import ApproximateJoin
+from .executor import JoinExecutor, refine_pairs
 from .filter_refine import ACTExactJoin, FilterRefineJoin
 from .parallel import (
     ScalingPoint,
@@ -21,6 +23,8 @@ __all__ = [
     "ApproximateJoin",
     "ACTExactJoin",
     "FilterRefineJoin",
+    "JoinExecutor",
+    "refine_pairs",
     "ScalingPoint",
     "fork_available",
     "parallel_count",

@@ -3,7 +3,9 @@
 Joins a batch of points against the indexed polygons **without any
 refinement phase**: every trie match — true hit or candidate — counts as
 a join pair. False-positive pairs are guaranteed to be within the index's
-precision bound of their polygon.
+precision bound of their polygon. Execution is fully columnar through
+the :class:`~repro.join.executor.JoinExecutor`: one batch descent, one
+decode pass producing both true-hit and candidate counts.
 """
 
 from __future__ import annotations
@@ -22,24 +24,23 @@ class ApproximateJoin:
 
     def __init__(self, index: ACTIndex):
         self.index = index
+        self.executor = index.executor
 
     def join(self, lngs: np.ndarray, lats: np.ndarray) -> JoinResult:
         """Count join pairs per polygon over the batch."""
         lngs = np.asarray(lngs, dtype=np.float64)
         lats = np.asarray(lats, dtype=np.float64)
         start = time.perf_counter()
-        entries = self.index.lookup_batch(lngs, lats)
-        vect = self.index.vectorized
-        counts = vect.count_hits(entries, self.index.num_polygons,
-                                 include_candidates=True)
+        entries = self.executor.entries(lngs, lats)
+        true_counts, cand_counts = self.index.core.hit_counts(
+            entries, self.index.num_polygons)
+        counts = true_counts + cand_counts
         elapsed = time.perf_counter() - start
 
-        true_counts = vect.count_hits(entries, self.index.num_polygons,
-                                      include_candidates=False)
         stats = JoinStats(
             num_points=lngs.shape[0],
             num_true_hits=int(true_counts.sum()),
-            num_candidate_refs=int(counts.sum() - true_counts.sum()),
+            num_candidate_refs=int(cand_counts.sum()),
             num_refined=0,
             num_result_pairs=int(counts.sum()),
             seconds=elapsed,
@@ -49,10 +50,6 @@ class ApproximateJoin:
     def join_pairs(self, lngs: np.ndarray, lats: np.ndarray,
                    ) -> Iterator[Tuple[int, int]]:
         """Yield ``(point_index, polygon_id)`` join pairs (approximate)."""
-        lngs = np.asarray(lngs, dtype=np.float64)
-        lats = np.asarray(lats, dtype=np.float64)
-        entries = self.index.lookup_batch(lngs, lats)
-        vect = self.index.vectorized
-        for want_true in (True, False):
-            point_idx, polygon_ids = vect.pairs(entries, want_true=want_true)
-            yield from zip(point_idx.tolist(), polygon_ids.tolist())
+        point_idx, polygon_ids = self.executor.pairs(lngs, lats,
+                                                     exact=False)
+        yield from zip(point_idx.tolist(), polygon_ids.tolist())

@@ -6,6 +6,14 @@ test. This is the decades-old baseline the paper's introduction describes,
 and the operator ACT's true-hit filtering + precision-bounded candidates
 render unnecessary.
 
+Refinement is executed the same way the columnar engine refines ACT
+candidates: pairs are grouped by polygon and each polygon evaluates one
+``contains_batch`` over its candidate points. Only the probe phase stays
+per point (the filter indexes are inherently scalar probes). The
+:class:`~repro.join.result.JoinStats` accounting is preserved across the
+grouped rewrite: ``num_refined`` still counts every PIP test and
+``num_result_pairs`` every surviving pair.
+
 The filter index is pluggable so the ablation benchmarks can compare
 refinement cost across filters (plain MBR, interior-rectangle, fixed grid,
 ACT-with-refinement).
@@ -21,6 +29,7 @@ import numpy as np
 from ..act.index import ACTIndex
 from ..baselines.rtree import RStarTree
 from ..geometry.polygon import Polygon
+from .executor import refine_pairs
 from .result import JoinResult, JoinStats
 
 
@@ -50,25 +59,30 @@ class FilterRefineJoin:
         """Exact per-polygon counts with full refinement accounting."""
         lngs = np.asarray(lngs, dtype=np.float64)
         lats = np.asarray(lats, dtype=np.float64)
-        counts = np.zeros(len(self.polygons), dtype=np.int64)
-        refined = 0
-        pairs = 0
         query = self.filter_index.query_point
-        contains = [p.contains for p in self.polygons]
         start = time.perf_counter()
-        for x, y in zip(lngs.tolist(), lats.tolist()):
+        # probe phase: the filter index answers one point at a time
+        point_parts: List[int] = []
+        id_parts: List[int] = []
+        for k, (x, y) in enumerate(zip(lngs.tolist(), lats.tolist())):
             for pid in query(x, y):
-                refined += 1
-                if contains[pid](x, y):
-                    counts[pid] += 1
-                    pairs += 1
+                point_parts.append(k)
+                id_parts.append(pid)
+        point_idx = np.asarray(point_parts, dtype=np.int64)
+        polygon_ids = np.asarray(id_parts, dtype=np.int64)
+        # refine phase: grouped by polygon, one contains_batch each
+        inside = refine_pairs(self.polygons, point_idx, polygon_ids,
+                              lngs, lats)
+        counts = np.bincount(polygon_ids[inside],
+                             minlength=len(self.polygons))
         elapsed = time.perf_counter() - start
+        refined = int(point_idx.shape[0])
         stats = JoinStats(
             num_points=lngs.shape[0],
             num_true_hits=0,
             num_candidate_refs=refined,
             num_refined=refined,
-            num_result_pairs=pairs,
+            num_result_pairs=int(np.count_nonzero(inside)),
             seconds=elapsed,
         )
         return JoinResult(counts, stats)
@@ -85,32 +99,15 @@ class ACTExactJoin:
 
     def __init__(self, index: ACTIndex):
         self.index = index
+        self.executor = index.executor
 
     def join(self, lngs: np.ndarray, lats: np.ndarray) -> JoinResult:
         lngs = np.asarray(lngs, dtype=np.float64)
         lats = np.asarray(lats, dtype=np.float64)
         start = time.perf_counter()
-        entries = self.index.lookup_batch(lngs, lats)
-        vect = self.index.vectorized
-        counts = vect.count_hits(entries, self.index.num_polygons,
-                                 include_candidates=False)
-        true_pairs = int(counts.sum())
-        point_idx, polygon_ids = vect.candidate_pairs(entries)
-        refined = int(point_idx.shape[0])
-        if refined:
-            order = np.argsort(polygon_ids, kind="stable")
-            point_idx = point_idx[order]
-            polygon_ids = polygon_ids[order]
-            boundaries = np.flatnonzero(np.diff(polygon_ids)) + 1
-            for chunk_ids, chunk_pts in zip(
-                np.split(polygon_ids, boundaries),
-                np.split(point_idx, boundaries),
-            ):
-                pid = int(chunk_ids[0])
-                inside = self.index.polygons[pid].contains_batch(
-                    lngs[chunk_pts], lats[chunk_pts]
-                )
-                counts[pid] += int(np.count_nonzero(inside))
+        entries = self.executor.entries(lngs, lats)
+        counts, true_pairs, refined = self.executor.refined_counts(
+            entries, lngs, lats)
         elapsed = time.perf_counter() - start
         stats = JoinStats(
             num_points=lngs.shape[0],

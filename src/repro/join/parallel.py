@@ -30,7 +30,8 @@ _SHARED: dict = {}
 def _worker_count(bounds: tuple) -> np.ndarray:
     start, stop = bounds
     index: ACTIndex = _SHARED["index"]
-    return index.count_points(
+    # the columnar engine is shared copy-on-write through fork
+    return index.executor.count_points(
         _SHARED["lngs"][start:stop],
         _SHARED["lats"][start:stop],
         exact=_SHARED["exact"],
@@ -70,8 +71,8 @@ def parallel_count(index: ACTIndex, lngs: np.ndarray, lats: np.ndarray,
         index.count_points(lngs, lats, exact=exact)
         return ScalingPoint(1, time.perf_counter() - start, n)
 
-    # warm the vectorized snapshot before forking so children share it
-    _ = index.vectorized
+    # bind the executor before forking so children inherit it built
+    _ = index.executor
     _SHARED.update(index=index, lngs=lngs, lats=lats, exact=exact)
     step = (n + workers - 1) // workers
     slices = [(i, min(i + step, n)) for i in range(0, n, step)]
@@ -97,7 +98,7 @@ def parallel_counts_array(index: ACTIndex, lngs: np.ndarray,
     n = lngs.shape[0]
     if workers <= 1 or not fork_available():
         return index.count_points(lngs, lats, exact=exact)
-    _ = index.vectorized
+    _ = index.executor
     _SHARED.update(index=index, lngs=lngs, lats=lats, exact=exact)
     step = (n + workers - 1) // workers
     slices = [(i, min(i + step, n)) for i in range(0, n, step)]

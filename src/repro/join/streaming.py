@@ -24,6 +24,7 @@ class StreamingJoin:
     def __init__(self, index: ACTIndex, exact: bool = False):
         self.index = index
         self.exact = exact
+        self.executor = index.executor
         self.aggregator = CountAggregator(index.num_polygons)
         self._latencies: List[float] = []
 
@@ -32,7 +33,7 @@ class StreamingJoin:
         lngs = np.asarray(lngs, dtype=np.float64)
         lats = np.asarray(lats, dtype=np.float64)
         start = time.perf_counter()
-        counts = self.index.count_points(lngs, lats, exact=self.exact)
+        counts = self.executor.count_points(lngs, lats, exact=self.exact)
         self._latencies.append(time.perf_counter() - start)
         self.aggregator.update(counts, int(lngs.shape[0]))
         return counts

@@ -1,13 +1,14 @@
 """Micro-batching engine for concurrent point queries.
 
-One-at-a-time ``ACTIndex.query`` pays a pure-Python trie descent per
-point; the vectorized engine amortizes that across a batch but needs the
-batch to exist. The :class:`MicroBatcher` manufactures batches out of
-concurrency: callers submit single points and get futures back, a worker
-thread collects everything that arrives within a bounded window
-(``max_batch`` points or ``max_wait`` seconds, whichever first) and
-dispatches one :meth:`~repro.act.index.ACTIndex.lookup_batch` call
-through :class:`~repro.act.vectorized.VectorizedACT` for the lot.
+One-at-a-time ``ACTIndex.query`` pays a per-point descent; the batch
+engine amortizes that across a batch but needs the batch to exist. The
+:class:`MicroBatcher` manufactures batches out of concurrency: callers
+submit single points and get futures back, a worker thread collects
+everything that arrives within a bounded window (``max_batch`` points or
+``max_wait`` seconds, whichever first) and dispatches one vectorized
+descent against the index's :class:`~repro.act.core.ACTCore` — the
+batcher holds the grid and the core directly, so dispatch is two array
+passes plus per-request decodes.
 
 Batch formation is *adaptive*: the worker greedily drains everything
 already queued (natural batches form from backlog, with zero added
@@ -22,11 +23,10 @@ the window instead of being blown by it, and requests whose budget is
 already spent at dispatch time are shed with
 :class:`~repro.errors.BudgetExceededError` rather than served late.
 
-Thread-safety: lookups only read the frozen uint64 arrays of the
-vectorized snapshot (plus a benign memoization dict), so a single worker
-per index, or several, may run against one ``ACTIndex`` concurrently;
-the registry freezes the snapshot at materialization time so the lazy
-``index.vectorized`` property is never raced.
+Thread-safety: lookups only read the core's uint64 arrays (plus a benign
+memoization dict), so a single worker per index, or several, may run
+against one ``ACTIndex`` concurrently; the core exists from index
+construction, so there is no lazy snapshot to race.
 """
 
 from __future__ import annotations
@@ -75,6 +75,9 @@ class MicroBatcher:
         if max_wait < 0:
             raise ServeError(f"max_wait must be >= 0, got {max_wait}")
         self.index = index
+        # dispatch runs against the columnar core and the grid directly
+        self._core = index.core
+        self._grid = index.grid
         self.max_batch = max_batch
         self.max_wait = max_wait
         self.name = name
@@ -200,8 +203,10 @@ class MicroBatcher:
                                count=len(live))
             lats = np.fromiter((r.lat for r in live), dtype=np.float64,
                                count=len(live))
-            entries = self.index.lookup_batch(lngs, lats)
-            results = [self.index.decode_entry(int(e)) for e in entries]
+            cells = self._grid.leaf_cells_batch(lngs, lats)
+            entries = self._core.lookup_entries(cells)
+            decode = self._core.decode_entry
+            results = [decode(int(e)) for e in entries]
         except BaseException as exc:  # propagate to every waiter
             for request in live:
                 if not request.future.done():

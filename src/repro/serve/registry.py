@@ -8,6 +8,11 @@ written by :mod:`repro.act.serialize`). The first ``get`` materializes
 the index — build or load — and pins it for every later request; builds
 of distinct names can proceed concurrently, while concurrent ``get`` of
 the same name build exactly once (per-name locks).
+
+A pinned index *is* its columnar :class:`~repro.act.core.ACTCore` — the
+flat arrays exist from construction (builds export them, loads
+materialize them straight from the ``.npz``), so there is no lazy
+freeze step to race and cold loads never rebuild a Python trie.
 """
 
 from __future__ import annotations
@@ -58,7 +63,6 @@ class IndexRegistry:
 
     def register_index(self, name: str, index: ACTIndex) -> None:
         """Register an already-built index (pinned immediately)."""
-        index.vectorized  # freeze the batch snapshot before sharing
         self._add(_Registration(name=name, index=index,
                                 materialize_seconds=0.0))
         self.materialized[name] = index
@@ -88,10 +92,6 @@ class IndexRegistry:
                 else:
                     assert registration.builder is not None
                     index = registration.builder()
-                # freeze the vectorized snapshot now, while we hold the
-                # materialization lock, so the batcher never races its
-                # lazy construction
-                index.vectorized
                 registration.materialize_seconds = (
                     time.perf_counter() - start
                 )
@@ -139,7 +139,7 @@ class IndexRegistry:
                 "num_polygons": index.num_polygons,
                 "precision_meters": index.precision_meters,
                 "boundary_level": index.boundary_level,
-                "trie_bytes": index.trie.size_bytes,
+                "trie_bytes": index.core.size_bytes,
                 "materialize_seconds": registration.materialize_seconds,
             })
         return info

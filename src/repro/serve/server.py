@@ -7,6 +7,10 @@ reproduction environment):
 * ``GET  /healthz`` — liveness plus registered index names;
 * ``GET  /query?index=NAME&lng=X&lat=Y[&exact=1][&budget_ms=N]`` —
   one point lookup through cache + batcher;
+* ``POST /query`` — body ``{"index": NAME, "points": [[lng, lat], ...],
+  "exact": false}`` — classified lookups for a whole batch, answered by
+  one vectorized descent so network clients amortize the same way
+  in-process callers do;
 * ``POST /join`` — body ``{"index": NAME, "points": [[lng, lat], ...],
   "exact": false}`` — bulk count-per-polygon aggregation;
 * ``GET  /stats`` — metrics snapshot (qps counters, latency percentiles,
@@ -65,6 +69,8 @@ class ACTRequestHandler(BaseHTTPRequestHandler):
         try:
             if parsed.path == "/join":
                 self._handle_join()
+            elif parsed.path == "/query":
+                self._handle_query_batch()
             else:
                 self._send(404, {"error": f"no route {parsed.path!r}"})
         except Exception as exc:  # pragma: no cover - last-resort guard
@@ -106,29 +112,37 @@ class ACTRequestHandler(BaseHTTPRequestHandler):
             "is_hit": result.is_hit,
         })
 
+    def _handle_query_batch(self) -> None:
+        parsed = self._parse_points_body()
+        if parsed is None:
+            return
+        index_name, lngs, lats, exact, budget = parsed
+        try:
+            results = self.service.query_batch(index_name, lngs, lats,
+                                               exact=exact, budget=budget)
+        except (UnknownIndexError, BudgetExceededError, ServeError) as exc:
+            self._send_error_for(exc)
+            return
+        self._send(200, {
+            "index": index_name,
+            "num_points": len(lngs),
+            "exact": exact,
+            "results": [
+                {
+                    "true_hits": list(r.true_hits),
+                    "candidates": list(r.candidates),
+                    "polygon_ids": list(r.all_ids),
+                    "is_hit": r.is_hit,
+                }
+                for r in results
+            ],
+        })
+
     def _handle_join(self) -> None:
-        body = self._read_json_body()
-        if body is None:
+        parsed = self._parse_points_body()
+        if parsed is None:
             return
-        index_name = body.get("index")
-        points = body.get("points")
-        if not isinstance(index_name, str) or not isinstance(points, list):
-            self._send(400, {
-                "error": 'need {"index": NAME, "points": [[lng, lat], ...]}',
-            })
-            return
-        try:
-            lngs = [float(p[0]) for p in points]
-            lats = [float(p[1]) for p in points]
-        except (TypeError, ValueError, IndexError):
-            self._send(400, {"error": "points must be [lng, lat] pairs"})
-            return
-        exact = bool(body.get("exact", False))
-        try:
-            budget = self._parse_budget(body.get("budget_ms"))
-        except ValueError:
-            self._send(400, {"error": "budget_ms must be a number"})
-            return
+        index_name, lngs, lats, exact, budget = parsed
         try:
             counts = self.service.join(index_name, lngs, lats, exact=exact,
                                        budget=budget)
@@ -138,7 +152,7 @@ class ACTRequestHandler(BaseHTTPRequestHandler):
         nonzero = {int(pid): int(c) for pid, c in enumerate(counts) if c}
         self._send(200, {
             "index": index_name,
-            "num_points": len(points),
+            "num_points": len(lngs),
             "exact": exact,
             "counts": nonzero,
         })
@@ -146,6 +160,36 @@ class ACTRequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # Plumbing
     # ------------------------------------------------------------------
+    def _parse_points_body(self):
+        """Shared body parsing for the batch endpoints.
+
+        Returns ``(index_name, lngs, lats, exact, budget)`` or ``None``
+        (a 4xx response has already been sent).
+        """
+        body = self._read_json_body()
+        if body is None:
+            return None
+        index_name = body.get("index")
+        points = body.get("points")
+        if not isinstance(index_name, str) or not isinstance(points, list):
+            self._send(400, {
+                "error": 'need {"index": NAME, "points": [[lng, lat], ...]}',
+            })
+            return None
+        try:
+            lngs = [float(p[0]) for p in points]
+            lats = [float(p[1]) for p in points]
+        except (TypeError, ValueError, IndexError):
+            self._send(400, {"error": "points must be [lng, lat] pairs"})
+            return None
+        exact = bool(body.get("exact", False))
+        try:
+            budget = self._parse_budget(body.get("budget_ms"))
+        except ValueError:
+            self._send(400, {"error": "budget_ms must be a number"})
+            return None
+        return index_name, lngs, lats, exact, budget
+
     def _parse_budget(self, raw) -> Optional[Budget]:
         """``None`` -> no budget; malformed values raise ``ValueError``."""
         if raw is None:

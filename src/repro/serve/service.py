@@ -20,6 +20,12 @@ point (HTTP server, CLI, benchmarks). Per point query it:
 5. refines candidates per point for ``exact`` mode (cached cell results
    are classified, so exactness survives caching) and records latency.
 
+:meth:`ACTService.query_batch` is the columnar analog for clients that
+already hold a batch (the ``POST /query`` endpoint): cache keys come
+from one vectorized ``point_keys`` pass, all misses resolve with a
+single batch descent against the core, and exact-mode refinement is
+grouped by polygon across the whole batch.
+
 Bulk joins go straight to the vectorized ``count_points`` engine — they
 arrive pre-batched, so micro-batching would only add latency.
 """
@@ -30,12 +36,14 @@ import threading
 import time
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..act.index import ACTIndex, QueryResult
 from ..errors import BudgetExceededError
+from ..grid.base import INVALID_KEY
+from ..join.executor import refine_pairs
 from .batcher import MicroBatcher
 from .budget import Budget
 from .cache import CellResultCache
@@ -102,17 +110,9 @@ class ACTService:
         """
         start = time.perf_counter()
         self._queries_total.inc()
-        if budget is None and self.config.default_budget_ms is not None:
-            budget = Budget.from_ms(self.config.default_budget_ms)
+        budget = self._effective_budget(budget)
         try:
-            hot = self._hot.get(index_name)
-            # the identity check keeps the pinned view coherent with the
-            # registry: after evict()/re-materialization the names no
-            # longer map to the same object and the next query re-warms
-            if hot is None or hot[0] is not self.registry.materialized.get(
-                    index_name):
-                hot = self._warm(index_name)
-            index, boundary_level = hot
+            index, boundary_level = self._hot_view(index_name)
             if budget is not None:
                 budget.require("admission")
             cell = index.grid.point_key(lng, lat, boundary_level)
@@ -138,6 +138,25 @@ class ACTService:
             raise
         self._latency.observe(time.perf_counter() - start)
         return result
+
+    def _effective_budget(self, budget: Optional[Budget]) -> Optional[Budget]:
+        if budget is None and self.config.default_budget_ms is not None:
+            return Budget.from_ms(self.config.default_budget_ms)
+        return budget
+
+    def _hot_view(self, index_name: str) -> Tuple[ACTIndex, int]:
+        """The pinned ``(index, boundary_level)`` view for a name.
+
+        The identity check keeps the pinned view coherent with the
+        registry: after evict()/re-materialization the names no longer
+        map to the same object and the next request re-warms — the rule
+        is shared by the scalar and batch query paths.
+        """
+        hot = self._hot.get(index_name)
+        if hot is None or hot[0] is not self.registry.materialized.get(
+                index_name):
+            hot = self._warm(index_name)
+        return hot
 
     def _warm(self, index_name: str) -> Tuple[ACTIndex, int]:
         """Materialize an index and pin its cache-key resolution.
@@ -196,6 +215,106 @@ class ACTService:
                 self._misses_in_flight -= 1
         self.cache.put(key, result)
         return result
+
+    # ------------------------------------------------------------------
+    # Batched point queries
+    # ------------------------------------------------------------------
+    def query_batch(self, index_name: str, lngs: Sequence[float],
+                    lats: Sequence[float], exact: bool = False,
+                    budget: Optional[Budget] = None) -> List[QueryResult]:
+        """Classified lookups for a whole point batch, cache included.
+
+        Network clients amortize the same way in-process callers do:
+        one vectorized ``point_keys`` pass produces the cache keys, all
+        cache misses are answered by a single batch descent against the
+        core (results are cached for the scalar path too — the keyspace
+        is shared), and ``exact`` refinement is grouped by polygon over
+        the batch. A spent budget sheds the whole batch with
+        :class:`~repro.errors.BudgetExceededError`.
+        """
+        start = time.perf_counter()
+        lngs = np.asarray(lngs, dtype=np.float64)
+        lats = np.asarray(lats, dtype=np.float64)
+        n = int(lngs.shape[0])
+        self._queries_total.inc(n)
+        budget = self._effective_budget(budget)
+        try:
+            index, boundary_level = self._hot_view(index_name)
+            if budget is not None:
+                budget.require("batch admission")
+            keys = index.grid.point_keys(lngs, lats, boundary_level).tolist()
+            invalid = int(INVALID_KEY)
+            results: List[Optional[QueryResult]] = [None] * n
+            miss_pos: List[int] = []
+            cache_get = self.cache.get
+            hits = 0
+            for k, key in enumerate(keys):
+                if key == invalid:
+                    self._queries_ood.inc()
+                    results[k] = _MISS
+                    continue
+                cached = cache_get((index_name, key))
+                if cached is not None:
+                    results[k] = cached
+                    hits += 1
+                else:
+                    miss_pos.append(k)
+            if hits:
+                self._cache_hits.inc(hits)
+            if miss_pos:
+                if budget is not None:
+                    budget.require("batch dispatch")
+                # one descent and one decode per *unique* cell — ACT
+                # results are constant within a boundary-level cell, so
+                # a skewed batch decodes each hot cell once
+                first_pos: Dict[int, int] = {}
+                for k in miss_pos:
+                    first_pos.setdefault(keys[k], k)
+                pos = np.asarray(list(first_pos.values()), dtype=np.int64)
+                cells = index.grid.leaf_cells_batch(lngs[pos], lats[pos])
+                entries = index.core.lookup_entries(cells)
+                decode = index.core.decode_entry
+                put = self.cache.put
+                by_key: Dict[int, QueryResult] = {}
+                for key, entry in zip(first_pos, entries.tolist()):
+                    result = decode(entry)
+                    by_key[key] = result
+                    put((index_name, key), result)
+                for k in miss_pos:
+                    results[k] = by_key[keys[k]]
+                self.metrics.counter("queries.batched_misses").inc(
+                    len(miss_pos))
+            if exact:
+                results = self._refine_batch(index, results, lngs, lats)
+        except Exception:
+            self._queries_errors.inc(n)
+            raise
+        self._latency.observe(time.perf_counter() - start)
+        return results
+
+    def _refine_batch(self, index: ACTIndex, results: List[QueryResult],
+                      lngs: np.ndarray, lats: np.ndarray,
+                      ) -> List[QueryResult]:
+        """Exact-mode refinement grouped by polygon across the batch."""
+        point_parts: List[int] = []
+        id_parts: List[int] = []
+        for k, result in enumerate(results):
+            for pid in result.candidates:
+                point_parts.append(k)
+                id_parts.append(pid)
+        surviving: Dict[int, List[int]] = {}
+        if point_parts:
+            point_idx = np.asarray(point_parts, dtype=np.int64)
+            polygon_ids = np.asarray(id_parts, dtype=np.int64)
+            inside = refine_pairs(index.polygons, point_idx, polygon_ids,
+                                  lngs, lats)
+            for k, pid in zip(point_idx[inside].tolist(),
+                              polygon_ids[inside].tolist()):
+                surviving.setdefault(k, []).append(pid)
+        return [
+            QueryResult(r.true_hits + tuple(surviving.get(k, ())), ())
+            for k, r in enumerate(results)
+        ]
 
     # ------------------------------------------------------------------
     # Bulk joins

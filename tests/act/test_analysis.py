@@ -8,46 +8,52 @@ from repro.act.analysis import (
     node_occupancy,
     summarize,
 )
+from repro.act.core import ACTCore
+from repro.act.lookup_table import LookupTable
 from repro.act.trie import AdaptiveCellTrie
 from repro.grid.coverer import RegionCoverer
 
 
+def _empty_core() -> ACTCore:
+    return ACTCore.from_trie(AdaptiveCellTrie(), LookupTable())
+
+
 class TestLevelHistogram:
     def test_totals_match_entries(self, nyc_index):
-        histogram = level_histogram(nyc_index.trie)
+        histogram = level_histogram(nyc_index.core)
         total = sum(t + c for t, c in histogram.values())
-        assert total == nyc_index.trie.num_entries
+        assert total == nyc_index.core.num_entries
 
     def test_boundary_slots_at_deepest_levels(self, nyc_index):
         """Candidate cells concentrate at/near the precision level."""
-        histogram = level_histogram(nyc_index.trie)
+        histogram = level_histogram(nyc_index.core)
         deepest = max(histogram)
         _, cand_deepest = histogram[deepest]
         assert cand_deepest > 0
         assert deepest >= nyc_index.boundary_level
 
     def test_interior_cells_at_coarse_levels(self, nyc_index):
-        histogram = level_histogram(nyc_index.trie)
+        histogram = level_histogram(nyc_index.core)
         coarse_true = sum(
             t for level, (t, _) in histogram.items()
             if level < nyc_index.boundary_level
         )
         assert coarse_true > 0
 
-    def test_empty_trie(self):
-        assert level_histogram(AdaptiveCellTrie()) == {}
+    def test_empty_core(self):
+        assert level_histogram(_empty_core()) == {}
 
 
 class TestNodeOccupancy:
     def test_sparse_fanout_256(self, nyc_index):
         """Paper: fanout 256 nodes are sparsely occupied."""
-        stats = node_occupancy(nyc_index.trie)
-        assert stats["nodes"] == nyc_index.trie.num_nodes
+        stats = node_occupancy(nyc_index.core)
+        assert stats["nodes"] == nyc_index.core.num_nodes
         assert 0 < stats["mean"] <= 256
         assert stats["occupancy"] < 0.9
 
-    def test_empty_trie(self):
-        stats = node_occupancy(AdaptiveCellTrie())
+    def test_empty_core(self):
+        stats = node_occupancy(_empty_core())
         assert stats["nodes"] == 0
 
 

@@ -1,31 +1,41 @@
-"""Tests that the vectorized batch engine agrees with scalar lookups."""
+"""Tests of the columnar core: scalar and batch engines must agree."""
 
 import numpy as np
 import pytest
 
 from repro.act import entry as codec
-from repro.act.vectorized import VectorizedACT
+from repro.act.core import ACTCore
+
+
+class TestScalarLookup:
+    def test_scalar_matches_batch(self, nyc_index, taxi_batch):
+        lngs, lats = taxi_batch
+        cells = nyc_index.grid.leaf_cells_batch(lngs, lats)
+        entries = nyc_index.core.lookup_entries(cells)
+        for k in range(0, len(lngs), 5):
+            cell = int(cells[k])
+            want = nyc_index.core.lookup_entry(cell) if cell else 0
+            assert int(entries[k]) == want, k
+
+    def test_node_accesses_bounded(self, nyc_index, taxi_batch):
+        lngs, lats = taxi_batch
+        core = nyc_index.core
+        for k in range(0, 200, 7):
+            leaf = nyc_index.grid.leaf_cell(lngs[k], lats[k])
+            if leaf is None:
+                continue
+            assert 0 <= core.node_accesses(leaf) <= core.max_steps
 
 
 class TestLookupEntries:
-    def test_matches_scalar_trie(self, nyc_index, taxi_batch):
-        lngs, lats = taxi_batch
-        cells = nyc_index.grid.leaf_cells_batch(lngs, lats)
-        vect = nyc_index.vectorized
-        entries = vect.lookup_entries(cells)
-        for k in range(0, len(lngs), 5):
-            cell = int(cells[k])
-            want = (nyc_index.trie.lookup_entry(cell) if cell else 0)
-            assert int(entries[k]) == want, k
-
     def test_invalid_cells_miss(self, nyc_index):
-        entries = nyc_index.vectorized.lookup_entries(
+        entries = nyc_index.core.lookup_entries(
             np.zeros(5, dtype=np.uint64)
         )
         assert (entries == 0).all()
 
     def test_empty_batch(self, nyc_index):
-        entries = nyc_index.vectorized.lookup_entries(
+        entries = nyc_index.core.lookup_entries(
             np.empty(0, dtype=np.uint64)
         )
         assert entries.shape == (0,)
@@ -35,7 +45,7 @@ class TestCountHits:
     def test_counts_match_decoded_entries(self, nyc_index, taxi_batch):
         lngs, lats = taxi_batch
         entries = nyc_index.lookup_batch(lngs, lats)
-        counts = nyc_index.vectorized.count_hits(
+        counts = nyc_index.core.count_hits(
             entries, nyc_index.num_polygons, include_candidates=True
         )
         # brute-force decode per entry
@@ -49,10 +59,10 @@ class TestCountHits:
     def test_true_only_counts(self, nyc_index, taxi_batch):
         lngs, lats = taxi_batch
         entries = nyc_index.lookup_batch(lngs, lats)
-        true_counts = nyc_index.vectorized.count_hits(
+        true_counts = nyc_index.core.count_hits(
             entries, nyc_index.num_polygons, include_candidates=False
         )
-        all_counts = nyc_index.vectorized.count_hits(
+        all_counts = nyc_index.core.count_hits(
             entries, nyc_index.num_polygons, include_candidates=True
         )
         assert (true_counts <= all_counts).all()
@@ -62,14 +72,30 @@ class TestCountHits:
                 want[pid] += 1
         assert true_counts.tolist() == want.tolist()
 
+    def test_hit_counts_single_pass(self, overlap_index, taxi_batch):
+        """hit_counts returns both classifications from one decode."""
+        lngs, lats = taxi_batch
+        entries = overlap_index.lookup_batch(lngs, lats)
+        true_counts, cand_counts = overlap_index.core.hit_counts(
+            entries, overlap_index.num_polygons
+        )
+        assert true_counts.tolist() == overlap_index.core.count_hits(
+            entries, overlap_index.num_polygons, include_candidates=False
+        ).tolist()
+        assert (true_counts + cand_counts).tolist() == \
+            overlap_index.core.count_hits(
+                entries, overlap_index.num_polygons,
+                include_candidates=True,
+            ).tolist()
+
 
 class TestPairs:
     def test_pairs_match_decoded(self, overlap_index, taxi_batch):
         lngs, lats = taxi_batch
         entries = overlap_index.lookup_batch(lngs, lats)
-        vect = overlap_index.vectorized
+        core = overlap_index.core
         for want_true in (True, False):
-            pts, pids = vect.pairs(entries, want_true=want_true)
+            pts, pids = core.pairs(entries, want_true=want_true)
             got = sorted(zip(pts.tolist(), pids.tolist()))
             want = []
             for k, e in enumerate(entries.tolist()):
@@ -81,13 +107,13 @@ class TestPairs:
     def test_candidate_pairs_alias(self, nyc_index, taxi_batch):
         lngs, lats = taxi_batch
         entries = nyc_index.lookup_batch(lngs[:500], lats[:500])
-        a = nyc_index.vectorized.candidate_pairs(entries)
-        b = nyc_index.vectorized.pairs(entries, want_true=False)
+        a = nyc_index.core.candidate_pairs(entries)
+        b = nyc_index.core.pairs(entries, want_true=False)
         assert a[0].tolist() == b[0].tolist()
         assert a[1].tolist() == b[1].tolist()
 
     def test_no_pairs_on_empty(self, nyc_index):
-        pts, pids = nyc_index.vectorized.pairs(
+        pts, pids = nyc_index.core.pairs(
             np.zeros(4, dtype=np.uint64), want_true=False
         )
         assert pts.shape == (0,) and pids.shape == (0,)
@@ -102,18 +128,45 @@ class TestOffsetEntries:
         has_offsets = bool((tags == np.uint64(codec.TAG_OFFSET)).any())
         # the overlap fixture is designed to produce shared cells
         assert has_offsets, "expected >=3-ref cells in overlapping zones"
-        counts = overlap_index.vectorized.count_hits(
+        counts = overlap_index.core.count_hits(
             entries, overlap_index.num_polygons, include_candidates=True
         )
         assert counts.sum() > 0
 
+    def test_csr_index_covers_lookup_table(self, overlap_index):
+        """The CSR decode must reproduce every interned reference set."""
+        core = overlap_index.core
+        table = core.lookup_table
+        for row, offset in enumerate(core._set_starts.tolist()):
+            true_ids, cand_ids = table.get(offset)
+            got_true = core._true_ids[
+                core._true_indptr[row]:core._true_indptr[row + 1]
+            ]
+            got_cand = core._cand_ids[
+                core._cand_indptr[row]:core._cand_indptr[row + 1]
+            ]
+            assert tuple(got_true.tolist()) == true_ids
+            assert tuple(got_cand.tolist()) == cand_ids
+
     def test_offset_cache_reused(self, overlap_index, taxi_batch):
         lngs, lats = taxi_batch
-        vect = overlap_index.vectorized
-        entries = vect.lookup_entries(
+        core = overlap_index.core
+        entries = core.lookup_entries(
             overlap_index.grid.leaf_cells_batch(lngs, lats)
         )
-        vect.count_hits(entries, overlap_index.num_polygons)
-        cache_size = len(vect._offset_cache)
-        vect.count_hits(entries, overlap_index.num_polygons)
-        assert len(vect._offset_cache) == cache_size
+        for e in entries.tolist():
+            core.decode_entry(int(e))
+        cache_size = len(core._offset_cache)
+        for e in entries.tolist():
+            core.decode_entry(int(e))
+        assert len(core._offset_cache) == cache_size
+
+
+class TestIterCells:
+    def test_iter_cells_roundtrips_lookups(self, nyc_index):
+        """Every yielded (cell, entry) must be what a lookup finds."""
+        from repro.grid import cellid
+
+        for (cell, entry), _ in zip(nyc_index.core.iter_cells(), range(300)):
+            leaf = cellid.range_min(cell)
+            assert nyc_index.core.lookup_entry(leaf) == entry

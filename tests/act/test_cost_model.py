@@ -18,7 +18,7 @@ class TestAccessBounds:
     def test_max_accesses_formula(self, nyc_polygons, taxi_batch, fanout):
         index = ACTIndex.build(nyc_polygons[:6], precision_meters=250.0,
                                fanout=fanout)
-        bits = index.trie.bits_per_step
+        bits = index.core.bits_per_step
         bound = KEY_BITS // bits
         lngs, lats = taxi_batch
         worst = 0
@@ -26,7 +26,7 @@ class TestAccessBounds:
             leaf = index.grid.leaf_cell(lngs[k], lats[k])
             if leaf is None:
                 continue
-            worst = max(worst, index.trie.node_accesses(leaf))
+            worst = max(worst, index.core.node_accesses(leaf))
         assert 0 < worst <= bound
 
     def test_bigger_fanout_fewer_accesses(self, nyc_polygons, taxi_batch):
@@ -39,7 +39,7 @@ class TestAccessBounds:
             for k in range(0, 1000, 3):
                 leaf = index.grid.leaf_cell(lngs[k], lats[k])
                 if leaf is not None:
-                    accesses.append(index.trie.node_accesses(leaf))
+                    accesses.append(index.core.node_accesses(leaf))
             avgs[fanout] = float(np.mean(accesses))
         # log2(256)/log2(4) = 4x fewer accesses at equal key depth
         assert avgs[256] < avgs[4] / 2
@@ -54,11 +54,11 @@ class TestAccessBounds:
             cx, cy = polygon.centroid
             if polygon.contains(cx, cy):
                 leaf = index.grid.leaf_cell(cx, cy)
-                deep_inside.append(index.trie.node_accesses(leaf))
+                deep_inside.append(index.core.node_accesses(leaf))
             vx, vy = polygon.shell.vertices[0]
             leaf = index.grid.leaf_cell(vx, vy)
             if leaf is not None:
-                near_border.append(index.trie.node_accesses(leaf))
+                near_border.append(index.core.node_accesses(leaf))
         assert deep_inside and near_border
         assert np.mean(deep_inside) <= np.mean(near_border)
 
@@ -70,5 +70,5 @@ class TestAccessBounds:
                                fanout=4)
         large = ACTIndex.build(nyc_polygons[:6], precision_meters=250.0,
                                fanout=256)
-        assert large.trie.size_bytes > small.trie.size_bytes
-        assert large.trie.max_steps < small.trie.max_steps
+        assert large.core.size_bytes > small.core.size_bytes
+        assert large.core.max_steps < small.core.max_steps

@@ -29,8 +29,8 @@ class TestBuildBasics:
         assert "ACTIndex" in repr(nyc_index)
         stats = nyc_index.stats
         assert stats.num_polygons == len(nyc_polygons)
-        assert stats.indexed_cells == nyc_index.trie.num_entries
-        assert stats.trie_bytes == nyc_index.trie.size_bytes
+        assert stats.indexed_cells == nyc_index.core.num_entries
+        assert stats.trie_bytes == nyc_index.core.size_bytes
         assert stats.build_seconds > 0
 
     def test_guarantee_not_looser_than_requested(self, nyc_index):

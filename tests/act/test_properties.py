@@ -12,8 +12,10 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro import ACTIndex
+from repro.act.trie import SUPPORTED_FANOUTS
 from repro.geometry import point_polygon_distance_meters, regular_polygon
 from repro.geometry.polygon import Polygon
+from repro.grid.s2like import S2LikeGrid
 
 # polygons live in a small NYC-like window so builds stay fast
 _LNG0, _LAT0 = -74.0, 40.7
@@ -89,5 +91,25 @@ def test_vectorized_equals_scalar_for_random_inputs(specs, precision):
     entries = index.lookup_batch(lngs, lats)
     for k in range(200):
         leaf = index.grid.leaf_cell(float(lngs[k]), float(lats[k]))
-        want = index.trie.lookup_entry(leaf) if leaf is not None else 0
+        want = index.core.lookup_entry(leaf) if leaf is not None else 0
         assert int(entries[k]) == want
+
+
+@pytest.mark.parametrize("grid_kind", ["planar", "s2like"])
+@pytest.mark.parametrize("fanout", SUPPORTED_FANOUTS)
+def test_scalar_query_equals_batch_across_grids_and_fanouts(
+        grid_kind, fanout, nyc_polygons):
+    """Scalar ``ACTIndex.query`` ≡ vectorized ``lookup_batch`` for every
+    supported (grid, fanout) combination — one lookup engine, one truth."""
+    polygons = nyc_polygons[:6]
+    grid = S2LikeGrid() if grid_kind == "s2like" else None
+    index = ACTIndex.build(polygons, precision_meters=250.0, grid=grid,
+                           fanout=fanout)
+    rng = np.random.default_rng(20180416 + fanout)
+    lngs = rng.uniform(-74.35, -73.60, 300)
+    lats = rng.uniform(40.40, 41.00, 300)
+    entries = index.lookup_batch(lngs, lats)
+    for k in range(300):
+        scalar = index.query(float(lngs[k]), float(lats[k]))
+        batched = index.decode_entry(int(entries[k]))
+        assert scalar == batched, (grid_kind, fanout, k)

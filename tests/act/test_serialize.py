@@ -51,7 +51,7 @@ class TestRoundtrip:
         assert loaded.stats.precision_meters == \
             original.stats.precision_meters
         assert loaded.boundary_level == original.boundary_level
-        assert loaded.trie.fanout == original.trie.fanout
+        assert loaded.core.fanout == original.core.fanout
 
     def test_polygons_preserved(self, saved):
         original, path = saved
@@ -68,6 +68,36 @@ class TestRoundtrip:
             true_ids, cand_ids = loaded.lookup_table.get(0)
             offset = loaded.lookup_table.intern(true_ids, cand_ids)
             assert offset == 0
+
+
+class TestColumnarLoad:
+    def test_load_never_constructs_a_trie(self, saved, monkeypatch):
+        """Cold loads materialize the ACTCore straight from the .npz
+        arrays; instantiating build scaffolding is a regression."""
+        from repro.act.trie import AdaptiveCellTrie
+
+        _, path = saved
+
+        def _forbidden(self, *args, **kwargs):
+            raise AssertionError(
+                "load_index constructed an AdaptiveCellTrie"
+            )
+
+        monkeypatch.setattr(AdaptiveCellTrie, "__init__", _forbidden)
+        monkeypatch.setattr(
+            AdaptiveCellTrie, "from_arrays",
+            classmethod(lambda cls, *a, **k: _forbidden(None)),
+        )
+        loaded = load_index(path)
+        assert loaded.core.num_nodes > 0
+
+    def test_loaded_core_arrays_match(self, saved):
+        """The stored arrays ARE the canonical representation."""
+        original, path = saved
+        loaded = load_index(path)
+        assert np.array_equal(loaded.core.nodes, original.core.nodes)
+        assert np.array_equal(loaded.core.roots, original.core.roots)
+        assert loaded.core.num_entries == original.core.num_entries
 
 
 class TestVariants:

@@ -1,0 +1,69 @@
+"""Batch point_keys must partition exactly like scalar point_key."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import taxi_points
+from repro.geometry.bbox import Rect
+from repro.grid import INVALID_KEY
+from repro.grid.planar import PlanarGrid
+from repro.grid.s2like import S2LikeGrid
+
+
+@pytest.fixture(scope="module")
+def planar_grid():
+    return PlanarGrid(Rect(-74.30, 40.45, -73.65, 40.95))
+
+
+@pytest.fixture(scope="module")
+def mixed_points():
+    """Taxi-like points plus a few guaranteed out-of-domain ones."""
+    lngs, lats = taxi_points(500, seed=11)
+    lngs = np.concatenate([lngs, [-120.0, 10.0, -74.0]])
+    lats = np.concatenate([lats, [40.7, 40.7, -60.0]])
+    return lngs, lats
+
+
+class TestPlanar:
+    @pytest.mark.parametrize("level", [6, 10, 14, 18])
+    def test_matches_scalar(self, planar_grid, mixed_points, level):
+        lngs, lats = mixed_points
+        keys = planar_grid.point_keys(lngs, lats, level).tolist()
+        for k in range(len(lngs)):
+            scalar = planar_grid.point_key(float(lngs[k]), float(lats[k]),
+                                           level)
+            if scalar is None:
+                assert keys[k] == int(INVALID_KEY)
+            else:
+                assert keys[k] == scalar
+
+    def test_same_cell_same_key(self, planar_grid):
+        """Two points in one level-10 cell share a key; neighbors don't."""
+        keys = planar_grid.point_keys(
+            np.array([-74.0, -74.0 + 1e-7, -73.7]),
+            np.array([40.7, 40.7 + 1e-7, 40.9]),
+            10,
+        )
+        assert keys[0] == keys[1]
+        assert keys[0] != keys[2]
+
+
+class TestS2Like:
+    @pytest.mark.parametrize("level", [6, 12, 20])
+    def test_matches_scalar(self, mixed_points, level):
+        grid = S2LikeGrid()
+        lngs, lats = mixed_points
+        keys = grid.point_keys(lngs, lats, level).tolist()
+        for k in range(0, len(lngs), 3):
+            scalar = grid.point_key(float(lngs[k]), float(lats[k]), level)
+            assert keys[k] == scalar  # global grid: never out of domain
+
+    def test_keys_are_parent_cells(self, mixed_points):
+        grid = S2LikeGrid()
+        lngs, lats = mixed_points
+        keys = grid.point_keys(lngs, lats, 8)
+        from repro.grid import cellid
+
+        for key in keys[:50].tolist():
+            assert cellid.is_valid(key)
+            assert cellid.level(key) == 8

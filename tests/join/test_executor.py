@@ -1,0 +1,94 @@
+"""Tests of the columnar JoinExecutor — the one engine every join uses."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.scan import ScanJoin
+from repro.join.executor import JoinExecutor, refine_pairs
+
+
+class TestCountPoints:
+    def test_approximate_matches_decoded(self, nyc_index, taxi_batch):
+        lngs, lats = taxi_batch
+        counts = nyc_index.executor.count_points(lngs, lats)
+        want = np.zeros(nyc_index.num_polygons, dtype=np.int64)
+        for e in nyc_index.lookup_batch(lngs, lats).tolist():
+            for pid in nyc_index._decode(int(e)).all_ids:
+                want[pid] += 1
+        assert counts.tolist() == want.tolist()
+
+    def test_exact_matches_bruteforce(self, overlap_index, overlap_polygons,
+                                      taxi_batch):
+        lngs, lats = taxi_batch
+        counts = overlap_index.executor.count_points(lngs, lats, exact=True)
+        scan = ScanJoin(overlap_polygons).count_points(lngs, lats)
+        assert counts.tolist() == scan.tolist()
+
+    def test_index_delegates_to_executor(self, nyc_index, taxi_batch):
+        lngs, lats = taxi_batch
+        assert nyc_index.count_points(lngs, lats).tolist() == \
+            nyc_index.executor.count_points(lngs, lats).tolist()
+
+    def test_executor_is_cached(self, nyc_index):
+        assert nyc_index.executor is nyc_index.executor
+
+    def test_empty_batch(self, nyc_index):
+        counts = nyc_index.executor.count_points(
+            np.empty(0), np.empty(0), exact=True)
+        assert counts.tolist() == [0] * nyc_index.num_polygons
+
+
+class TestRefinedCounts:
+    def test_accounting(self, overlap_index, taxi_batch):
+        lngs = np.asarray(taxi_batch[0], dtype=np.float64)
+        lats = np.asarray(taxi_batch[1], dtype=np.float64)
+        executor = overlap_index.executor
+        entries = executor.entries(lngs, lats)
+        counts, true_pairs, refined = executor.refined_counts(
+            entries, lngs, lats)
+        want_true = overlap_index.core.count_hits(
+            entries, overlap_index.num_polygons, include_candidates=False)
+        assert true_pairs == int(want_true.sum())
+        cand_pts, _ = overlap_index.core.candidate_pairs(entries)
+        assert refined == int(cand_pts.shape[0])
+        # exact results never exceed approximate ones
+        approx = overlap_index.core.count_hits(
+            entries, overlap_index.num_polygons, include_candidates=True)
+        assert (counts <= approx).all()
+
+
+class TestPairs:
+    def test_exact_pairs_match_scalar(self, overlap_index, taxi_batch):
+        lngs, lats = taxi_batch
+        pts, pids = overlap_index.executor.pairs(
+            lngs[:300], lats[:300], exact=True)
+        got = sorted(zip(pts.tolist(), pids.tolist()))
+        want = []
+        for k in range(300):
+            for pid in overlap_index.query_exact(float(lngs[k]),
+                                                 float(lats[k])):
+                want.append((k, pid))
+        assert got == sorted(want)
+
+
+class TestRefinePairs:
+    def test_grouped_refinement_matches_per_pair(self, nyc_polygons,
+                                                 taxi_batch):
+        lngs = np.asarray(taxi_batch[0][:500], dtype=np.float64)
+        lats = np.asarray(taxi_batch[1][:500], dtype=np.float64)
+        rng = np.random.default_rng(99)
+        point_idx = rng.integers(0, 500, size=200)
+        polygon_ids = rng.integers(0, len(nyc_polygons), size=200)
+        inside = refine_pairs(nyc_polygons, point_idx, polygon_ids,
+                              lngs, lats)
+        for n, (k, pid) in enumerate(zip(point_idx.tolist(),
+                                         polygon_ids.tolist())):
+            want = nyc_polygons[pid].contains(float(lngs[k]),
+                                              float(lats[k]))
+            assert bool(inside[n]) == bool(want)
+
+    def test_empty_pairs(self, nyc_polygons):
+        empty = np.empty(0, dtype=np.int64)
+        inside = refine_pairs(nyc_polygons, empty, empty,
+                              np.empty(0), np.empty(0))
+        assert inside.shape == (0,)

@@ -1,0 +1,81 @@
+"""Tests of the batched serving path (service.query_batch)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BudgetExceededError, UnknownIndexError
+from repro.serve import ACTService, Budget, ServeConfig
+
+
+@pytest.fixture()
+def service(nyc_index):
+    svc = ACTService()
+    svc.registry.register_index("nyc", nyc_index)
+    yield svc
+    svc.close()
+
+
+class TestQueryBatch:
+    def test_matches_scalar_path(self, service, query_points,
+                                 serial_results):
+        lngs, lats = query_points
+        results = service.query_batch("nyc", lngs, lats)
+        assert results == serial_results
+
+    def test_exact_matches_scalar_exact(self, service, nyc_index,
+                                        query_points):
+        lngs, lats = query_points
+        results = service.query_batch("nyc", lngs, lats, exact=True)
+        for k, result in enumerate(results):
+            want = nyc_index.query_exact(float(lngs[k]), float(lats[k]))
+            assert result.true_hits == want
+            assert result.candidates == ()
+
+    def test_out_of_domain_points_miss(self, service):
+        results = service.query_batch(
+            "nyc", [-120.0, -73.97], [40.7, 40.75])
+        assert results[0].is_hit is False
+        assert results[0].true_hits == () and results[0].candidates == ()
+
+    def test_populates_shared_cache(self, service, query_points):
+        lngs, lats = query_points
+        service.query_batch("nyc", lngs, lats)
+        before = service.cache.hits
+        # the scalar path must now hit the cells the batch cached
+        service.query("nyc", float(lngs[0]), float(lats[0]))
+        assert service.cache.hits == before + 1
+
+    def test_second_batch_served_from_cache(self, service, query_points):
+        lngs, lats = query_points
+        service.query_batch("nyc", lngs, lats)
+        misses_before = service.cache.misses
+        results = service.query_batch("nyc", lngs, lats)
+        assert service.cache.misses == misses_before  # zero new misses
+        assert len(results) == len(lngs)
+
+    def test_unknown_index(self, service):
+        with pytest.raises(UnknownIndexError):
+            service.query_batch("nope", [0.0], [0.0])
+
+    def test_spent_budget_sheds_batch(self, service, query_points):
+        lngs, lats = query_points
+        budget = Budget.from_ms(0.000001)
+        import time
+
+        time.sleep(0.01)
+        with pytest.raises(BudgetExceededError):
+            service.query_batch("nyc", lngs, lats, budget=budget)
+
+    def test_metrics_count_points(self, nyc_index, query_points):
+        svc = ACTService(config=ServeConfig(cache_capacity=0))
+        svc.registry.register_index("nyc", nyc_index)
+        try:
+            lngs, lats = query_points
+            svc.query_batch("nyc", lngs, lats)
+            snapshot = svc.metrics.snapshot()
+            assert snapshot["counters"]["queries.total"] == len(lngs)
+        finally:
+            svc.close()
+
+    def test_empty_batch(self, service):
+        assert service.query_batch("nyc", [], []) == []

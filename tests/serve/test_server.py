@@ -66,6 +66,30 @@ class TestRoutes:
             nyc_index.query_exact(-73.97, 40.75))
         assert body["candidates"] == []
 
+    def test_batch_query(self, http_server, nyc_index):
+        points = [[-73.97, 40.75], [-74.0, 40.7], [0.0, 0.0]]
+        status, body = _post(http_server, "/query",
+                             {"index": "nyc", "points": points})
+        assert status == 200
+        assert body["num_points"] == 3
+        assert len(body["results"]) == 3
+        for result, (lng, lat) in zip(body["results"], points):
+            want = nyc_index.query(lng, lat)
+            assert tuple(result["true_hits"]) == want.true_hits
+            assert tuple(result["candidates"]) == want.candidates
+            assert result["is_hit"] == want.is_hit
+
+    def test_batch_query_exact(self, http_server, nyc_index):
+        points = [[-73.97, 40.75], [-74.0, 40.7]]
+        status, body = _post(http_server, "/query",
+                             {"index": "nyc", "points": points,
+                              "exact": True})
+        assert status == 200
+        for result, (lng, lat) in zip(body["results"], points):
+            assert sorted(result["true_hits"]) == sorted(
+                nyc_index.query_exact(lng, lat))
+            assert result["candidates"] == []
+
     def test_join(self, http_server, nyc_index):
         points = [[-73.97, 40.75], [-74.0, 40.7], [0.0, 0.0]]
         status, body = _post(http_server, "/join",
@@ -136,6 +160,24 @@ class TestErrorMapping:
         with pytest.raises(urllib.error.HTTPError) as exc:
             _post(http_server, "/join", {"index": "nyc"})
         assert exc.value.code == 400
+
+    def test_batch_query_missing_fields_400(self, http_server):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _post(http_server, "/query", {"points": [[0.0, 0.0]]})
+        assert exc.value.code == 400
+
+    def test_batch_query_unknown_index_404(self, http_server):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _post(http_server, "/query",
+                  {"index": "zzz", "points": [[0.0, 0.0]]})
+        assert exc.value.code == 404
+
+    def test_batch_query_spent_budget_503(self, http_server):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _post(http_server, "/query",
+                  {"index": "nyc", "points": [[-73.97, 40.75]],
+                   "budget_ms": -1})
+        assert exc.value.code == 503
 
 
 class TestConcurrentClients:

@@ -54,7 +54,7 @@ class TestRenderCovering:
         polygon = nyc_polygons[0]
         # take a handful of cells from the live index for the smoke render
         cells = [cell for cell, _ in
-                 zip(nyc_index.trie.iter_cells(), range(200))]
+                 zip(nyc_index.core.iter_cells(), range(200))]
         boundary = [c for c, _e in cells[:100]]
         canvas = render_covering([polygon], nyc_index.grid,
                                  boundary_cells=boundary,
