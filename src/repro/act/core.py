@@ -246,8 +246,28 @@ class ACTCore:
     # ------------------------------------------------------------------
     # Batch descent
     # ------------------------------------------------------------------
-    def lookup_entries(self, leaf_cells: np.ndarray) -> np.ndarray:
-        """Encoded entry per leaf cell id (0 = miss / invalid cell)."""
+    def lookup_entries(self, leaf_cells: np.ndarray,
+                       sort_by_cell: bool = False) -> np.ndarray:
+        """Encoded entry per leaf cell id (0 = miss / invalid cell).
+
+        ``sort_by_cell=True`` permutes the batch into ascending cell-id
+        order before descending (face bits are the most significant, so
+        points sharing a face — and then a subtree — gather from
+        adjacent node-pool rows, the cache behaviour the paper credits)
+        and unpermutes the entries on output. Results are identical
+        either way; the flag only changes the access pattern.
+        """
+        if sort_by_cell and leaf_cells.shape[0] > 1:
+            cells = leaf_cells.astype(np.uint64, copy=False)
+            order = np.argsort(cells, kind="stable")
+            entries = self._descend(cells[order])
+            out = np.empty_like(entries)
+            out[order] = entries
+            return out
+        return self._descend(leaf_cells)
+
+    def _descend(self, leaf_cells: np.ndarray) -> np.ndarray:
+        """The level-synchronous batch walk over the node pool."""
         cells = leaf_cells.astype(np.uint64, copy=False)
         valid = cells != 0
         faces = (cells >> np.uint64(cellid.POS_BITS)).astype(np.int64)

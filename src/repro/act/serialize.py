@@ -17,13 +17,24 @@ is ever reconstructed, which keeps cold loads (e.g. the serve registry
 pinning an index on first request) at array-copy speed. Loading returns
 an :class:`~repro.act.index.ACTIndex` that answers identically to the
 original (tests assert bit-equal lookups).
+
+The archive is written member by member so the node pool — the one
+array that dominates index size — is a *stored* (uncompressed) zip
+member while the small members stay deflated. A stored member is raw
+``.npy`` bytes at a known file offset, which is what makes
+``load_index(path, mmap_mode="r")`` possible: the node pool becomes an
+``np.memmap`` over the archive itself, so huge indexes cold-start
+lazily (pages fault in on first touch) and forked worker processes
+share the pool through the page cache instead of each holding a copy.
 """
 
 from __future__ import annotations
 
 import json
+import struct
+import zipfile
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
@@ -70,32 +81,57 @@ def save_index(index: ACTIndex, path: Union[str, Path]) -> None:
         "grid_kind": grid_kind,
         "stats": _stats_to_dict(index.stats),
     }
-    np.savez_compressed(
-        path,
-        nodes=core.nodes,
-        roots=core.roots,
-        lookup=core.lookup_table.as_array(),
-        grid_params=np.asarray(grid_params, dtype=np.float64),
-        meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
-        polygons=np.frombuffer(
+    members = {
+        "nodes": core.nodes,
+        "roots": core.roots,
+        "lookup": core.lookup_table.as_array(),
+        "grid_params": np.asarray(grid_params, dtype=np.float64),
+        "meta": np.frombuffer(json.dumps(meta).encode("utf-8"),
+                              dtype=np.uint8),
+        "polygons": np.frombuffer(
             json.dumps(polygons_doc).encode("utf-8"), dtype=np.uint8
         ),
-    )
+    }
+    # hand-rolled npz: the node pool is a STORED member so load_index
+    # can memory-map it in place; everything else stays deflated
+    with zipfile.ZipFile(path, "w", allowZip64=True) as archive:
+        for name, array in members.items():
+            info = zipfile.ZipInfo(f"{name}.npy",
+                                   date_time=(1980, 1, 1, 0, 0, 0))
+            info.compress_type = (zipfile.ZIP_STORED if name == "nodes"
+                                  else zipfile.ZIP_DEFLATED)
+            with archive.open(info, "w") as fp:
+                np.lib.format.write_array(
+                    fp, np.ascontiguousarray(array), allow_pickle=False)
 
 
-def load_index(path: Union[str, Path]) -> ACTIndex:
+def load_index(path: Union[str, Path],
+               mmap_mode: Optional[str] = None) -> ACTIndex:
     """Load an index written by :func:`save_index`.
 
     The node pool and roots feed :class:`~repro.act.core.ACTCore`
     directly; nothing rebuilds a Python object trie.
+
+    ``mmap_mode`` (``"r"`` read-only or ``"c"`` copy-on-write) maps the
+    node pool straight from the archive instead of reading it: the
+    returned core's ``nodes`` array is backed by the file, pages in
+    lazily on first access, and is shared (not duplicated) across
+    processes forked after the load.
     """
+    if mmap_mode not in (None, "r", "c"):
+        raise ACTError(
+            f"mmap_mode must be None, 'r' or 'c', got {mmap_mode!r}"
+        )
     with np.load(path) as data:
         meta = json.loads(bytes(data["meta"].tobytes()).decode("utf-8"))
         if meta.get("version") != FORMAT_VERSION:
             raise ACTError(
                 f"unsupported index format version {meta.get('version')!r}"
             )
-        nodes = data["nodes"]
+        # NpzFile reads members lazily, so skipping data["nodes"] in
+        # mmap mode means the pool's bytes are never even read here
+        nodes = (_mmap_npz_member(path, "nodes.npy", mmap_mode)
+                 if mmap_mode else data["nodes"])
         roots = data["roots"]
         lookup_array = data["lookup"]
         grid_params = data["grid_params"]
@@ -121,6 +157,49 @@ def load_index(path: Union[str, Path]) -> ACTIndex:
         polygons.append(geom)
     stats = _stats_from_dict(meta["stats"])
     return ACTIndex(grid, core, polygons, stats, meta["boundary_level"])
+
+
+def _mmap_npz_member(path: Union[str, Path], member: str,
+                     mmap_mode: str) -> np.ndarray:
+    """Memory-map one *stored* ``.npy`` member of an ``.npz`` archive.
+
+    A stored zip member is the raw ``.npy`` stream at
+    ``local header offset + header size``, so after parsing the npy
+    header the array data can be mapped directly from the archive file
+    — zero copies, lazy paging.
+    """
+    with zipfile.ZipFile(path) as archive:
+        try:
+            info = archive.getinfo(member)
+        except KeyError:
+            raise ACTError(f"archive {path} has no member {member!r}")
+    if info.compress_type != zipfile.ZIP_STORED:
+        raise ACTError(
+            f"member {member!r} is compressed and cannot be memory-"
+            f"mapped; re-save the index with this version to enable "
+            f"mmap_mode"
+        )
+    with open(path, "rb") as fp:
+        # the central directory's header_offset points at the local
+        # file header; its name/extra lengths give the data offset
+        fp.seek(info.header_offset)
+        local = fp.read(30)
+        if len(local) != 30 or local[:4] != b"PK\x03\x04":
+            raise ACTError(f"corrupt local file header for {member!r}")
+        name_len, extra_len = struct.unpack("<HH", local[26:30])
+        fp.seek(info.header_offset + 30 + name_len + extra_len)
+        version = np.lib.format.read_magic(fp)
+        if version == (1, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_1_0(fp)
+        elif version == (2, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_2_0(fp)
+        else:
+            raise ACTError(
+                f"unsupported npy format version {version} in {member!r}"
+            )
+        data_offset = fp.tell()
+    return np.memmap(path, dtype=dtype, mode=mmap_mode, offset=data_offset,
+                     shape=shape, order="F" if fortran else "C")
 
 
 def _stats_to_dict(stats: IndexStats) -> dict:

@@ -9,7 +9,12 @@ from .harness import (
     time_callable,
     workload,
 )
-from .reporting import render_comparison, render_series, render_table
+from .reporting import (
+    render_comparison,
+    render_series,
+    render_table,
+    write_bench_json,
+)
 
 __all__ = [
     "DATASETS",
@@ -22,4 +27,5 @@ __all__ = [
     "render_comparison",
     "render_series",
     "render_table",
+    "write_bench_json",
 ]

@@ -4,11 +4,20 @@ The benchmark harness prints the same rows/columns the paper reports
 (Table I metrics, Figure 3 throughput bars, Figure 4 scaling series) so a
 run's output can be placed side by side with the paper's numbers — that
 comparison lives in EXPERIMENTS.md.
+
+:func:`write_bench_json` additionally persists machine-readable
+``BENCH_<name>.json`` snapshots so the perf trajectory is trackable
+across PRs (CI uploads them as workflow artifacts).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from .. import config
 
 
 #: Accumulated rows per report table, rendered at pytest session end.
@@ -38,6 +47,24 @@ def drain_reports() -> List[str]:
             out.append(note)
     _REPORTS.clear()
     return out
+
+
+def write_bench_json(name: str, payload: Dict,
+                     directory: Optional[Union[str, Path]] = None) -> Path:
+    """Persist one benchmark's results as ``BENCH_<name>.json``.
+
+    ``directory`` defaults to ``$REPRO_BENCH_DIR`` or the working
+    directory (CI runs from the repo root and uploads ``BENCH_*.json``
+    as artifacts). The payload is wrapped with the benchmark name and
+    the ``REPRO_SCALE`` it ran at, so trajectories across PRs compare
+    like with like.
+    """
+    base = Path(directory or os.environ.get("REPRO_BENCH_DIR", "."))
+    path = base / f"BENCH_{name}.json"
+    document = {"bench": name, "scale": config.bench_scale()}
+    document.update(payload)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def format_value(value) -> str:

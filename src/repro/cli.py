@@ -106,9 +106,14 @@ def cmd_serve(args) -> int:
         default_budget_ms=args.budget_ms,
         inline_miss_threshold=args.inline_miss_threshold,
     ))
+    if args.mmap and not args.index_file:
+        raise SystemExit("--mmap requires --index-file (only a serialized "
+                         "index can be memory-mapped)")
     if args.index_file:
         name = args.dataset
-        service.registry.register_path(name, args.index_file)
+        service.registry.register_path(
+            name, args.index_file,
+            mmap_mode="r" if args.mmap else None)
     else:
         name = args.dataset
         dataset, size, precision = args.dataset, args.size, args.precision
@@ -203,6 +208,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--index-file", default=None,
                          help="serve a serialized .npz index instead of "
                               "building from --dataset")
+    p_serve.add_argument("--mmap", action="store_true",
+                         help="memory-map the node pool from --index-file "
+                              "(lazy cold start, page-cache sharing)")
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8080)
     p_serve.add_argument("--max-batch", type=int, default=512,

@@ -12,6 +12,7 @@ from .distance import (
     meters_per_degree,
     point_polygon_distance_meters,
 )
+from .edge_table import PackedEdgeTable
 from .pip import point_in_ring, point_in_rings, points_in_rings, winding_number
 from .polygon import MultiPolygon, Polygon, Ring, box_polygon, regular_polygon
 from .relate import EdgeClassifier, Relation, relate_rect
@@ -33,6 +34,7 @@ __all__ = [
     "haversine_meters",
     "meters_per_degree",
     "point_polygon_distance_meters",
+    "PackedEdgeTable",
     "point_in_ring",
     "point_in_rings",
     "points_in_rings",

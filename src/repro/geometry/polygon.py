@@ -16,7 +16,7 @@ import numpy as np
 from ..errors import InvalidPolygonError
 from .bbox import Rect
 from .pip import point_in_rings, points_in_rings
-from .segment import point_segment_distance_sq, segment_intersects_rect
+from .segment import segment_intersects_rect
 
 Point = Tuple[float, float]
 
@@ -190,24 +190,46 @@ class Polygon:
         return out
 
     def any_edge_intersects_rect(self, rect: Rect) -> bool:
-        """True when any ring edge touches ``rect`` (closed semantics)."""
+        """True when any ring edge touches ``rect`` (closed semantics).
+
+        Vectorized Cohen–Sutherland over ``edge_arrays``: endpoint
+        outcodes answer the trivially-inside and trivially-outside
+        edges in a handful of array ops; only the (rare) straddling
+        remainder falls back to the exact scalar segment test.
+        """
         if not self.bbox.intersects(rect):
             return False
-        for (x0, y0), (x1, y1) in self.edges():
-            if segment_intersects_rect(x0, y0, x1, y1, rect):
+        xs, ys, xe, ye = self.edge_arrays
+        code_s = _outcodes(xs, ys, rect)
+        code_e = _outcodes(xe, ye, rect)
+        if (code_s == 0).any() or (code_e == 0).any():
+            return True  # an endpoint inside the closed rect
+        for i in np.flatnonzero((code_s & code_e) == 0).tolist():
+            if segment_intersects_rect(xs[i], ys[i], xe[i], ye[i], rect):
                 return True
         return False
 
     def distance_sq(self, x: float, y: float) -> float:
-        """Squared distance to the polygon (0 when inside)."""
+        """Squared distance to the polygon (0 when inside).
+
+        One vectorized point-to-segment pass over ``edge_arrays``
+        instead of a Python loop per edge.
+        """
         if self.contains(x, y):
             return 0.0
-        best = float("inf")
-        for (x0, y0), (x1, y1) in self.edges():
-            d = point_segment_distance_sq(x, y, x0, y0, x1, y1)
-            if d < best:
-                best = d
-        return best
+        xs, ys, xe, ye = self.edge_arrays
+        abx = xe - xs
+        aby = ye - ys
+        apx = x - xs
+        apy = y - ys
+        denom = abx * abx + aby * aby
+        t = np.zeros_like(denom)
+        nz = denom > 0.0
+        t[nz] = (apx[nz] * abx[nz] + apy[nz] * aby[nz]) / denom[nz]
+        np.clip(t, 0.0, 1.0, out=t)
+        qx = t * abx - apx
+        qy = t * aby - apy
+        return float(np.min(qx * qx + qy * qy))
 
     def distance(self, x: float, y: float) -> float:
         return float(np.sqrt(self.distance_sq(x, y)))
@@ -285,6 +307,15 @@ class MultiPolygon:
 
     def distance(self, x: float, y: float) -> float:
         return min(p.distance(x, y) for p in self.polygons)
+
+
+def _outcodes(xs: np.ndarray, ys: np.ndarray, rect: Rect) -> np.ndarray:
+    """Vectorized Cohen–Sutherland outcodes (zero = inside closed rect)."""
+    code = (xs < rect.min_x).astype(np.uint8)
+    code |= (xs > rect.max_x).astype(np.uint8) << 1
+    code |= (ys < rect.min_y).astype(np.uint8) << 2
+    code |= (ys > rect.max_y).astype(np.uint8) << 3
+    return code
 
 
 def regular_polygon(cx: float, cy: float, radius: float, n: int,

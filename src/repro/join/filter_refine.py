@@ -7,12 +7,13 @@ and the operator ACT's true-hit filtering + precision-bounded candidates
 render unnecessary.
 
 Refinement is executed the same way the columnar engine refines ACT
-candidates: pairs are grouped by polygon and each polygon evaluates one
-``contains_batch`` over its candidate points. Only the probe phase stays
-per point (the filter indexes are inherently scalar probes). The
-:class:`~repro.join.result.JoinStats` accounting is preserved across the
-grouped rewrite: ``num_refined`` still counts every PIP test and
-``num_result_pairs`` every surviving pair.
+candidates: all candidate pairs run through one packed-edge
+crossing-number pass (:class:`~repro.geometry.edge_table.
+PackedEdgeTable`, grouped per-polygon fallback for huge fan-out). Only
+the probe phase stays per point (the filter indexes are inherently
+scalar probes). The :class:`~repro.join.result.JoinStats` accounting is
+preserved across the rewrites: ``num_refined`` still counts every PIP
+test and ``num_result_pairs`` every surviving pair.
 
 The filter index is pluggable so the ablation benchmarks can compare
 refinement cost across filters (plain MBR, interior-rectangle, fixed grid,
@@ -28,8 +29,9 @@ import numpy as np
 
 from ..act.index import ACTIndex
 from ..baselines.rtree import RStarTree
+from ..geometry.edge_table import PackedEdgeTable
 from ..geometry.polygon import Polygon
-from .executor import refine_pairs
+from .executor import refine_pairs_packed
 from .result import JoinResult, JoinStats
 
 
@@ -49,6 +51,14 @@ class FilterRefineJoin:
         self.filter_index = filter_index or RStarTree.build(
             [p.bbox for p in self.polygons]
         )
+        self._edge_table: PackedEdgeTable | None = None
+
+    @property
+    def edge_table(self) -> PackedEdgeTable:
+        """Packed refinement engine over the polygon set (lazy)."""
+        if self._edge_table is None:
+            self._edge_table = PackedEdgeTable.from_polygons(self.polygons)
+        return self._edge_table
 
     def query(self, lng: float, lat: float) -> List[int]:
         """Exact polygon ids for one point (filter, then refine)."""
@@ -70,9 +80,9 @@ class FilterRefineJoin:
                 id_parts.append(pid)
         point_idx = np.asarray(point_parts, dtype=np.int64)
         polygon_ids = np.asarray(id_parts, dtype=np.int64)
-        # refine phase: grouped by polygon, one contains_batch each
-        inside = refine_pairs(self.polygons, point_idx, polygon_ids,
-                              lngs, lats)
+        # refine phase: one packed-edge pass over every candidate pair
+        inside = refine_pairs_packed(self.edge_table, self.polygons,
+                                     point_idx, polygon_ids, lngs, lats)
         counts = np.bincount(polygon_ids[inside],
                              minlength=len(self.polygons))
         elapsed = time.perf_counter() - start

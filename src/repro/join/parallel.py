@@ -8,6 +8,14 @@ the parent and inherited copy-on-write, points are split into per-worker
 slices, and each worker runs the vectorized join on its slice (DESIGN.md
 documents this substitution).
 
+The parent binds every lazily-built artifact the hot path needs — the
+columnar executor and, for exact joins, the packed edge table — *before*
+forking, so children inherit them built instead of each constructing its
+own copy. Indexes loaded with ``load_index(..., mmap_mode="r")`` compose
+particularly well here: the node pool is a file-backed mapping, so
+workers share its pages through the page cache without any process ever
+re-reading the ``.npz``.
+
 On non-fork platforms the sweep falls back to serial execution and says
 so in its results.
 """
@@ -55,6 +63,20 @@ def fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
+def _bind_shared(index: ACTIndex, lngs: np.ndarray, lats: np.ndarray,
+                 exact: bool) -> None:
+    """Stage the fork-inherited state, with hot-path artifacts pre-built.
+
+    Building the executor (and, for exact joins, the packed edge table)
+    in the parent means every worker inherits them copy-on-write
+    instead of redoing the work ``workers`` times after the fork.
+    """
+    executor = index.executor
+    if exact:
+        _ = executor.edge_table
+    _SHARED.update(index=index, lngs=lngs, lats=lats, exact=exact)
+
+
 def parallel_count(index: ACTIndex, lngs: np.ndarray, lats: np.ndarray,
                    workers: int, exact: bool = False,
                    ) -> ScalingPoint:
@@ -71,9 +93,7 @@ def parallel_count(index: ACTIndex, lngs: np.ndarray, lats: np.ndarray,
         index.count_points(lngs, lats, exact=exact)
         return ScalingPoint(1, time.perf_counter() - start, n)
 
-    # bind the executor before forking so children inherit it built
-    _ = index.executor
-    _SHARED.update(index=index, lngs=lngs, lats=lats, exact=exact)
+    _bind_shared(index, lngs, lats, exact)
     step = (n + workers - 1) // workers
     slices = [(i, min(i + step, n)) for i in range(0, n, step)]
     ctx = multiprocessing.get_context("fork")
@@ -98,8 +118,7 @@ def parallel_counts_array(index: ACTIndex, lngs: np.ndarray,
     n = lngs.shape[0]
     if workers <= 1 or not fork_available():
         return index.count_points(lngs, lats, exact=exact)
-    _ = index.executor
-    _SHARED.update(index=index, lngs=lngs, lats=lats, exact=exact)
+    _bind_shared(index, lngs, lats, exact)
     step = (n + workers - 1) // workers
     slices = [(i, min(i + step, n)) for i in range(0, n, step)]
     ctx = multiprocessing.get_context("fork")

@@ -35,6 +35,7 @@ class _Registration:
     name: str
     builder: Optional[Callable[[], ACTIndex]] = None
     path: Optional[Path] = None
+    mmap_mode: Optional[str] = None
     index: Optional[ACTIndex] = None
     materialize_seconds: Optional[float] = None
     lock: threading.Lock = field(default_factory=threading.Lock)
@@ -57,9 +58,16 @@ class IndexRegistry:
         """Register ``name`` to be built by ``builder`` on first use."""
         self._add(_Registration(name=name, builder=builder))
 
-    def register_path(self, name: str, path: Union[str, Path]) -> None:
-        """Register ``name`` to be loaded from a serialized index file."""
-        self._add(_Registration(name=name, path=Path(path)))
+    def register_path(self, name: str, path: Union[str, Path],
+                      mmap_mode: Optional[str] = None) -> None:
+        """Register ``name`` to be loaded from a serialized index file.
+
+        ``mmap_mode="r"`` memory-maps the node pool from the archive on
+        materialization (lazy cold start, page-cache sharing across
+        forked workers; see :func:`repro.act.serialize.load_index`).
+        """
+        self._add(_Registration(name=name, path=Path(path),
+                                mmap_mode=mmap_mode))
 
     def register_index(self, name: str, index: ACTIndex) -> None:
         """Register an already-built index (pinned immediately)."""
@@ -88,10 +96,17 @@ class IndexRegistry:
             if registration.index is None:
                 start = time.perf_counter()
                 if registration.path is not None:
-                    index = serialize.load_index(registration.path)
+                    index = serialize.load_index(
+                        registration.path,
+                        mmap_mode=registration.mmap_mode)
                 else:
                     assert registration.builder is not None
                     index = registration.builder()
+                # pre-warm the hot-path artifacts while we still hold
+                # the materialization lock: the threaded serve front
+                # should never pay the executor/edge-table build (or
+                # race it) inside a request
+                _ = index.executor.edge_table
                 registration.materialize_seconds = (
                     time.perf_counter() - start
                 )
@@ -133,6 +148,8 @@ class IndexRegistry:
         }
         if registration.path is not None:
             info["path"] = str(registration.path)
+            if registration.mmap_mode is not None:
+                info["mmap_mode"] = registration.mmap_mode
         index = registration.index
         if index is not None:
             info.update({

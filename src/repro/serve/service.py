@@ -23,8 +23,8 @@ point (HTTP server, CLI, benchmarks). Per point query it:
 :meth:`ACTService.query_batch` is the columnar analog for clients that
 already hold a batch (the ``POST /query`` endpoint): cache keys come
 from one vectorized ``point_keys`` pass, all misses resolve with a
-single batch descent against the core, and exact-mode refinement is
-grouped by polygon across the whole batch.
+single batch descent against the core, and exact-mode refinement runs
+through the index's packed-edge engine in one vectorized pass.
 
 Bulk joins go straight to the vectorized ``count_points`` engine — they
 arrive pre-batched, so micro-batching would only add latency.
@@ -43,7 +43,6 @@ import numpy as np
 from ..act.index import ACTIndex, QueryResult
 from ..errors import BudgetExceededError
 from ..grid.base import INVALID_KEY
-from ..join.executor import refine_pairs
 from .batcher import MicroBatcher
 from .budget import Budget
 from .cache import CellResultCache
@@ -295,7 +294,7 @@ class ACTService:
     def _refine_batch(self, index: ACTIndex, results: List[QueryResult],
                       lngs: np.ndarray, lats: np.ndarray,
                       ) -> List[QueryResult]:
-        """Exact-mode refinement grouped by polygon across the batch."""
+        """Exact-mode refinement via the index's packed-edge engine."""
         point_parts: List[int] = []
         id_parts: List[int] = []
         for k, result in enumerate(results):
@@ -306,8 +305,8 @@ class ACTService:
         if point_parts:
             point_idx = np.asarray(point_parts, dtype=np.int64)
             polygon_ids = np.asarray(id_parts, dtype=np.int64)
-            inside = refine_pairs(index.polygons, point_idx, polygon_ids,
-                                  lngs, lats)
+            inside = index.executor.refine_pairs(point_idx, polygon_ids,
+                                                 lngs, lats)
             for k, pid in zip(point_idx[inside].tolist(),
                               polygon_ids[inside].tolist()):
                 surviving.setdefault(k, []).append(pid)

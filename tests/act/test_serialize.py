@@ -100,6 +100,83 @@ class TestColumnarLoad:
         assert loaded.core.num_entries == original.core.num_entries
 
 
+class TestMmapLoad:
+    def test_answers_identical_to_eager(self, saved, taxi_batch):
+        original, path = saved
+        mapped = load_index(path, mmap_mode="r")
+        lngs, lats = taxi_batch
+        assert np.array_equal(mapped.lookup_batch(lngs, lats),
+                              original.lookup_batch(lngs, lats))
+        assert mapped.count_points(lngs, lats).tolist() == \
+            original.count_points(lngs, lats).tolist()
+        assert mapped.count_points(lngs, lats, exact=True).tolist() == \
+            original.count_points(lngs, lats, exact=True).tolist()
+        for k in range(0, 500, 29):
+            assert mapped.query(lngs[k], lats[k]) == \
+                original.query(lngs[k], lats[k])
+
+    def test_node_pool_is_file_backed_not_copied(self, saved):
+        """The acceptance gate: mmap loads never copy the node pool."""
+        import mmap as mmap_module
+
+        original, path = saved
+        mapped = load_index(path, mmap_mode="r")
+        nodes = mapped.core.nodes
+        assert nodes.base is not None, "node pool must not own its data"
+        base = nodes
+        while isinstance(base, np.ndarray) and base.base is not None:
+            if isinstance(base.base, np.ndarray):
+                assert np.shares_memory(nodes, base.base)
+            base = base.base
+        assert isinstance(base, mmap_module.mmap), (
+            "core.nodes must bottom out at a file mapping, not an "
+            "in-memory copy"
+        )
+        assert np.array_equal(np.asarray(nodes), original.core.nodes)
+
+    def test_mmap_load_never_constructs_a_trie(self, saved, monkeypatch):
+        from repro.act.trie import AdaptiveCellTrie
+
+        _, path = saved
+
+        def _forbidden(self, *args, **kwargs):
+            raise AssertionError(
+                "load_index constructed an AdaptiveCellTrie"
+            )
+
+        monkeypatch.setattr(AdaptiveCellTrie, "__init__", _forbidden)
+        monkeypatch.setattr(
+            AdaptiveCellTrie, "from_arrays",
+            classmethod(lambda cls, *a, **k: _forbidden(None)),
+        )
+        mapped = load_index(path, mmap_mode="r")
+        assert mapped.core.num_nodes > 0
+
+    def test_copy_on_write_mode(self, saved, taxi_batch):
+        original, path = saved
+        mapped = load_index(path, mmap_mode="c")
+        lngs, lats = taxi_batch
+        assert np.array_equal(mapped.lookup_batch(lngs[:200], lats[:200]),
+                              original.lookup_batch(lngs[:200], lats[:200]))
+
+    def test_invalid_mode_rejected(self, saved):
+        _, path = saved
+        with pytest.raises(ACTError):
+            load_index(path, mmap_mode="w+")
+
+    def test_node_member_is_stored_uncompressed(self, saved):
+        """The zip layout that makes the mapping possible."""
+        import zipfile
+
+        _, path = saved
+        with zipfile.ZipFile(path) as archive:
+            assert archive.getinfo("nodes.npy").compress_type == \
+                zipfile.ZIP_STORED
+            # the small members still compress
+            assert archive.getinfo("polygons.npy").compress_type == \
+                zipfile.ZIP_DEFLATED
+
+
 class TestVariants:
     def test_s2like_grid_roundtrip(self, tmp_path, taxi_batch):
         polys = [regular_polygon(-73.95, 40.7, 0.05, 8)]

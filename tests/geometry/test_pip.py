@@ -13,6 +13,7 @@ from repro.geometry.pip import (
     winding_number,
 )
 from repro.geometry.polygon import Polygon, regular_polygon
+from repro.geometry.segment import point_segment_distance_sq
 
 
 def _arrays(vertices):
@@ -87,8 +88,15 @@ class TestWindingOracle:
     def test_regular_polygon_agreement(self, n, radius, px, py):
         poly = regular_polygon(0.0, 0.0, radius, n)
         # skip points suspiciously close to the boundary (both algorithms
-        # are allowed to disagree within float noise there)
-        if abs(poly.distance(px, py)) < 1e-9 and not poly.contains(px, py):
+        # are allowed to disagree within float noise there) — measured
+        # against the edges directly, because Polygon.distance is 0 for
+        # any point the crossing-number test classifies as inside,
+        # including ones sitting exactly on a vertex
+        near_sq = min(
+            point_segment_distance_sq(px, py, x0, y0, x1, y1)
+            for (x0, y0), (x1, y1) in poly.edges()
+        )
+        if near_sq < 1e-18:
             return
         xs, ys, xe, ye = poly.edge_arrays
         crossing = point_in_rings(px, py, xs, ys, xe, ye)

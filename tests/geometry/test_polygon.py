@@ -127,6 +127,48 @@ class TestPolygon:
         assert not square.any_edge_intersects_rect(Rect(0.4, 0.4, 0.6, 0.6))
         assert not square.any_edge_intersects_rect(Rect(5, 5, 6, 6))
 
+    def test_any_edge_intersects_rect_matches_scalar(self, l_shape,
+                                                     donut, rng):
+        """The vectorized outcode path must agree with the per-edge
+        scalar predicate on every rect, including grazing ones."""
+        from repro.geometry.segment import segment_intersects_rect
+
+        for poly in (l_shape, donut):
+            for _ in range(200):
+                cx, cy = rng.uniform(-1, 5, 2)
+                w, h = rng.uniform(0.01, 3, 2)
+                rect = Rect(cx, cy, cx + w, cy + h)
+                want = poly.bbox.intersects(rect) and any(
+                    segment_intersects_rect(x0, y0, x1, y1, rect)
+                    for (x0, y0), (x1, y1) in poly.edges()
+                )
+                assert poly.any_edge_intersects_rect(rect) == want
+
+    def test_rect_through_interior_crossing_edges(self, square):
+        # both endpoints of the crossed edges are outside the rect on
+        # different sides: the outcode fallback must still detect it
+        assert square.any_edge_intersects_rect(
+            Rect(-0.5, 0.4, 1.5, 0.6))
+
+    def test_distance_sq_matches_per_edge_loop(self, l_shape, donut,
+                                               rng):
+        from repro.geometry.segment import point_segment_distance_sq
+
+        for poly in (l_shape, donut):
+            for _ in range(100):
+                x, y = rng.uniform(-2, 6, 2)
+                want = (0.0 if poly.contains(x, y) else min(
+                    point_segment_distance_sq(x, y, x0, y0, x1, y1)
+                    for (x0, y0), (x1, y1) in poly.edges()
+                ))
+                assert poly.distance_sq(x, y) == pytest.approx(
+                    want, rel=1e-12, abs=1e-15)
+
+    def test_distance_sq_hole_interior(self, donut):
+        # a point inside the hole is OUTSIDE the polygon: nearest
+        # material is the hole ring
+        assert donut.distance_sq(2.0, 2.0) == pytest.approx(1.0)
+
     def test_equality(self, square):
         other = Polygon([(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)])
         assert square == other

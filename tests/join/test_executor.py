@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.baselines.scan import ScanJoin
-from repro.join.executor import JoinExecutor, refine_pairs
+from repro.geometry.edge_table import PackedEdgeTable
+from repro.join.executor import (
+    JoinExecutor,
+    refine_pairs,
+    refine_pairs_packed,
+)
 
 
 class TestCountPoints:
@@ -92,3 +97,82 @@ class TestRefinePairs:
         inside = refine_pairs(nyc_polygons, empty, empty,
                               np.empty(0), np.empty(0))
         assert inside.shape == (0,)
+
+
+class TestPackedRefinement:
+    def test_executor_routes_through_packed_table(self, overlap_index,
+                                                  taxi_batch):
+        executor = overlap_index.executor
+        table = executor.edge_table
+        assert isinstance(table, PackedEdgeTable)
+        assert executor.edge_table is table  # built once, cached
+        lngs = np.asarray(taxi_batch[0], dtype=np.float64)
+        lats = np.asarray(taxi_batch[1], dtype=np.float64)
+        entries = executor.entries(lngs, lats)
+        point_idx, polygon_ids = overlap_index.core.candidate_pairs(
+            entries)
+        got = executor.refine_pairs(point_idx, polygon_ids, lngs, lats)
+        want = refine_pairs(overlap_index.polygons, point_idx,
+                            polygon_ids, lngs, lats)
+        assert np.array_equal(got, want)
+
+    def test_huge_fanout_fallback_identical(self, nyc_polygons,
+                                            taxi_batch):
+        """Pairs over the chunk budget take the grouped path; the split
+        must be seamless."""
+        lngs = np.asarray(taxi_batch[0][:400], dtype=np.float64)
+        lats = np.asarray(taxi_batch[1][:400], dtype=np.float64)
+        rng = np.random.default_rng(7)
+        point_idx = rng.integers(0, 400, size=300)
+        polygon_ids = rng.integers(0, len(nyc_polygons), size=300)
+        # a budget below every polygon's edge count forces the grouped
+        # path for all pairs; a mixed budget splits the batch
+        counts = [len(list(p.edges())) for p in nyc_polygons]
+        for chunk_edges in (1, int(np.median(counts))):
+            table = PackedEdgeTable.from_polygons(
+                nyc_polygons, chunk_edges=chunk_edges)
+            got = refine_pairs_packed(table, nyc_polygons, point_idx,
+                                      polygon_ids, lngs, lats)
+            want = refine_pairs(nyc_polygons, point_idx, polygon_ids,
+                                lngs, lats)
+            assert np.array_equal(got, want), chunk_edges
+
+    def test_exact_join_identical_to_grouped(self, overlap_index,
+                                             overlap_polygons,
+                                             taxi_batch):
+        """End to end: packed-refined exact counts == grouped counts."""
+        lngs = np.asarray(taxi_batch[0], dtype=np.float64)
+        lats = np.asarray(taxi_batch[1], dtype=np.float64)
+        executor = overlap_index.executor
+        entries = executor.entries(lngs, lats)
+        counts, _, _ = executor.refined_counts(entries, lngs, lats)
+        grouped = overlap_index.core.count_hits(
+            entries, overlap_index.num_polygons,
+            include_candidates=False)
+        pt, pid = overlap_index.core.candidate_pairs(entries)
+        inside = refine_pairs(overlap_polygons, pt, pid, lngs, lats)
+        grouped += np.bincount(
+            pid[inside], minlength=overlap_index.num_polygons)
+        assert counts.tolist() == grouped.tolist()
+
+
+class TestSortedDescent:
+    def test_sorted_entries_identical(self, nyc_index, taxi_batch):
+        lngs, lats = taxi_batch
+        cells = nyc_index.grid.leaf_cells_batch(
+            np.asarray(lngs, dtype=np.float64),
+            np.asarray(lats, dtype=np.float64))
+        plain = nyc_index.core.lookup_entries(cells)
+        sorted_ = nyc_index.core.lookup_entries(cells, sort_by_cell=True)
+        assert np.array_equal(plain, sorted_)
+
+    def test_executor_flag_changes_nothing_observable(self, nyc_index,
+                                                      taxi_batch):
+        lngs, lats = taxi_batch
+        fast = JoinExecutor(nyc_index, sorted_descent=True)
+        slow = JoinExecutor(nyc_index, sorted_descent=False)
+        assert np.array_equal(fast.count_points(lngs, lats),
+                              slow.count_points(lngs, lats))
+        assert np.array_equal(
+            fast.count_points(lngs, lats, exact=True),
+            slow.count_points(lngs, lats, exact=True))

@@ -49,6 +49,34 @@ class TestParallelCount:
         assert parallel.tolist() == serial.tolist()
 
     @needs_fork
+    def test_mmap_index_forks_without_rereading(self, nyc_index,
+                                                taxi_batch, tmp_path,
+                                                monkeypatch):
+        """Workers inherit the file-backed node pool through fork; no
+        process re-opens the .npz after the parent's load."""
+        import repro.act.serialize as ser
+        from repro.act.serialize import load_index, save_index
+
+        path = tmp_path / "index.npz"
+        save_index(nyc_index, path)
+        mapped = load_index(path, mmap_mode="r")
+
+        calls = {"n": 0}
+        real = ser.load_index
+
+        def counting(*args, **kwargs):
+            calls["n"] += 1
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(ser, "load_index", counting)
+        lngs, lats = taxi_batch
+        serial = nyc_index.count_points(lngs, lats, exact=True)
+        parallel = parallel_counts_array(mapped, lngs, lats, workers=2,
+                                         exact=True)
+        assert parallel.tolist() == serial.tolist()
+        assert calls["n"] == 0, "fork must share the load, not repeat it"
+
+    @needs_fork
     def test_uneven_splits(self, nyc_index, taxi_batch):
         lngs, lats = taxi_batch
         # 4000 points, 7 workers -> uneven slices

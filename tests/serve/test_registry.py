@@ -127,6 +127,27 @@ class TestSerializeRoundTrip:
             nyc_index.count_points(lngs, lats, exact=True),
         )
 
+    def test_mmap_registration_identical_and_file_backed(
+            self, tmp_path, nyc_index, query_points):
+        import mmap as mmap_module
+
+        registry = IndexRegistry()
+        registry.register_index("orig", nyc_index)
+        path = tmp_path / "mm.npz"
+        registry.save("orig", path)
+        registry.register_path("mapped", path, mmap_mode="r")
+        mapped = registry.get("mapped")
+        lngs, lats = query_points
+        np.testing.assert_array_equal(
+            mapped.count_points(lngs, lats, exact=True),
+            nyc_index.count_points(lngs, lats, exact=True),
+        )
+        base = mapped.core.nodes
+        while isinstance(base, np.ndarray) and base.base is not None:
+            base = base.base
+        assert isinstance(base, mmap_module.mmap)
+        assert registry.describe("mapped")["mmap_mode"] == "r"
+
     def test_roundtrip_preserves_guarantees(self, tmp_path, nyc_index):
         registry = IndexRegistry()
         registry.register_index("orig", nyc_index)

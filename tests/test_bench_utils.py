@@ -19,6 +19,7 @@ from repro.bench.reporting import (
     render_comparison,
     render_series,
     render_table,
+    write_bench_json,
 )
 
 
@@ -47,6 +48,23 @@ class TestReporting:
     def test_render_comparison(self):
         text = render_comparison("C", "base", 2.0, {"fast": 8.0})
         assert "4" in text  # 8/2 = 4x factor
+
+    def test_write_bench_json(self, tmp_path):
+        import json
+
+        path = write_bench_json("demo", {"speedup": 2.5},
+                                directory=tmp_path)
+        assert path == tmp_path / "BENCH_demo.json"
+        doc = json.loads(path.read_text())
+        assert doc["bench"] == "demo"
+        assert doc["speedup"] == 2.5
+        assert "scale" in doc
+
+    def test_write_bench_json_env_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+        path = write_bench_json("envdir", {})
+        assert path.parent == tmp_path
+        assert path.exists()
 
     def test_record_and_drain(self):
         record_row("tbl", ["c1"], [1])
