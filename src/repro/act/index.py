@@ -113,6 +113,22 @@ class ACTIndex:
             self._executor = JoinExecutor(self)
         return self._executor
 
+    def prewarm(self, edge_table: bool = True) -> "ACTIndex":
+        """Build the lazily-constructed hot-path artifacts now.
+
+        Forces the executor (and, when ``edge_table``, the packed edge
+        table behind exact refinement) to exist in the calling process.
+        Fork-based workers — :mod:`repro.join.parallel` and the serving
+        fleet — call this in the parent before forking so children
+        inherit the artifacts built (copy-on-write, page-cache-shared
+        for mmap-loaded node pools) instead of rebuilding them
+        ``workers`` times.
+        """
+        executor = self.executor
+        if edge_table:
+            _ = executor.edge_table
+        return self
+
     # ------------------------------------------------------------------
     # Scalar queries
     # ------------------------------------------------------------------

@@ -10,7 +10,10 @@ Small operational front end over the library:
   count-per-polygon workload and print throughput;
 * ``repro-act demo`` — a 30-second end-to-end tour;
 * ``repro-act serve --dataset neighborhoods --port 8080`` — run the
-  long-lived HTTP query service (see :mod:`repro.serve`).
+  long-lived HTTP query service (see :mod:`repro.serve`);
+* ``repro-act serve --workers 4 --index-file idx.npz --mmap`` — the
+  pre-fork serving fleet: N supervised worker processes on one
+  listening address, node-pool pages shared through the page cache.
 """
 
 from __future__ import annotations
@@ -96,33 +99,87 @@ def cmd_join(args) -> int:
     return 0
 
 
-def cmd_serve(args) -> int:
-    from .serve import ACTService, ServeConfig, create_server
+def _serve_registry(args):
+    """The registry + index name shared by single-process and fleet serve."""
+    from .serve import IndexRegistry
 
-    service = ACTService(config=ServeConfig(
-        max_batch=args.max_batch,
-        max_wait_ms=args.max_wait_ms,
-        cache_capacity=args.cache_capacity,
-        default_budget_ms=args.budget_ms,
-        inline_miss_threshold=args.inline_miss_threshold,
-    ))
+    registry = IndexRegistry()
+    name = args.dataset
     if args.mmap and not args.index_file:
         raise SystemExit("--mmap requires --index-file (only a serialized "
                          "index can be memory-mapped)")
     if args.index_file:
-        name = args.dataset
-        service.registry.register_path(
+        registry.register_path(
             name, args.index_file,
             mmap_mode="r" if args.mmap else None)
     else:
-        name = args.dataset
         dataset, size, precision = args.dataset, args.size, args.precision
 
         def build() -> ACTIndex:
             polygons = _dataset(dataset, size)
             return ACTIndex.build(polygons, precision_meters=precision)
 
-        service.registry.register(name, build)
+        registry.register(name, build)
+    return registry, name
+
+
+def _serve_fleet(args, serve_config) -> int:
+    """Multiprocess front: ``repro-act serve --workers N``."""
+    import signal
+
+    from .serve import FleetConfig, ServingFleet, fleet_available
+
+    if not fleet_available():
+        raise SystemExit("--workers > 1 needs the 'fork' start method, "
+                         "which this platform lacks; run --workers 1")
+    if args.lazy:
+        print("note: --lazy is ignored with --workers > 1 (the fleet "
+              "always materializes before forking)", file=sys.stderr)
+    registry, name = _serve_registry(args)
+    fleet = ServingFleet(registry, FleetConfig(
+        workers=args.workers,
+        host=args.host,
+        port=args.port,
+        serve=serve_config,
+    ))
+    start = time.perf_counter()
+    fleet.start()
+    host, port = fleet.address
+    mode = "SO_REUSEPORT" if fleet.reuseport else "shared socket"
+    print(f"fleet of {args.workers} workers ({mode}) serving index "
+          f"{name!r} on http://{host}:{port} "
+          f"(prewarmed in {time.perf_counter() - start:.1f} s)",
+          file=sys.stderr)
+    print(f"  try: curl 'http://{host}:{port}/stats' for fleet-wide "
+          f"metrics", file=sys.stderr)
+
+    def on_term(signum, frame):
+        fleet.shutdown()
+
+    signal.signal(signal.SIGTERM, on_term)
+    try:
+        fleet.wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        fleet.shutdown()
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from .serve import ACTService, ServeConfig, create_server
+
+    serve_config = ServeConfig(
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        cache_capacity=args.cache_capacity,
+        default_budget_ms=args.budget_ms,
+        inline_miss_threshold=args.inline_miss_threshold,
+    )
+    if args.workers > 1:
+        return _serve_fleet(args, serve_config)
+    registry, name = _serve_registry(args)
+    service = ACTService(registry=registry, config=serve_config)
     if not args.lazy:
         start = time.perf_counter()
         index = service.registry.get(name)
@@ -213,6 +270,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "(lazy cold start, page-cache sharing)")
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8080)
+    p_serve.add_argument("--workers", type=int, default=1,
+                         help="serving processes; >1 runs the pre-fork "
+                              "fleet (shared listening address, "
+                              "supervised restart, aggregated /stats)")
     p_serve.add_argument("--max-batch", type=int, default=512,
                          help="micro-batch size cap (default 512)")
     p_serve.add_argument("--max-wait-ms", type=float, default=0.0,

@@ -71,6 +71,11 @@ class UnknownIndexError(ServeError):
     """A request named an index the registry does not know."""
 
 
+class InvalidRequestError(ServeError):
+    """A serving request is structurally malformed (e.g. mismatched
+    batch array lengths); maps to HTTP 400 at the server."""
+
+
 class BudgetExceededError(ServeError):
     """A request's latency budget ran out before it could be served."""
 

@@ -67,13 +67,13 @@ def _bind_shared(index: ACTIndex, lngs: np.ndarray, lats: np.ndarray,
                  exact: bool) -> None:
     """Stage the fork-inherited state, with hot-path artifacts pre-built.
 
-    Building the executor (and, for exact joins, the packed edge table)
-    in the parent means every worker inherits them copy-on-write
-    instead of redoing the work ``workers`` times after the fork.
+    The pre-fork binding discipline is shared with the serving fleet:
+    :meth:`~repro.act.index.ACTIndex.prewarm` builds the executor (and,
+    for exact joins, the packed edge table) in the parent so every
+    worker inherits them copy-on-write instead of redoing the work
+    ``workers`` times after the fork.
     """
-    executor = index.executor
-    if exact:
-        _ = executor.edge_table
+    index.prewarm(edge_table=exact)
     _SHARED.update(index=index, lngs=lngs, lats=lats, exact=exact)
 
 

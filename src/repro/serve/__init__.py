@@ -8,6 +8,10 @@ by boundary-level cell (:class:`CellResultCache`), requests carry
 latency budgets with deadline propagation (:class:`Budget`), and the
 whole stack is observable (:class:`MetricsRegistry`) and drivable over
 HTTP (:func:`create_server`, or ``repro-act serve`` from the CLI).
+For CPU-bound traffic, :class:`ServingFleet` forks the whole stack
+into N supervised worker processes sharing one listening address
+(``repro-act serve --workers N``; mmap-loaded indexes share node-pool
+pages across workers through the page cache).
 
 Quickstart::
 
@@ -26,8 +30,9 @@ Quickstart::
 from .batcher import MicroBatcher
 from .budget import Budget
 from .cache import CellResultCache
+from .fleet import FleetConfig, ServingFleet, fleet_available
 from .metrics import Counter, Histogram, MetricsRegistry
-from .registry import IndexRegistry
+from .registry import IndexRegistry, prewarm_index
 from .server import ACTHTTPServer, create_server
 from .service import ACTService, ServeConfig
 
@@ -37,10 +42,14 @@ __all__ = [
     "Budget",
     "CellResultCache",
     "Counter",
+    "FleetConfig",
     "Histogram",
     "IndexRegistry",
     "MetricsRegistry",
     "MicroBatcher",
     "ServeConfig",
+    "ServingFleet",
     "create_server",
+    "fleet_available",
+    "prewarm_index",
 ]

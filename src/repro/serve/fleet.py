@@ -1,0 +1,538 @@
+"""Pre-fork multiprocess serving fleet over shared mmap-loaded indexes.
+
+The paper's headline result is near-linear multi-core scaling of ACT
+joins (28 cores, up to 4.3 B points/s); a single GIL-bound process
+cannot show that for serving. The fleet is the serving analog of
+:mod:`repro.join.parallel`'s fork discipline: the parent materializes
+every registered index once
+(:meth:`~repro.serve.registry.IndexRegistry.prewarm` — mmap-loaded node
+pools are file-backed, so forked children share their pages through the
+page cache), binds the listening socket(s), then forks ``N`` workers
+that each run a full :class:`~repro.serve.service.ACTService` plus HTTP
+server. The parent never serves; it supervises.
+
+Socket sharing uses ``SO_REUSEPORT`` where the platform has it: every
+worker accepts on its *own* socket bound to the same address, and the
+kernel load-balances connections across the group (per-worker accept
+queues, no thundering herd). The parent keeps a handle on every socket
+so a crashed worker's accept queue survives until its replacement is
+forked into the same slot. Where ``SO_REUSEPORT`` is unavailable the
+fleet falls back to the classic pre-fork model: one listening socket
+bound by the parent, its fd handed to every worker through ``fork``,
+all workers accepting from the shared queue (the sockets are
+non-blocking, so a raced ``accept`` is absorbed instead of wedging a
+worker).
+
+Supervision: a parent thread restarts crashed workers into their slot;
+:meth:`ServingFleet.shutdown` (the CLI wires ``SIGTERM`` to it) asks
+each worker to stop accepting, finish its in-flight requests — the
+worker's server joins live request threads on close — publish a final
+metrics snapshot, and exit 0. Workers that outlive the drain timeout
+are killed.
+
+Observability: each worker periodically publishes its
+``service.stats()`` snapshot into a ``multiprocessing.Manager`` dict
+shared across the fleet; every worker's ``/stats`` response carries a
+``fleet`` section aggregating them (fleet-wide qps, sheds, errors, p99
+upper bound), so operators see the whole fleet from any single worker.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ServeError
+from ..join.parallel import fork_available
+from .registry import IndexRegistry
+from .server import ACTHTTPServer
+from .service import ACTService, ServeConfig
+
+#: Listen backlog per socket; generous because a crashed worker's queue
+#: buffers connections until the supervisor respawns it.
+_BACKLOG = 128
+
+
+def reuseport_available() -> bool:
+    return hasattr(socket, "SO_REUSEPORT")
+
+
+def fleet_available() -> bool:
+    """True where the fleet can run at all (fork; any socket mode)."""
+    return fork_available()
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Tuning knobs for one serving fleet."""
+
+    workers: int = 2
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = pick a free port (reported by ``address``)
+    serve: ServeConfig = field(default_factory=ServeConfig)
+    #: How often each worker publishes its stats snapshot.
+    stats_interval_s: float = 0.5
+    #: How long shutdown waits for workers to drain before killing them.
+    drain_timeout_s: float = 10.0
+    #: Idle keep-alive connections are dropped after this long so a
+    #: parked client cannot hold a request thread open across a drain
+    #: (must be below ``drain_timeout_s`` or drains degrade to kills).
+    keepalive_idle_timeout_s: float = 5.0
+    #: Pause before respawning a crashed worker; doubles (up to the max)
+    #: while a slot keeps dying young, so a deterministic crasher decays
+    #: into a slow retry loop instead of a fork storm.
+    restart_backoff_s: float = 0.1
+    restart_backoff_max_s: float = 5.0
+    #: ``None`` auto-detects ``SO_REUSEPORT``; ``False`` forces the
+    #: shared-socket fallback (used by tests to cover both modes).
+    reuseport: Optional[bool] = None
+
+
+#: Reserved snapshot-channel key: counters inherited from crashed
+#: workers (folded in by the supervisor so fleet totals stay monotone
+#: across restarts).
+RETIRED_KEY = "retired"
+
+#: The counters the fleet aggregate sums across workers.
+_AGGREGATED_COUNTERS = (
+    "queries.total",
+    "queries.shed",
+    "queries.errors",
+    "queries.invalid",
+    "queries.cache_hits",
+    "joins.total",
+    "http.requests",
+)
+
+
+def aggregate_snapshots(snapshots: Dict[object, dict]) -> dict:
+    """Fleet-wide view over per-worker ``service.stats()`` snapshots.
+
+    Counters sum across live workers plus the ``RETIRED_KEY`` baseline
+    of crashed predecessors, so totals never go backwards when a slot
+    is respawned. Fleet qps is total queries over the longest worker
+    uptime (workers start together, so this is the fleet's lifetime).
+    Latency percentiles cannot be merged exactly from per-worker
+    digests, so the fleet p50/p99 are the worst worker's — an upper
+    bound, which is the conservative side for SLOs.
+    """
+    per_worker: List[dict] = []
+    retired = snapshots.get(RETIRED_KEY, {})
+    totals = {key: int(retired.get(key, 0)) for key in _AGGREGATED_COUNTERS}
+    p50 = 0.0
+    p99 = 0.0
+    max_uptime = 0.0
+    for worker_id in sorted(k for k in snapshots if k != RETIRED_KEY):
+        snap = snapshots[worker_id]
+        metrics = snap.get("metrics", {})
+        counters = metrics.get("counters", {})
+        latency = metrics.get("histograms", {}).get(
+            "queries.latency_seconds", {})
+        uptime = float(snap.get("uptime_seconds", 0.0))
+        max_uptime = max(max_uptime, uptime)
+        for key in totals:
+            totals[key] += int(counters.get(key, 0))
+        p50 = max(p50, float(latency.get("p50", 0.0)))
+        p99 = max(p99, float(latency.get("p99", 0.0)))
+        per_worker.append({
+            "worker": snap.get("worker", worker_id),
+            "pid": snap.get("pid"),
+            "uptime_seconds": uptime,
+            "queries_total": int(counters.get("queries.total", 0)),
+            "qps": (counters.get("queries.total", 0) / uptime
+                    if uptime else 0.0),
+            "latency_p99_seconds": float(latency.get("p99", 0.0)),
+        })
+    view = {
+        "workers": len(per_worker),
+        "counters": totals,
+        "qps": totals["queries.total"] / max_uptime if max_uptime else 0.0,
+        "latency_p50_seconds": p50,
+        "latency_p99_seconds": p99,
+        "per_worker": per_worker,
+    }
+    if retired:
+        view["retired_counters"] = {k: int(v) for k, v in retired.items()}
+    return view
+
+
+class ServingFleet:
+    """Parent-side controller: prewarm, bind, fork, supervise, drain."""
+
+    def __init__(self, registry: IndexRegistry,
+                 config: Optional[FleetConfig] = None):
+        if not fork_available():
+            raise ServeError(
+                "the serving fleet needs the 'fork' start method "
+                "(unavailable on this platform); run single-process "
+                "instead"
+            )
+        self.registry = registry
+        self.config = config if config is not None else FleetConfig()
+        if self.config.workers < 1:
+            raise ServeError(
+                f"fleet needs at least one worker, got "
+                f"{self.config.workers}"
+            )
+        self.reuseport = (reuseport_available()
+                          if self.config.reuseport is None
+                          else bool(self.config.reuseport))
+        self._ctx = multiprocessing.get_context("fork")
+        self._sockets: List[socket.socket] = []
+        self._processes: List[Optional[multiprocessing.Process]] = []
+        self._spawn_times: List[float] = []
+        self._backoffs: List[float] = []
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._supervisor: Optional[threading.Thread] = None
+        self._manager = None
+        self._snapshots = None
+        self._started = False
+        self.restarts = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ServingFleet":
+        """Prewarm, bind, and fork the workers; returns immediately.
+
+        The sockets are listening from the moment ``start`` returns, so
+        clients may connect right away — connections queue until a
+        worker accepts them.
+        """
+        if self._started:
+            raise ServeError("fleet already started")
+        self._started = True
+        # materialize + build hot-path artifacts BEFORE forking: workers
+        # inherit finished indexes (copy-on-write; page-cache-shared for
+        # mmap-loaded node pools) instead of building N copies
+        self.registry.prewarm()
+        # the stats channel must exist pre-fork so children inherit the
+        # proxy; the manager runs as its own child process of the parent
+        self._manager = self._ctx.Manager()
+        self._snapshots = self._manager.dict()
+        self._bind_sockets()
+        self._processes = [None] * self.config.workers
+        self._spawn_times = [0.0] * self.config.workers
+        self._backoffs = [self.config.restart_backoff_s] * self.config.workers
+        for slot in range(self.config.workers):
+            self._spawn(slot)
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="fleet-supervisor", daemon=True)
+        self._supervisor.start()
+        return self
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The ``(host, port)`` every worker serves on."""
+        if not self._sockets:
+            raise ServeError("fleet is not started")
+        return self._sockets[0].getsockname()[:2]
+
+    def live_workers(self) -> int:
+        with self._lock:
+            return sum(1 for p in self._processes
+                       if p is not None and p.is_alive())
+
+    def stats(self) -> dict:
+        """Parent-side fleet aggregate (same shape as ``/stats`` fleet)."""
+        return aggregate_snapshots(self._snapshot_view())
+
+    def wait(self) -> None:
+        """Block until :meth:`shutdown` is called (CLI foreground mode)."""
+        self._stop.wait()
+
+    def shutdown(self) -> None:
+        """Drain and stop the fleet (idempotent).
+
+        Sends ``SIGTERM`` to every worker: each stops accepting,
+        finishes its in-flight requests, publishes a final snapshot,
+        and exits 0. Workers still alive after ``drain_timeout_s`` are
+        killed.
+        """
+        if self._stop.is_set():
+            return
+        self._stop.set()
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=5.0)
+        with self._lock:
+            processes = [p for p in self._processes if p is not None]
+        for process in processes:
+            if process.is_alive() and process.pid:
+                try:
+                    os.kill(process.pid, signal.SIGTERM)
+                except ProcessLookupError:
+                    pass
+        deadline = time.monotonic() + self.config.drain_timeout_s
+        for process in processes:
+            process.join(timeout=max(0.0, deadline - time.monotonic()))
+        for process in processes:
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=5.0)
+        for sock in self._sockets:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        self._sockets = []
+        if self._manager is not None:
+            self._manager.shutdown()
+            self._manager = None
+            self._snapshots = None
+
+    def __enter__(self) -> "ServingFleet":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _bind_sockets(self) -> None:
+        first = self._listen_socket(self.config.port)
+        self._sockets = [first]
+        if self.reuseport:
+            # one accept queue per worker, all in the kernel's reuseport
+            # group; the parent holds every socket so a crashed worker's
+            # queue keeps buffering until the slot is respawned
+            port = first.getsockname()[1]
+            for _ in range(1, self.config.workers):
+                self._sockets.append(self._listen_socket(port))
+
+    def _listen_socket(self, port: int) -> socket.socket:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            if self.reuseport:
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+            sock.bind((self.config.host, port))
+            sock.listen(_BACKLOG)
+            # non-blocking so a raced accept in shared-socket mode
+            # surfaces as BlockingIOError (absorbed by the server loop)
+            # instead of wedging a worker inside accept()
+            sock.setblocking(False)
+        except BaseException:
+            sock.close()
+            raise
+        return sock
+
+    def _worker_socket(self, slot: int) -> socket.socket:
+        return self._sockets[slot if self.reuseport else 0]
+
+    def _spawn(self, slot: int) -> None:
+        process = self._ctx.Process(
+            target=_worker_main,
+            name=f"fleet-worker-{slot}",
+            args=(slot, self._worker_socket(slot), self.registry,
+                  self.config, self._snapshots, os.getpid()),
+        )
+        process.start()
+        with self._lock:
+            self._processes[slot] = process
+            self._spawn_times[slot] = time.monotonic()
+
+    def _supervise(self) -> None:
+        """Restart crashed workers into their slot until shutdown."""
+        while not self._stop.wait(0.2):
+            for slot in range(self.config.workers):
+                with self._lock:
+                    process = self._processes[slot]
+                if process is None or process.is_alive():
+                    continue
+                process.join()
+                if self._stop.is_set():
+                    break
+                self._retire_snapshot(slot)
+                self.restarts += 1
+                backoff = self._next_backoff(slot)
+                if self._stop.wait(backoff):
+                    break
+                self._spawn(slot)
+
+    def _next_backoff(self, slot: int) -> float:
+        """Exponential per-slot backoff while a worker keeps dying young.
+
+        A worker that survived well past its backoff resets the slot to
+        the base pause; one that died almost immediately doubles it (up
+        to the cap), so a deterministic crasher costs a few forks per
+        ``restart_backoff_max_s`` instead of ten per second, while a
+        one-off crash still restarts promptly.
+        """
+        with self._lock:
+            uptime = time.monotonic() - self._spawn_times[slot]
+            young = uptime < max(1.0, 2.0 * self._backoffs[slot])
+            if young:
+                self._backoffs[slot] = min(self.config.restart_backoff_max_s,
+                                           2.0 * self._backoffs[slot])
+            else:
+                self._backoffs[slot] = self.config.restart_backoff_s
+            return self._backoffs[slot]
+
+    def _retire_snapshot(self, slot: int) -> None:
+        """Fold a crashed worker's last counters into the retired base.
+
+        Its replacement republishes the slot from zero; without this the
+        fleet totals would drop by everything the dead worker served.
+        The supervisor is the only writer of the retired entry, so the
+        read-modify-write needs no cross-process lock. (Counters lag by
+        at most one publish interval — whatever the worker served after
+        its last snapshot dies with it.)
+        """
+        snapshots = self._snapshots
+        if snapshots is None:
+            return
+        try:
+            last = snapshots.get(slot)
+            if not last:
+                return
+            counters = last.get("metrics", {}).get("counters", {})
+            retired = dict(snapshots.get(RETIRED_KEY, {}))
+            for key, value in counters.items():
+                retired[key] = int(retired.get(key, 0)) + int(value)
+            snapshots[RETIRED_KEY] = retired
+            del snapshots[slot]
+        except (OSError, EOFError, BrokenPipeError, KeyError):
+            pass
+
+    def _snapshot_view(self) -> Dict[int, dict]:
+        snapshots = self._snapshots
+        if snapshots is None:
+            return {}
+        try:
+            return dict(snapshots)
+        except (OSError, EOFError, BrokenPipeError):  # manager gone
+            return {}
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+class _DrainingHTTPServer(ACTHTTPServer):
+    """Worker-side server: in-flight requests are joined on close.
+
+    Request threads are non-daemon and ``server_close`` blocks on them,
+    which is what turns SIGTERM into a graceful drain instead of
+    cutting connections mid-response.
+    """
+
+    daemon_threads = False
+    block_on_close = True
+    #: Set per instance from ``FleetConfig.keepalive_idle_timeout_s``.
+    keepalive_idle_timeout: float = 5.0
+
+    def get_request(self):
+        # the listening socket is non-blocking (see _listen_socket); the
+        # accepted connection must not inherit that, request handlers do
+        # blocking reads
+        request, client_address = self.socket.accept()
+        # a finite timeout instead of plain blocking: an idle keep-alive
+        # connection parks its thread in the next-request readline, and
+        # with non-daemon threads that would hold server_close() — and
+        # every SIGTERM drain — hostage until the parent kills us. On
+        # timeout the handler closes the connection and the thread exits.
+        request.settimeout(self.keepalive_idle_timeout)
+        return request, client_address
+
+
+def _adopt_socket(server: ACTHTTPServer, sock: socket.socket) -> None:
+    """Replace the server's freshly created socket with the fleet's.
+
+    The server is constructed with ``bind_and_activate=False``; the
+    inherited socket is already bound and listening, so neither bind nor
+    activate runs — only the bookkeeping ``server_bind`` would have done.
+    """
+    server.socket.close()
+    server.socket = sock
+    host, port = sock.getsockname()[:2]
+    server.server_address = (host, port)
+    server.server_name = host
+    server.server_port = port
+
+
+def _worker_main(slot: int, sock: socket.socket, registry: IndexRegistry,
+                 config: FleetConfig, snapshots,
+                 parent_pid: int) -> None:
+    """One fleet worker: a full service + HTTP server on the fleet socket.
+
+    Runs in a forked child. The registry arrives materialized (the
+    parent prewarmed it), so constructing the service is cheap and the
+    node-pool pages of mmap-loaded indexes stay shared with every
+    sibling through the page cache.
+    """
+    stats_interval_s = config.stats_interval_s
+    service = ACTService(registry=registry, config=config.serve)
+    server = _DrainingHTTPServer(sock.getsockname()[:2], service,
+                                 bind_and_activate=False)
+    _adopt_socket(server, sock)
+    server.worker_id = slot
+    server.keepalive_idle_timeout = config.keepalive_idle_timeout_s
+    stopping = threading.Event()
+
+    def publish(snap: Optional[dict] = None) -> None:
+        if snapshots is None:
+            return
+        if snap is None:
+            snap = service.stats()
+        snap = dict(snap)
+        snap["worker"] = slot
+        snap["pid"] = os.getpid()
+        try:
+            snapshots[slot] = snap
+        except (OSError, EOFError, BrokenPipeError):
+            pass  # manager is gone; the fleet is shutting down
+
+    def fleet_stats(own_stats: dict) -> dict:
+        # republish the snapshot the handler just computed (no second
+        # service.stats() per /stats poll), then aggregate everyone's
+        publish(own_stats)
+        try:
+            view = dict(snapshots) if snapshots is not None else {}
+        except (OSError, EOFError, BrokenPipeError):
+            view = {}
+        return aggregate_snapshots(view)
+
+    server.stats_extra = fleet_stats
+
+    def request_shutdown() -> None:
+        if not stopping.is_set():
+            stopping.set()
+            # shutdown() blocks until serve_forever exits; never call it
+            # from the serving thread itself
+            threading.Thread(target=server.shutdown, daemon=True).start()
+
+    def on_sigterm(signum, frame) -> None:
+        request_shutdown()
+
+    signal.signal(signal.SIGTERM, on_sigterm)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)  # parent owns Ctrl-C
+
+    def publisher() -> None:
+        publish()
+        while not stopping.wait(stats_interval_s):
+            publish()
+            if os.getppid() != parent_pid:
+                # orphaned (parent died without drain): stop serving
+                request_shutdown()
+
+    publisher_thread = threading.Thread(target=publisher,
+                                        name="fleet-stats", daemon=True)
+    publisher_thread.start()
+    try:
+        server.serve_forever(poll_interval=0.1)
+    finally:
+        stopping.set()
+        server.server_close()  # joins in-flight request threads (drain)
+        service.close()
+        publish()  # final post-drain snapshot
+        try:
+            sock.close()
+        except OSError:
+            pass

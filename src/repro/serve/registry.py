@@ -28,6 +28,16 @@ from ..act.index import ACTIndex
 from ..errors import ServeError, UnknownIndexError
 
 
+def prewarm_index(index: ACTIndex, edge_table: bool = True) -> ACTIndex:
+    """Pre-build one index's hot-path artifacts for pre-fork binding.
+
+    Serving-layer alias for :meth:`repro.act.index.ACTIndex.prewarm` —
+    the logic lives on the index so lower layers (``join/parallel.py``)
+    share the same fork discipline without importing the serving stack.
+    """
+    return index.prewarm(edge_table=edge_table)
+
+
 @dataclass
 class _Registration:
     """One named index: how to materialize it, and the pinned instance."""
@@ -73,7 +83,6 @@ class IndexRegistry:
         """Register an already-built index (pinned immediately)."""
         self._add(_Registration(name=name, index=index,
                                 materialize_seconds=0.0))
-        self.materialized[name] = index
 
     def _add(self, registration: _Registration) -> None:
         with self._lock:
@@ -82,6 +91,12 @@ class IndexRegistry:
                     f"index {registration.name!r} is already registered"
                 )
             self._registrations[registration.name] = registration
+            # publish pre-built indexes to the hot-path view while still
+            # holding the registry lock: a concurrent evict() cannot even
+            # resolve the registration until we release it, so pinning
+            # and registration are one atomic step
+            if registration.index is not None:
+                self.materialized[registration.name] = registration.index
 
     # ------------------------------------------------------------------
     # Materialization
@@ -113,6 +128,24 @@ class IndexRegistry:
                 registration.index = index
                 self.materialized[registration.name] = index
             return registration.index
+
+    def prewarm(self, names: Optional[List[str]] = None,
+                edge_tables: bool = True) -> Dict[str, ACTIndex]:
+        """Materialize indexes and their hot-path artifacts, fork-safely.
+
+        Materializes every registered name (or just ``names``) and runs
+        :func:`prewarm_index` on each, so nothing on the serving hot
+        path is built lazily afterwards. Called in a pre-fork parent
+        this leaves no registry or executor lock held and no thread
+        running, making the registry safe to inherit through ``fork``:
+        children serve from the parent's built (and, for mmap-loaded
+        node pools, page-cache-shared) artifacts.
+        """
+        out: Dict[str, ACTIndex] = {}
+        for name in (self.names() if names is None else list(names)):
+            out[name] = prewarm_index(self.get(name),
+                                      edge_table=edge_tables)
+        return out
 
     def save(self, name: str, path: Union[str, Path]) -> None:
         """Persist the (materialized) index to ``path``."""

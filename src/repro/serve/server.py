@@ -24,11 +24,17 @@ without parsing bodies.
 from __future__ import annotations
 
 import json
+import os
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
-from ..errors import BudgetExceededError, ServeError, UnknownIndexError
+from ..errors import (
+    BudgetExceededError,
+    InvalidRequestError,
+    ServeError,
+    UnknownIndexError,
+)
 from .budget import Budget
 from .service import ACTService
 
@@ -51,12 +57,25 @@ class ACTRequestHandler(BaseHTTPRequestHandler):
         parsed = urlparse(self.path)
         try:
             if parsed.path == "/healthz":
-                self._send(200, {
+                payload = {
                     "status": "ok",
                     "indexes": self.service.registry.names(),
-                })
+                    "pid": os.getpid(),
+                }
+                worker_id = getattr(self.server, "worker_id", None)
+                if worker_id is not None:
+                    payload["worker"] = worker_id
+                self._send(200, payload)
             elif parsed.path == "/stats":
-                self._send(200, self.service.stats())
+                payload = self.service.stats()
+                extra = getattr(self.server, "stats_extra", None)
+                if extra is not None:
+                    # fleet workers contribute an aggregated cross-worker
+                    # view (see repro.serve.fleet) on top of their own;
+                    # the hook receives this worker's snapshot so it is
+                    # not recomputed for the aggregate
+                    payload["fleet"] = extra(payload)
+                self._send(200, payload)
             elif parsed.path == "/query":
                 self._handle_query(parse_qs(parsed.query))
             else:
@@ -214,6 +233,8 @@ class ACTRequestHandler(BaseHTTPRequestHandler):
     def _send_error_for(self, exc: Exception) -> None:
         if isinstance(exc, UnknownIndexError):
             self._send(404, {"error": str(exc)})
+        elif isinstance(exc, InvalidRequestError):
+            self._send(400, {"error": str(exc)})
         elif isinstance(exc, BudgetExceededError):
             self._send(503, {"error": str(exc), "shed": True})
         else:
@@ -240,9 +261,17 @@ class ACTHTTPServer(ThreadingHTTPServer):
 
     daemon_threads = True
     allow_reuse_address = True
+    #: Fleet workers set these (see :mod:`repro.serve.fleet`): a worker
+    #: slot id surfaced by ``/healthz``, and a callable — given this
+    #: worker's freshly computed stats payload — whose dict is attached
+    #: to ``/stats`` as the fleet-wide aggregate.
+    worker_id: Optional[int] = None
+    stats_extra: Optional[Callable[[dict], dict]] = None
 
-    def __init__(self, address: Tuple[str, int], service: ACTService):
-        super().__init__(address, ACTRequestHandler)
+    def __init__(self, address: Tuple[str, int], service: ACTService,
+                 bind_and_activate: bool = True):
+        super().__init__(address, ACTRequestHandler,
+                         bind_and_activate=bind_and_activate)
         self.service = service
 
 

@@ -41,7 +41,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..act.index import ACTIndex, QueryResult
-from ..errors import BudgetExceededError
+from ..errors import BudgetExceededError, InvalidRequestError
 from ..grid.base import INVALID_KEY
 from .batcher import MicroBatcher
 from .budget import Budget
@@ -89,6 +89,7 @@ class ACTService:
         # pre-bound hot-path metrics (registry lookups are off the path)
         self._queries_total = self.metrics.counter("queries.total")
         self._queries_errors = self.metrics.counter("queries.errors")
+        self._queries_shed = self.metrics.counter("queries.shed")
         self._queries_ood = self.metrics.counter("queries.out_of_domain")
         self._cache_hits = self.metrics.counter("queries.cache_hits")
         self._fast_path = self.metrics.counter("queries.fast_path")
@@ -127,16 +128,32 @@ class ACTService:
                     result = self._miss(index_name, index, lng, lat, key,
                                         budget)
             if exact:
-                refined = tuple(
-                    pid for pid in result.candidates
-                    if index.polygons[pid].contains(lng, lat)
-                )
-                result = QueryResult(result.true_hits + refined, ())
+                result = self._refine_scalar(index, result, lng, lat)
+        except BudgetExceededError:
+            # a shed is load-shedding doing its job, not a failure: a
+            # service under deadline pressure must not look broken
+            self._queries_shed.inc()
+            raise
         except Exception:
             self._queries_errors.inc()
             raise
         self._latency.observe(time.perf_counter() - start)
         return result
+
+    def _refine_scalar(self, index: ACTIndex, result: QueryResult,
+                       lng: float, lat: float) -> QueryResult:
+        """Exact-mode refinement for one point via the packed-edge engine.
+
+        A one-point batch through :meth:`_refine_batch`, so scalar and
+        batch exact queries share one verdict path (bit-identical, no
+        per-candidate Python ``Polygon.contains`` loop)."""
+        if not result.candidates:
+            return QueryResult(result.true_hits, ())
+        return self._refine_batch(
+            index, [result],
+            np.asarray([lng], dtype=np.float64),
+            np.asarray([lat], dtype=np.float64),
+        )[0]
 
     def _effective_budget(self, budget: Optional[Budget]) -> Optional[Budget]:
         if budget is None and self.config.default_budget_ms is not None:
@@ -234,6 +251,16 @@ class ACTService:
         start = time.perf_counter()
         lngs = np.asarray(lngs, dtype=np.float64)
         lats = np.asarray(lats, dtype=np.float64)
+        if lngs.shape != lats.shape or lngs.ndim != 1:
+            # catch the mismatch at admission: deep inside
+            # leaf_cells_batch it surfaces as an opaque broadcast error.
+            # Counted under its own metric (the point count is not
+            # trustworthy, so neither total nor errors fit)
+            self.metrics.counter("queries.invalid").inc()
+            raise InvalidRequestError(
+                f"query_batch needs matching 1-D lngs/lats, got shapes "
+                f"{lngs.shape} and {lats.shape}"
+            )
         n = int(lngs.shape[0])
         self._queries_total.inc(n)
         budget = self._effective_budget(budget)
@@ -285,6 +312,9 @@ class ACTService:
                     len(miss_pos))
             if exact:
                 results = self._refine_batch(index, results, lngs, lats)
+        except BudgetExceededError:
+            self._queries_shed.inc(n)
+            raise
         except Exception:
             self._queries_errors.inc(n)
             raise
@@ -325,7 +355,10 @@ class ACTService:
         start = time.perf_counter()
         if budget is not None:
             budget.require("join admission")
-        index = self.registry.get(index_name)
+        # resolve through the pinned hot view, not the registry: after
+        # evict() + re-materialization joins must run against the same
+        # instance as point queries and the cell cache
+        index, _ = self._hot_view(index_name)
         counts = index.count_points(
             np.asarray(lngs, dtype=np.float64),
             np.asarray(lats, dtype=np.float64),

@@ -54,6 +54,44 @@ def _get(port, path):
         return resp.status, json.loads(resp.read())
 
 
+@pytest.fixture(scope="module")
+def fleet_process():
+    """The real ``repro-act serve --workers 2`` fleet."""
+    from repro.serve.fleet import fleet_available
+
+    if not fleet_available():
+        pytest.skip("fleet needs the 'fork' start method")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONUNBUFFERED"] = "1"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--dataset", "neighborhoods", "--size", "12",
+         "--precision", "300", "--port", "0", "--workers", "2"],
+        env=env, stderr=subprocess.PIPE, text=True,
+    )
+    port = None
+    deadline = time.monotonic() + 120.0
+    try:
+        while time.monotonic() < deadline:
+            line = proc.stderr.readline()
+            if not line and proc.poll() is not None:
+                pytest.fail(f"fleet exited early with {proc.returncode}")
+            match = re.search(r"on http://[\d.]+:(\d+)", line)
+            if match:
+                port = int(match.group(1))
+                break
+        if port is None:
+            pytest.fail("fleet never announced its port")
+        yield proc, port
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(timeout=30.0)
+        except subprocess.TimeoutExpired:  # pragma: no cover
+            proc.kill()
+
+
 class TestServeSmoke:
     def test_healthz(self, serve_process):
         status, body = _get(serve_process, "/healthz")
@@ -73,3 +111,27 @@ class TestServeSmoke:
         status, body = _get(serve_process, "/stats")
         assert status == 200
         assert body["metrics"]["counters"]["queries.total"] >= 1
+
+
+class TestFleetServeSmoke:
+    def test_healthz_reports_worker(self, fleet_process):
+        _, port = fleet_process
+        status, body = _get(port, "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["worker"] in (0, 1)
+
+    def test_stats_has_fleet_section(self, fleet_process):
+        _, port = fleet_process
+        status, body = _get(
+            port, "/query?index=neighborhoods&lng=-73.97&lat=40.75")
+        assert status == 200
+        status, body = _get(port, "/stats")
+        assert status == 200
+        assert body["fleet"]["workers"] >= 1
+        assert "qps" in body["fleet"]
+
+    def test_sigterm_exits_cleanly(self, fleet_process):
+        proc, port = fleet_process
+        proc.terminate()  # SIGTERM -> drain -> exit 0
+        assert proc.wait(timeout=60.0) == 0

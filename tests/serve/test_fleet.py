@@ -1,0 +1,248 @@
+"""Fleet smoke tests: pre-fork workers on one address, supervised.
+
+Everything here forks real processes and speaks real HTTP, so the
+module skips wholesale where ``fork`` is unavailable. Workloads are
+kept tiny — the scaling measurements live in
+``benchmarks/bench_12_fleet.py``.
+"""
+
+import json
+import os
+import signal
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.serve import FleetConfig, IndexRegistry, ServingFleet
+from repro.serve.fleet import aggregate_snapshots, fleet_available
+
+pytestmark = pytest.mark.skipif(
+    not fleet_available(),
+    reason="fleet needs the 'fork' start method",
+)
+
+
+def _get(address, path, timeout=15.0):
+    host, port = address
+    with urllib.request.urlopen(f"http://{host}:{port}{path}",
+                                timeout=timeout) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def _post(address, path, payload, timeout=60.0):
+    host, port = address
+    request = urllib.request.Request(
+        f"http://{host}:{port}{path}",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+@pytest.fixture()
+def fleet_registry(nyc_index):
+    registry = IndexRegistry()
+    registry.register_index("nyc", nyc_index)
+    return registry
+
+
+def _fleet(registry, **overrides):
+    config = FleetConfig(workers=2, stats_interval_s=0.1,
+                         restart_backoff_s=0.05, **overrides)
+    return ServingFleet(registry, config)
+
+
+class TestFleetServing:
+    def test_hammer_aggregated_stats_and_clean_shutdown(
+            self, fleet_registry, nyc_index, query_points):
+        lngs, lats = query_points
+        with _fleet(fleet_registry) as fleet:
+            fleet.start()
+            sent = 0
+            for lng, lat in zip(lngs[:40], lats[:40]):
+                status, body = _get(
+                    fleet.address,
+                    f"/query?index=nyc&lng={lng}&lat={lat}&exact=1")
+                assert status == 200
+                expected = nyc_index.query_exact(lng, lat)
+                assert sorted(body["true_hits"]) == sorted(expected)
+                sent += 1
+            # every worker publishes on its stats interval; poll until
+            # the fleet-wide counter converges on what we sent
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                _, stats = _get(fleet.address, "/stats")
+                fleet_view = stats["fleet"]
+                if fleet_view["counters"]["queries.total"] == sent:
+                    break
+                time.sleep(0.1)
+            assert fleet_view["workers"] == 2
+            assert fleet_view["counters"]["queries.total"] == sent
+            assert fleet_view["counters"]["queries.errors"] == 0
+            assert fleet_view["qps"] > 0
+            # the parent sees the same aggregate without HTTP
+            parent_view = fleet.stats()
+            assert parent_view["counters"]["queries.total"] == sent
+            fleet.shutdown()
+            exitcodes = [p.exitcode for p in fleet._processes
+                         if p is not None]
+            assert exitcodes == [0, 0], \
+                "drained workers must exit cleanly, not be killed"
+
+    def test_shared_socket_fallback_serves(self, fleet_registry, nyc_index):
+        # reuseport=False forces the classic one-socket pre-fork model
+        with _fleet(fleet_registry, reuseport=False) as fleet:
+            fleet.start()
+            assert not fleet.reuseport
+            for _ in range(10):
+                status, body = _get(
+                    fleet.address, "/query?index=nyc&lng=-73.97&lat=40.75")
+                assert status == 200
+                assert tuple(body["true_hits"]) == nyc_index.query(
+                    -73.97, 40.75).true_hits
+
+    def test_worker_crash_is_survived(self, fleet_registry):
+        with _fleet(fleet_registry) as fleet:
+            fleet.start()
+            # traffic first, so the crashed worker has counters to lose
+            for _ in range(20):
+                _get(fleet.address, "/query?index=nyc&lng=-73.97&lat=40.75")
+            time.sleep(0.3)  # let snapshots publish
+            before = fleet.stats()["counters"]["queries.total"]
+            status, body = _get(fleet.address, "/healthz")
+            assert status == 200
+            os.kill(body["pid"], signal.SIGKILL)
+            deadline = time.monotonic() + 20.0
+            while time.monotonic() < deadline and fleet.restarts < 1:
+                time.sleep(0.05)
+            assert fleet.restarts >= 1, "supervisor never respawned"
+            while time.monotonic() < deadline and fleet.live_workers() < 2:
+                time.sleep(0.05)
+            assert fleet.live_workers() == 2
+            # /healthz answers again (possibly from the replacement)
+            status, _ = _get(fleet.address, "/healthz")
+            assert status == 200
+            # the dead worker's counters were folded into the retired
+            # baseline: fleet totals never go backwards across restarts
+            assert fleet.stats()["counters"]["queries.total"] >= before
+
+    def test_parked_keepalive_connection_does_not_block_drain(
+            self, fleet_registry):
+        import http.client
+
+        with _fleet(fleet_registry,
+                    keepalive_idle_timeout_s=1.0) as fleet:
+            fleet.start()
+            host, port = fleet.address
+            # park an idle HTTP/1.1 keep-alive connection: its request
+            # thread sits in the next-request read and must time out
+            # rather than hold the (non-daemon-thread) drain hostage
+            parked = http.client.HTTPConnection(host, port, timeout=30)
+            parked.request("GET", "/healthz")
+            parked.getresponse().read()
+            start = time.monotonic()
+            fleet.shutdown()
+            drain = time.monotonic() - start
+            parked.close()
+            exitcodes = [p.exitcode for p in fleet._processes
+                         if p is not None]
+            assert exitcodes == [0, 0], \
+                "drain must finish without killing workers"
+            assert drain < 8.0
+
+    def test_sigterm_drains_in_flight_requests(self, fleet_registry,
+                                               nyc_index):
+        from repro.datasets import taxi_points
+
+        lngs, lats = taxi_points(200_000, seed=5)
+        payload = {
+            "index": "nyc",
+            "points": [[float(a), float(b)] for a, b in zip(lngs, lats)],
+            "exact": True,
+        }
+        with _fleet(fleet_registry) as fleet:
+            fleet.start()
+            outcome = {}
+
+            def client():
+                try:
+                    outcome["status"], body = _post(
+                        fleet.address, "/query", payload)
+                    outcome["num_points"] = body["num_points"]
+                except Exception as exc:  # pragma: no cover - failure path
+                    outcome["error"] = exc
+
+            thread = threading.Thread(target=client)
+            thread.start()
+            time.sleep(0.4)  # accepted and mid-computation
+            fleet.shutdown()
+            thread.join(timeout=60.0)
+            assert outcome.get("error") is None, \
+                f"in-flight request was cut: {outcome.get('error')}"
+            assert outcome["status"] == 200
+            assert outcome["num_points"] == len(lngs)
+            exitcodes = [p.exitcode for p in fleet._processes
+                         if p is not None]
+            assert all(code == 0 for code in exitcodes)
+
+
+class TestAggregation:
+    def _snapshot(self, worker, total, shed, uptime, p99):
+        return {
+            "worker": worker,
+            "pid": 1000 + worker,
+            "uptime_seconds": uptime,
+            "metrics": {
+                "counters": {"queries.total": total, "queries.shed": shed},
+                "histograms": {
+                    "queries.latency_seconds": {"p50": p99 / 2, "p99": p99},
+                },
+            },
+        }
+
+    def test_aggregate_snapshots(self):
+        view = aggregate_snapshots({
+            0: self._snapshot(0, total=100, shed=2, uptime=10.0, p99=0.05),
+            1: self._snapshot(1, total=300, shed=0, uptime=8.0, p99=0.01),
+        })
+        assert view["workers"] == 2
+        assert view["counters"]["queries.total"] == 400
+        assert view["counters"]["queries.shed"] == 2
+        assert view["qps"] == pytest.approx(40.0)  # 400 over max uptime
+        assert view["latency_p99_seconds"] == pytest.approx(0.05)
+        assert [w["worker"] for w in view["per_worker"]] == [0, 1]
+
+    def test_aggregate_empty(self):
+        view = aggregate_snapshots({})
+        assert view["workers"] == 0
+        assert view["qps"] == 0.0
+
+    def test_aggregate_includes_retired_counters(self):
+        from repro.serve.fleet import RETIRED_KEY
+
+        view = aggregate_snapshots({
+            0: self._snapshot(0, total=50, shed=0, uptime=5.0, p99=0.01),
+            RETIRED_KEY: {"queries.total": 1000, "queries.shed": 7},
+        })
+        # crashed predecessors' counters keep the totals monotone
+        assert view["workers"] == 1
+        assert view["counters"]["queries.total"] == 1050
+        assert view["counters"]["queries.shed"] == 7
+        assert view["retired_counters"]["queries.total"] == 1000
+
+    def test_restart_backoff_escalates_and_resets(self, fleet_registry):
+        fleet = _fleet(fleet_registry)
+        fleet._backoffs = [0.1, 0.1]
+        fleet._spawn_times = [time.monotonic(), time.monotonic() - 60.0]
+        # slot 0 died young: backoff doubles toward the cap
+        assert fleet._next_backoff(0) == pytest.approx(0.2)
+        assert fleet._next_backoff(0) == pytest.approx(0.4)
+        for _ in range(10):
+            fleet._next_backoff(0)
+        assert fleet._backoffs[0] == fleet.config.restart_backoff_max_s
+        # slot 1 ran for a minute before dying: back to the base pause
+        assert fleet._next_backoff(1) == pytest.approx(
+            fleet.config.restart_backoff_s)

@@ -87,6 +87,69 @@ class TestLazyMaterialization:
         assert len(calls) == 1
         assert all(r is results[0] for r in results)
 
+    def test_register_index_pins_atomically_with_registration(
+            self, nyc_index):
+        # register_index publishes the hot-path view under the registry
+        # lock: once the name resolves at all, the pinned view and the
+        # registration always agree (no window where evict() can observe
+        # a registered-but-unpinned or unregistered-but-pinned name)
+        registry = IndexRegistry()
+        registry.register_index("atomic", nyc_index)
+        assert registry.materialized["atomic"] is nyc_index
+        assert registry.is_materialized("atomic")
+        registry.evict("atomic")
+        assert "atomic" not in registry.materialized
+        assert not registry.is_materialized("atomic")
+
+    def test_register_evict_hammering_stays_coherent(self, nyc_index):
+        # many threads registering fresh names while another evicts them
+        # as fast as it can: the lock-free view and the registrations
+        # must never disagree when the dust settles
+        registry = IndexRegistry()
+        names = [f"idx-{i}" for i in range(64)]
+        start = threading.Barrier(3)
+
+        def register(chunk):
+            start.wait()
+            for name in chunk:
+                registry.register_index(name, nyc_index)
+
+        def evictor():
+            start.wait()
+            for name in names * 3:
+                try:
+                    registry.evict(name)
+                except UnknownIndexError:
+                    pass
+
+        threads = [
+            threading.Thread(target=register, args=(names[:32],)),
+            threading.Thread(target=register, args=(names[32:],)),
+            threading.Thread(target=evictor),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for name in names:
+            pinned = name in registry.materialized
+            assert pinned == registry.is_materialized(name)
+            if pinned:
+                assert registry.materialized[name] is nyc_index
+
+    def test_prewarm_materializes_and_builds_edge_tables(
+            self, nyc_polygons):
+        registry = IndexRegistry()
+        registry.register(
+            "warm",
+            lambda: ACTIndex.build(nyc_polygons, precision_meters=300.0))
+        warmed = registry.prewarm()
+        assert set(warmed) == {"warm"}
+        index = warmed["warm"]
+        assert registry.get("warm") is index
+        # the packed-edge engine is built eagerly, not on first request
+        assert index.executor._edge_table is not None
+
     def test_describe_before_and_after(self, nyc_polygons):
         registry = IndexRegistry()
         registry.register(

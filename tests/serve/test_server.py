@@ -166,6 +166,30 @@ class TestErrorMapping:
             _post(http_server, "/query", {"points": [[0.0, 0.0]]})
         assert exc.value.code == 400
 
+    def test_batch_query_invalid_request_400(self, http_server):
+        # InvalidRequestError raised inside the service (e.g. mismatched
+        # batch arrays) must surface as 400, not a 500 from deep inside
+        # the batch descent
+        from repro.errors import InvalidRequestError
+
+        service = http_server.service
+        original = service.query_batch
+
+        def mismatched(*args, **kwargs):
+            return original("nyc", [-73.97, -74.0], [40.75], **kwargs)
+
+        service.query_batch = mismatched
+        try:
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                _post(http_server, "/query",
+                      {"index": "nyc", "points": [[-73.97, 40.75]]})
+        finally:
+            service.query_batch = original
+        assert exc.value.code == 400
+        assert "shapes" in json.loads(exc.value.read())["error"]
+        with pytest.raises(InvalidRequestError):
+            service.query_batch("nyc", [-73.97, -74.0], [40.75])
+
     def test_batch_query_unknown_index_404(self, http_server):
         with pytest.raises(urllib.error.HTTPError) as exc:
             _post(http_server, "/query",

@@ -57,6 +57,18 @@ class TestQueryPath:
         # unknown indexes count as errors in /stats, not silent misses
         assert service.metrics.counter("queries.errors").value >= 1
 
+    def test_query_batch_length_mismatch_rejected(self, service):
+        from repro.errors import InvalidRequestError
+
+        with pytest.raises(InvalidRequestError):
+            service.query_batch("nyc", [-73.97, -74.0], [40.75])
+        with pytest.raises(InvalidRequestError):
+            service.query_batch("nyc", [[-73.97, -74.0]], [[40.75, 40.7]])
+        # rejected floods are visible to operators, without polluting
+        # the per-point total/error counters (the point count is bogus)
+        assert service.metrics.counter("queries.invalid").value == 2
+        assert service.metrics.counter("queries.errors").value == 0
+
     def test_registry_evict_rewarms_and_invalidates(self, nyc_polygons):
         from repro import ACTIndex
 
@@ -76,11 +88,50 @@ class TestQueryPath:
             assert svc._hot["n"][0] is new_index
 
 
+    def test_join_follows_hot_view_after_evict(self, nyc_polygons,
+                                               query_points):
+        # joins must resolve through the same pinned view as point
+        # queries: after evict() + re-materialization both paths (and
+        # the cache) agree on one instance
+        import numpy as np
+
+        from repro import ACTIndex
+
+        svc = ACTService()
+        svc.registry.register(
+            "n", lambda: ACTIndex.build(nyc_polygons,
+                                        precision_meters=300.0))
+        lngs, lats = query_points
+        with svc:
+            baseline = svc.join("n", lngs, lats)
+            old_index = svc.registry.get("n")
+            svc.registry.evict("n")
+            counts = svc.join("n", lngs, lats)
+            np.testing.assert_array_equal(counts, baseline)
+            new_index = svc.registry.get("n")
+            assert new_index is not old_index
+            # the join re-warmed the pinned view itself — point queries
+            # and the cache now share the instance the join ran against
+            assert svc._hot["n"][0] is new_index
+            assert svc.query("n", -73.97, 40.75) == new_index.query(
+                -73.97, 40.75)
+
+
 class TestBudgets:
     def test_spent_budget_is_shed(self, service):
         with pytest.raises(BudgetExceededError):
             service.query("nyc", -73.97, 40.75, budget=Budget(-1.0))
-        assert service.metrics.counter("queries.errors").value >= 1
+        # load shedding is the service doing its job: it must count as a
+        # shed, never as an error, or deadline pressure looks like failure
+        assert service.metrics.counter("queries.shed").value == 1
+        assert service.metrics.counter("queries.errors").value == 0
+
+    def test_batch_shed_counts_whole_batch(self, service):
+        with pytest.raises(BudgetExceededError):
+            service.query_batch("nyc", [-73.97, -74.0], [40.75, 40.7],
+                                budget=Budget(-1.0))
+        assert service.metrics.counter("queries.shed").value == 2
+        assert service.metrics.counter("queries.errors").value == 0
 
     def test_tight_budget_takes_fast_path(self, nyc_index):
         svc = ACTService(config=ServeConfig(max_wait_ms=50.0))

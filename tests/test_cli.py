@@ -47,6 +47,11 @@ class TestParser:
         assert args.index_file == "idx.npz"
         assert args.port == 0
 
+    def test_serve_workers_flag(self):
+        assert build_parser().parse_args(["serve"]).workers == 1
+        args = build_parser().parse_args(["serve", "--workers", "4"])
+        assert args.workers == 4
+
 
 class TestCommands:
     def test_info_runs(self, capsys):
