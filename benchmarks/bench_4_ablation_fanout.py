@@ -11,7 +11,7 @@ import pytest
 
 from repro import ACTIndex
 from repro.act.trie import SUPPORTED_FANOUTS
-from repro.bench import dataset_polygons, throughput_mpts, workload
+from repro.bench import dataset_polygons, throughput_mpts
 from repro.bench.reporting import record_row
 
 _COLUMNS = ["fanout", "max node accesses", "trie MB", "indexed cells [M]",

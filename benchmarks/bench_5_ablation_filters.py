@@ -14,7 +14,6 @@ refinements each design pays — the quantity ACT's interior coverings
 drive to (near) zero.
 """
 
-import pytest
 
 from repro.baselines import FixedGridIndex, InteriorRectIndex
 from repro.bench import dataset_polygons, throughput_mpts

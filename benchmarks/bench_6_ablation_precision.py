@@ -7,7 +7,6 @@ falls as the bound tightens (and cells multiply — the trade the paper's
 Table I quantifies).
 """
 
-import numpy as np
 import pytest
 
 from repro import ACTIndex

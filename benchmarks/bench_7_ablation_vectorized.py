@@ -6,7 +6,6 @@ vs the S2-like spherical grid as the cell substrate (same trie, different
 projection/metrics).
 """
 
-import pytest
 
 from repro import ACTIndex
 from repro.bench import dataset_polygons, throughput_mpts

@@ -10,7 +10,7 @@ budget holds — the behaviour sketched in the paper's introduction.
 import pytest
 
 from repro.act.adaptive import AdaptiveACTIndex
-from repro.bench import dataset_polygons, throughput_mpts, workload
+from repro.bench import dataset_polygons, workload
 from repro.bench.reporting import record_row
 
 _COLUMNS = ["budget [cells]", "adapt rounds", "refinement rate",

@@ -1,0 +1,167 @@
+#!/usr/bin/env python
+"""Validate ``BENCH_*.json`` snapshots against the shared schema.
+
+The machine-readable benchmark snapshots written by
+``repro.bench.reporting.write_bench_json`` are uploaded as CI artifacts
+to track the performance trajectory across PRs. A benchmark that
+bit-rots (crashes half way, emits NaNs, or stops recording metrics)
+would otherwise upload garbage that silently poisons the trajectory —
+this checker fails the PR instead.
+
+Schema (shared by every ``BENCH_<name>.json``):
+
+* the document is a JSON object with ``"bench"`` (non-empty string
+  matching the filename) and ``"scale"`` (finite number > 0);
+* it carries at least one *metric*: a numeric value (or numeric
+  container) besides the ``bench``/``scale`` envelope — an empty
+  snapshot means the benchmark recorded nothing;
+* every number anywhere in the document is finite — NaN/Infinity are
+  rejected both as JSON literals and as values;
+* *trajectory* objects append monotonically: any object whose keys all
+  parse as numbers (e.g. ``qps_by_workers: {"1": …, "2": …, "4": …}``)
+  must list them in strictly increasing order, so a series is appended
+  to, never shuffled or overwritten out of order.
+
+Usage::
+
+    python benchmarks/check_bench_json.py [FILES...]
+
+With no arguments, validates every ``BENCH_*.json`` in the current
+directory and fails if there is none (CI runs it after the bench smoke
+suite, which must have produced snapshots).
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import math
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+#: Envelope keys that are not metrics in themselves.
+ENVELOPE_KEYS = ("bench", "scale")
+
+
+def _reject_constant(value: str):
+    raise ValueError(f"non-finite JSON literal {value!r}")
+
+
+def iter_numbers(value, path: str = "$") -> Iterator[Tuple[str, float]]:
+    """Yield every ``(json_path, number)`` in a document."""
+    if isinstance(value, bool):
+        return
+    if isinstance(value, (int, float)):
+        yield path, float(value)
+    elif isinstance(value, dict):
+        for key, item in value.items():
+            yield from iter_numbers(item, f"{path}.{key}")
+    elif isinstance(value, list):
+        for i, item in enumerate(value):
+            yield from iter_numbers(item, f"{path}[{i}]")
+
+
+def _numeric_key(key: str):
+    try:
+        return float(key)
+    except (TypeError, ValueError):
+        return None
+
+
+def check_trajectories(value, path: str = "$") -> List[str]:
+    """Objects keyed entirely by numbers must be strictly increasing.
+
+    JSON objects preserve insertion order, so an out-of-order series
+    means the benchmark rewrote (instead of appended to) its
+    trajectory.
+    """
+    problems: List[str] = []
+    if isinstance(value, dict):
+        keys = [_numeric_key(k) for k in value]
+        if len(keys) >= 2 and all(k is not None for k in keys):
+            # NaN keys make every ordering comparison vacuously pass —
+            # reject them outright instead of letting a shuffled series
+            # slip through
+            if any(not math.isfinite(k) for k in keys):
+                problems.append(
+                    f"{path}: trajectory keys {list(value)} contain a "
+                    f"non-finite value"
+                )
+            elif any(b <= a for a, b in zip(keys, keys[1:])):
+                problems.append(
+                    f"{path}: trajectory keys {list(value)} are not "
+                    f"strictly increasing (append-only series expected)"
+                )
+        for key, item in value.items():
+            problems.extend(check_trajectories(item, f"{path}.{key}"))
+    elif isinstance(value, list):
+        for i, item in enumerate(value):
+            problems.extend(check_trajectories(item, f"{path}[{i}]"))
+    return problems
+
+
+def validate_document(document: dict, expected_name: str) -> List[str]:
+    """All schema violations in one parsed snapshot (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(document, dict):
+        return [f"document must be a JSON object, got "
+                f"{type(document).__name__}"]
+    bench = document.get("bench")
+    if not isinstance(bench, str) or not bench:
+        problems.append('"bench" must be a non-empty string')
+    elif expected_name and bench != expected_name:
+        problems.append(
+            f'"bench" is {bench!r} but the filename says '
+            f'{expected_name!r}'
+        )
+    scale = document.get("scale")
+    if (isinstance(scale, bool) or not isinstance(scale, (int, float))
+            or not math.isfinite(scale) or scale <= 0):
+        problems.append(f'"scale" must be a finite number > 0, '
+                        f'got {scale!r}')
+    metrics = {k: v for k, v in document.items() if k not in ENVELOPE_KEYS}
+    if not any(True for _ in iter_numbers(metrics)):
+        problems.append("no numeric metrics outside the bench/scale "
+                        "envelope (empty snapshot)")
+    for path, number in iter_numbers(document):
+        if not math.isfinite(number):
+            problems.append(f"{path}: non-finite value {number!r}")
+    problems.extend(check_trajectories(document))
+    return problems
+
+
+def validate_file(path: Path) -> List[str]:
+    name = path.name
+    expected = ""
+    if name.startswith("BENCH_") and name.endswith(".json"):
+        expected = name[len("BENCH_"):-len(".json")]
+    try:
+        document = json.loads(path.read_text(),
+                              parse_constant=_reject_constant)
+    except (OSError, ValueError) as exc:
+        return [f"unreadable: {exc}"]
+    return validate_document(document, expected)
+
+
+def main(argv: List[str]) -> int:
+    paths = [Path(p) for p in argv] if argv else \
+        sorted(Path(p) for p in glob.glob("BENCH_*.json"))
+    if not paths:
+        print("check_bench_json: no BENCH_*.json found (did the bench "
+              "smoke suite run?)", file=sys.stderr)
+        return 1
+    failed = False
+    for path in paths:
+        problems = validate_file(path)
+        if problems:
+            failed = True
+            for problem in problems:
+                print(f"{path}: {problem}", file=sys.stderr)
+        else:
+            print(f"{path}: ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

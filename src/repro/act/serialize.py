@@ -31,6 +31,7 @@ share the pool through the page cache instead of each holding a copy.
 from __future__ import annotations
 
 import json
+import os
 import struct
 import zipfile
 from pathlib import Path
@@ -103,6 +104,44 @@ def save_index(index: ACTIndex, path: Union[str, Path]) -> None:
             with archive.open(info, "w") as fp:
                 np.lib.format.write_array(
                     fp, np.ascontiguousarray(array), allow_pickle=False)
+
+
+def save_index_atomic(index: ACTIndex, path: Union[str, Path]) -> Path:
+    """Persist ``index`` to ``path`` via write-temp + rename.
+
+    The archive is written to a hidden sibling temp file and moved into
+    place with :func:`os.replace`, so a reader never observes a partial
+    archive and — crucially for zero-downtime reloads — a process that
+    memory-mapped the *old* file at ``path`` keeps a valid map: the
+    rename unlinks the old directory entry but the old inode survives
+    until the last map goes away.
+    """
+    path = Path(path)
+    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    try:
+        save_index(index, tmp)
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+    return path
+
+
+def generation_path(path: Union[str, Path], generation: int) -> Path:
+    """The generation-suffixed sibling of an index path.
+
+    ``idx.npz`` at generation 7 becomes ``idx.gen000007.npz``; reload
+    coordinators write each new generation to its own file so workers
+    still serving (and mmap-ing) an older generation are untouched.
+    """
+    path = Path(path)
+    suffix = path.suffix or ".npz"
+    stem = path.name[:-len(suffix)] if path.name.endswith(suffix) \
+        else path.name
+    return path.with_name(f"{stem}.gen{generation:06d}{suffix}")
 
 
 def load_index(path: Union[str, Path],

@@ -13,7 +13,10 @@ Small operational front end over the library:
   long-lived HTTP query service (see :mod:`repro.serve`);
 * ``repro-act serve --workers 4 --index-file idx.npz --mmap`` — the
   pre-fork serving fleet: N supervised worker processes on one
-  listening address, node-pool pages shared through the page cache.
+  listening address, node-pool pages shared through the page cache;
+* ``repro-act admin reload nyc --path new.npz`` — drive a running
+  server's (or fleet's) loopback admin API: list, register, reload, and
+  retire indexes with zero downtime (see :mod:`repro.serve.lifecycle`).
 """
 
 from __future__ import annotations
@@ -201,6 +204,55 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_admin(args) -> int:
+    """Drive the admin API of a running server: ``repro-act admin …``."""
+    import json
+    import urllib.error
+    import urllib.request
+    from urllib.parse import quote
+
+    base = args.url.rstrip("/")
+    command = args.admin_command
+    if command == "indexes":
+        request = urllib.request.Request(f"{base}/admin/indexes")
+    elif command == "unregister":
+        request = urllib.request.Request(
+            f"{base}/admin/index/{quote(args.name, safe='')}",
+            method="DELETE")
+    else:  # register / reload
+        body = {"name": args.name}
+        if args.path is not None:
+            body["path"] = args.path
+        if args.mmap:
+            body["mmap_mode"] = "r"
+        request = urllib.request.Request(
+            f"{base}/admin/{command}",
+            data=json.dumps(body).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST")
+    try:
+        with urllib.request.urlopen(request,
+                                    timeout=args.timeout) as response:
+            payload = json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        try:
+            detail = json.loads(exc.read()).get("error", "")
+        except Exception:
+            detail = ""
+        print(f"admin {command} failed: HTTP {exc.code} {detail}",
+              file=sys.stderr)
+        return 1
+    except urllib.error.URLError as exc:
+        print(f"cannot reach {base}: {exc.reason}", file=sys.stderr)
+        return 1
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    if payload.get("complete") is False:
+        # a fleet reload that timed out waiting for some worker's ack:
+        # surface it in the exit code so scripts notice
+        return 1
+    return 0
+
+
 def cmd_demo(args) -> int:
     args.dataset = "neighborhoods"
     args.size = 60
@@ -291,6 +343,38 @@ def build_parser() -> argparse.ArgumentParser:
                          help="build/load the index on first query "
                               "instead of at startup")
     p_serve.set_defaults(func=cmd_serve)
+
+    p_admin = sub.add_parser(
+        "admin", help="administer a running server or fleet (loopback)")
+    p_admin.add_argument("--url", default="http://127.0.0.1:8080",
+                         help="base URL of the running server")
+    p_admin.add_argument("--timeout", type=float, default=60.0,
+                         help="HTTP timeout in seconds (fleet reloads "
+                              "wait for every worker to ack)")
+    admin_sub = p_admin.add_subparsers(dest="admin_command", required=True)
+    admin_sub.add_parser("indexes",
+                         help="list indexes: name, generation, source, "
+                              "bytes, mmap mode")
+    p_reg = admin_sub.add_parser(
+        "register", help="register + materialize a serialized index")
+    p_reg.add_argument("name")
+    p_reg.add_argument("--path", required=True,
+                       help="serialized .npz index to serve")
+    p_reg.add_argument("--mmap", action="store_true",
+                       help="memory-map the node pool")
+    p_rel = admin_sub.add_parser(
+        "reload", help="swap in a fresh generation with zero downtime "
+                       "(fleet-wide when workers > 1)")
+    p_rel.add_argument("name")
+    p_rel.add_argument("--path", default=None,
+                       help="repoint the index at a new .npz (default: "
+                            "re-materialize from its current source)")
+    p_rel.add_argument("--mmap", action="store_true",
+                       help="memory-map the node pool")
+    p_unreg = admin_sub.add_parser(
+        "unregister", help="retire an index from serving")
+    p_unreg.add_argument("name")
+    p_admin.set_defaults(func=cmd_admin)
     return parser
 
 

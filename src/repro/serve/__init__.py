@@ -11,7 +11,11 @@ HTTP (:func:`create_server`, or ``repro-act serve`` from the CLI).
 For CPU-bound traffic, :class:`ServingFleet` forks the whole stack
 into N supervised worker processes sharing one listening address
 (``repro-act serve --workers N``; mmap-loaded indexes share node-pool
-pages across workers through the page cache).
+pages across workers through the page cache). Indexes are
+generation-tagged (:class:`IndexGeneration`) and operable at runtime
+through the loopback-only admin API (:mod:`repro.serve.lifecycle`,
+``repro-act admin``): register, reload, and retire indexes on a live
+server — or a whole fleet — with zero downtime.
 
 Quickstart::
 
@@ -31,25 +35,36 @@ from .batcher import MicroBatcher
 from .budget import Budget
 from .cache import CellResultCache
 from .fleet import FleetConfig, ServingFleet, fleet_available
+from .lifecycle import (
+    AdminOp,
+    FleetLifecycle,
+    apply_admin_op,
+    handle_admin_request,
+)
 from .metrics import Counter, Histogram, MetricsRegistry
-from .registry import IndexRegistry, prewarm_index
+from .registry import IndexGeneration, IndexRegistry, prewarm_index
 from .server import ACTHTTPServer, create_server
 from .service import ACTService, ServeConfig
 
 __all__ = [
     "ACTHTTPServer",
     "ACTService",
+    "AdminOp",
     "Budget",
     "CellResultCache",
     "Counter",
     "FleetConfig",
+    "FleetLifecycle",
     "Histogram",
+    "IndexGeneration",
     "IndexRegistry",
     "MetricsRegistry",
     "MicroBatcher",
     "ServeConfig",
     "ServingFleet",
+    "apply_admin_op",
     "create_server",
     "fleet_available",
+    "handle_admin_request",
     "prewarm_index",
 ]

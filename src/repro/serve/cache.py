@@ -6,10 +6,18 @@ level: every covering cell sits at a level at or above ``boundary_level``
 and conflict push-down never descends past it), so all leaf cells sharing
 a boundary-level ancestor decode to the same reference set. Caching the
 classified :class:`~repro.act.index.QueryResult` under
-``(index_name, parent(leaf, boundary_level))`` therefore serves repeat
-traffic on hot locations with one dict lookup and zero trie descents —
-exact-mode refinement still runs per point on top of the cached cell
-result, so caching never weakens exactness.
+``(index_name, generation, parent(leaf, boundary_level))`` therefore
+serves repeat traffic on hot locations with one dict lookup and zero
+trie descents — exact-mode refinement still runs per point on top of
+the cached cell result, so caching never weakens exactness.
+
+The *generation* component is what makes zero-downtime reloads safe: a
+request pinned to the old index generation that completes after the
+swap writes its result under the old generation's keyspace, where
+new-generation queries can never read it — there is no window in which
+a stale answer can be served, no matter how requests and the reload
+interleave. :meth:`CellResultCache.invalidate_index` then reclaims the
+dead generations' memory.
 """
 
 from __future__ import annotations
@@ -20,8 +28,8 @@ from typing import Dict, Hashable, Optional, Tuple
 
 from ..act.index import QueryResult
 
-#: Cache key: (index name, boundary-level cell id).
-CacheKey = Tuple[str, int]
+#: Cache key: (index name, index generation, boundary-level cell id).
+CacheKey = Tuple[str, int, int]
 
 
 class CellResultCache:
@@ -38,6 +46,7 @@ class CellResultCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
 
     def get(self, key: CacheKey) -> Optional[QueryResult]:
         if self.capacity <= 0:
@@ -61,13 +70,24 @@ class CellResultCache:
                 self._entries.popitem(last=False)
                 self.evictions += 1
 
-    def invalidate_index(self, index_name: str) -> int:
-        """Drop every entry for one index (after a reload); returns the
-        number of entries removed."""
+    def invalidate_index(self, index_name: str,
+                         keep_generation: Optional[int] = None) -> int:
+        """Drop entries for one index (after a reload or unregister).
+
+        With ``keep_generation`` set, entries of exactly that generation
+        survive — a reload invalidates every *older* generation while
+        keeping whatever the new one has already warmed. Returns the
+        number of entries removed.
+        """
         with self._lock:
-            stale = [k for k in self._entries if k[0] == index_name]
+            stale = [
+                k for k in self._entries
+                if k[0] == index_name
+                and (keep_generation is None or k[1] != keep_generation)
+            ]
             for key in stale:
                 del self._entries[key]
+            self.invalidations += len(stale)
             return len(stale)
 
     def clear(self) -> None:
@@ -92,5 +112,6 @@ class CellResultCache:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "invalidations": self.invalidations,
             "hit_rate": self.hit_rate,
         }

@@ -35,14 +35,25 @@ Observability: each worker periodically publishes its
 shared across the fleet; every worker's ``/stats`` response carries a
 ``fleet`` section aggregating them (fleet-wide qps, sheds, errors, p99
 upper bound), so operators see the whole fleet from any single worker.
+
+Index lifecycle: a second ``Manager`` dict is the fleet's admin control
+channel (see :mod:`repro.serve.lifecycle`). Any worker's loopback
+``POST /admin/reload`` (or the parent's :meth:`ServingFleet.admin`)
+coordinates a zero-downtime fleet-wide swap: the receiver materializes
+the new generation once, writes it to a side ``.npz``, and every other
+process mmaps it, swaps its hot view, invalidates its cell cache, and
+acks — the admin response returns only after the whole fleet converged,
+and no query fails or mixes generations while it happens.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import shutil
 import signal
 import socket
+import tempfile
 import threading
 import time
 from dataclasses import dataclass, field
@@ -50,6 +61,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..errors import ServeError
 from ..join.parallel import fork_available
+from .lifecycle import PARENT_IDENTITY, FleetLifecycle
 from .registry import IndexRegistry
 from .server import ACTHTTPServer
 from .service import ACTService, ServeConfig
@@ -92,6 +104,12 @@ class FleetConfig:
     #: ``None`` auto-detects ``SO_REUSEPORT``; ``False`` forces the
     #: shared-socket fallback (used by tests to cover both modes).
     reuseport: Optional[bool] = None
+    #: How long an admin operation waits for every process to ack a
+    #: fleet-wide lifecycle change before reporting the stragglers.
+    admin_timeout_s: float = 30.0
+    #: Where reload coordinators write side ``.npz`` artifacts; ``None``
+    #: creates (and cleans up) a private temp directory.
+    artifact_dir: Optional[str] = None
 
 
 #: Reserved snapshot-channel key: counters inherited from crashed
@@ -193,6 +211,11 @@ class ServingFleet:
         self._supervisor: Optional[threading.Thread] = None
         self._manager = None
         self._snapshots = None
+        self._control = None
+        self._op_lock = None
+        self._lifecycle: Optional[FleetLifecycle] = None
+        self._artifact_dir: Optional[str] = None
+        self._own_artifact_dir = False
         self._started = False
         self.restarts = 0
 
@@ -213,10 +236,24 @@ class ServingFleet:
         # inherit finished indexes (copy-on-write; page-cache-shared for
         # mmap-loaded node pools) instead of building N copies
         self.registry.prewarm()
-        # the stats channel must exist pre-fork so children inherit the
-        # proxy; the manager runs as its own child process of the parent
+        # the stats + admin channels must exist pre-fork so children
+        # inherit the proxies; the manager runs as its own child process
+        # of the parent
         self._manager = self._ctx.Manager()
         self._snapshots = self._manager.dict()
+        self._control = self._manager.dict()
+        self._op_lock = self._manager.Lock()
+        if self.config.artifact_dir is not None:
+            self._artifact_dir = self.config.artifact_dir
+        else:
+            self._artifact_dir = tempfile.mkdtemp(prefix="repro-fleet-")
+            self._own_artifact_dir = True
+        self._lifecycle = FleetLifecycle(
+            self._control, self._op_lock, PARENT_IDENTITY,
+            workers=self.config.workers, registry=self.registry,
+            artifact_dir=self._artifact_dir,
+            timeout_s=self.config.admin_timeout_s,
+        )
         self._bind_sockets()
         self._processes = [None] * self.config.workers
         self._spawn_times = [0.0] * self.config.workers
@@ -243,6 +280,18 @@ class ServingFleet:
     def stats(self) -> dict:
         """Parent-side fleet aggregate (same shape as ``/stats`` fleet)."""
         return aggregate_snapshots(self._snapshot_view())
+
+    def admin(self, request: dict) -> dict:
+        """Run one lifecycle operation fleet-wide from the parent.
+
+        Same request/response shapes as the HTTP admin surface (the
+        parent becomes the coordinator): e.g. ``fleet.admin({"op":
+        "reload", "name": "nyc", "path": "new.npz"})`` returns after
+        every worker swapped and acked the new generation.
+        """
+        if self._lifecycle is None:
+            raise ServeError("fleet is not started")
+        return self._lifecycle.submit(request)
 
     def wait(self) -> None:
         """Block until :meth:`shutdown` is called (CLI foreground mode)."""
@@ -286,6 +335,12 @@ class ServingFleet:
             self._manager.shutdown()
             self._manager = None
             self._snapshots = None
+            self._control = None
+            self._op_lock = None
+            self._lifecycle = None
+        if self._own_artifact_dir and self._artifact_dir is not None:
+            shutil.rmtree(self._artifact_dir, ignore_errors=True)
+            self._artifact_dir = None
 
     def __enter__(self) -> "ServingFleet":
         return self
@@ -332,7 +387,8 @@ class ServingFleet:
             target=_worker_main,
             name=f"fleet-worker-{slot}",
             args=(slot, self._worker_socket(slot), self.registry,
-                  self.config, self._snapshots, os.getpid()),
+                  self.config, self._snapshots, os.getpid(),
+                  self._control, self._op_lock, self._artifact_dir),
         )
         process.start()
         with self._lock:
@@ -340,8 +396,20 @@ class ServingFleet:
             self._spawn_times[slot] = time.monotonic()
 
     def _supervise(self) -> None:
-        """Restart crashed workers into their slot until shutdown."""
+        """Restart crashed workers into their slot until shutdown.
+
+        Also absorbs pending admin operations into the *parent's*
+        registry (before any respawn below), so a worker forked after a
+        reload inherits the current generation instead of the one the
+        fleet was born with.
+        """
         while not self._stop.wait(0.2):
+            lifecycle = self._lifecycle
+            if lifecycle is not None:
+                try:
+                    lifecycle.poll()
+                except Exception:  # pragma: no cover - never kill the
+                    pass           # supervisor over an admin op
             for slot in range(self.config.workers):
                 with self._lock:
                     process = self._processes[slot]
@@ -459,7 +527,8 @@ def _adopt_socket(server: ACTHTTPServer, sock: socket.socket) -> None:
 
 def _worker_main(slot: int, sock: socket.socket, registry: IndexRegistry,
                  config: FleetConfig, snapshots,
-                 parent_pid: int) -> None:
+                 parent_pid: int, control=None, op_lock=None,
+                 artifact_dir: Optional[str] = None) -> None:
     """One fleet worker: a full service + HTTP server on the fleet socket.
 
     Runs in a forked child. The registry arrives materialized (the
@@ -474,6 +543,21 @@ def _worker_main(slot: int, sock: socket.socket, registry: IndexRegistry,
     _adopt_socket(server, sock)
     server.worker_id = slot
     server.keepalive_idle_timeout = config.keepalive_idle_timeout_s
+    lifecycle = None
+    if control is not None and op_lock is not None:
+        lifecycle = FleetLifecycle(
+            control, op_lock, str(slot), workers=config.workers,
+            service=service, artifact_dir=artifact_dir,
+            timeout_s=config.admin_timeout_s,
+        )
+        # absorb (idempotently: the parent's registry usually already
+        # carried it through the fork) and ack any operation published
+        # before this worker existed — a respawn mid-reload must not
+        # leave the coordinator's ack barrier hanging
+        lifecycle.poll()
+        # admin mutations arriving over HTTP at this worker coordinate
+        # the whole fleet
+        server.admin_hook = lifecycle.submit
     stopping = threading.Event()
 
     def publish(snap: Optional[dict] = None) -> None:
@@ -517,6 +601,13 @@ def _worker_main(slot: int, sock: socket.socket, registry: IndexRegistry,
     def publisher() -> None:
         publish()
         while not stopping.wait(stats_interval_s):
+            if lifecycle is not None:
+                try:
+                    # absorb fleet-wide admin ops (reload/register/
+                    # unregister) published by a sibling coordinator
+                    lifecycle.poll()
+                except Exception:
+                    pass  # an op failure must never kill the publisher
             publish()
             if os.getppid() != parent_pid:
                 # orphaned (parent died without drain): stop serving

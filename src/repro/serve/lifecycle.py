@@ -1,0 +1,479 @@
+"""Index lifecycle: admin operations and the fleet-wide reload protocol.
+
+The registry (generation-tagged records) and service (generation-pinned
+hot views, generation-keyed cache) make a *single process* reloadable
+with zero downtime. This module adds the two remaining layers:
+
+* a uniform **admin operation** vocabulary — ``register`` / ``reload``
+  / ``unregister`` — shared by the HTTP admin surface
+  (``POST /admin/register``, ``POST /admin/reload``,
+  ``DELETE /admin/index/{name}``), the ``repro-act admin`` CLI, and the
+  fleet control channel; and
+
+* the **fleet-wide reload protocol** for the pre-fork serving fleet
+  (:mod:`repro.serve.fleet`). Whichever process receives the admin call
+  — any worker, or the parent — becomes the *coordinator*: it applies
+  the operation to its own registry first (for a reload, materializing
+  the new generation exactly once), writes the materialized generation
+  to a side ``.npz`` (generation-suffixed, write-temp + rename — see
+  :func:`repro.act.serialize.save_index_atomic`), and publishes the
+  operation on the fleet's ``multiprocessing.Manager`` control dict.
+  Every other process — sibling workers and the supervising parent —
+  notices the new sequence number on its next poll tick, memory-maps
+  the side artifact (one materialization, N cheap page-cache-shared
+  maps), atomically swaps its hot view, invalidates the dead
+  generations' cache entries, and writes an acknowledgement. The
+  coordinator's admin response returns only after every process acked
+  (or a timeout names the stragglers), so "reload returned OK" means
+  *the whole fleet serves the new generation*. The old generation is
+  dropped per process only at swap time, and in-flight requests hold
+  the record they pinned at admission — no request ever 500s or mixes
+  generations during a reload.
+
+Application is **idempotent** (a reload to a generation a registry has
+already reached is a no-op), which is what makes crash-recovery free: a
+worker respawned mid-reload forks from the parent's already-updated
+registry, re-applies the pending operation as a no-op, and acks.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+from ..act import serialize
+from ..errors import InvalidRequestError, ServeError, UnknownIndexError
+from .registry import _UNSET, IndexRegistry
+from .service import ACTService
+
+#: The admin operation kinds (the wire vocabulary).
+OP_REGISTER = "register"
+OP_RELOAD = "reload"
+OP_UNREGISTER = "unregister"
+_KINDS = (OP_REGISTER, OP_RELOAD, OP_UNREGISTER)
+
+#: Control-dict keys (shared with :mod:`repro.serve.fleet`).
+SEQ_KEY = "seq"
+OP_KEY = "op"
+
+#: The parent supervisor's identity on the control channel.
+PARENT_IDENTITY = "parent"
+
+
+def ack_key(seq: int, identity: str) -> str:
+    return f"ack:{seq}:{identity}"
+
+
+#: Admin-manageable index names: they become side-artifact filenames,
+#: so they must not traverse paths (no separators, no leading dot).
+_NAME_RE = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]*\Z")
+
+
+@dataclass(frozen=True)
+class AdminOp:
+    """One lifecycle operation, as applied locally or sent over the wire.
+
+    ``source_path`` permanently repoints a registration (the operator
+    shipped new data); ``artifact_path`` is what this generation is
+    materialized *from* (for fleet reloads, the coordinator's side
+    ``.npz``). ``generation`` pins the resulting generation number so
+    every process in a fleet converges on the same tag.
+    """
+
+    kind: str
+    name: str
+    seq: int = 0
+    generation: Optional[int] = None
+    source_path: Optional[str] = None
+    source_mmap_mode: object = _UNSET
+    artifact_path: Optional[str] = None
+    artifact_mmap_mode: object = _UNSET
+
+    def to_wire(self) -> dict:
+        wire = {"kind": self.kind, "name": self.name, "seq": self.seq}
+        if self.generation is not None:
+            wire["generation"] = self.generation
+        if self.source_path is not None:
+            wire["source_path"] = self.source_path
+        if self.source_mmap_mode is not _UNSET:
+            wire["source_mmap_mode"] = self.source_mmap_mode
+        if self.artifact_path is not None:
+            wire["artifact_path"] = self.artifact_path
+        if self.artifact_mmap_mode is not _UNSET:
+            wire["artifact_mmap_mode"] = self.artifact_mmap_mode
+        return wire
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "AdminOp":
+        return cls(
+            kind=wire["kind"],
+            name=wire["name"],
+            seq=int(wire.get("seq", 0)),
+            generation=wire.get("generation"),
+            source_path=wire.get("source_path"),
+            source_mmap_mode=wire.get("source_mmap_mode", _UNSET),
+            artifact_path=wire.get("artifact_path"),
+            artifact_mmap_mode=wire.get("artifact_mmap_mode", _UNSET),
+        )
+
+
+def apply_admin_op(op: AdminOp, service: Optional[ACTService] = None,
+                   registry: Optional[IndexRegistry] = None,
+                   strict: bool = True) -> dict:
+    """Apply one operation to this process.
+
+    Workers pass their ``service`` (so cache/batcher/hot-view adoption
+    happens too); the fleet parent passes its bare ``registry``.
+    ``strict=False`` is the follower mode: re-applying an operation the
+    process has already absorbed — a respawned worker whose registry
+    was forked post-apply — is a no-op that still reports success.
+    Coordinators and the single-process admin surface stay strict so an
+    operator deleting an unknown index sees the 404.
+    """
+    if registry is None:
+        if service is None:
+            raise ServeError("apply_admin_op needs a service or a registry")
+        registry = service.registry
+    result = {"op": op.kind, "name": op.name, "pid": os.getpid()}
+
+    if op.kind == OP_UNREGISTER:
+        try:
+            dropped = (service.unregister_index(op.name) if service
+                       else registry.unregister(op.name))
+            result.update(dropped)
+        except UnknownIndexError:
+            if strict:
+                raise
+            result["already_unregistered"] = True
+        return result
+
+    if op.kind == OP_REGISTER:
+        path = op.source_path or op.artifact_path
+        already = (op.name in registry.names()
+                   and op.generation is not None
+                   and registry.generation(op.name) >= op.generation)
+        if already:
+            # a replayed fleet op this process absorbed through the
+            # fork: report success without re-registering
+            record = registry.pin(op.name)
+        else:
+            if path is None:
+                raise InvalidRequestError(
+                    "register needs a path to a serialized index"
+                )
+            mmap_mode = (None if op.source_mmap_mode is _UNSET
+                         else op.source_mmap_mode)
+            if service is not None:
+                record = service.register_index_path(
+                    op.name, path, mmap_mode=mmap_mode)
+            else:
+                registry.register_path(op.name, path, mmap_mode=mmap_mode)
+                record = registry.pin(op.name)
+        result["generation"] = record.generation
+        return result
+
+    if op.kind == OP_RELOAD:
+        if op.name not in registry.names() and op.artifact_path is not None:
+            # a process that never saw this name (defensive; ops are
+            # serialized so this means it was forked mid-register):
+            # adopt the artifact as a fresh registration
+            registry.register_path(
+                op.name, op.source_path or op.artifact_path,
+                mmap_mode=(None if op.artifact_mmap_mode is _UNSET
+                           else op.artifact_mmap_mode))
+        kwargs = dict(
+            source_path=op.source_path,
+            source_mmap_mode=op.source_mmap_mode,
+            artifact_path=op.artifact_path,
+            artifact_mmap_mode=op.artifact_mmap_mode,
+            generation=op.generation,
+        )
+        record = (service.reload_index(op.name, **kwargs) if service
+                  else registry.reload(op.name, **kwargs))
+        result["generation"] = record.generation
+        return result
+
+    raise InvalidRequestError(f"unknown admin op {op.kind!r}")
+
+
+def _request_mmap_mode(request: dict):
+    """Normalize the mmap spelling of an admin request.
+
+    Accepts ``"mmap_mode": "r"|"c"|null`` or the shorthand
+    ``"mmap": true``; returns ``_UNSET`` when the request says nothing
+    (a reload then keeps the registration's existing mode).
+    """
+    if "mmap_mode" in request:
+        mode = request["mmap_mode"]
+        if mode not in (None, "r", "c"):
+            raise InvalidRequestError(
+                f"mmap_mode must be null, 'r' or 'c', got {mode!r}"
+            )
+        return mode
+    if "mmap" in request:
+        return "r" if request["mmap"] else None
+    return _UNSET
+
+
+def request_to_op(request: dict) -> AdminOp:
+    """Validate an HTTP/CLI admin request dict into an :class:`AdminOp`."""
+    kind = request.get("op")
+    if kind not in _KINDS:
+        raise InvalidRequestError(
+            f"admin op must be one of {_KINDS}, got {kind!r}"
+        )
+    name = request.get("name")
+    if not isinstance(name, str) or not name:
+        raise InvalidRequestError('admin requests need {"name": "..."}')
+    if ".." in name or not _NAME_RE.match(name):
+        raise InvalidRequestError(
+            f"index name {name!r} must match [A-Za-z0-9][A-Za-z0-9._-]* "
+            f"(it becomes a side-artifact filename)"
+        )
+    path = request.get("path")
+    if path is not None and not isinstance(path, str):
+        raise InvalidRequestError("path must be a string")
+    if kind == OP_REGISTER and path is None:
+        raise InvalidRequestError(
+            'register needs {"path": "/path/to/index.npz"}'
+        )
+    mmap_mode = _request_mmap_mode(request)
+    return AdminOp(
+        kind=kind, name=name, source_path=path,
+        source_mmap_mode=mmap_mode,
+    )
+
+
+def handle_admin_request(service: ACTService, request: dict) -> dict:
+    """Single-process admin entry point: validate, apply, describe.
+
+    The HTTP server routes admin bodies here when no fleet hook is
+    installed; the fleet's :meth:`FleetLifecycle.submit` is the
+    multi-process analog with the same request/response shapes.
+    """
+    op = request_to_op(request)
+    result = apply_admin_op(op, service=service)
+    if op.kind != OP_UNREGISTER:
+        result["index"] = service.registry.describe(op.name)
+    result["complete"] = True
+    return result
+
+
+class FleetLifecycle:
+    """One process's view of the fleet control channel.
+
+    Every fleet process (workers and the parent) holds one. The
+    *coordinator* role is taken per operation by whoever received the
+    admin call: :meth:`submit` applies locally, publishes, and blocks on
+    the ack barrier. Everyone else absorbs operations through
+    :meth:`poll`, which the workers' stats-publisher thread and the
+    parent's supervisor thread already call on their existing tick.
+    """
+
+    def __init__(self, control, op_lock, identity: str, workers: int,
+                 service: Optional[ACTService] = None,
+                 registry: Optional[IndexRegistry] = None,
+                 artifact_dir: Optional[str] = None,
+                 timeout_s: float = 30.0,
+                 poll_interval_s: float = 0.05):
+        self._control = control
+        self._op_lock = op_lock
+        self.identity = str(identity)
+        self.workers = int(workers)
+        self._service = service
+        self._registry = (registry if registry is not None
+                          else (service.registry if service else None))
+        self.artifact_dir = artifact_dir
+        self.timeout_s = timeout_s
+        self.poll_interval_s = poll_interval_s
+        # serializes submit/poll within this process so a coordinator
+        # never races its own publisher thread re-applying the same op
+        self._apply_lock = threading.Lock()
+        self._last_seen = 0
+
+    # ------------------------------------------------------------------
+    # Follower side
+    # ------------------------------------------------------------------
+    def poll(self) -> Optional[dict]:
+        """Apply the pending operation, if any, and ack it.
+
+        Called periodically from an existing maintenance thread. Returns
+        the ack written, or ``None`` when there was nothing new. Channel
+        errors (manager torn down during shutdown) are absorbed.
+        """
+        with self._apply_lock:
+            try:
+                seq = int(self._control.get(SEQ_KEY) or 0)
+                if seq <= self._last_seen:
+                    return None
+                wire = self._control.get(OP_KEY)
+            except (OSError, EOFError, BrokenPipeError):
+                return None
+            if not wire or int(wire.get("seq", -1)) != seq:
+                return None  # published mid-write; complete next tick
+            self._last_seen = seq
+            op = AdminOp.from_wire(wire)
+            try:
+                result = dict(apply_admin_op(
+                    op, service=self._service, registry=self._registry,
+                    strict=False))
+                result["ok"] = True
+            except Exception as exc:
+                result = {"ok": False, "op": op.kind, "name": op.name,
+                          "error": f"{type(exc).__name__}: {exc}"}
+            self._write_ack(seq, result)
+            return result
+
+    # ------------------------------------------------------------------
+    # Coordinator side
+    # ------------------------------------------------------------------
+    def submit(self, request: dict) -> dict:
+        """Coordinate one admin operation across the whole fleet.
+
+        Validates the request, takes the fleet-wide operation lock
+        (admin operations are strictly serialized), applies locally —
+        for a reload, materializing the new generation once and writing
+        the side artifact — publishes the operation, and waits for every
+        process to ack. The response carries per-process acks and
+        ``complete`` (all acked ok), and for reload/register the
+        fleet-agreed ``generation``.
+        """
+        op = request_to_op(request)
+        if not self._op_lock.acquire(True, self.timeout_s):
+            raise ServeError(
+                "another admin operation is in progress fleet-wide"
+            )
+        try:
+            with self._apply_lock:
+                try:
+                    seq = int(self._control.get(SEQ_KEY) or 0) + 1
+                except (OSError, EOFError, BrokenPipeError):
+                    raise ServeError("fleet control channel is down")
+                # every ack key present belongs to a finished barrier
+                # (submits are serialized by the op lock we hold):
+                # sweep them so straggler and respawn re-acks cannot
+                # grow the control dict without bound
+                try:
+                    for key in list(self._control.keys()):
+                        if isinstance(key, str) and key.startswith("ack:"):
+                            del self._control[key]
+                except (KeyError, OSError, EOFError, BrokenPipeError):
+                    pass
+                op, local = self._coordinate(op, seq)
+                self._control[OP_KEY] = op.to_wire()
+                self._control[SEQ_KEY] = seq
+                self._last_seen = seq
+                local = dict(local)
+                local["ok"] = True
+                self._write_ack(seq, local)
+            acks = self._wait_for_acks(seq)
+        finally:
+            self._op_lock.release()
+        response = {
+            "op": op.kind,
+            "name": op.name,
+            "seq": seq,
+            "acks": acks,
+            "complete": all(a.get("ok") for a in acks.values()),
+        }
+        if op.generation is not None:
+            response["generation"] = op.generation
+        if self._registry is not None and op.kind != OP_UNREGISTER:
+            try:
+                response["index"] = self._registry.describe(op.name)
+            except UnknownIndexError:  # pragma: no cover - racy describe
+                pass
+        return response
+
+    def _coordinate(self, op: AdminOp, seq: int):
+        """Apply ``op`` locally as the coordinator; returns the op to
+        publish (reload ops are rewritten to point siblings at the side
+        artifact) and the local ack payload."""
+        if op.kind == OP_RELOAD:
+            previous = self._registry.materialized.get(op.name)
+            local = apply_admin_op(
+                op, service=self._service, registry=self._registry)
+            generation = local["generation"]
+            record = self._registry.pin(op.name)
+            # one materialization fleet-wide: siblings mmap the side
+            # artifact (atomic write-temp + rename; generation-suffixed
+            # so workers still mapping an older file are untouched)
+            side = serialize.generation_path(
+                Path(self.artifact_dir or ".") / f"{op.name}.npz",
+                generation)
+            try:
+                serialize.save_index_atomic(record.index, side)
+            except BaseException:
+                # the op will never be published: roll this process
+                # back to the generation the rest of the fleet is on,
+                # or the coordinator would serve a divergent dataset
+                # forever (the failed generation's number stays burned)
+                if previous is not None:
+                    if self._service is not None:
+                        self._service.restore_index(previous)
+                    else:
+                        self._registry.restore(previous)
+                raise
+            op = AdminOp(
+                kind=OP_RELOAD, name=op.name, seq=seq,
+                generation=generation,
+                source_path=op.source_path,
+                source_mmap_mode=op.source_mmap_mode,
+                artifact_path=str(side), artifact_mmap_mode="r",
+            )
+            return op, local
+        local = apply_admin_op(
+            op, service=self._service, registry=self._registry)
+        op = AdminOp(
+            kind=op.kind, name=op.name, seq=seq,
+            generation=local.get("generation"),
+            source_path=op.source_path,
+            source_mmap_mode=op.source_mmap_mode,
+        )
+        return op, local
+
+    def _wait_for_acks(self, seq: int) -> Dict[str, dict]:
+        expected = {str(slot) for slot in range(self.workers)}
+        expected.add(PARENT_IDENTITY)
+        acks: Dict[str, dict] = {}
+        deadline = time.monotonic() + self.timeout_s
+        while True:
+            for identity in expected - set(acks):
+                try:
+                    ack = self._control.get(ack_key(seq, identity))
+                except (OSError, EOFError, BrokenPipeError):
+                    ack = None
+                if ack is not None:
+                    acks[identity] = dict(ack)
+            if len(acks) == len(expected) or time.monotonic() >= deadline:
+                break
+            time.sleep(self.poll_interval_s)
+        for identity in expected - set(acks):
+            acks[identity] = {
+                "ok": False,
+                "error": f"no ack from {identity!r} before timeout",
+            }
+        # best-effort cleanup: the barrier is over, drop the ack keys
+        for identity in expected:
+            try:
+                del self._control[ack_key(seq, identity)]
+            except (KeyError, OSError, EOFError, BrokenPipeError):
+                pass
+        return acks
+
+    def _write_ack(self, seq: int, result: dict) -> None:
+        try:
+            self._control[ack_key(seq, self.identity)] = result
+        except (OSError, EOFError, BrokenPipeError):
+            pass  # manager gone; the fleet is shutting down
+
+
+#: Type of the hook the HTTP server calls for admin mutations when a
+#: fleet is running (see :attr:`repro.serve.server.ACTHTTPServer.
+#: admin_hook`): request dict in, response dict out.
+AdminHook = Callable[[dict], dict]

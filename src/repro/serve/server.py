@@ -16,9 +16,26 @@ reproduction environment):
 * ``GET  /stats`` — metrics snapshot (qps counters, latency percentiles,
   cache hit rate, index inventory).
 
-Budget overruns surface as HTTP 503 (shed), unknown indexes as 404, and
-malformed requests as 400 — so load balancers and clients can react
-without parsing bodies.
+The **admin surface** (index lifecycle; see :mod:`repro.serve.
+lifecycle`) is authenticated by loopback — requests from any
+non-loopback peer get 403 regardless of the bind address:
+
+* ``GET    /admin/indexes`` — inventory with name / generation / source
+  / bytes / mmap mode (plus the answering pid+worker, so operators can
+  watch a rollout land on each fleet worker);
+* ``POST   /admin/register`` — body ``{"name": NAME, "path":
+  "idx.npz"[, "mmap_mode": "r"]}`` — register + materialize a
+  serialized index;
+* ``POST   /admin/reload`` — body ``{"name": NAME[, "path": "new.npz"]
+  [, "mmap_mode": "r"]}`` — materialize a fresh generation and swap it
+  in with zero downtime (fleet-wide when a fleet is running: the
+  response returns after every worker acked);
+* ``DELETE /admin/index/NAME`` — retire an index.
+
+Budget overruns surface as HTTP 503 (shed), unknown indexes as 404,
+malformed requests as 400, and conflicting admin requests (duplicate
+register) as 409 — so load balancers and clients can react without
+parsing bodies.
 """
 
 from __future__ import annotations
@@ -27,7 +44,7 @@ import json
 import os
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Optional, Tuple
-from urllib.parse import parse_qs, urlparse
+from urllib.parse import parse_qs, unquote, urlparse
 
 from ..errors import (
     BudgetExceededError,
@@ -35,8 +52,15 @@ from ..errors import (
     ServeError,
     UnknownIndexError,
 )
+from . import lifecycle
 from .budget import Budget
 from .service import ACTService
+
+
+def is_loopback(ip: str) -> bool:
+    """True for addresses that can only originate on this machine."""
+    return (ip.startswith("127.") or ip == "::1"
+            or ip.startswith("::ffff:127."))
 
 
 class ACTRequestHandler(BaseHTTPRequestHandler):
@@ -78,6 +102,13 @@ class ACTRequestHandler(BaseHTTPRequestHandler):
                 self._send(200, payload)
             elif parsed.path == "/query":
                 self._handle_query(parse_qs(parsed.query))
+            elif parsed.path == "/admin/indexes":
+                if self._admin_allowed():
+                    self._send(200, {
+                        "indexes": self.service.admin_indexes(),
+                        "pid": os.getpid(),
+                        "worker": getattr(self.server, "worker_id", None),
+                    })
             else:
                 self._send(404, {"error": f"no route {parsed.path!r}"})
         except Exception as exc:  # pragma: no cover - last-resort guard
@@ -90,6 +121,26 @@ class ACTRequestHandler(BaseHTTPRequestHandler):
                 self._handle_join()
             elif parsed.path == "/query":
                 self._handle_query_batch()
+            elif parsed.path == "/admin/register":
+                self._handle_admin_body(lifecycle.OP_REGISTER)
+            elif parsed.path == "/admin/reload":
+                self._handle_admin_body(lifecycle.OP_RELOAD)
+            else:
+                self._send(404, {"error": f"no route {parsed.path!r}"})
+        except Exception as exc:  # pragma: no cover - last-resort guard
+            self._send_error_for(exc)
+
+    def do_DELETE(self) -> None:  # noqa: N802 (stdlib naming)
+        parsed = urlparse(self.path)
+        prefix = "/admin/index/"
+        try:
+            if parsed.path.startswith(prefix) and len(parsed.path) > len(
+                    prefix):
+                name = unquote(parsed.path[len(prefix):])
+                if self._admin_allowed():
+                    self._dispatch_admin({
+                        "op": lifecycle.OP_UNREGISTER, "name": name,
+                    })
             else:
                 self._send(404, {"error": f"no route {parsed.path!r}"})
         except Exception as exc:  # pragma: no cover - last-resort guard
@@ -175,6 +226,59 @@ class ACTRequestHandler(BaseHTTPRequestHandler):
             "exact": exact,
             "counts": nonzero,
         })
+
+    # ------------------------------------------------------------------
+    # Admin surface
+    # ------------------------------------------------------------------
+    def _admin_allowed(self) -> bool:
+        """Loopback authentication for the admin surface.
+
+        The server may legitimately bind a routable address for query
+        traffic; lifecycle mutations still require the caller to be on
+        this machine. Sends the 403 itself when rejecting.
+        """
+        ip = self.client_address[0] if self.client_address else ""
+        if is_loopback(ip):
+            return True
+        self._send(403, {
+            "error": "admin endpoints are loopback-only",
+        })
+        return False
+
+    def _handle_admin_body(self, op_kind: str) -> None:
+        if not self._admin_allowed():
+            return
+        body = self._read_json_body()
+        if body is None:
+            return
+        body["op"] = op_kind
+        self._dispatch_admin(body)
+
+    def _dispatch_admin(self, request: dict) -> None:
+        """Run one admin request: fleet-wide via the server's hook when a
+        fleet is attached, otherwise directly on this service."""
+        self.service.metrics.counter("admin.requests").inc()
+        hook = getattr(self.server, "admin_hook", None)
+        try:
+            if hook is not None:
+                result = hook(request)
+            else:
+                result = lifecycle.handle_admin_request(self.service,
+                                                        request)
+        except UnknownIndexError as exc:
+            self._send(404, {"error": str(exc)})
+            return
+        except InvalidRequestError as exc:
+            self._send(400, {"error": str(exc)})
+            return
+        except ServeError as exc:
+            # duplicate registration, conflicting concurrent admin op, …
+            self._send(409, {"error": str(exc)})
+            return
+        except Exception as exc:  # bad artifact path, load failure, …
+            self._send(400, {"error": f"{type(exc).__name__}: {exc}"})
+            return
+        self._send(200, result)
 
     # ------------------------------------------------------------------
     # Plumbing
@@ -267,6 +371,10 @@ class ACTHTTPServer(ThreadingHTTPServer):
     #: to ``/stats`` as the fleet-wide aggregate.
     worker_id: Optional[int] = None
     stats_extra: Optional[Callable[[dict], dict]] = None
+    #: Fleet workers install their :meth:`repro.serve.lifecycle.
+    #: FleetLifecycle.submit` here so admin mutations coordinate
+    #: fleet-wide; ``None`` applies them to this process's service only.
+    admin_hook: Optional[Callable[[dict], dict]] = None
 
     def __init__(self, address: Tuple[str, int], service: ACTService,
                  bind_and_activate: bool = True):

@@ -47,7 +47,7 @@ from .batcher import MicroBatcher
 from .budget import Budget
 from .cache import CellResultCache
 from .metrics import MetricsRegistry
-from .registry import IndexRegistry
+from .registry import _UNSET, IndexGeneration, IndexRegistry
 
 #: Empty result reused for out-of-domain points.
 _MISS = QueryResult((), ())
@@ -79,10 +79,15 @@ class ACTService:
         self.config = config if config is not None else ServeConfig()
         self.metrics = MetricsRegistry()
         self.cache = CellResultCache(self.config.cache_capacity)
-        self._batchers: Dict[str, MicroBatcher] = {}
-        # per-index hot-path state: (index, boundary_level); plain dict
-        # reads are GIL-atomic so requests skip all locks once warmed
-        self._hot: Dict[str, Tuple[ACTIndex, int]] = {}
+        # batchers are keyed by (name, generation): a reload retires the
+        # old generation's batcher, and a racing request that pinned the
+        # old record can never resurrect it under the new generation
+        self._batchers: Dict[Tuple[str, int], MicroBatcher] = {}
+        # per-index hot-path state: (generation record, boundary_level);
+        # plain dict reads are GIL-atomic so requests skip all locks
+        # once warmed, and pinning the record at admission keeps one
+        # coherent generation for the whole request
+        self._hot: Dict[str, Tuple[IndexGeneration, int]] = {}
         self._miss_lock = threading.Lock()
         self._misses_in_flight = 0
         self._started = time.monotonic()
@@ -112,7 +117,8 @@ class ACTService:
         self._queries_total.inc()
         budget = self._effective_budget(budget)
         try:
-            index, boundary_level = self._hot_view(index_name)
+            record, boundary_level = self._hot_view(index_name)
+            index = record.index
             if budget is not None:
                 budget.require("admission")
             cell = index.grid.point_key(lng, lat, boundary_level)
@@ -120,13 +126,12 @@ class ACTService:
                 self._queries_ood.inc()
                 result = _MISS
             else:
-                key = (index_name, cell)
+                key = (index_name, record.generation, cell)
                 result = self.cache.get(key)
                 if result is not None:
                     self._cache_hits.inc()
                 else:
-                    result = self._miss(index_name, index, lng, lat, key,
-                                        budget)
+                    result = self._miss(record, lng, lat, key, budget)
             if exact:
                 result = self._refine_scalar(index, result, lng, lat)
         except BudgetExceededError:
@@ -160,13 +165,15 @@ class ACTService:
             return Budget.from_ms(self.config.default_budget_ms)
         return budget
 
-    def _hot_view(self, index_name: str) -> Tuple[ACTIndex, int]:
-        """The pinned ``(index, boundary_level)`` view for a name.
+    def _hot_view(self, index_name: str) -> Tuple[IndexGeneration, int]:
+        """The pinned ``(generation record, boundary_level)`` for a name.
 
         The identity check keeps the pinned view coherent with the
-        registry: after evict()/re-materialization the names no longer
-        map to the same object and the next request re-warms — the rule
-        is shared by the scalar and batch query paths.
+        registry: after an evict/reload the name maps to a different
+        record and the next request re-warms — the rule is shared by the
+        scalar, batch, and join paths. A request holds the record it was
+        given for its whole lifetime, so a reload mid-batch never mixes
+        cores or cache keyspaces.
         """
         hot = self._hot.get(index_name)
         if hot is None or hot[0] is not self.registry.materialized.get(
@@ -174,26 +181,42 @@ class ACTService:
             hot = self._warm(index_name)
         return hot
 
-    def _warm(self, index_name: str) -> Tuple[ACTIndex, int]:
-        """Materialize an index and pin its cache-key resolution.
+    def _warm(self, index_name: str) -> Tuple[IndexGeneration, int]:
+        """Materialize an index and pin its cache-key resolution."""
+        return self._adopt_record(self.registry.pin(index_name))
 
-        Re-warming after the registry swapped the instance (evict +
-        re-materialize) retires the stale batcher and invalidates the
-        index's cache entries so point queries, joins, and the cache all
-        agree on one instance."""
-        index = self.registry.get(index_name)
-        stale = self._hot.get(index_name)
-        if stale is not None and stale[0] is not index:
-            self.cache.invalidate_index(index_name)
-            batcher = self._batchers.pop(index_name, None)
-            if batcher is not None:
-                batcher.stop()
-        hot = (index, index.boundary_level)
-        self._hot[index_name] = hot
+    def _adopt_record(self, record: IndexGeneration,
+                      ) -> Tuple[IndexGeneration, int]:
+        """Swap the hot view to ``record``, retiring the old generation.
+
+        Re-warming after the registry swapped the record (evict/reload)
+        retires the stale generation's batcher and reclaims its cache
+        entries so point queries, joins, and the cache all agree on one
+        generation. The cache sweep is memory hygiene, not correctness:
+        old-generation entries live under old-generation keys that new
+        requests never read.
+        """
+        name = record.name
+        stale = self._hot.get(name)
+        self._hot[name] = hot = (record, record.index.boundary_level)
+        if stale is not None and stale[0] is not record:
+            self.cache.invalidate_index(
+                name, keep_generation=record.generation)
+            # sweep every generation's batcher but the new one — not
+            # just the immediately previous: a request pinned to an old
+            # record can (re)create that generation's batcher after its
+            # reload swept it, and this name-wide sweep on the *next*
+            # swap is what reclaims such stragglers
+            for key in [k for k in list(self._batchers)
+                        if k[0] == name and k[1] != record.generation]:
+                batcher = self._batchers.pop(key, None)
+                if batcher is not None:
+                    batcher.stop()
         return hot
 
-    def _miss(self, index_name: str, index: ACTIndex, lng: float, lat: float,
+    def _miss(self, record: IndexGeneration, lng: float, lat: float,
               key, budget: Optional[Budget]) -> QueryResult:
+        index = record.index
         batch = False
         if budget is not None:
             budget.require("dispatch")
@@ -212,7 +235,7 @@ class ACTService:
                 timeout = None
                 if budget is not None and not budget.is_unlimited:
                     timeout = budget.remaining()
-                future = self._batcher(index_name, index).submit(
+                future = self._batcher(record).submit(
                     lng, lat, budget)
                 try:
                     result = future.result(timeout=timeout)
@@ -265,7 +288,9 @@ class ACTService:
         self._queries_total.inc(n)
         budget = self._effective_budget(budget)
         try:
-            index, boundary_level = self._hot_view(index_name)
+            record, boundary_level = self._hot_view(index_name)
+            index = record.index
+            generation = record.generation
             if budget is not None:
                 budget.require("batch admission")
             keys = index.grid.point_keys(lngs, lats, boundary_level).tolist()
@@ -279,7 +304,7 @@ class ACTService:
                     self._queries_ood.inc()
                     results[k] = _MISS
                     continue
-                cached = cache_get((index_name, key))
+                cached = cache_get((index_name, generation, key))
                 if cached is not None:
                     results[k] = cached
                     hits += 1
@@ -305,7 +330,7 @@ class ACTService:
                 for key, entry in zip(first_pos, entries.tolist()):
                     result = decode(entry)
                     by_key[key] = result
-                    put((index_name, key), result)
+                    put((index_name, generation, key), result)
                 for k in miss_pos:
                     results[k] = by_key[keys[k]]
                 self.metrics.counter("queries.batched_misses").inc(
@@ -357,8 +382,9 @@ class ACTService:
             budget.require("join admission")
         # resolve through the pinned hot view, not the registry: after
         # evict() + re-materialization joins must run against the same
-        # instance as point queries and the cell cache
-        index, _ = self._hot_view(index_name)
+        # generation as point queries and the cell cache
+        record, _ = self._hot_view(index_name)
+        index = record.index
         counts = index.count_points(
             np.asarray(lngs, dtype=np.float64),
             np.asarray(lats, dtype=np.float64),
@@ -370,6 +396,70 @@ class ACTService:
             time.perf_counter() - start
         )
         return counts
+
+    # ------------------------------------------------------------------
+    # Index lifecycle (the admin surface)
+    # ------------------------------------------------------------------
+    def reload_index(self, name: str, *,
+                     source_path=None, source_mmap_mode=_UNSET,
+                     artifact_path=None, artifact_mmap_mode=_UNSET,
+                     generation: Optional[int] = None) -> IndexGeneration:
+        """Materialize a fresh generation and adopt it atomically.
+
+        Thin wrapper over :meth:`~repro.serve.registry.IndexRegistry.
+        reload` that also swaps this service's hot view, retires the old
+        generation's batcher, and reclaims its cache entries. In-flight
+        requests that pinned the old record finish on it; requests
+        admitted after the swap see only the new generation, so no
+        request ever observes a mix or an error during a reload.
+        """
+        record = self.registry.reload(
+            name, source_path=source_path, source_mmap_mode=source_mmap_mode,
+            artifact_path=artifact_path,
+            artifact_mmap_mode=artifact_mmap_mode, generation=generation,
+        )
+        self._adopt_record(record)
+        self.metrics.counter("admin.reloads").inc()
+        return record
+
+    def restore_index(self, record: IndexGeneration) -> IndexGeneration:
+        """Roll the hot view back to ``record`` (failed-reload path).
+
+        See :meth:`~repro.serve.registry.IndexRegistry.restore`; the
+        aborted generation's cache entries are swept here, its number
+        stays burned.
+        """
+        self.registry.restore(record)
+        self._adopt_record(record)
+        return record
+
+    def register_index_path(self, name: str, path, mmap_mode=None,
+                            ) -> IndexGeneration:
+        """Register and materialize a serialized index under ``name``."""
+        self.registry.register_path(name, path, mmap_mode=mmap_mode)
+        record = self.registry.pin(name)
+        self._adopt_record(record)
+        self.metrics.counter("admin.registers").inc()
+        return record
+
+    def unregister_index(self, name: str) -> dict:
+        """Retire ``name``: drop the registration, hot view, batcher,
+        and cache entries. In-flight requests on the pinned record
+        finish normally; new requests 404."""
+        out = self.registry.unregister(name)
+        self._hot.pop(name, None)
+        out["cache_entries_dropped"] = self.cache.invalidate_index(name)
+        for key in [k for k in list(self._batchers) if k[0] == name]:
+            batcher = self._batchers.pop(key, None)
+            if batcher is not None:
+                batcher.stop()
+        self.metrics.counter("admin.unregisters").inc()
+        return out
+
+    def admin_indexes(self) -> List[dict]:
+        """The admin listing: registry state plus live generation info."""
+        return [self.registry.describe(name)
+                for name in self.registry.names()]
 
     # ------------------------------------------------------------------
     # Introspection / lifecycle
@@ -406,15 +496,17 @@ class ACTService:
     def __exit__(self, *exc) -> None:
         self.close()
 
-    def _batcher(self, name: str, index: ACTIndex) -> MicroBatcher:
-        batcher = self._batchers.get(name)
+    def _batcher(self, record: IndexGeneration) -> MicroBatcher:
+        key = (record.name, record.generation)
+        batcher = self._batchers.get(key)
         if batcher is None:
-            # setdefault keeps exactly one batcher per index under races
-            batcher = self._batchers.setdefault(name, MicroBatcher(
-                index,
+            # setdefault keeps exactly one batcher per generation under
+            # races
+            batcher = self._batchers.setdefault(key, MicroBatcher(
+                record.index,
                 max_batch=self.config.max_batch,
                 max_wait=self.config.max_wait_seconds,
                 metrics=self.metrics,
-                name=name,
+                name=record.name,
             ))
         return batcher

@@ -1,6 +1,5 @@
 """Tests for index introspection — the paper's structural claims."""
 
-import pytest
 
 from repro.act.analysis import (
     interior_area_fraction,

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.act.builder import ACTBuilder
-from repro.act.trie import AdaptiveCellTrie
 from repro.errors import BuildError
 from repro.grid.planar import PlanarGrid
 

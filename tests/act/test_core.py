@@ -1,10 +1,8 @@
 """Tests of the columnar core: scalar and batch engines must agree."""
 
 import numpy as np
-import pytest
 
 from repro.act import entry as codec
-from repro.act.core import ACTCore
 
 
 class TestScalarLookup:

@@ -15,7 +15,6 @@ from repro import ACTIndex
 from repro.baselines import ScanJoin
 from repro.errors import BuildError
 from repro.geometry import point_polygon_distance_meters, regular_polygon
-from repro.grid import cellid
 from repro.grid.planar import PlanarGrid
 from repro.grid.s2like import S2LikeGrid
 

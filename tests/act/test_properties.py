@@ -14,7 +14,6 @@ from hypothesis import strategies as st
 from repro import ACTIndex
 from repro.act.trie import SUPPORTED_FANOUTS
 from repro.geometry import point_polygon_distance_meters, regular_polygon
-from repro.geometry.polygon import Polygon
 from repro.grid.s2like import S2LikeGrid
 
 # polygons live in a small NYC-like window so builds stay fast

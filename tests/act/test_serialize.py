@@ -219,3 +219,57 @@ class TestVariants:
         monkeypatch.setattr(ser, "FORMAT_VERSION", 1)
         with pytest.raises(ACTError):
             load_index(path)
+
+
+class TestAtomicWrites:
+    """Generation-suffixed atomic writes (the reload side-artifact path)."""
+
+    def test_generation_path_naming(self):
+        from pathlib import Path
+
+        from repro.act.serialize import generation_path
+
+        assert generation_path("idx.npz", 7) == Path("idx.gen000007.npz")
+        assert generation_path("/a/b/nyc.npz", 12).name == \
+            "nyc.gen000012.npz"
+        # suffix-less names still get a readable generation tag
+        assert generation_path("bare", 3).name == "bare.gen000003.npz"
+
+    def test_atomic_save_roundtrips_and_leaves_no_temp(self, tmp_path,
+                                                      saved, taxi_batch):
+        from repro.act.serialize import save_index_atomic
+
+        original, _ = saved
+        path = tmp_path / "atomic.npz"
+        save_index_atomic(original, path)
+        assert [p.name for p in tmp_path.iterdir()] == ["atomic.npz"]
+        loaded = load_index(path)
+        lngs, lats = taxi_batch
+        assert np.array_equal(original.lookup_batch(lngs, lats),
+                              loaded.lookup_batch(lngs, lats))
+
+    def test_replace_keeps_existing_mmap_valid(self, tmp_path, saved,
+                                               nyc_polygons, taxi_batch):
+        # the zero-downtime contract: os.replace() over a file another
+        # process (or this one) has memory-mapped must leave the old
+        # map fully readable — the old inode survives until unmapped
+        from repro.act.serialize import save_index_atomic
+
+        original, _ = saved
+        path = tmp_path / "swap.npz"
+        save_index_atomic(original, path)
+        mapped_old = load_index(path, mmap_mode="r")
+        lngs, lats = taxi_batch
+        before = mapped_old.count_points(lngs, lats)
+
+        replacement = ACTIndex.build(nyc_polygons[8:16],
+                                     precision_meters=150.0)
+        save_index_atomic(replacement, path)
+        # the old map still answers bit-identically post-replace...
+        assert mapped_old.count_points(lngs, lats).tolist() == \
+            before.tolist()
+        # ...and a fresh load sees the replacement
+        fresh = load_index(path, mmap_mode="r")
+        assert fresh.num_polygons == replacement.num_polygons
+        assert fresh.count_points(lngs, lats).tolist() == \
+            replacement.count_points(lngs, lats).tolist()

@@ -7,7 +7,6 @@ from repro.baselines.interior_rect import (
     maximal_inscribed_rect,
 )
 from repro.baselines.scan import ScanJoin
-from repro.geometry.polygon import regular_polygon
 
 
 class TestInscribedRect:

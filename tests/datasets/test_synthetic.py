@@ -1,6 +1,5 @@
 """Tests for the synthetic region generators."""
 
-import numpy as np
 import pytest
 
 from repro.datasets.synthetic import (

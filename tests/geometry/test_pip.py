@@ -1,7 +1,6 @@
 """Unit tests for repro.geometry.pip — crossing-number vs winding oracle."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -12,7 +11,7 @@ from repro.geometry.pip import (
     ring_crossings,
     winding_number,
 )
-from repro.geometry.polygon import Polygon, regular_polygon
+from repro.geometry.polygon import regular_polygon
 from repro.geometry.segment import point_segment_distance_sq
 
 

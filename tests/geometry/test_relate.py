@@ -1,12 +1,11 @@
 """Unit tests for repro.geometry.relate — cell/polygon classification."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.geometry.bbox import Rect
-from repro.geometry.polygon import Polygon, regular_polygon
+from repro.geometry.polygon import regular_polygon
 from repro.geometry.relate import (
     EdgeClassifier,
     Relation,

@@ -1,6 +1,5 @@
 """Tests for polygon structural validation."""
 
-import pytest
 
 from repro.geometry.polygon import Polygon, Ring, regular_polygon
 from repro.geometry.validate import (

@@ -1,6 +1,5 @@
 """Tests for the HierarchicalGrid base utilities (frames, defaults)."""
 
-import pytest
 
 from repro.geometry.bbox import Rect
 from repro.grid import cellid

@@ -1,6 +1,5 @@
 """Tests for the region coverer — the covering invariants ACT relies on."""
 
-import numpy as np
 import pytest
 
 from repro.errors import CoveringError

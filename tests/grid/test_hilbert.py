@@ -73,9 +73,7 @@ class TestLocality:
         from repro.grid import cellid
 
         # walk 256 consecutive leaf-range positions at level 4 on face 0
-        cells = []
         root = cellid.from_face(0)
-        stack = [root]
         level4 = []
 
         def descend(cell, depth):

@@ -63,7 +63,7 @@ class TestRectBounds:
         leaf = GRID.leaf_cell(lng, lat)
         cell = cellid.parent(leaf, level)
         rect = GRID.cell_rect(cell)
-        from repro.grid.projection import lnglat_from_face_st, st_from_ij
+        from repro.grid.projection import lnglat_from_face_st
 
         face, i, j = cellid.to_face_ij(cellid.range_min(cell))
         size = 1 << (cellid.MAX_LEVEL - level)

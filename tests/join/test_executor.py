@@ -1,7 +1,6 @@
 """Tests of the columnar JoinExecutor — the one engine every join uses."""
 
 import numpy as np
-import pytest
 
 from repro.baselines.scan import ScanJoin
 from repro.geometry.edge_table import PackedEdgeTable

@@ -1,8 +1,6 @@
 """Tests for filter-and-refine joins and the refinement-savings claim."""
 
-import pytest
 
-from repro.baselines.fixed_grid import FixedGridIndex
 from repro.baselines.scan import ScanJoin
 from repro.join.filter_refine import ACTExactJoin, FilterRefineJoin
 

@@ -18,7 +18,7 @@ def _result(*ids):
 class TestLRUBehavior:
     def test_get_miss_then_hit(self):
         cache = CellResultCache(capacity=4)
-        key = ("idx", 123)
+        key = ("idx", 1, 123)
         assert cache.get(key) is None
         cache.put(key, _result(1))
         assert cache.get(key) == _result(1)
@@ -26,36 +26,50 @@ class TestLRUBehavior:
 
     def test_eviction_drops_least_recently_used(self):
         cache = CellResultCache(capacity=2)
-        cache.put(("i", 1), _result(1))
-        cache.put(("i", 2), _result(2))
-        cache.get(("i", 1))          # 1 becomes most recent
-        cache.put(("i", 3), _result(3))  # evicts 2
-        assert cache.get(("i", 2)) is None
-        assert cache.get(("i", 1)) == _result(1)
-        assert cache.get(("i", 3)) == _result(3)
+        cache.put(("i", 1, 1), _result(1))
+        cache.put(("i", 1, 2), _result(2))
+        cache.get(("i", 1, 1))          # 1 becomes most recent
+        cache.put(("i", 1, 3), _result(3))  # evicts 2
+        assert cache.get(("i", 1, 2)) is None
+        assert cache.get(("i", 1, 1)) == _result(1)
+        assert cache.get(("i", 1, 3)) == _result(3)
         assert cache.evictions == 1
         assert len(cache) == 2
 
     def test_zero_capacity_disables(self):
         cache = CellResultCache(capacity=0)
-        cache.put(("i", 1), _result(1))
-        assert cache.get(("i", 1)) is None
+        cache.put(("i", 1, 1), _result(1))
+        assert cache.get(("i", 1, 1)) is None
         assert len(cache) == 0
 
     def test_invalidate_index_only_touches_that_index(self):
         cache = CellResultCache(capacity=8)
-        cache.put(("a", 1), _result(1))
-        cache.put(("a", 2), _result(2))
-        cache.put(("b", 1), _result(3))
+        cache.put(("a", 1, 1), _result(1))
+        cache.put(("a", 1, 2), _result(2))
+        cache.put(("b", 1, 1), _result(3))
         assert cache.invalidate_index("a") == 2
-        assert cache.get(("b", 1)) == _result(3)
-        assert cache.get(("a", 1)) is None
+        assert cache.get(("b", 1, 1)) == _result(3)
+        assert cache.get(("a", 1, 1)) is None
+
+    def test_invalidate_keep_generation_spares_new_entries(self):
+        cache = CellResultCache(capacity=8)
+        cache.put(("a", 1, 10), _result(1))
+        cache.put(("a", 1, 11), _result(2))
+        cache.put(("a", 2, 10), _result(9))  # the reloaded generation
+        cache.put(("b", 1, 10), _result(3))
+        # a reload sweeps every stale generation of "a" but keeps what
+        # generation 2 already warmed (and other indexes untouched)
+        assert cache.invalidate_index("a", keep_generation=2) == 2
+        assert cache.get(("a", 2, 10)) == _result(9)
+        assert cache.get(("a", 1, 10)) is None
+        assert cache.get(("b", 1, 10)) == _result(3)
+        assert cache.stats()["invalidations"] == 2
 
     def test_stats_shape(self):
         cache = CellResultCache(capacity=2)
-        cache.put(("i", 1), _result(1))
-        cache.get(("i", 1))
-        cache.get(("i", 9))
+        cache.put(("i", 1, 1), _result(1))
+        cache.get(("i", 1, 1))
+        cache.get(("i", 1, 9))
         stats = cache.stats()
         assert stats["size"] == 1
         assert stats["hits"] == 1 and stats["misses"] == 1

@@ -11,6 +11,7 @@ import os
 import signal
 import threading
 import time
+import urllib.error
 import urllib.request
 
 import pytest
@@ -38,6 +39,14 @@ def _post(address, path, payload, timeout=60.0):
         data=json.dumps(payload).encode("utf-8"),
         headers={"Content-Type": "application/json"},
     )
+    with urllib.request.urlopen(request, timeout=timeout) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def _delete(address, path, timeout=60.0):
+    host, port = address
+    request = urllib.request.Request(f"http://{host}:{port}{path}",
+                                     method="DELETE")
     with urllib.request.urlopen(request, timeout=timeout) as resp:
         return resp.status, json.loads(resp.read())
 
@@ -187,6 +196,176 @@ class TestFleetServing:
             exitcodes = [p.exitcode for p in fleet._processes
                          if p is not None]
             assert all(code == 0 for code in exitcodes)
+
+
+class TestFleetReload:
+    """The fleet-wide zero-downtime reload protocol (admin surface).
+
+    Two distinguishable index generations (west-half vs east-half
+    polygon) are flipped via ``POST /admin/reload`` on a live worker
+    while clients hammer ``/query`` and ``/join``: zero failed
+    requests, and after the reload every worker answers from the new
+    generation (each ack carries the generation it adopted; the
+    ``/admin/indexes`` listing is then polled until both worker pids
+    report it).
+    """
+
+    @pytest.fixture()
+    def half_index_paths(self, tmp_path):
+        from repro import ACTIndex
+        from repro.act.serialize import save_index
+        from repro.datasets.nyc import REGION
+        from repro.geometry import Polygon
+
+        mid_x = (REGION.min_x + REGION.max_x) / 2.0
+        paths = {}
+        for side, lo, hi in [("west", REGION.min_x, mid_x),
+                             ("east", mid_x, REGION.max_x)]:
+            polygon = Polygon([(lo, REGION.min_y), (hi, REGION.min_y),
+                               (hi, REGION.max_y), (lo, REGION.max_y)])
+            index = ACTIndex.build([polygon], precision_meters=500.0)
+            paths[side] = tmp_path / f"{side}.npz"
+            save_index(index, paths[side])
+        probe = (REGION.min_x + 0.75 * (REGION.max_x - REGION.min_x),
+                 REGION.min_y + 0.50 * (REGION.max_y - REGION.min_y))
+        return paths, probe
+
+    def test_fleet_wide_reload_under_traffic(self, half_index_paths):
+        paths, (lng, lat) = half_index_paths
+        registry = IndexRegistry()
+        registry.register_path("halves", paths["west"], mmap_mode="r")
+        answers = {"west": [], "east": [0]}
+        state = {"history": ["west"], "pending": None}
+        failures = []
+        stop = threading.Event()
+
+        def hammer(kind):
+            while not stop.is_set():
+                sent_at = len(state["history"])
+                try:
+                    if kind == "query":
+                        _status, body = _get(
+                            fleet.address,
+                            f"/query?index=halves&lng={lng}&lat={lat}"
+                            f"&exact=1")
+                        got = sorted(body["true_hits"])
+                    else:
+                        _status, body = _post(fleet.address, "/join", {
+                            "index": "halves", "exact": True,
+                            "points": [[lng, lat]] * 4,
+                        })
+                        got = [0] if body["counts"] else []
+                except Exception as exc:
+                    failures.append(f"{kind}: {exc!r}")
+                    continue
+                received_at = len(state["history"])
+                acceptable = set(state["history"][sent_at - 1:received_at])
+                if state["pending"] is not None:
+                    acceptable.add(state["pending"])
+                if not any(got == answers[s] for s in acceptable):
+                    failures.append(
+                        f"{kind}: stale answer {got} "
+                        f"(acceptable {sorted(acceptable)})")
+
+        with _fleet(registry, admin_timeout_s=60.0) as fleet:
+            fleet.start()
+            threads = [
+                threading.Thread(target=hammer, args=(kind,), daemon=True)
+                for kind in ("query", "join", "query")
+            ]
+            for thread in threads:
+                thread.start()
+            for side in ("east", "west", "east"):
+                time.sleep(0.3)
+                state["pending"] = side
+                status, body = _post(fleet.address, "/admin/reload", {
+                    "name": "halves", "path": str(paths[side]),
+                    "mmap_mode": "r",
+                }, timeout=90.0)
+                assert status == 200
+                # every process acked the swap before the call returned
+                assert body["complete"] is True, body
+                assert set(body["acks"]) == {"0", "1", "parent"}
+                for ack in body["acks"].values():
+                    assert ack["ok"], ack
+                state["history"].append(side)
+                state["pending"] = None
+            generation = body["generation"]
+            assert generation == 4  # initial + three reloads
+            time.sleep(0.3)
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10.0)
+            assert not failures, failures[:10]
+            # post-reload, the answer reflects the final generation …
+            for _ in range(8):
+                _status, body = _get(
+                    fleet.address,
+                    f"/query?index=halves&lng={lng}&lat={lat}&exact=1")
+                assert sorted(body["true_hits"]) == answers["east"]
+            # … and every worker process reports serving it
+            seen = {}
+            deadline = time.monotonic() + 20.0
+            while time.monotonic() < deadline and len(seen) < 2:
+                _status, listing = _get(fleet.address, "/admin/indexes")
+                (entry,) = listing["indexes"]
+                seen[listing["worker"]] = entry["generation"]
+            assert seen == {0: generation, 1: generation}
+
+    def test_fleet_reload_via_parent_api(self, half_index_paths):
+        paths, (lng, lat) = half_index_paths
+        registry = IndexRegistry()
+        registry.register_path("halves", paths["west"], mmap_mode="r")
+        with _fleet(registry, admin_timeout_s=60.0) as fleet:
+            fleet.start()
+            result = fleet.admin({
+                "op": "reload", "name": "halves",
+                "path": str(paths["east"]), "mmap_mode": "r",
+            })
+            assert result["complete"] is True, result
+            assert result["generation"] == 2
+            _status, body = _get(
+                fleet.address,
+                f"/query?index=halves&lng={lng}&lat={lat}&exact=1")
+            assert sorted(body["true_hits"]) == [0]
+
+    def test_fleet_register_and_unregister(self, half_index_paths,
+                                           fleet_registry):
+        paths, (lng, lat) = half_index_paths
+        with _fleet(fleet_registry, admin_timeout_s=60.0) as fleet:
+            fleet.start()
+            status, body = _post(fleet.address, "/admin/register", {
+                "name": "east", "path": str(paths["east"]),
+                "mmap_mode": "r",
+            }, timeout=90.0)
+            assert status == 200 and body["complete"] is True, body
+            # the new index serves on every worker (poll both pids)
+            seen = set()
+            deadline = time.monotonic() + 20.0
+            while time.monotonic() < deadline and len(seen) < 2:
+                _status, q = _get(
+                    fleet.address,
+                    f"/query?index=east&lng={lng}&lat={lat}&exact=1")
+                assert sorted(q["true_hits"]) == [0]
+                _status, listing = _get(fleet.address, "/admin/indexes")
+                if {e["name"] for e in listing["indexes"]} >= \
+                        {"east", "nyc"}:
+                    seen.add(listing["worker"])
+            assert seen == {0, 1}
+            status, body = _delete(fleet.address, "/admin/index/east")
+            assert status == 200 and body["complete"] is True, body
+            # eventually 404s everywhere (either worker may answer)
+            deadline = time.monotonic() + 20.0
+            while time.monotonic() < deadline:
+                try:
+                    _get(fleet.address,
+                         f"/query?index=east&lng={lng}&lat={lat}")
+                except urllib.error.HTTPError as exc:
+                    if exc.code == 404:
+                        break
+                time.sleep(0.05)
+            else:
+                pytest.fail("unregistered index kept serving")
 
 
 class TestAggregation:

@@ -1,0 +1,581 @@
+"""Index lifecycle tests: admin ops, the HTTP admin surface, and
+zero-downtime reload under live traffic (single-process).
+
+The fleet-wide (multiprocess) reload protocol is exercised in
+``test_fleet.py``; everything here runs in one process so it is cheap
+enough for the tier-1 suite.
+"""
+
+import contextlib
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import ACTIndex
+from repro.act.serialize import save_index
+from repro.datasets.nyc import REGION
+from repro.errors import InvalidRequestError, ServeError, UnknownIndexError
+from repro.geometry import Polygon
+from repro.serve import (
+    ACTService,
+    AdminOp,
+    ServeConfig,
+    apply_admin_op,
+    create_server,
+    handle_admin_request,
+)
+
+#: Probe point deep inside the eastern half of the region: a miss for
+#: the "west" index, a true hit (polygon 0) for the "east" index.
+PROBE = (
+    REGION.min_x + 0.75 * (REGION.max_x - REGION.min_x),
+    REGION.min_y + 0.50 * (REGION.max_y - REGION.min_y),
+)
+
+
+def _half_region_polygon(side: str) -> Polygon:
+    mid_x = (REGION.min_x + REGION.max_x) / 2.0
+    lo = REGION.min_x if side == "west" else mid_x
+    hi = mid_x if side == "west" else REGION.max_x
+    return Polygon([(lo, REGION.min_y), (hi, REGION.min_y),
+                    (hi, REGION.max_y), (lo, REGION.max_y)])
+
+
+@pytest.fixture(scope="module")
+def index_pair(tmp_path_factory):
+    """Two serialized indexes whose answers differ at ``PROBE``."""
+    base = tmp_path_factory.mktemp("generations")
+    west = ACTIndex.build([_half_region_polygon("west")],
+                          precision_meters=500.0)
+    east = ACTIndex.build([_half_region_polygon("east")],
+                          precision_meters=500.0)
+    west_path = base / "west.npz"
+    east_path = base / "east.npz"
+    save_index(west, west_path)
+    save_index(east, east_path)
+    return west_path, east_path
+
+
+@contextlib.contextmanager
+def _running_server(service):
+    server = create_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+        thread.join(timeout=5.0)
+
+
+def _get(server, path):
+    port = server.server_address[1]
+    request = urllib.request.Request(f"http://127.0.0.1:{port}{path}")
+    with urllib.request.urlopen(request, timeout=15.0) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def _post(server, path, payload):
+    port = server.server_address[1]
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=30.0) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def _delete(server, path):
+    port = server.server_address[1]
+    request = urllib.request.Request(f"http://127.0.0.1:{port}{path}",
+                                     method="DELETE")
+    with urllib.request.urlopen(request, timeout=15.0) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+class TestAdminOpWire:
+    def test_wire_roundtrip(self):
+        op = AdminOp(kind="reload", name="nyc", seq=3, generation=7,
+                     source_path="/tmp/new.npz",
+                     artifact_path="/tmp/side.npz",
+                     artifact_mmap_mode="r")
+        back = AdminOp.from_wire(op.to_wire())
+        assert back == op
+
+    def test_unset_mmap_survives_roundtrip(self):
+        from repro.serve.registry import _UNSET
+
+        op = AdminOp(kind="reload", name="nyc", seq=1)
+        wire = op.to_wire()
+        assert "source_mmap_mode" not in wire
+        assert AdminOp.from_wire(wire).source_mmap_mode is _UNSET
+
+
+class TestApplyAdminOp:
+    def test_register_reload_unregister_cycle(self, index_pair):
+        west_path, east_path = index_pair
+        service = ACTService()
+        with service:
+            out = apply_admin_op(AdminOp("register", "halves",
+                                         source_path=str(west_path)),
+                                 service=service)
+            assert out["generation"] == 1
+            assert service.query("halves", *PROBE, exact=True).true_hits \
+                == ()
+            out = apply_admin_op(AdminOp("reload", "halves",
+                                         source_path=str(east_path)),
+                                 service=service)
+            assert out["generation"] == 2
+            assert service.query("halves", *PROBE, exact=True).true_hits \
+                == (0,)
+            out = apply_admin_op(AdminOp("unregister", "halves"),
+                                 service=service)
+            assert out["name"] == "halves"
+            with pytest.raises(UnknownIndexError):
+                service.query("halves", *PROBE)
+
+    def test_reload_is_idempotent_by_generation(self, index_pair):
+        west_path, _ = index_pair
+        service = ACTService()
+        with service:
+            service.register_index_path("w", west_path)
+            first = service.registry.pin("w")
+            # a replayed op (same target generation) must be a no-op —
+            # this is what lets respawned fleet workers re-ack safely
+            out = apply_admin_op(AdminOp("reload", "w", generation=1),
+                                 service=service)
+            assert out["generation"] == 1
+            assert service.registry.pin("w") is first
+
+    def test_unregister_unknown_idempotent_for_followers_only(self):
+        service = ACTService()
+        with service:
+            # follower (fleet replay) mode absorbs the repeat quietly …
+            out = apply_admin_op(AdminOp("unregister", "ghost"),
+                                 service=service, strict=False)
+            assert out["already_unregistered"] is True
+            # … but an operator deleting an unknown index sees the 404
+            with pytest.raises(UnknownIndexError):
+                apply_admin_op(AdminOp("unregister", "ghost"),
+                               service=service)
+
+    def test_registry_only_application(self, index_pair):
+        # the fleet parent applies ops without a service
+        from repro.serve import IndexRegistry
+
+        west_path, east_path = index_pair
+        registry = IndexRegistry()
+        apply_admin_op(AdminOp("register", "h", source_path=str(west_path)),
+                       registry=registry)
+        assert registry.pin("h").generation == 1
+        out = apply_admin_op(
+            AdminOp("reload", "h", source_path=str(east_path),
+                    generation=2),
+            registry=registry)
+        assert out["generation"] == 2
+        assert registry.pin("h").index.query_exact(*PROBE) == (0,)
+
+    def test_generation_counter_survives_reregistration(self, index_pair):
+        # a request in flight across an unregister may still write
+        # cache entries under the old name+generation; a re-registered
+        # name must continue the sequence so those keys can never alias
+        west_path, east_path = index_pair
+        service = ACTService()
+        with service:
+            service.register_index_path("n", west_path)
+            apply_admin_op(AdminOp("reload", "n"), service=service)
+            assert service.registry.pin("n").generation == 2
+            service.unregister_index("n")
+            service.register_index_path("n", east_path)
+            assert service.registry.pin("n").generation == 3
+
+    @staticmethod
+    @contextlib.contextmanager
+    def _parent_poller(control, op_lock, tmp_path, registered):
+        """A thread standing in for the fleet parent's supervisor loop."""
+        from repro.serve import FleetLifecycle, IndexRegistry
+        from repro.serve.lifecycle import PARENT_IDENTITY
+
+        registry = IndexRegistry()
+        for name, path in registered.items():
+            registry.register_path(name, path)
+        parent = FleetLifecycle(
+            control=control, op_lock=op_lock, identity=PARENT_IDENTITY,
+            workers=1, registry=registry, artifact_dir=str(tmp_path),
+            timeout_s=2.0)
+        stop = threading.Event()
+
+        def loop():
+            while not stop.wait(0.02):
+                parent.poll()
+
+        thread = threading.Thread(target=loop, daemon=True)
+        thread.start()
+        try:
+            yield registry
+        finally:
+            stop.set()
+            thread.join(timeout=5.0)
+
+    def test_rollback_when_side_artifact_write_fails(self, index_pair,
+                                                     tmp_path,
+                                                     monkeypatch):
+        # the coordinator applies locally before writing the side
+        # artifact; a write failure must roll it back onto the fleet's
+        # generation (and burn the failed number) instead of leaving
+        # this process serving a divergent dataset forever
+        import repro.serve.lifecycle as lifecycle_module
+        from repro.serve import FleetLifecycle
+
+        west_path, east_path = index_pair
+        control, op_lock = {}, threading.Lock()
+        service = ACTService()
+        with service, self._parent_poller(
+                control, op_lock, tmp_path, {"n": west_path}):
+            service.register_index_path("n", west_path)
+            before = service.registry.pin("n")
+            fleet = FleetLifecycle(
+                control=control, op_lock=op_lock, identity="0",
+                workers=1, service=service,
+                artifact_dir=str(tmp_path), timeout_s=5.0)
+
+            def explode(index, path):
+                raise OSError("disk full")
+
+            monkeypatch.setattr(lifecycle_module.serialize,
+                                "save_index_atomic", explode)
+            with pytest.raises(OSError):
+                fleet.submit({"op": "reload", "name": "n",
+                              "path": str(east_path)})
+            # still serving the pre-reload record, queries keep working
+            assert service.registry.pin("n") is before
+            assert service.query("n", *PROBE, exact=True).true_hits == ()
+            monkeypatch.undo()
+            result = fleet.submit({"op": "reload", "name": "n",
+                                   "path": str(east_path)})
+            assert result["complete"] is True, result
+            # generation 2 was burned by the failed attempt
+            assert result["generation"] == 3
+            assert service.query("n", *PROBE, exact=True).true_hits \
+                == (0,)
+
+    def test_submit_sweeps_stale_ack_keys(self, index_pair, tmp_path):
+        from repro.serve import FleetLifecycle
+
+        west_path, _ = index_pair
+        control = {"ack:1:9": {"ok": True},  # straggler leftovers
+                   "ack:2:parent": {"ok": False}}
+        op_lock = threading.Lock()
+        service = ACTService()
+        with service, self._parent_poller(
+                control, op_lock, tmp_path, {"n": west_path}):
+            service.register_index_path("n", west_path)
+            fleet = FleetLifecycle(
+                control=control, op_lock=op_lock, identity="0",
+                workers=1, service=service,
+                artifact_dir=str(tmp_path), timeout_s=5.0)
+            result = fleet.submit({"op": "reload", "name": "n"})
+            assert result["complete"] is True, result
+            leftover = [k for k in control if str(k).startswith("ack:")]
+            # only the just-finished barrier could have written acks,
+            # and _wait_for_acks cleans those up itself
+            assert leftover == []
+
+    def test_path_traversing_names_rejected(self):
+        from repro.serve.lifecycle import request_to_op
+
+        for name in ("a/b", "../x", "..", ".hidden", "a\\b", "/abs"):
+            with pytest.raises(InvalidRequestError):
+                request_to_op({"op": "reload", "name": name})
+        op = request_to_op({"op": "reload", "name": "ok-1.2_x"})
+        assert op.name == "ok-1.2_x"
+
+    def test_request_validation(self):
+        service = ACTService()
+        with service:
+            with pytest.raises(InvalidRequestError):
+                handle_admin_request(service, {"op": "explode", "name": "x"})
+            with pytest.raises(InvalidRequestError):
+                handle_admin_request(service, {"op": "reload"})
+            with pytest.raises(InvalidRequestError):
+                handle_admin_request(service, {"op": "register", "name": "x"})
+            with pytest.raises(InvalidRequestError):
+                handle_admin_request(service, {
+                    "op": "reload", "name": "x", "mmap_mode": "w",
+                })
+
+    def test_duplicate_register_rejected(self, index_pair):
+        west_path, _ = index_pair
+        service = ACTService()
+        with service:
+            handle_admin_request(service, {
+                "op": "register", "name": "dup", "path": str(west_path),
+            })
+            with pytest.raises(ServeError):
+                handle_admin_request(service, {
+                    "op": "register", "name": "dup", "path": str(west_path),
+                })
+
+
+class TestAdminHTTP:
+    def test_admin_surface_end_to_end(self, index_pair):
+        west_path, east_path = index_pair
+        service = ACTService()
+        with _running_server(service) as server:
+            status, body = _post(server, "/admin/register", {
+                "name": "halves", "path": str(west_path), "mmap_mode": "r",
+            })
+            assert status == 200
+            assert body["generation"] == 1
+            assert body["complete"] is True
+            assert body["index"]["mmap_mode"] == "r"
+
+            status, listing = _get(server, "/admin/indexes")
+            assert status == 200
+            (entry,) = listing["indexes"]
+            assert entry["name"] == "halves"
+            assert entry["generation"] == 1
+            assert entry["source"] == "path"
+            assert entry["bytes"] > 0
+            assert entry["mmap_mode"] == "r"
+            assert isinstance(listing["pid"], int)
+
+            lng, lat = PROBE
+            status, q = _get(
+                server,
+                f"/query?index=halves&lng={lng}&lat={lat}&exact=1")
+            assert status == 200 and q["true_hits"] == []
+
+            status, body = _post(server, "/admin/reload", {
+                "name": "halves", "path": str(east_path),
+            })
+            assert status == 200
+            assert body["generation"] == 2
+            status, q = _get(
+                server,
+                f"/query?index=halves&lng={lng}&lat={lat}&exact=1")
+            assert status == 200 and q["true_hits"] == [0]
+
+            status, body = _delete(server, "/admin/index/halves")
+            assert status == 200
+            status, listing = _get(server, "/admin/indexes")
+            assert listing["indexes"] == []
+
+    def test_admin_error_codes(self, index_pair):
+        west_path, _ = index_pair
+        service = ACTService()
+        with _running_server(service) as server:
+            for method, path, payload, expected in [
+                ("POST", "/admin/reload", {"name": "ghost"}, 404),
+                ("DELETE", "/admin/index/ghost", None, 404),
+                ("POST", "/admin/register", {"name": "x"}, 400),
+                ("POST", "/admin/reload", {"name": 7}, 400),
+                ("POST", "/admin/register",
+                 {"name": "x", "path": "/nonexistent.npz"}, 400),
+            ]:
+                with pytest.raises(urllib.error.HTTPError) as err:
+                    if method == "DELETE":
+                        _delete(server, path)
+                    else:
+                        _post(server, path, payload)
+                assert err.value.code == expected, (method, path)
+            # duplicate registration is a conflict, not a server error
+            _post(server, "/admin/register",
+                  {"name": "dup", "path": str(west_path)})
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _post(server, "/admin/register",
+                      {"name": "dup", "path": str(west_path)})
+            assert err.value.code == 409
+
+    def test_admin_rejected_off_loopback(self, index_pair, monkeypatch):
+        # loopback authentication: simulate a routable peer address by
+        # forcing the check to see a non-loopback client
+        from repro.serve import server as server_module
+
+        west_path, _ = index_pair
+        service = ACTService()
+        monkeypatch.setattr(server_module, "is_loopback",
+                            lambda ip: False)
+        with _running_server(service) as server:
+            for call in [
+                lambda: _get(server, "/admin/indexes"),
+                lambda: _post(server, "/admin/register",
+                              {"name": "x", "path": str(west_path)}),
+                lambda: _post(server, "/admin/reload", {"name": "x"}),
+                lambda: _delete(server, "/admin/index/x"),
+            ]:
+                with pytest.raises(urllib.error.HTTPError) as err:
+                    call()
+                assert err.value.code == 403
+            # the query surface stays open to remote clients
+            status, _body = _get(server, "/healthz")
+            assert status == 200
+
+    def test_loopback_predicate(self):
+        from repro.serve.server import is_loopback
+
+        assert is_loopback("127.0.0.1")
+        assert is_loopback("127.8.4.2")
+        assert is_loopback("::1")
+        assert is_loopback("::ffff:127.0.0.1")
+        assert not is_loopback("10.0.0.8")
+        assert not is_loopback("192.168.1.4")
+        assert not is_loopback("8.8.8.8")
+        assert not is_loopback("")
+
+
+class TestAdminCLI:
+    """``repro-act admin`` drives the HTTP admin surface."""
+
+    def test_cli_admin_flow(self, index_pair, capsys):
+        from repro.cli import main
+
+        west_path, east_path = index_pair
+        service = ACTService()
+        with _running_server(service) as server:
+            url = f"http://127.0.0.1:{server.server_address[1]}"
+            assert main(["admin", "--url", url, "register", "halves",
+                         "--path", str(west_path), "--mmap"]) == 0
+            out = json.loads(capsys.readouterr().out)
+            assert out["generation"] == 1
+
+            assert main(["admin", "--url", url, "indexes"]) == 0
+            out = json.loads(capsys.readouterr().out)
+            assert [e["name"] for e in out["indexes"]] == ["halves"]
+            assert out["indexes"][0]["mmap_mode"] == "r"
+
+            assert main(["admin", "--url", url, "reload", "halves",
+                         "--path", str(east_path)]) == 0
+            out = json.loads(capsys.readouterr().out)
+            assert out["generation"] == 2
+
+            assert main(["admin", "--url", url, "unregister",
+                         "halves"]) == 0
+            capsys.readouterr()
+
+            # failures surface in the exit code, with the server's
+            # error detail on stderr
+            assert main(["admin", "--url", url, "reload", "ghost"]) == 1
+            err = capsys.readouterr().err
+            assert "HTTP 404" in err
+
+    def test_cli_admin_unreachable_server(self, capsys):
+        from repro.cli import main
+
+        assert main(["admin", "--url", "http://127.0.0.1:1",
+                     "--timeout", "2", "indexes"]) == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+
+class TestReloadUnderTraffic:
+    """The zero-downtime contract, single-process edition.
+
+    Hammer ``/query`` (scalar + batch) and ``/join`` from several
+    threads while the main thread flips the index between two
+    generations with different answers. Every response must be a 2xx,
+    and — the `CellResultCache.invalidate_index` / generation-keyed
+    cache property — a request *sent after* a reload completed must
+    never see the pre-reload answer (zero stale reads), no matter how
+    it interleaves with in-flight traffic.
+    """
+
+    def test_reload_hammer_zero_errors_zero_stale(self, index_pair):
+        west_path, east_path = index_pair
+        service = ACTService(config=ServeConfig(cache_capacity=4096))
+        service.registry.register_path("halves", west_path, mmap_mode="r")
+        lng, lat = PROBE
+        #: expected true-hit answer at PROBE per index side
+        answers = {"west": [], "east": [0]}
+        # completed-reload history plus the side a reload in flight is
+        # moving to; written by main, read by the hammer threads. While
+        # a reload is mid-flight either side is legitimate (requests
+        # admitted before the swap finish on the pinned generation);
+        # once it completed, only the new side is — anything older is a
+        # stale read.
+        state = {"history": ["west"], "pending": None}
+        failures = []
+        stop = threading.Event()
+
+        def hammer(kind):
+            while not stop.is_set():
+                sent_at = len(state["history"])
+                try:
+                    if kind == "scalar":
+                        _status, body = _get(
+                            server,
+                            f"/query?index=halves&lng={lng}&lat={lat}"
+                            f"&exact=1")
+                        got = sorted(body["true_hits"])
+                    elif kind == "batch":
+                        _status, body = _post(server, "/query", {
+                            "index": "halves", "exact": True,
+                            "points": [[lng, lat]] * 8,
+                        })
+                        got = sorted(body["results"][0]["true_hits"])
+                    else:
+                        _status, body = _post(server, "/join", {
+                            "index": "halves", "exact": True,
+                            "points": [[lng, lat]] * 8,
+                        })
+                        got = [0] if body["counts"] else []
+                except urllib.error.HTTPError as exc:
+                    failures.append(f"{kind}: HTTP {exc.code}")
+                    continue
+                except Exception as exc:  # connection cut, malformed, …
+                    failures.append(f"{kind}: {exc!r}")
+                    continue
+                received_at = len(state["history"])
+                acceptable = set(state["history"][sent_at - 1:received_at])
+                pending = state["pending"]
+                if pending is not None:
+                    acceptable.add(pending)
+                if not any(got == answers[side] for side in acceptable):
+                    failures.append(
+                        f"{kind}: stale/garbled answer {got} "
+                        f"(acceptable sides {sorted(acceptable)})")
+
+        with _running_server(service) as server:
+            threads = [
+                threading.Thread(target=hammer, args=(kind,), daemon=True)
+                for kind in ("scalar", "batch", "join", "scalar")
+            ]
+            for thread in threads:
+                thread.start()
+            flips = 0
+            for side, path in [("east", east_path), ("west", west_path),
+                               ("east", east_path), ("west", west_path)]:
+                time.sleep(0.15)  # let traffic build on the current side
+                state["pending"] = side
+                status, body = _post(server, "/admin/reload", {
+                    "name": "halves", "path": str(path), "mmap_mode": "r",
+                })
+                assert status == 200 and body["complete"] is True
+                # the reload call returned => the swap happened; any
+                # request sent from now on must see only the new side
+                state["history"].append(side)
+                state["pending"] = None
+                flips += 1
+            time.sleep(0.2)
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10.0)
+            assert flips == 4
+            assert not failures, failures[:10]
+            # post-reload: answers reflect the final generation, served
+            # from the *new* generation's cache keyspace
+            for _ in range(3):
+                _status, body = _get(
+                    server,
+                    f"/query?index=halves&lng={lng}&lat={lat}&exact=1")
+                assert body["true_hits"] == answers["west"]
+            assert service.registry.pin("halves").generation == 5
+            stats = service.cache.stats()
+            assert stats["invalidations"] > 0, \
+                "reloads must sweep the dead generations' entries"

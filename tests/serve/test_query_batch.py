@@ -1,6 +1,5 @@
 """Tests of the batched serving path (service.query_batch)."""
 
-import numpy as np
 import pytest
 
 from repro.errors import BudgetExceededError, UnknownIndexError

@@ -95,7 +95,8 @@ class TestLazyMaterialization:
         # a registered-but-unpinned or unregistered-but-pinned name)
         registry = IndexRegistry()
         registry.register_index("atomic", nyc_index)
-        assert registry.materialized["atomic"] is nyc_index
+        assert registry.materialized["atomic"].index is nyc_index
+        assert registry.materialized["atomic"].generation == 1
         assert registry.is_materialized("atomic")
         registry.evict("atomic")
         assert "atomic" not in registry.materialized
@@ -135,7 +136,7 @@ class TestLazyMaterialization:
             pinned = name in registry.materialized
             assert pinned == registry.is_materialized(name)
             if pinned:
-                assert registry.materialized[name] is nyc_index
+                assert registry.materialized[name].index is nyc_index
 
     def test_prewarm_materializes_and_builds_edge_tables(
             self, nyc_polygons):

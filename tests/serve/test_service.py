@@ -85,7 +85,10 @@ class TestQueryPath:
             assert svc.query("n", -73.97, 40.75) == first
             new_index = svc.registry.get("n")
             assert new_index is not old_index
-            assert svc._hot["n"][0] is new_index
+            assert svc._hot["n"][0].index is new_index
+            # evict + re-materialize bumped the generation, rotating
+            # the cache keyspace
+            assert svc._hot["n"][0].generation == 2
 
 
     def test_join_follows_hot_view_after_evict(self, nyc_polygons,
@@ -112,7 +115,7 @@ class TestQueryPath:
             assert new_index is not old_index
             # the join re-warmed the pinned view itself — point queries
             # and the cache now share the instance the join ran against
-            assert svc._hot["n"][0] is new_index
+            assert svc._hot["n"][0].index is new_index
             assert svc.query("n", -73.97, 40.75) == new_index.query(
                 -73.97, 40.75)
 

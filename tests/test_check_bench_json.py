@@ -1,0 +1,125 @@
+"""Tests for the CI bench-snapshot validator
+(``benchmarks/check_bench_json.py``)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_MODULE_PATH = (Path(__file__).resolve().parents[1] / "benchmarks"
+                / "check_bench_json.py")
+_spec = importlib.util.spec_from_file_location("check_bench_json",
+                                               _MODULE_PATH)
+check_bench_json = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_bench_json)
+
+
+def _write(tmp_path, name, document):
+    path = tmp_path / name
+    path.write_text(document if isinstance(document, str)
+                    else json.dumps(document))
+    return path
+
+
+def _valid_doc(**extra):
+    doc = {"bench": "fleet", "scale": 1.0,
+           "qps_by_workers": {"1": 10.0, "2": 19.0, "4": 35.0}}
+    doc.update(extra)
+    return doc
+
+
+class TestValidateDocument:
+    def test_valid_snapshot_passes(self):
+        assert check_bench_json.validate_document(_valid_doc(), "fleet") \
+            == []
+
+    def test_missing_bench_and_scale(self):
+        problems = check_bench_json.validate_document(
+            {"qps": 3.0}, "fleet")
+        assert any('"bench"' in p for p in problems)
+        assert any('"scale"' in p for p in problems)
+
+    def test_bench_must_match_filename(self):
+        problems = check_bench_json.validate_document(
+            _valid_doc(bench="refinement"), "fleet")
+        assert any("filename" in p for p in problems)
+
+    def test_empty_metrics_rejected(self):
+        problems = check_bench_json.validate_document(
+            {"bench": "x", "scale": 1.0, "notes": "nothing measured"},
+            "x")
+        assert any("empty snapshot" in p for p in problems)
+
+    def test_non_finite_numbers_rejected(self):
+        problems = check_bench_json.validate_document(
+            _valid_doc(p99=float("inf")), "fleet")
+        assert any("non-finite" in p for p in problems)
+        problems = check_bench_json.validate_document(
+            _valid_doc(nested={"deep": [1.0, float("nan")]}), "fleet")
+        assert any("non-finite" in p and "deep" in p for p in problems)
+
+    def test_non_monotonic_trajectory_rejected(self):
+        doc = _valid_doc()
+        doc["qps_by_workers"] = {"1": 10.0, "4": 35.0, "2": 19.0}
+        problems = check_bench_json.validate_document(doc, "fleet")
+        assert any("strictly increasing" in p for p in problems)
+
+    def test_non_finite_trajectory_keys_rejected(self):
+        # NaN keys make every ordering comparison vacuously pass; they
+        # must be violations, not a free pass for a shuffled series
+        doc = _valid_doc()
+        doc["qps_by_workers"] = {"4": 10.0, "nan": 3.0, "1": 9.0}
+        problems = check_bench_json.validate_document(doc, "fleet")
+        assert any("non-finite" in p and "keys" in p for p in problems)
+
+    def test_mixed_keys_are_not_a_trajectory(self):
+        # objects with any non-numeric key are plain records, not series
+        doc = _valid_doc(config={"workers": 4, "9": 1.0})
+        assert check_bench_json.validate_document(doc, "fleet") == []
+
+    def test_scale_must_be_positive_finite(self):
+        for bad in (0, -1.0, float("nan"), "big", None, True):
+            problems = check_bench_json.validate_document(
+                _valid_doc(scale=bad), "fleet")
+            assert any('"scale"' in p for p in problems), bad
+
+
+class TestMain:
+    def test_ok_files(self, tmp_path, capsys):
+        a = _write(tmp_path, "BENCH_fleet.json", _valid_doc())
+        assert check_bench_json.main([str(a)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_bad_file_fails_run(self, tmp_path, capsys):
+        good = _write(tmp_path, "BENCH_fleet.json", _valid_doc())
+        bad = _write(tmp_path, "BENCH_refinement.json",
+                     {"bench": "refinement", "scale": 1.0})
+        assert check_bench_json.main([str(good), str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "BENCH_refinement.json" in err
+
+    def test_json_nan_literal_rejected(self, tmp_path):
+        # json.dumps would happily emit NaN; the checker must not
+        # accept it back
+        path = _write(tmp_path, "BENCH_x.json",
+                      '{"bench": "x", "scale": 1.0, "qps": NaN}')
+        assert check_bench_json.main([str(path)]) == 1
+
+    def test_unparseable_file_fails(self, tmp_path):
+        path = _write(tmp_path, "BENCH_x.json", "{not json")
+        assert check_bench_json.main([str(path)]) == 1
+
+    def test_no_files_found_fails(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert check_bench_json.main([]) == 1
+        assert "no BENCH_*.json" in capsys.readouterr().err
+
+    def test_repo_snapshots_validate(self, capsys):
+        # the committed snapshots must always satisfy the schema the CI
+        # gate enforces
+        repo = Path(__file__).resolve().parents[1]
+        snapshots = sorted(repo.glob("BENCH_*.json"))
+        if not snapshots:
+            pytest.skip("no committed snapshots")
+        assert check_bench_json.main([str(p) for p in snapshots]) == 0

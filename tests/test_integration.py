@@ -1,7 +1,5 @@
 """End-to-end integration scenarios across the whole stack."""
 
-import numpy as np
-import pytest
 
 from repro import ACTIndex
 from repro.baselines import RTreeJoinBaseline, ScanJoin

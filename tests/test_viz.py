@@ -2,7 +2,6 @@
 
 import xml.etree.ElementTree as ET
 
-import pytest
 
 from repro.geometry.bbox import Rect
 from repro.viz import SvgCanvas, render_covering
@@ -49,7 +48,6 @@ class TestSvgCanvas:
 
 class TestRenderCovering:
     def test_figure1_render(self, nyc_index, nyc_polygons):
-        from repro.grid import cellid
 
         polygon = nyc_polygons[0]
         # take a handful of cells from the live index for the smoke render
