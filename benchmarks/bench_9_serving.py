@@ -86,9 +86,6 @@ def test_naive_per_call_loop(benchmark, cache):
 def _run_served(index, lngs, lats, cache_capacity, num_clients):
     service = ACTService(config=ServeConfig(cache_capacity=cache_capacity))
     service.registry.register_index("neighborhoods", index)
-    # widen the latency reservoir so percentiles cover the whole run
-    service.metrics.histogram("queries.latency_seconds",
-                              capacity=int(lngs.size))
     barrier = threading.Barrier(num_clients + 1)
 
     def client(offset):

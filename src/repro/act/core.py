@@ -26,6 +26,7 @@ sets stay off the Python interpreter.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, Iterator, Tuple
 
 import numpy as np
@@ -91,7 +92,8 @@ class ACTCore:
         "bits_per_step", "levels_per_step", "max_steps", "max_cell_level",
         "_chunk_mask", "_roots_list", "_num_nodes", "_offset_cache",
         "_set_starts", "_true_indptr", "_true_ids", "_cand_indptr",
-        "_cand_ids",
+        "_cand_ids", "descent_batches", "descent_points",
+        "descent_seconds",
     )
 
     def __init__(self, nodes: np.ndarray, roots: np.ndarray,
@@ -125,6 +127,11 @@ class ACTCore:
             self._num_nodes = self.nodes.shape[0]
         self._offset_cache: Dict[int, Tuple[Tuple[int, ...],
                                             Tuple[int, ...]]] = {}
+        # per-core descent telemetry: bare counters the serving layer
+        # exports per index generation (racy +=, exactness not needed)
+        self.descent_batches = 0
+        self.descent_points = 0
+        self.descent_seconds = 0.0
         self._build_set_index()
 
     # ------------------------------------------------------------------
@@ -257,14 +264,19 @@ class ACTCore:
         and unpermutes the entries on output. Results are identical
         either way; the flag only changes the access pattern.
         """
+        start = perf_counter()
         if sort_by_cell and leaf_cells.shape[0] > 1:
             cells = leaf_cells.astype(np.uint64, copy=False)
             order = np.argsort(cells, kind="stable")
             entries = self._descend(cells[order])
             out = np.empty_like(entries)
             out[order] = entries
-            return out
-        return self._descend(leaf_cells)
+        else:
+            out = self._descend(leaf_cells)
+        self.descent_batches += 1
+        self.descent_points += int(leaf_cells.shape[0])
+        self.descent_seconds += perf_counter() - start
+        return out
 
     def _descend(self, leaf_cells: np.ndarray) -> np.ndarray:
         """The level-synchronous batch walk over the node pool."""

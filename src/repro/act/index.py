@@ -179,16 +179,18 @@ class ACTIndex:
         return [decode(int(e)) for e in self.lookup_batch(lngs, lats)]
 
     def count_points(self, lngs: np.ndarray, lats: np.ndarray,
-                     exact: bool = False) -> np.ndarray:
+                     exact: bool = False, trace=None) -> np.ndarray:
         """Count points per polygon — the paper's evaluation workload.
 
         With ``exact=False`` this is the pure approximate join (true hits
         plus candidates, zero PIP tests). With ``exact=True`` candidates
         are refined against the actual polygons, giving exact counts while
         still skipping refinement for every true hit. Both paths run
-        through the columnar :class:`~repro.join.executor.JoinExecutor`.
+        through the columnar :class:`~repro.join.executor.JoinExecutor`,
+        which stamps per-stage timings into ``trace`` when given one.
         """
-        return self.executor.count_points(lngs, lats, exact=exact)
+        return self.executor.count_points(lngs, lats, exact=exact,
+                                          trace=trace)
 
     # ------------------------------------------------------------------
     # Entry decoding

@@ -16,7 +16,10 @@ Small operational front end over the library:
   listening address, node-pool pages shared through the page cache;
 * ``repro-act admin reload nyc --path new.npz`` — drive a running
   server's (or fleet's) loopback admin API: list, register, reload, and
-  retire indexes with zero downtime (see :mod:`repro.serve.lifecycle`).
+  retire indexes with zero downtime (see :mod:`repro.serve.lifecycle`);
+* ``repro-act admin stats`` — scrape a running server's ``GET /metrics``
+  (Prometheus text exposition) and print counters, gauges, and
+  histogram quantile summaries (``--raw`` dumps the exposition).
 """
 
 from __future__ import annotations
@@ -178,6 +181,9 @@ def cmd_serve(args) -> int:
         cache_capacity=args.cache_capacity,
         default_budget_ms=args.budget_ms,
         inline_miss_threshold=args.inline_miss_threshold,
+        telemetry=args.telemetry,
+        trace_sample_interval=args.trace_sample_interval,
+        slow_query_ms=args.slow_query_ms,
     )
     if args.workers > 1:
         return _serve_fleet(args, serve_config)
@@ -213,6 +219,8 @@ def cmd_admin(args) -> int:
 
     base = args.url.rstrip("/")
     command = args.admin_command
+    if command == "stats":
+        return _admin_stats(base, args)
     if command == "indexes":
         request = urllib.request.Request(f"{base}/admin/indexes")
     elif command == "unregister":
@@ -251,6 +259,82 @@ def cmd_admin(args) -> int:
         # surface it in the exit code so scripts notice
         return 1
     return 0
+
+
+def _bucket_quantile(buckets, count: float, q: float) -> float:
+    """Quantile estimate from cumulative ``(le, cumulative)`` buckets."""
+    if count <= 0:
+        return 0.0
+    rank = q * count
+    prev_bound, prev_cum = 0.0, 0.0
+    for bound, cumulative in buckets:
+        if cumulative >= rank:
+            if bound == float("inf"):
+                return prev_bound
+            width_count = cumulative - prev_cum
+            if width_count <= 0:
+                return bound
+            frac = (rank - prev_cum) / width_count
+            return prev_bound + frac * (bound - prev_bound)
+        prev_bound, prev_cum = bound, cumulative
+    return prev_bound
+
+
+def _admin_stats(base: str, args) -> int:
+    """``repro-act admin stats``: scrape and summarize ``/metrics``."""
+    import urllib.error
+    import urllib.request
+
+    from .obs import parse_exposition, validate_exposition
+
+    url = f"{base}/metrics"
+    try:
+        with urllib.request.urlopen(url, timeout=args.timeout) as response:
+            text = response.read().decode("utf-8")
+    except urllib.error.URLError as exc:
+        print(f"cannot reach {url}: {exc}", file=sys.stderr)
+        return 1
+    if args.raw:
+        print(text, end="")
+        return 0
+    problems = validate_exposition(text)
+    for problem in problems:
+        print(f"invalid exposition: {problem}", file=sys.stderr)
+    families = parse_exposition(text)
+    for family in sorted(families):
+        fam = families[family]
+        kind = fam["type"]
+        if kind == "histogram":
+            # regroup per label set, then summarize count/sum/quantiles
+            series = {}
+            for name, labels, value in fam["samples"]:
+                key = tuple(sorted(
+                    (k, v) for k, v in labels.items() if k != "le"))
+                entry = series.setdefault(
+                    key, {"buckets": [], "sum": 0.0, "count": 0.0})
+                if name.endswith("_bucket"):
+                    le = labels.get("le", "+Inf")
+                    bound = float("inf") if le == "+Inf" else float(le)
+                    entry["buckets"].append((bound, value))
+                elif name.endswith("_sum"):
+                    entry["sum"] = value
+                elif name.endswith("_count"):
+                    entry["count"] = value
+            for key, entry in sorted(series.items()):
+                labels = "".join(f" {k}={v}" for k, v in key)
+                buckets = sorted(entry["buckets"])
+                count = entry["count"]
+                mean = entry["sum"] / count if count else 0.0
+                p50 = _bucket_quantile(buckets, count, 0.50)
+                p99 = _bucket_quantile(buckets, count, 0.99)
+                print(f"{family}{labels}: count={count:.0f} "
+                      f"mean={mean:.6g} p50~{p50:.6g} p99~{p99:.6g}")
+        else:
+            for name, labels, value in fam["samples"]:
+                rendered = "".join(
+                    f" {k}={v}" for k, v in sorted(labels.items()))
+                print(f"{name}{rendered}: {value:g}")
+    return 1 if problems else 0
 
 
 def cmd_demo(args) -> int:
@@ -342,6 +426,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--lazy", action="store_true",
                          help="build/load the index on first query "
                               "instead of at startup")
+    p_serve.add_argument("--telemetry", default="full",
+                         choices=("full", "counters", "off"),
+                         help="full = counters + sampled tracing + slow-"
+                              "query log (default); counters = bare "
+                              "aggregates; off = no-op metrics")
+    p_serve.add_argument("--trace-sample-interval", type=int, default=64,
+                         help="trace every Nth request (0 disables "
+                              "sampling; ?trace=1 still works)")
+    p_serve.add_argument("--slow-query-ms", type=float, default=250.0,
+                         help="requests slower than this land in the "
+                              "slow-query log (GET /admin/slowlog)")
     p_serve.set_defaults(func=cmd_serve)
 
     p_admin = sub.add_parser(
@@ -355,6 +450,11 @@ def build_parser() -> argparse.ArgumentParser:
     admin_sub.add_parser("indexes",
                          help="list indexes: name, generation, source, "
                               "bytes, mmap mode")
+    p_stats = admin_sub.add_parser(
+        "stats", help="scrape GET /metrics and summarize (counters, "
+                      "gauges, histogram quantiles)")
+    p_stats.add_argument("--raw", action="store_true",
+                         help="dump the raw Prometheus exposition text")
     p_reg = admin_sub.add_parser(
         "register", help="register + materialize a serialized index")
     p_reg.add_argument("name")

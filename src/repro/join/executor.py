@@ -159,20 +159,31 @@ class JoinExecutor:
     # Counting
     # ------------------------------------------------------------------
     def count_points(self, lngs: np.ndarray, lats: np.ndarray,
-                     exact: bool = False) -> np.ndarray:
-        """Per-polygon counts (the paper's evaluation workload)."""
+                     exact: bool = False, trace=None) -> np.ndarray:
+        """Per-polygon counts (the paper's evaluation workload).
+
+        ``trace`` (a sampled request's :class:`~repro.obs.trace.Trace`)
+        receives per-stage stamps: ``descent`` (cell mapping + trie
+        walk), ``decode``, and — in exact mode — ``refine``.
+        """
         lngs = np.asarray(lngs, dtype=np.float64)
         lats = np.asarray(lats, dtype=np.float64)
         entries = self.entries(lngs, lats)
+        if trace is not None:
+            trace.stamp("descent")
         if not exact:
             true_counts, cand_counts = self.core.hit_counts(
                 entries, self.num_polygons)
+            if trace is not None:
+                trace.stamp("decode")
             return true_counts + cand_counts
-        counts, _, _ = self.refined_counts(entries, lngs, lats)
+        counts, _, _ = self.refined_counts(entries, lngs, lats,
+                                           trace=trace)
         return counts
 
     def refined_counts(self, entries: np.ndarray, lngs: np.ndarray,
-                       lats: np.ndarray) -> Tuple[np.ndarray, int, int]:
+                       lats: np.ndarray, trace=None,
+                       ) -> Tuple[np.ndarray, int, int]:
         """Exact per-polygon counts for pre-computed entries.
 
         True hits are counted without refinement; candidate pairs are
@@ -185,10 +196,14 @@ class JoinExecutor:
         true_pairs = int(counts.sum())
         point_idx, polygon_ids = self.core.candidate_pairs(entries)
         refined = int(point_idx.shape[0])
+        if trace is not None:
+            trace.stamp("decode")
         if refined:
             inside = self.refine_pairs(point_idx, polygon_ids, lngs, lats)
             counts += np.bincount(polygon_ids[inside],
                                   minlength=self.num_polygons)
+        if trace is not None:
+            trace.stamp("refine")
         return counts, true_pairs, refined
 
     # ------------------------------------------------------------------

@@ -1,0 +1,52 @@
+"""repro.obs — observability primitives for the serving stack.
+
+Three small, dependency-free layers (stdlib only, importable without
+:mod:`repro.serve`):
+
+* :mod:`repro.obs.histogram` — fixed-bucket, *exactly mergeable*
+  latency histograms (log-spaced bounds). Unlike the old reservoir
+  histogram, two workers' snapshots merge bucket-wise into the same
+  histogram the concatenated samples would have produced, so fleet
+  p50/p99/p999 are real quantile estimates instead of worst-worker
+  maxima.
+* :mod:`repro.obs.trace` — request IDs minted at admission, lightweight
+  per-stage span recording (``trace.stamp("descent")``), sampled
+  tracing, and a bounded slow-query log.
+* :mod:`repro.obs.prometheus` — Prometheus text-exposition rendering
+  (``GET /metrics``) plus a parser/validator the tests and CI use to
+  keep the format honest.
+"""
+
+from .histogram import (
+    DEFAULT_LATENCY_BOUNDS,
+    MergeableHistogram,
+    log_bounds,
+    merge_histogram_snapshots,
+    quantile_from_buckets,
+)
+from .prometheus import (
+    PrometheusRenderer,
+    parse_exposition,
+    validate_exposition,
+)
+from .trace import (
+    SlowQueryLog,
+    Trace,
+    Tracer,
+    mint_request_id,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BOUNDS",
+    "MergeableHistogram",
+    "PrometheusRenderer",
+    "SlowQueryLog",
+    "Trace",
+    "Tracer",
+    "log_bounds",
+    "merge_histogram_snapshots",
+    "mint_request_id",
+    "parse_exposition",
+    "quantile_from_buckets",
+    "validate_exposition",
+]

@@ -1,0 +1,358 @@
+"""Prometheus text-exposition (version 0.0.4) rendering and validation.
+
+No prometheus client library exists in the reproduction environment, so
+this module implements the two sides the serving stack needs:
+
+* :class:`PrometheusRenderer` — builds a ``GET /metrics`` payload from
+  counters, gauges, and the mergeable histogram snapshots of
+  :mod:`repro.obs.histogram` (cumulative ``_bucket{le="..."}`` series
+  plus ``_sum``/``_count``, per-index / per-generation / per-worker
+  labels);
+* :func:`parse_exposition` / :func:`validate_exposition` — a strict
+  reader used by the golden-file tests, the CI fleet scrape, and
+  ``repro-act admin stats``. Validation enforces the invariants
+  scrapers rely on: every sample parses, every family declares a TYPE
+  before its samples, all values are finite, histogram buckets are
+  cumulative and consistent with ``_count``/``_sum``, and counters are
+  non-negative.
+
+Run standalone to validate a scrape::
+
+    python -m repro.obs.prometheus metrics.txt
+    python -m repro.obs.prometheus http://127.0.0.1:8080/metrics
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Valid metric / label name per the exposition format.
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_LABEL_NAME_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
+#: ``name{labels} value`` — labels optional, timestamp not emitted.
+_SAMPLE_RE = re.compile(
+    r"([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})?\s+(\S+)(\s+-?\d+)?\s*\Z"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Dotted internal metric names -> exposition-legal names."""
+    out = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not out or not _NAME_RE.match(out):
+        out = "_" + out
+    return out
+
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", r"\\").replace('"', r'\"')
+            .replace("\n", r"\n"))
+
+
+def format_value(value: float) -> str:
+    """A float rendered the way Prometheus clients do."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value) == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def format_labels(labels: Optional[Dict[str, str]]) -> str:
+    if not labels:
+        return ""
+    parts = [f'{k}="{_escape_label_value(str(v))}"'
+             for k, v in sorted(labels.items())]
+    return "{" + ",".join(parts) + "}"
+
+
+class PrometheusRenderer:
+    """Accumulates metric families and renders one exposition payload.
+
+    Families keep insertion order; a family's ``# HELP``/``# TYPE``
+    header is emitted once even when several label sets (e.g. one per
+    index generation) contribute samples.
+    """
+
+    def __init__(self, namespace: str = "repro") -> None:
+        self.namespace = namespace
+        # name -> (type, help, [(suffix, labels, value)])
+        self._families: "Dict[str, Tuple[str, str, List]]" = {}
+
+    def _family(self, name: str, kind: str, help_text: str) -> List:
+        full = f"{self.namespace}_{sanitize_metric_name(name)}" \
+            if self.namespace else sanitize_metric_name(name)
+        existing = self._families.get(full)
+        if existing is None:
+            self._families[full] = (kind, help_text, [])
+            return self._families[full][2]
+        if existing[0] != kind:
+            raise ValueError(
+                f"metric family {full!r} registered as {existing[0]}, "
+                f"cannot re-register as {kind}"
+            )
+        return existing[2]
+
+    def counter(self, name: str, value: float,
+                labels: Optional[Dict[str, str]] = None,
+                help_text: str = "") -> None:
+        name = sanitize_metric_name(name)
+        if not name.endswith("_total"):
+            name = f"{name}_total"
+        self._family(name, "counter", help_text).append(
+            ("", labels, float(value)))
+
+    def gauge(self, name: str, value: float,
+              labels: Optional[Dict[str, str]] = None,
+              help_text: str = "") -> None:
+        self._family(name, "gauge", help_text).append(
+            ("", labels, float(value)))
+
+    def histogram(self, name: str, snapshot: Dict,
+                  labels: Optional[Dict[str, str]] = None,
+                  help_text: str = "") -> None:
+        """Emit one mergeable-histogram snapshot as a histogram family.
+
+        ``snapshot`` is :meth:`repro.obs.histogram.MergeableHistogram.
+        snapshot` (or a bucket-wise merge of several): ``bounds``,
+        ``bucket_counts`` (last = +Inf), ``sum``, ``count``.
+        """
+        samples = self._family(name, "histogram", help_text)
+        bounds = snapshot.get("bounds") or []
+        counts = snapshot.get("bucket_counts") or []
+        cumulative = 0
+        for bound, count in zip(bounds, counts):
+            cumulative += int(count)
+            le = dict(labels or {})
+            le["le"] = format_value(float(bound))
+            samples.append(("_bucket", le, float(cumulative)))
+        inf = dict(labels or {})
+        inf["le"] = "+Inf"
+        samples.append(("_bucket", inf, float(snapshot.get("count", 0))))
+        samples.append(("_sum", labels, float(snapshot.get("sum", 0.0))))
+        samples.append(("_count", labels, float(snapshot.get("count", 0))))
+
+    def render(self) -> str:
+        lines: List[str] = []
+        for family, (kind, help_text, samples) in self._families.items():
+            if help_text:
+                lines.append(f"# HELP {family} {help_text}")
+            lines.append(f"# TYPE {family} {kind}")
+            for suffix, labels, value in samples:
+                lines.append(
+                    f"{family}{suffix}{format_labels(labels)} "
+                    f"{format_value(value)}"
+                )
+        return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Parsing / validation
+# ----------------------------------------------------------------------
+def _unescape(value: str) -> str:
+    return (value.replace(r"\n", "\n").replace(r'\"', '"')
+            .replace(r"\\", "\\"))
+
+
+def parse_exposition(text: str) -> Dict[str, Dict]:
+    """Parse exposition text into families.
+
+    Returns ``{family_name: {"type": str|None, "help": str|None,
+    "samples": [(sample_name, labels_dict, value)]}}`` where histogram
+    series (``_bucket``/``_sum``/``_count``) are grouped under their
+    base family name. Raises ``ValueError`` on lines that do not parse.
+    """
+    families: Dict[str, Dict] = {}
+
+    def family(name: str) -> Dict:
+        return families.setdefault(
+            name, {"type": None, "help": None, "samples": []})
+
+    declared_histograms = {
+        name for name, fam in families.items()
+        if fam["type"] == "histogram"
+    }
+
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] in ("TYPE", "HELP"):
+                name = parts[2]
+                if parts[1] == "TYPE":
+                    kind = parts[3].strip() if len(parts) > 3 else ""
+                    if kind not in _TYPES:
+                        raise ValueError(
+                            f"line {lineno}: unknown TYPE {kind!r}")
+                    fam = family(name)
+                    if fam["type"] is not None:
+                        raise ValueError(
+                            f"line {lineno}: duplicate TYPE for {name}")
+                    fam["type"] = kind
+                    if kind == "histogram":
+                        declared_histograms.add(name)
+                else:
+                    family(name)["help"] = \
+                        parts[3] if len(parts) > 3 else ""
+            continue  # other comments are legal and ignored
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"line {lineno}: unparseable sample {line!r}")
+        name, _, label_body, value_text, _timestamp = match.groups()
+        labels: Dict[str, str] = {}
+        if label_body:
+            consumed = 0
+            for m in _LABEL_RE.finditer(label_body):
+                labels[m.group(1)] = _unescape(m.group(2))
+                consumed += 1
+            rebuilt = ",".join(
+                f'{k}="{_escape_label_value(v)}"'
+                for k, v in labels.items())
+            if consumed == 0 or rebuilt.count('"') != \
+                    label_body.count('"'):
+                raise ValueError(
+                    f"line {lineno}: unparseable labels {label_body!r}")
+        try:
+            if value_text in ("+Inf", "Inf"):
+                value = math.inf
+            elif value_text == "-Inf":
+                value = -math.inf
+            elif value_text == "NaN":
+                value = math.nan
+            else:
+                value = float(value_text)
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: bad sample value {value_text!r}")
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[:-len(suffix)] \
+                    in declared_histograms:
+                base = name[:-len(suffix)]
+                break
+        family(base)["samples"].append((name, labels, value))
+    return families
+
+
+def _series_key(labels: Dict[str, str]) -> Tuple:
+    return tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+
+
+def validate_exposition(text: str) -> List[str]:
+    """All format violations in one scrape (empty list = valid)."""
+    problems: List[str] = []
+    try:
+        families = parse_exposition(text)
+    except ValueError as exc:
+        return [str(exc)]
+    if not families:
+        return ["no metric families in exposition"]
+    for name, fam in families.items():
+        kind = fam["type"]
+        samples = fam["samples"]
+        if kind is None:
+            problems.append(f"{name}: samples without a # TYPE line")
+            continue
+        if not samples:
+            problems.append(f"{name}: TYPE declared but no samples")
+            continue
+        for sample_name, _labels, value in samples:
+            if math.isnan(value) or (math.isinf(value)
+                                     and kind != "histogram"):
+                problems.append(
+                    f"{name}: non-finite value in {sample_name}")
+        if kind == "counter":
+            for sample_name, _labels, value in samples:
+                if value < 0:
+                    problems.append(
+                        f"{name}: counter sample {sample_name} is "
+                        f"negative ({value})")
+        elif kind == "histogram":
+            problems.extend(_validate_histogram(name, samples))
+    return problems
+
+
+def _validate_histogram(name: str, samples: Sequence[Tuple]) -> List[str]:
+    problems: List[str] = []
+    series: Dict[Tuple, Dict] = {}
+    for sample_name, labels, value in samples:
+        key = _series_key(labels)
+        entry = series.setdefault(
+            key, {"buckets": [], "sum": None, "count": None})
+        if sample_name.endswith("_bucket"):
+            le_text = labels.get("le")
+            if le_text is None:
+                problems.append(f"{name}: _bucket sample without le label")
+                continue
+            le = math.inf if le_text == "+Inf" else float(le_text)
+            entry["buckets"].append((le, value))
+        elif sample_name.endswith("_sum"):
+            entry["sum"] = value
+        elif sample_name.endswith("_count"):
+            entry["count"] = value
+        else:
+            problems.append(
+                f"{name}: unexpected histogram sample {sample_name}")
+    for key, entry in series.items():
+        where = f"{name}{dict(key) or ''}"
+        buckets = sorted(entry["buckets"])
+        if not buckets:
+            problems.append(f"{where}: histogram series has no buckets")
+            continue
+        if buckets[-1][0] != math.inf:
+            problems.append(f"{where}: missing le=\"+Inf\" bucket")
+        values = [v for _, v in buckets]
+        if any(b < a for a, b in zip(values, values[1:])):
+            problems.append(
+                f"{where}: bucket counts are not cumulative "
+                f"(non-decreasing in le)")
+        if entry["count"] is None:
+            problems.append(f"{where}: missing _count")
+        elif buckets[-1][0] == math.inf and \
+                buckets[-1][1] != entry["count"]:
+            problems.append(
+                f"{where}: +Inf bucket ({buckets[-1][1]}) != _count "
+                f"({entry['count']})")
+        if entry["sum"] is None:
+            problems.append(f"{where}: missing _sum")
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover
+    """Validate a scrape from a file path or URL (CI helper)."""
+    import sys
+
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 1:
+        print("usage: python -m repro.obs.prometheus <file|url>",
+              file=sys.stderr)
+        return 2
+    source = argv[0]
+    if source.startswith(("http://", "https://")):
+        import urllib.request
+        with urllib.request.urlopen(source, timeout=30.0) as response:
+            text = response.read().decode("utf-8")
+    else:
+        with open(source, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    problems = validate_exposition(text)
+    for problem in problems:
+        print(f"{source}: {problem}", file=sys.stderr)
+    if not problems:
+        families = parse_exposition(text)
+        samples = sum(len(f["samples"]) for f in families.values())
+        print(f"{source}: ok ({len(families)} families, "
+              f"{samples} samples)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -6,7 +6,10 @@ point queries are micro-batched through the vectorized engine
 (:class:`MicroBatcher`), hot cells are answered from an LRU cache keyed
 by boundary-level cell (:class:`CellResultCache`), requests carry
 latency budgets with deadline propagation (:class:`Budget`), and the
-whole stack is observable (:class:`MetricsRegistry`) and drivable over
+whole stack is observable — counters/gauges/mergeable histograms
+(:class:`MetricsRegistry`), sampled per-request tracing and a
+slow-query log (:mod:`repro.obs`), and a Prometheus-style ``GET
+/metrics`` exposition — and drivable over
 HTTP (:func:`create_server`, or ``repro-act serve`` from the CLI).
 For CPU-bound traffic, :class:`ServingFleet` forks the whole stack
 into N supervised worker processes sharing one listening address
@@ -41,10 +44,12 @@ from .lifecycle import (
     apply_admin_op,
     handle_admin_request,
 )
-from .metrics import Counter, Histogram, MetricsRegistry
+from ..obs import SlowQueryLog, Trace, Tracer, mint_request_id
+from .fleet import aggregate_snapshots
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .registry import IndexGeneration, IndexRegistry, prewarm_index
 from .server import ACTHTTPServer, create_server
-from .service import ACTService, ServeConfig
+from .service import TELEMETRY_MODES, ACTService, ServeConfig
 
 __all__ = [
     "ACTHTTPServer",
@@ -55,6 +60,7 @@ __all__ = [
     "Counter",
     "FleetConfig",
     "FleetLifecycle",
+    "Gauge",
     "Histogram",
     "IndexGeneration",
     "IndexRegistry",
@@ -62,9 +68,15 @@ __all__ = [
     "MicroBatcher",
     "ServeConfig",
     "ServingFleet",
+    "SlowQueryLog",
+    "TELEMETRY_MODES",
+    "Trace",
+    "Tracer",
+    "aggregate_snapshots",
     "apply_admin_op",
     "create_server",
     "fleet_available",
     "handle_admin_request",
+    "mint_request_id",
     "prewarm_index",
 ]

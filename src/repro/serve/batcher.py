@@ -52,15 +52,25 @@ _SHUTDOWN = object()
 #: exactly when it expires.
 _DISPATCH_MARGIN = 0.001
 
+#: Batch sizes are counts, not seconds: powers of two up to the largest
+#: plausible ``max_batch`` keep the histogram mergeable fleet-wide.
+_BATCH_SIZE_BOUNDS = tuple(float(1 << i) for i in range(13))  # 1..4096
+
 
 class _Request:
-    __slots__ = ("lng", "lat", "deadline", "future")
+    __slots__ = ("lng", "lat", "deadline", "future", "trace", "enqueued")
 
-    def __init__(self, lng: float, lat: float, deadline: Optional[float]):
+    def __init__(self, lng: float, lat: float, deadline: Optional[float],
+                 trace=None):
         self.lng = lng
         self.lat = lat
         self.deadline = deadline
         self.future: "Future" = Future()
+        #: The submitting request's :class:`~repro.obs.trace.Trace`
+        #: (sampled requests only): dispatch deposits its measured
+        #: batch-wait and shared-descent durations into it.
+        self.trace = trace
+        self.enqueued = time.monotonic() if trace is not None else 0.0
 
 
 class MicroBatcher:
@@ -133,15 +143,20 @@ class MicroBatcher:
     # Submission
     # ------------------------------------------------------------------
     def submit(self, lng: float, lat: float,
-               budget: Optional[Budget] = None) -> "Future":
+               budget: Optional[Budget] = None,
+               trace=None) -> "Future":
         """Enqueue one point; the future resolves to a
-        :class:`~repro.act.index.QueryResult`."""
+        :class:`~repro.act.index.QueryResult`.
+
+        ``trace`` (a sampled request's :class:`~repro.obs.trace.Trace`)
+        receives ``batch_wait`` and ``descent`` stage deposits at
+        dispatch, before the future resolves."""
         if self._stopped:
             raise ServeError(f"batcher {self.name!r} is stopped")
         if self._worker is None or not self._worker.is_alive():
             self.start()
         deadline = None if budget is None else budget.deadline
-        request = _Request(lng, lat, deadline)
+        request = _Request(lng, lat, deadline, trace=trace)
         self._queue.put(request)
         return request.future
 
@@ -199,6 +214,7 @@ class MicroBatcher:
         if not live:
             return
         try:
+            dispatch_start = time.monotonic()
             lngs = np.fromiter((r.lng for r in live), dtype=np.float64,
                                count=len(live))
             lats = np.fromiter((r.lat for r in live), dtype=np.float64,
@@ -207,6 +223,7 @@ class MicroBatcher:
             entries = self._core.lookup_entries(cells)
             decode = self._core.decode_entry
             results = [decode(int(e)) for e in entries]
+            descent_seconds = time.monotonic() - dispatch_start
         except BaseException as exc:  # propagate to every waiter
             for request in live:
                 if not request.future.done():
@@ -214,6 +231,14 @@ class MicroBatcher:
             return
         self._metrics.counter("batcher.batches").inc()
         self._metrics.counter("batcher.queries").inc(len(live))
-        self._metrics.histogram("batcher.batch_size").observe(len(live))
+        self._metrics.histogram("batcher.batch_size",
+                                bounds=_BATCH_SIZE_BOUNDS).observe(len(live))
         for request, result in zip(live, results):
+            if request.trace is not None:
+                # deposit before resolving the future: the submitter
+                # reads the trace only after result() returns, so this
+                # write is ordered by the future's happens-before edge
+                request.trace.add(
+                    "batch_wait", dispatch_start - request.enqueued)
+                request.trace.add("descent", descent_seconds)
             request.future.set_result(result)

@@ -12,14 +12,23 @@ deadline that requests carry through the stack:
   deadline;
 * a nearly-spent budget (less than the batching window remaining) takes
   the fast path: a direct scalar lookup that skips queueing entirely.
+
+Budgets also carry the request's trace when one exists (the SLO budget
+propagation contract): every :meth:`Budget.require` checkpoint records
+how much budget remained at that hop into the trace, so a shed
+request's breakdown shows exactly which stage spent the budget — what
+it received, what it spent, and what it forwarded downstream.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..errors import BudgetExceededError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.trace import Trace
 
 
 class Budget:
@@ -29,10 +38,13 @@ class Budget:
     now". A ``deadline`` of ``None`` means unlimited (never expires).
     """
 
-    __slots__ = ("deadline",)
+    __slots__ = ("deadline", "trace")
 
     def __init__(self, seconds: Optional[float]):
         self.deadline = None if seconds is None else time.monotonic() + seconds
+        #: The request's :class:`~repro.obs.trace.Trace`, when sampled;
+        #: ``require`` checkpoints budget-remaining into it per hop.
+        self.trace: Optional["Trace"] = None
 
     @classmethod
     def unlimited(cls) -> "Budget":
@@ -58,11 +70,21 @@ class Budget:
         return self.deadline is not None and time.monotonic() >= self.deadline
 
     def require(self, operation: str) -> None:
-        """Raise :class:`~repro.errors.BudgetExceededError` if spent."""
-        if self.expired:
+        """Raise :class:`~repro.errors.BudgetExceededError` if spent.
+
+        When the request is traced, the budget remaining at this hop is
+        recorded (received/spent/forwarded accounting) whether or not
+        the checkpoint sheds.
+        """
+        if self.deadline is None:
+            return
+        remaining = self.deadline - time.monotonic()
+        if self.trace is not None:
+            self.trace.note_budget(operation, remaining)
+        if remaining <= 0:
             raise BudgetExceededError(
                 f"latency budget exhausted before {operation} "
-                f"(overrun by {-self.remaining() * 1e3:.1f} ms)"
+                f"(overrun by {-remaining * 1e3:.1f} ms)"
             )
 
     def __repr__(self) -> str:

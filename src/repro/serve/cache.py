@@ -90,6 +90,21 @@ class CellResultCache:
             self.invalidations += len(stale)
             return len(stale)
 
+    def entries_by_generation(self) -> Dict[Tuple[str, int], int]:
+        """Live entry counts keyed by ``(index name, generation)``.
+
+        The observability layer exports these as per-index,
+        per-generation gauges, which is how an operator watches a
+        reload's cache warm-up land (old generation's count drains to
+        zero, new one grows).
+        """
+        counts: Dict[Tuple[str, int], int] = {}
+        with self._lock:
+            for name, generation, _cell in self._entries:
+                key = (name, generation)
+                counts[key] = counts.get(key, 0) + 1
+        return counts
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()

@@ -61,6 +61,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..errors import ServeError
 from ..join.parallel import fork_available
+from ..obs.histogram import merge_histogram_snapshots
 from .lifecycle import PARENT_IDENTITY, FleetLifecycle
 from .registry import IndexRegistry
 from .server import ACTHTTPServer
@@ -112,9 +113,9 @@ class FleetConfig:
     artifact_dir: Optional[str] = None
 
 
-#: Reserved snapshot-channel key: counters inherited from crashed
-#: workers (folded in by the supervisor so fleet totals stay monotone
-#: across restarts).
+#: Reserved snapshot-channel key: counters and histogram buckets
+#: inherited from crashed workers (folded in by the supervisor so fleet
+#: totals stay monotone across restarts).
 RETIRED_KEY = "retired"
 
 #: The counters the fleet aggregate sums across workers.
@@ -128,6 +129,23 @@ _AGGREGATED_COUNTERS = (
     "http.requests",
 )
 
+#: The latency histograms the fleet aggregate merges bucket-wise.
+_AGGREGATED_HISTOGRAMS = (
+    "queries.latency_seconds",
+    "joins.latency_seconds",
+)
+
+
+def _retired_parts(retired: dict) -> Tuple[dict, dict]:
+    """``(counters, histograms)`` from a retired baseline entry.
+
+    Accepts both the current nested shape and the legacy flat counter
+    dict a pre-upgrade supervisor may have written.
+    """
+    if "counters" in retired or "histograms" in retired:
+        return retired.get("counters", {}), retired.get("histograms", {})
+    return retired, {}
+
 
 def aggregate_snapshots(snapshots: Dict[object, dict]) -> dict:
     """Fleet-wide view over per-worker ``service.stats()`` snapshots.
@@ -136,28 +154,35 @@ def aggregate_snapshots(snapshots: Dict[object, dict]) -> dict:
     of crashed predecessors, so totals never go backwards when a slot
     is respawned. Fleet qps is total queries over the longest worker
     uptime (workers start together, so this is the fleet's lifetime).
-    Latency percentiles cannot be merged exactly from per-worker
-    digests, so the fleet p50/p99 are the worst worker's — an upper
-    bound, which is the conservative side for SLOs.
+    Latency histograms share one fixed bucket ladder fleet-wide, so
+    per-worker snapshots merge bucket-wise
+    (:func:`repro.obs.histogram.merge_histogram_snapshots`) and the
+    fleet p50/p99/p999 are real quantiles of the union of every
+    worker's samples — not a worst-worker bound.
     """
     per_worker: List[dict] = []
     retired = snapshots.get(RETIRED_KEY, {})
-    totals = {key: int(retired.get(key, 0)) for key in _AGGREGATED_COUNTERS}
-    p50 = 0.0
-    p99 = 0.0
+    retired_counters, retired_hists = _retired_parts(retired)
+    totals = {key: int(retired_counters.get(key, 0))
+              for key in _AGGREGATED_COUNTERS}
+    merge_inputs: Dict[str, List[dict]] = {
+        name: ([retired_hists[name]] if name in retired_hists else [])
+        for name in _AGGREGATED_HISTOGRAMS
+    }
     max_uptime = 0.0
     for worker_id in sorted(k for k in snapshots if k != RETIRED_KEY):
         snap = snapshots[worker_id]
         metrics = snap.get("metrics", {})
         counters = metrics.get("counters", {})
-        latency = metrics.get("histograms", {}).get(
-            "queries.latency_seconds", {})
+        histograms = metrics.get("histograms", {})
+        latency = histograms.get("queries.latency_seconds", {})
         uptime = float(snap.get("uptime_seconds", 0.0))
         max_uptime = max(max_uptime, uptime)
         for key in totals:
             totals[key] += int(counters.get(key, 0))
-        p50 = max(p50, float(latency.get("p50", 0.0)))
-        p99 = max(p99, float(latency.get("p99", 0.0)))
+        for name in _AGGREGATED_HISTOGRAMS:
+            if name in histograms:
+                merge_inputs[name].append(histograms[name])
         per_worker.append({
             "worker": snap.get("worker", worker_id),
             "pid": snap.get("pid"),
@@ -167,16 +192,25 @@ def aggregate_snapshots(snapshots: Dict[object, dict]) -> dict:
                     if uptime else 0.0),
             "latency_p99_seconds": float(latency.get("p99", 0.0)),
         })
+    merged: Dict[str, dict] = {}
+    for name, inputs in merge_inputs.items():
+        snap = merge_histogram_snapshots(inputs)
+        if snap is not None:
+            merged[name] = snap
+    fleet_latency = merged.get("queries.latency_seconds", {})
     view = {
         "workers": len(per_worker),
         "counters": totals,
         "qps": totals["queries.total"] / max_uptime if max_uptime else 0.0,
-        "latency_p50_seconds": p50,
-        "latency_p99_seconds": p99,
+        "latency_p50_seconds": float(fleet_latency.get("p50", 0.0)),
+        "latency_p99_seconds": float(fleet_latency.get("p99", 0.0)),
+        "latency_p999_seconds": float(fleet_latency.get("p999", 0.0)),
+        "histograms": merged,
         "per_worker": per_worker,
     }
     if retired:
-        view["retired_counters"] = {k: int(v) for k, v in retired.items()}
+        view["retired_counters"] = {k: int(v)
+                                    for k, v in retired_counters.items()}
     return view
 
 
@@ -445,14 +479,15 @@ class ServingFleet:
             return self._backoffs[slot]
 
     def _retire_snapshot(self, slot: int) -> None:
-        """Fold a crashed worker's last counters into the retired base.
+        """Fold a crashed worker's last snapshot into the retired base.
 
         Its replacement republishes the slot from zero; without this the
-        fleet totals would drop by everything the dead worker served.
-        The supervisor is the only writer of the retired entry, so the
-        read-modify-write needs no cross-process lock. (Counters lag by
-        at most one publish interval — whatever the worker served after
-        its last snapshot dies with it.)
+        fleet totals (and merged latency buckets) would drop by
+        everything the dead worker served. The supervisor is the only
+        writer of the retired entry, so the read-modify-write needs no
+        cross-process lock. (Counters lag by at most one publish
+        interval — whatever the worker served after its last snapshot
+        dies with it.)
         """
         snapshots = self._snapshots
         if snapshots is None:
@@ -461,11 +496,27 @@ class ServingFleet:
             last = snapshots.get(slot)
             if not last:
                 return
-            counters = last.get("metrics", {}).get("counters", {})
-            retired = dict(snapshots.get(RETIRED_KEY, {}))
+            metrics = last.get("metrics", {})
+            counters = metrics.get("counters", {})
+            histograms = metrics.get("histograms", {})
+            base_counters, base_hists = _retired_parts(
+                dict(snapshots.get(RETIRED_KEY, {})))
+            folded_counters = dict(base_counters)
             for key, value in counters.items():
-                retired[key] = int(retired.get(key, 0)) + int(value)
-            snapshots[RETIRED_KEY] = retired
+                folded_counters[key] = (int(folded_counters.get(key, 0))
+                                        + int(value))
+            folded_hists = dict(base_hists)
+            for name in _AGGREGATED_HISTOGRAMS:
+                merged = merge_histogram_snapshots([
+                    s for s in (base_hists.get(name), histograms.get(name))
+                    if s is not None
+                ])
+                if merged is not None:
+                    folded_hists[name] = merged
+            snapshots[RETIRED_KEY] = {
+                "counters": folded_counters,
+                "histograms": folded_hists,
+            }
             del snapshots[slot]
         except (OSError, EOFError, BrokenPipeError, KeyError):
             pass
@@ -584,6 +635,18 @@ def _worker_main(slot: int, sock: socket.socket, registry: IndexRegistry,
         return aggregate_snapshots(view)
 
     server.stats_extra = fleet_stats
+
+    def fleet_metrics() -> dict:
+        # /metrics wants this worker's freshest numbers inside the fleet
+        # aggregate too, so publish before reading the channel
+        publish()
+        try:
+            view = dict(snapshots) if snapshots is not None else {}
+        except (OSError, EOFError, BrokenPipeError):
+            view = {}
+        return aggregate_snapshots(view)
+
+    server.metrics_extra = fleet_metrics
 
     def request_shutdown() -> None:
         if not stopping.is_set():

@@ -1,122 +1,151 @@
-"""Serving metrics: thread-safe counters and latency histograms.
+"""Serving metrics: counters, gauges, and mergeable latency histograms.
 
 Deliberately stdlib-only (no prometheus client in the reproduction
-environment). Counters are monotone integers; histograms keep a bounded
-ring of recent samples, which is enough for the p50/p99 figures the
-serving benchmarks and the ``/stats`` endpoint report.
+environment). Counters are monotone integers; latency histograms are
+the fixed-bucket *mergeable* histograms of
+:mod:`repro.obs.histogram` — log-spaced bounds, exact count/sum/max —
+so per-worker snapshots shipped over the fleet's stats channel merge
+bucket-wise into real fleet-wide quantiles (the old bounded-reservoir
+histogram could only be aggregated as a worst-worker upper bound).
+
+The registry also supports a **disabled** mode (``MetricsRegistry
+(enabled=False)``): every handle it returns is a shared no-op, which is
+what lets ``bench_13_observability.py`` measure the true cost of
+telemetry by differencing against a service with it off.
 """
 
 from __future__ import annotations
 
-import math
 import threading
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
+
+from ..obs.histogram import MergeableHistogram
+
+#: Re-exported: the serving stack's histogram *is* the mergeable one.
+Histogram = MergeableHistogram
 
 
 class Counter:
-    """Monotonically increasing thread-safe counter."""
+    """Monotonically increasing counter with a lock-free ``inc``.
 
-    __slots__ = ("_lock", "_value")
+    The unlocked ``+=`` can drop an increment only when a thread switch
+    lands between its load and store — rare under the GIL, and a
+    slightly-low telemetry counter is harmless while a lock on every
+    request is not (it was the single largest line item in the
+    ``bench_13_observability`` hot-path budget). Same racy-``+=`` trade
+    the descent counters in :mod:`repro.act.core` already make.
+    """
+
+    __slots__ = ("_value",)
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
         self._value = 0
 
     def inc(self, amount: int = 1) -> None:
-        with self._lock:
-            self._value += amount
+        self._value += amount
 
     @property
     def value(self) -> int:
         return self._value
 
 
-class Histogram:
-    """Bounded-reservoir histogram of float samples (e.g. seconds).
+class Gauge:
+    """A settable instantaneous value (thread-safe)."""
 
-    Keeps the most recent ``capacity`` samples in a ring buffer, plus
-    exact lifetime count/sum, so percentiles reflect recent traffic while
-    the mean and count stay exact.
-    """
-
-    __slots__ = ("_lock", "_ring", "_capacity", "_next", "count", "total")
-
-    def __init__(self, capacity: int = 4096) -> None:
-        if capacity <= 0:
-            raise ValueError(f"histogram capacity must be positive: {capacity}")
-        self._lock = threading.Lock()
-        self._ring: List[float] = []
-        self._capacity = capacity
-        self._next = 0
-        self.count = 0
-        self.total = 0.0
-
-    def observe(self, value: float) -> None:
-        with self._lock:
-            self.count += 1
-            self.total += value
-            if len(self._ring) < self._capacity:
-                self._ring.append(value)
-            else:
-                self._ring[self._next] = value
-                self._next = (self._next + 1) % self._capacity
-
-    def percentile(self, q: float) -> float:
-        """The ``q``-quantile (0..1) of retained samples (0.0 if empty)."""
-        with self._lock:
-            samples = sorted(self._ring)
-        if not samples:
-            return 0.0
-        rank = min(len(samples) - 1, max(0, math.ceil(q * len(samples)) - 1))
-        return samples[rank]
-
-    def percentiles(self, qs: Sequence[float]) -> List[float]:
-        with self._lock:
-            samples = sorted(self._ring)
-        if not samples:
-            return [0.0 for _ in qs]
-        out = []
-        for q in qs:
-            rank = min(len(samples) - 1, max(0, math.ceil(q * len(samples)) - 1))
-            out.append(samples[rank])
-        return out
-
-    @property
-    def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
-
-    def snapshot(self) -> Dict[str, float]:
-        p50, p90, p99, top = self.percentiles((0.50, 0.90, 0.99, 1.0))
-        return {
-            "count": self.count,
-            "mean": self.mean,
-            "p50": p50,
-            "p90": p90,
-            "p99": p99,
-            "max": top,
-        }
-
-
-class MetricsRegistry:
-    """Named counters and histograms behind one snapshot call."""
+    __slots__ = ("_lock", "_value")
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, amount: float) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class _NullCounter(Counter):
+    """Shared no-op counter handed out by a disabled registry."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, amount: float) -> None:
+        pass
+
+
+class _NullHistogram(MergeableHistogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms behind one snapshot call."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
         self._counters: Dict[str, Counter] = {}
-        self._histograms: Dict[str, Histogram] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, MergeableHistogram] = {}
 
     def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return _NULL_COUNTER
         with self._lock:
             counter = self._counters.get(name)
             if counter is None:
                 counter = self._counters[name] = Counter()
             return counter
 
-    def histogram(self, name: str, capacity: int = 4096) -> Histogram:
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            return _NULL_GAUGE
+        with self._lock:
+            gauge = self._gauges.get(name)
+            if gauge is None:
+                gauge = self._gauges[name] = Gauge()
+            return gauge
+
+    def histogram(self, name: str,
+                  bounds: Optional[Sequence[float]] = None,
+                  ) -> MergeableHistogram:
+        """The named histogram (created with ``bounds`` on first use).
+
+        All callers of one name must agree on the bucket ladder —
+        merging across the fleet depends on it — so ``bounds`` is only
+        honoured at creation.
+        """
+        if not self.enabled:
+            return _NULL_HISTOGRAM
         with self._lock:
             histogram = self._histograms.get(name)
             if histogram is None:
-                histogram = self._histograms[name] = Histogram(capacity)
+                histogram = self._histograms[name] = \
+                    MergeableHistogram(bounds)
             return histogram
 
     def ratio(self, numerator: str, denominator: str) -> Optional[float]:
@@ -130,8 +159,11 @@ class MetricsRegistry:
     def snapshot(self) -> Dict[str, object]:
         with self._lock:
             counters = dict(self._counters)
+            gauges = dict(self._gauges)
             histograms = dict(self._histograms)
         return {
             "counters": {name: c.value for name, c in counters.items()},
-            "histograms": {name: h.snapshot() for name, h in histograms.items()},
+            "gauges": {name: g.value for name, g in gauges.items()},
+            "histograms": {name: h.snapshot()
+                           for name, h in histograms.items()},
         }

@@ -398,13 +398,19 @@ class IndexRegistry:
             if registration.mmap_mode is not None:
                 info["mmap_mode"] = registration.mmap_mode
         if record is not None:
+            core = record.index.core
             info.update({
                 "num_polygons": record.index.num_polygons,
                 "precision_meters": record.index.precision_meters,
                 "boundary_level": record.index.boundary_level,
-                "trie_bytes": record.index.core.size_bytes,
-                "bytes": record.index.core.total_bytes,
+                "trie_bytes": core.size_bytes,
+                "bytes": core.total_bytes,
                 "materialize_seconds": record.materialize_seconds,
+                # per-core descent telemetry (this process, this
+                # generation); exported as per-index /metrics gauges
+                "descent_batches": core.descent_batches,
+                "descent_points": core.descent_points,
+                "descent_seconds": core.descent_seconds,
             })
             if record.mmap_mode is not None:
                 info["mmap_mode"] = record.mmap_mode

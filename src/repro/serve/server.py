@@ -14,7 +14,17 @@ reproduction environment):
 * ``POST /join`` — body ``{"index": NAME, "points": [[lng, lat], ...],
   "exact": false}`` — bulk count-per-polygon aggregation;
 * ``GET  /stats`` — metrics snapshot (qps counters, latency percentiles,
-  cache hit rate, index inventory).
+  cache hit rate, index inventory);
+* ``GET  /metrics`` — Prometheus text exposition (counters, gauges, and
+  cumulative histogram buckets; per-index / per-generation labels; the
+  fleet-wide bucket-merged aggregate when a fleet is attached).
+
+Every response carries an ``X-Request-Id`` header — minted at admission,
+or echoing the client's own ``X-Request-Id`` when supplied — and error
+payloads repeat it alongside this worker's pid, so a failure seen by a
+client is attributable to one request in one process. ``?trace=1`` (or
+an ``X-Trace: 1`` header, or ``"trace": true`` in a POST body) forces a
+per-stage latency breakdown onto the response under ``"trace"``.
 
 The **admin surface** (index lifecycle; see :mod:`repro.serve.
 lifecycle`) is authenticated by loopback — requests from any
@@ -30,7 +40,9 @@ non-loopback peer get 403 regardless of the bind address:
   [, "mmap_mode": "r"]}`` — materialize a fresh generation and swap it
   in with zero downtime (fleet-wide when a fleet is running: the
   response returns after every worker acked);
-* ``DELETE /admin/index/NAME`` — retire an index.
+* ``DELETE /admin/index/NAME`` — retire an index;
+* ``GET    /admin/slowlog`` — the worker's slow-query ring (full
+  per-stage traces for sampled requests, bare envelopes otherwise).
 
 Budget overruns surface as HTTP 503 (shed), unknown indexes as 404,
 malformed requests as 400, and conflicting admin requests (duplicate
@@ -52,9 +64,14 @@ from ..errors import (
     ServeError,
     UnknownIndexError,
 )
+from ..obs import Trace, mint_request_id
 from . import lifecycle
 from .budget import Budget
 from .service import ACTService
+
+#: Client-supplied request ids longer than this are replaced (they are
+#: echoed into headers and logs; unbounded input does not belong there).
+_MAX_REQUEST_ID = 128
 
 
 def is_loopback(ip: str) -> bool:
@@ -75,10 +92,41 @@ class ACTRequestHandler(BaseHTTPRequestHandler):
         return self.server.service  # type: ignore[attr-defined]
 
     # ------------------------------------------------------------------
+    # Request identity / tracing
+    # ------------------------------------------------------------------
+    def _assign_request_id(self) -> str:
+        """This request's id: the client's ``X-Request-Id`` when sane,
+        a freshly minted one otherwise. Echoed on every response."""
+        supplied = (self.headers.get("X-Request-Id") or "").strip()
+        if supplied and len(supplied) <= _MAX_REQUEST_ID \
+                and supplied.isprintable():
+            self.request_id = supplied
+        else:
+            self.request_id = mint_request_id()
+        return self.request_id
+
+    def _forced_trace(self, params: Optional[dict] = None,
+                      body: Optional[dict] = None,
+                      kind: str = "query") -> Optional[Trace]:
+        """A forced :class:`Trace` when the client asked for one
+        (``?trace=1``, ``X-Trace: 1``, or ``"trace": true`` in a POST
+        body), else ``None`` (the service then applies sampling)."""
+        wanted = (self.headers.get("X-Trace") or "") not in ("", "0")
+        if not wanted and params is not None:
+            wanted = params.get("trace", ["0"])[0] not in ("0", "false", "")
+        if not wanted and body is not None:
+            wanted = bool(body.get("trace", False))
+        if not wanted:
+            return None
+        return self.service.tracer.sample(
+            request_id=self.request_id, kind=kind, force=True)
+
+    # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
         parsed = urlparse(self.path)
+        self._assign_request_id()
         try:
             if parsed.path == "/healthz":
                 payload = {
@@ -100,12 +148,22 @@ class ACTRequestHandler(BaseHTTPRequestHandler):
                     # not recomputed for the aggregate
                     payload["fleet"] = extra(payload)
                 self._send(200, payload)
+            elif parsed.path == "/metrics":
+                self._handle_metrics()
             elif parsed.path == "/query":
                 self._handle_query(parse_qs(parsed.query))
             elif parsed.path == "/admin/indexes":
                 if self._admin_allowed():
                     self._send(200, {
                         "indexes": self.service.admin_indexes(),
+                        "pid": os.getpid(),
+                        "worker": getattr(self.server, "worker_id", None),
+                    })
+            elif parsed.path == "/admin/slowlog":
+                if self._admin_allowed():
+                    self._send(200, {
+                        "slow_queries": self.service.slowlog.entries(),
+                        "stats": self.service.slowlog.stats(),
                         "pid": os.getpid(),
                         "worker": getattr(self.server, "worker_id", None),
                     })
@@ -116,6 +174,7 @@ class ACTRequestHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
         parsed = urlparse(self.path)
+        self._assign_request_id()
         try:
             if parsed.path == "/join":
                 self._handle_join()
@@ -132,6 +191,7 @@ class ACTRequestHandler(BaseHTTPRequestHandler):
 
     def do_DELETE(self) -> None:  # noqa: N802 (stdlib naming)
         parsed = urlparse(self.path)
+        self._assign_request_id()
         prefix = "/admin/index/"
         try:
             if parsed.path.startswith(prefix) and len(parsed.path) > len(
@@ -165,13 +225,15 @@ class ACTRequestHandler(BaseHTTPRequestHandler):
         except ValueError:
             self._send(400, {"error": "budget_ms must be a number"})
             return
+        trace = self._forced_trace(params=params, kind="query")
         try:
             result = self.service.query(index_name, lng, lat, exact=exact,
-                                        budget=budget)
+                                        budget=budget, trace=trace,
+                                        request_id=self.request_id)
         except (UnknownIndexError, BudgetExceededError, ServeError) as exc:
             self._send_error_for(exc)
             return
-        self._send(200, {
+        payload = {
             "index": index_name,
             "lng": lng,
             "lat": lat,
@@ -180,23 +242,30 @@ class ACTRequestHandler(BaseHTTPRequestHandler):
             "candidates": list(result.candidates),
             "polygon_ids": list(result.all_ids),
             "is_hit": result.is_hit,
-        })
+            "request_id": self.request_id,
+        }
+        if trace is not None:
+            trace.stamp("serialize")
+            payload["trace"] = trace.to_dict()
+        self._send(200, payload)
 
     def _handle_query_batch(self) -> None:
         parsed = self._parse_points_body()
         if parsed is None:
             return
-        index_name, lngs, lats, exact, budget = parsed
+        index_name, lngs, lats, exact, budget, trace = parsed
         try:
-            results = self.service.query_batch(index_name, lngs, lats,
-                                               exact=exact, budget=budget)
+            results = self.service.query_batch(
+                index_name, lngs, lats, exact=exact, budget=budget,
+                trace=trace, request_id=self.request_id)
         except (UnknownIndexError, BudgetExceededError, ServeError) as exc:
             self._send_error_for(exc)
             return
-        self._send(200, {
+        payload = {
             "index": index_name,
             "num_points": len(lngs),
             "exact": exact,
+            "request_id": self.request_id,
             "results": [
                 {
                     "true_hits": list(r.true_hits),
@@ -206,26 +275,60 @@ class ACTRequestHandler(BaseHTTPRequestHandler):
                 }
                 for r in results
             ],
-        })
+        }
+        if trace is not None:
+            trace.stamp("serialize")
+            payload["trace"] = trace.to_dict()
+        self._send(200, payload)
 
     def _handle_join(self) -> None:
-        parsed = self._parse_points_body()
+        parsed = self._parse_points_body(kind="join")
         if parsed is None:
             return
-        index_name, lngs, lats, exact, budget = parsed
+        index_name, lngs, lats, exact, budget, trace = parsed
         try:
             counts = self.service.join(index_name, lngs, lats, exact=exact,
-                                       budget=budget)
+                                       budget=budget, trace=trace,
+                                       request_id=self.request_id)
         except (UnknownIndexError, BudgetExceededError, ServeError) as exc:
             self._send_error_for(exc)
             return
         nonzero = {int(pid): int(c) for pid, c in enumerate(counts) if c}
-        self._send(200, {
+        payload = {
             "index": index_name,
             "num_points": len(lngs),
             "exact": exact,
             "counts": nonzero,
-        })
+            "request_id": self.request_id,
+        }
+        if trace is not None:
+            trace.stamp("serialize")
+            payload["trace"] = trace.to_dict()
+        self._send(200, payload)
+
+    def _handle_metrics(self) -> None:
+        """``GET /metrics``: Prometheus text exposition.
+
+        When a fleet is attached, the worker's hook supplies the
+        aggregated (bucket-merged) cross-worker view so any single
+        scrape sees fleet-wide quantiles.
+        """
+        extra = getattr(self.server, "metrics_extra", None)
+        fleet_view = extra() if extra is not None else None
+        text = self.service.prometheus_text(
+            fleet_view=fleet_view,
+            worker_id=getattr(self.server, "worker_id", None),
+        )
+        body = text.encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type",
+                         "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        request_id = getattr(self, "request_id", None)
+        if request_id:
+            self.send_header("X-Request-Id", request_id)
+        self.end_headers()
+        self.wfile.write(body)
 
     # ------------------------------------------------------------------
     # Admin surface
@@ -283,11 +386,11 @@ class ACTRequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # Plumbing
     # ------------------------------------------------------------------
-    def _parse_points_body(self):
+    def _parse_points_body(self, kind: str = "query_batch"):
         """Shared body parsing for the batch endpoints.
 
-        Returns ``(index_name, lngs, lats, exact, budget)`` or ``None``
-        (a 4xx response has already been sent).
+        Returns ``(index_name, lngs, lats, exact, budget, trace)`` or
+        ``None`` (a 4xx response has already been sent).
         """
         body = self._read_json_body()
         if body is None:
@@ -311,7 +414,8 @@ class ACTRequestHandler(BaseHTTPRequestHandler):
         except ValueError:
             self._send(400, {"error": "budget_ms must be a number"})
             return None
-        return index_name, lngs, lats, exact, budget
+        trace = self._forced_trace(body=body, kind=kind)
+        return index_name, lngs, lats, exact, budget, trace
 
     def _parse_budget(self, raw) -> Optional[Budget]:
         """``None`` -> no budget; malformed values raise ``ValueError``."""
@@ -336,19 +440,34 @@ class ACTRequestHandler(BaseHTTPRequestHandler):
 
     def _send_error_for(self, exc: Exception) -> None:
         if isinstance(exc, UnknownIndexError):
-            self._send(404, {"error": str(exc)})
+            self._send(404, self._error_payload(exc))
         elif isinstance(exc, InvalidRequestError):
-            self._send(400, {"error": str(exc)})
+            self._send(400, self._error_payload(exc))
         elif isinstance(exc, BudgetExceededError):
-            self._send(503, {"error": str(exc), "shed": True})
+            payload = self._error_payload(exc)
+            payload["shed"] = True
+            self._send(503, payload)
         else:
-            self._send(500, {"error": str(exc)})
+            self._send(500, self._error_payload(exc))
+
+    def _error_payload(self, exc: Exception) -> dict:
+        """Error body carrying the request id and the answering pid, so
+        a fleet-mode failure is attributable to one request in one
+        worker process."""
+        return {
+            "error": str(exc),
+            "request_id": getattr(self, "request_id", None),
+            "pid": os.getpid(),
+        }
 
     def _send(self, status: int, payload: dict) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        request_id = getattr(self, "request_id", None)
+        if request_id:
+            self.send_header("X-Request-Id", request_id)
         self.end_headers()
         self.wfile.write(body)
 
@@ -371,6 +490,10 @@ class ACTHTTPServer(ThreadingHTTPServer):
     #: to ``/stats`` as the fleet-wide aggregate.
     worker_id: Optional[int] = None
     stats_extra: Optional[Callable[[dict], dict]] = None
+    #: Zero-arg callable returning the fleet's aggregated (bucket-
+    #: merged) view for ``/metrics``; ``None`` exposes this process's
+    #: families only.
+    metrics_extra: Optional[Callable[[], dict]] = None
     #: Fleet workers install their :meth:`repro.serve.lifecycle.
     #: FleetLifecycle.submit` here so admin mutations coordinate
     #: fleet-wide; ``None`` applies them to this process's service only.

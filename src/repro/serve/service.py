@@ -32,6 +32,7 @@ arrive pre-batched, so micro-batching would only add latency.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 import time
 from concurrent.futures import TimeoutError as FuturesTimeoutError
@@ -41,8 +42,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..act.index import ACTIndex, QueryResult
-from ..errors import BudgetExceededError, InvalidRequestError
+from ..errors import BudgetExceededError, InvalidRequestError, ServeError
 from ..grid.base import INVALID_KEY
+from ..obs import PrometheusRenderer, SlowQueryLog, Trace, Tracer
 from .batcher import MicroBatcher
 from .budget import Budget
 from .cache import CellResultCache
@@ -51,6 +53,11 @@ from .registry import _UNSET, IndexGeneration, IndexRegistry
 
 #: Empty result reused for out-of-domain points.
 _MISS = QueryResult((), ())
+
+#: Telemetry modes: ``full`` = counters + sampled tracing + slow-query
+#: log (the default; cheap enough to leave on), ``counters`` = bare
+#: counters/histograms only, ``off`` = every metrics handle is a no-op.
+TELEMETRY_MODES = ("full", "counters", "off")
 
 
 @dataclass(frozen=True)
@@ -64,6 +71,14 @@ class ServeConfig:
     #: Misses at or below this many in flight answer inline (scalar);
     #: above it they micro-batch through the vectorized engine.
     inline_miss_threshold: int = 2
+    #: One of :data:`TELEMETRY_MODES`.
+    telemetry: str = "full"
+    #: Trace every Nth admission (0 disables sampling; forced traces —
+    #: a client sending ``?trace=1`` — still work).
+    trace_sample_interval: int = 64
+    #: Requests slower than this land in the slow-query log.
+    slow_query_ms: float = 250.0
+    slowlog_capacity: int = 128
 
     @property
     def max_wait_seconds(self) -> float:
@@ -78,6 +93,7 @@ class ACTService:
         self.registry = registry if registry is not None else IndexRegistry()
         self.config = config if config is not None else ServeConfig()
         self.metrics = MetricsRegistry()
+        self.set_telemetry(self.config.telemetry)
         self.cache = CellResultCache(self.config.cache_capacity)
         # batchers are keyed by (name, generation): a reload retires the
         # old generation's batcher, and a racing request that pinned the
@@ -91,7 +107,41 @@ class ACTService:
         self._miss_lock = threading.Lock()
         self._misses_in_flight = 0
         self._started = time.monotonic()
-        # pre-bound hot-path metrics (registry lookups are off the path)
+
+    def set_telemetry(self, telemetry: str) -> None:
+        """Switch the telemetry level of a live service.
+
+        Runtime-switchable so an operator can drop to ``counters`` (or
+        ``off``) under incident load without a restart, and so the
+        overhead benchmark can compare levels on one service instance.
+        Accumulated counters and histograms survive a switch (the
+        registry keeps them; ``off`` only makes the handles no-ops);
+        the tracer and slow-query log are rebuilt to the new level.
+        """
+        if telemetry not in TELEMETRY_MODES:
+            raise ServeError(
+                f"telemetry must be one of {TELEMETRY_MODES}, "
+                f"got {telemetry!r}"
+            )
+        if telemetry != self.config.telemetry:
+            self.config = dataclasses.replace(
+                self.config, telemetry=telemetry)
+        self.metrics.enabled = telemetry != "off"
+        # sampled tracing and the slow-query log belong to "full" mode;
+        # "counters" keeps the aggregates but never builds a Trace
+        # (forced traces — an explicit ?trace=1 — still work)
+        self.tracer = Tracer(
+            sample_interval=self.config.trace_sample_interval
+            if telemetry == "full" else 0
+        )
+        self.slowlog = SlowQueryLog(
+            threshold_s=(self.config.slow_query_ms / 1e3
+                         if telemetry == "full" else 0.0),
+            capacity=self.config.slowlog_capacity,
+        )
+        # pre-bound hot-path metrics (registry lookups are off the
+        # path); re-bound on every switch because a disabled registry
+        # hands out no-op singletons
         self._queries_total = self.metrics.counter("queries.total")
         self._queries_errors = self.metrics.counter("queries.errors")
         self._queries_shed = self.metrics.counter("queries.shed")
@@ -105,9 +155,15 @@ class ACTService:
     # Point queries
     # ------------------------------------------------------------------
     def query(self, index_name: str, lng: float, lat: float,
-              exact: bool = False,
-              budget: Optional[Budget] = None) -> QueryResult:
+              exact: bool = False, budget: Optional[Budget] = None,
+              trace: Optional[Trace] = None,
+              request_id: Optional[str] = None) -> QueryResult:
         """One classified point lookup through the full serving stack.
+
+        ``trace`` forces a per-stage breakdown for this request (the
+        HTTP front passes one for ``?trace=1``); without it every Nth
+        admission is sampled by the service's tracer. ``request_id``
+        ties slow-query-log entries back to the caller's id.
 
         Raises :class:`~repro.errors.BudgetExceededError` when the budget
         runs out (shed), :class:`~repro.errors.UnknownIndexError` for
@@ -116,11 +172,25 @@ class ACTService:
         start = time.perf_counter()
         self._queries_total.inc()
         budget = self._effective_budget(budget)
+        if trace is None:
+            tracer = self.tracer
+            interval = tracer.sample_interval
+            if interval > 0:
+                # the sampler's unsampled fast path, inlined: a method
+                # call per request is measurable on this path
+                tracer._admissions += 1
+                if not tracer._admissions % interval:
+                    trace = tracer.sample(request_id=request_id,
+                                          kind="query", force=True)
+        if budget is not None:
+            budget.trace = trace
         try:
             record, boundary_level = self._hot_view(index_name)
             index = record.index
             if budget is not None:
                 budget.require("admission")
+            if trace is not None:
+                trace.stamp("admission")
             cell = index.grid.point_key(lng, lat, boundary_level)
             if cell is None:
                 self._queries_ood.inc()
@@ -128,21 +198,34 @@ class ACTService:
             else:
                 key = (index_name, record.generation, cell)
                 result = self.cache.get(key)
+                if trace is not None:
+                    trace.stamp("cache_probe")
                 if result is not None:
                     self._cache_hits.inc()
                 else:
-                    result = self._miss(record, lng, lat, key, budget)
+                    result = self._miss(record, lng, lat, key, budget,
+                                        trace)
             if exact:
                 result = self._refine_scalar(index, result, lng, lat)
+                if trace is not None:
+                    trace.stamp("refine")
         except BudgetExceededError:
             # a shed is load-shedding doing its job, not a failure: a
             # service under deadline pressure must not look broken
             self._queries_shed.inc()
+            self.slowlog.maybe_record(
+                time.perf_counter() - start, "query",
+                request_id=request_id, trace=trace, extra={"shed": True})
             raise
         except Exception:
             self._queries_errors.inc()
             raise
-        self._latency.observe(time.perf_counter() - start)
+        elapsed = time.perf_counter() - start
+        self._latency.observe(elapsed)
+        slowlog = self.slowlog
+        if elapsed >= slowlog.threshold_s > 0.0:
+            slowlog.maybe_record(elapsed, "query", request_id=request_id,
+                                 trace=trace)
         return result
 
     def _refine_scalar(self, index: ACTIndex, result: QueryResult,
@@ -215,7 +298,8 @@ class ACTService:
         return hot
 
     def _miss(self, record: IndexGeneration, lng: float, lat: float,
-              key, budget: Optional[Budget]) -> QueryResult:
+              key, budget: Optional[Budget],
+              trace: Optional[Trace] = None) -> QueryResult:
         index = record.index
         batch = False
         if budget is not None:
@@ -225,6 +309,8 @@ class ACTService:
                 # answer inline, skipping queueing entirely
                 self._fast_path.inc()
                 result = index.query(lng, lat)
+                if trace is not None:
+                    trace.stamp("descent")
                 self.cache.put(key, result)
                 return result
         with self._miss_lock:
@@ -236,7 +322,7 @@ class ACTService:
                 if budget is not None and not budget.is_unlimited:
                     timeout = budget.remaining()
                 future = self._batcher(record).submit(
-                    lng, lat, budget)
+                    lng, lat, budget, trace=trace)
                 try:
                     result = future.result(timeout=timeout)
                 except FuturesTimeoutError:
@@ -246,9 +332,15 @@ class ACTService:
                         "latency budget exhausted while queued for batch "
                         "dispatch"
                     ) from None
+                if trace is not None:
+                    # the batcher deposited batch_wait + descent; reset
+                    # the stage clock so the next stamp excludes them
+                    trace.mark()
             else:
                 self._inline_miss.inc()
                 result = index.query(lng, lat)
+                if trace is not None:
+                    trace.stamp("descent")
         finally:
             with self._miss_lock:
                 self._misses_in_flight -= 1
@@ -260,7 +352,9 @@ class ACTService:
     # ------------------------------------------------------------------
     def query_batch(self, index_name: str, lngs: Sequence[float],
                     lats: Sequence[float], exact: bool = False,
-                    budget: Optional[Budget] = None) -> List[QueryResult]:
+                    budget: Optional[Budget] = None,
+                    trace: Optional[Trace] = None,
+                    request_id: Optional[str] = None) -> List[QueryResult]:
         """Classified lookups for a whole point batch, cache included.
 
         Network clients amortize the same way in-process callers do:
@@ -287,12 +381,19 @@ class ACTService:
         n = int(lngs.shape[0])
         self._queries_total.inc(n)
         budget = self._effective_budget(budget)
+        if trace is None:
+            trace = self.tracer.sample(request_id=request_id,
+                                       kind="query_batch")
+        if budget is not None:
+            budget.trace = trace
         try:
             record, boundary_level = self._hot_view(index_name)
             index = record.index
             generation = record.generation
             if budget is not None:
                 budget.require("batch admission")
+            if trace is not None:
+                trace.stamp("admission")
             keys = index.grid.point_keys(lngs, lats, boundary_level).tolist()
             invalid = int(INVALID_KEY)
             results: List[Optional[QueryResult]] = [None] * n
@@ -312,6 +413,8 @@ class ACTService:
                     miss_pos.append(k)
             if hits:
                 self._cache_hits.inc(hits)
+            if trace is not None:
+                trace.stamp("cache_probe")
             if miss_pos:
                 if budget is not None:
                     budget.require("batch dispatch")
@@ -335,15 +438,28 @@ class ACTService:
                     results[k] = by_key[keys[k]]
                 self.metrics.counter("queries.batched_misses").inc(
                     len(miss_pos))
+                if trace is not None:
+                    trace.stamp("descent")
             if exact:
                 results = self._refine_batch(index, results, lngs, lats)
+                if trace is not None:
+                    trace.stamp("refine")
         except BudgetExceededError:
             self._queries_shed.inc(n)
+            self.slowlog.maybe_record(
+                time.perf_counter() - start, "query_batch",
+                request_id=request_id, trace=trace,
+                extra={"shed": True, "num_points": n})
             raise
         except Exception:
             self._queries_errors.inc(n)
             raise
-        self._latency.observe(time.perf_counter() - start)
+        elapsed = time.perf_counter() - start
+        self._latency.observe(elapsed)
+        if elapsed >= self.slowlog.threshold_s > 0.0:
+            self.slowlog.maybe_record(elapsed, "query_batch",
+                                      request_id=request_id, trace=trace,
+                                      extra={"num_points": n})
         return results
 
     def _refine_batch(self, index: ACTIndex, results: List[QueryResult],
@@ -375,11 +491,18 @@ class ACTService:
     # ------------------------------------------------------------------
     def join(self, index_name: str, lngs: Sequence[float],
              lats: Sequence[float], exact: bool = False,
-             budget: Optional[Budget] = None) -> np.ndarray:
+             budget: Optional[Budget] = None,
+             trace: Optional[Trace] = None,
+             request_id: Optional[str] = None) -> np.ndarray:
         """Count points per polygon (the paper's aggregation workload)."""
         start = time.perf_counter()
+        if trace is None:
+            trace = self.tracer.sample(request_id=request_id, kind="join")
         if budget is not None:
+            budget.trace = trace
             budget.require("join admission")
+        if trace is not None:
+            trace.stamp("admission")
         # resolve through the pinned hot view, not the registry: after
         # evict() + re-materialization joins must run against the same
         # generation as point queries and the cell cache
@@ -389,12 +512,16 @@ class ACTService:
             np.asarray(lngs, dtype=np.float64),
             np.asarray(lats, dtype=np.float64),
             exact=exact,
+            trace=trace,
         )
         self.metrics.counter("joins.total").inc()
         self.metrics.counter("joins.points").inc(len(lngs))
-        self.metrics.histogram("joins.latency_seconds").observe(
-            time.perf_counter() - start
-        )
+        elapsed = time.perf_counter() - start
+        self.metrics.histogram("joins.latency_seconds").observe(elapsed)
+        if elapsed >= self.slowlog.threshold_s > 0.0:
+            self.slowlog.maybe_record(elapsed, "join",
+                                      request_id=request_id, trace=trace,
+                                      extra={"num_points": len(lngs)})
         return counts
 
     # ------------------------------------------------------------------
@@ -475,14 +602,94 @@ class ACTService:
             "cache": self.cache.stats(),
             "cache_hit_rate": hit_rate,
             "metrics": snapshot,
+            "slow_queries": self.slowlog.stats(),
             "config": {
                 "max_batch": self.config.max_batch,
                 "max_wait_ms": self.config.max_wait_ms,
                 "cache_capacity": self.config.cache_capacity,
                 "default_budget_ms": self.config.default_budget_ms,
                 "inline_miss_threshold": self.config.inline_miss_threshold,
+                "telemetry": self.config.telemetry,
+                "trace_sample_interval": self.config.trace_sample_interval,
+                "slow_query_ms": self.config.slow_query_ms,
             },
         }
+
+    def prometheus_text(self, fleet_view: Optional[dict] = None,
+                        worker_id: Optional[int] = None) -> str:
+        """The ``GET /metrics`` payload (Prometheus text exposition).
+
+        Every registry counter/gauge/histogram becomes a family, plus
+        per-index gauges (generation, descent totals) labelled by index
+        name and generation, cache-entry gauges labelled per generation,
+        and slow-query-log gauges. ``fleet_view`` (an
+        :func:`~repro.serve.fleet.aggregate_snapshots` result) adds the
+        fleet-wide families — bucket-merged latency histograms included
+        — so scraping any one worker sees the whole fleet.
+        """
+        renderer = PrometheusRenderer(namespace="repro")
+        base = {} if worker_id is None else {"worker": str(worker_id)}
+        snapshot = self.metrics.snapshot()
+        for name, value in snapshot["counters"].items():
+            renderer.counter(name, value, labels=dict(base))
+        for name, value in snapshot["gauges"].items():
+            renderer.gauge(name, value, labels=dict(base))
+        for name, snap in snapshot["histograms"].items():
+            renderer.histogram(name, snap, labels=dict(base))
+        renderer.gauge("uptime_seconds",
+                       time.monotonic() - self._started,
+                       labels=dict(base),
+                       help_text="Seconds since this service started")
+        for described in self.admin_indexes():
+            labels = dict(base)
+            labels["index"] = str(described.get("name"))
+            if not described.get("materialized"):
+                continue  # registered but not materialized yet
+            generation = described.get("generation", 0)
+            labels["generation"] = str(generation)
+            renderer.gauge("index_generation", float(generation),
+                           labels=labels,
+                           help_text="Live generation per index")
+            for key in ("descent_batches", "descent_points",
+                        "descent_seconds"):
+                if key in described:
+                    renderer.counter(f"index_{key}", described[key],
+                                     labels=dict(labels))
+        cache_stats = self.cache.stats()
+        for key in ("size", "capacity"):
+            renderer.gauge(f"cache_{key}", cache_stats[key],
+                           labels=dict(base))
+        for key in ("hits", "misses", "evictions", "invalidations"):
+            renderer.counter(f"cache_{key}", cache_stats[key],
+                             labels=dict(base))
+        for (name, generation), entries in sorted(
+                self.cache.entries_by_generation().items()):
+            labels = dict(base)
+            labels["index"] = name
+            labels["generation"] = str(generation)
+            renderer.gauge("cache_entries", float(entries), labels=labels,
+                           help_text="Cached cell results per generation")
+        slow = self.slowlog.stats()
+        renderer.gauge("slowlog_size", slow["size"], labels=dict(base))
+        renderer.counter("slowlog_recorded", slow["recorded"],
+                         labels=dict(base))
+        if fleet_view is not None:
+            self._render_fleet(renderer, fleet_view)
+        return renderer.render()
+
+    @staticmethod
+    def _render_fleet(renderer: "PrometheusRenderer",
+                      view: dict) -> None:
+        """Fleet-aggregate families (bucket-merged across workers)."""
+        renderer.gauge("fleet_workers", view.get("workers", 0),
+                       help_text="Live fleet workers")
+        renderer.gauge("fleet_qps", view.get("qps", 0.0))
+        for name, value in view.get("counters", {}).items():
+            renderer.counter(f"fleet.{name}", value)
+        for name, snap in view.get("histograms", {}).items():
+            renderer.histogram(
+                f"fleet.{name}", snap,
+                help_text="Bucket-merged across all fleet workers")
 
     def close(self) -> None:
         """Stop all batcher workers (idempotent)."""

@@ -1,0 +1,136 @@
+"""Mergeable-histogram properties: merging == concatenating samples."""
+
+import math
+import random
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BOUNDS,
+    MergeableHistogram,
+    log_bounds,
+    merge_histogram_snapshots,
+    quantile_from_buckets,
+)
+
+
+class TestLogBounds:
+    def test_default_ladder_spans_10us_to_100s(self):
+        assert DEFAULT_LATENCY_BOUNDS[0] == pytest.approx(1e-5)
+        assert DEFAULT_LATENCY_BOUNDS[-1] == pytest.approx(100.0)
+        # 7 decades x 5 per decade, inclusive of both endpoints
+        assert len(DEFAULT_LATENCY_BOUNDS) == 36
+
+    def test_strictly_increasing(self):
+        bounds = log_bounds(1e-4, 10.0, per_decade=7)
+        assert all(b > a for a, b in zip(bounds, bounds[1:]))
+
+    def test_json_round_trip_compares_equal(self):
+        import json
+
+        bounds = log_bounds()
+        assert tuple(json.loads(json.dumps(list(bounds)))) == bounds
+
+    def test_invalid_ranges(self):
+        with pytest.raises(ValueError):
+            log_bounds(0.0, 1.0)
+        with pytest.raises(ValueError):
+            log_bounds(1.0, 1.0)
+        with pytest.raises(ValueError):
+            log_bounds(1e-5, 100.0, per_decade=0)
+
+
+class TestMergeProperty:
+    def _samples(self, seed, n):
+        rng = random.Random(seed)
+        out = []
+        for _ in range(n):
+            # span the whole ladder including the +Inf overflow
+            out.append(10 ** rng.uniform(-6, 3))
+        return out
+
+    def test_merged_equals_concatenated(self):
+        """The load-bearing property: bucket-wise merge of per-worker
+        snapshots is *exactly* the histogram of all workers' samples
+        concatenated — count, sum, max, and every bucket."""
+        per_worker = [self._samples(seed, 500) for seed in (1, 2, 3)]
+        workers = []
+        for samples in per_worker:
+            h = MergeableHistogram()
+            for s in samples:
+                h.observe(s)
+            workers.append(h)
+        reference = MergeableHistogram()
+        for samples in per_worker:
+            for s in samples:
+                reference.observe(s)
+
+        merged = merge_histogram_snapshots(
+            [h.snapshot() for h in workers])
+        want = reference.snapshot()
+        assert merged["bucket_counts"] == want["bucket_counts"]
+        assert merged["count"] == want["count"]
+        assert merged["sum"] == pytest.approx(want["sum"])
+        assert merged["max"] == pytest.approx(want["max"])
+        for q in ("p50", "p90", "p99", "p999"):
+            assert merged[q] == pytest.approx(want[q])
+
+    def test_merge_is_associative_on_buckets(self):
+        a, b, c = (MergeableHistogram() for _ in range(3))
+        for h, seed in ((a, 10), (b, 11), (c, 12)):
+            for s in self._samples(seed, 200):
+                h.observe(s)
+        left = merge_histogram_snapshots([
+            merge_histogram_snapshots([a.snapshot(), b.snapshot()]),
+            c.snapshot(),
+        ])
+        right = merge_histogram_snapshots([
+            a.snapshot(),
+            merge_histogram_snapshots([b.snapshot(), c.snapshot()]),
+        ])
+        assert left["bucket_counts"] == right["bucket_counts"]
+        assert left["sum"] == pytest.approx(right["sum"])
+
+    def test_mismatched_bounds_raise(self):
+        a = MergeableHistogram()
+        b = MergeableHistogram(bounds=log_bounds(1e-4, 10.0))
+        a.observe(0.1)
+        b.observe(0.1)
+        with pytest.raises(ValueError):
+            merge_histogram_snapshots([a.snapshot(), b.snapshot()])
+
+    def test_bucketless_snapshots_are_skipped(self):
+        # an old-format worker mid-rolling-upgrade publishes p50/p99
+        # only; the merge must not be poisoned by it
+        h = MergeableHistogram()
+        h.observe(0.5)
+        merged = merge_histogram_snapshots(
+            [{"p50": 0.1, "p99": 0.2}, h.snapshot()])
+        assert merged["count"] == 1
+
+    def test_empty_merge_is_none(self):
+        assert merge_histogram_snapshots([]) is None
+        assert merge_histogram_snapshots([{"p99": 1.0}]) is None
+
+
+class TestQuantileFromBuckets:
+    def test_interpolates_within_bucket(self):
+        bounds = (1.0, 2.0, 4.0)
+        counts = [0, 100, 0, 0]  # all mass in (1, 2]
+        q50 = quantile_from_buckets(0.5, bounds, counts, observed_max=2.0)
+        assert 1.0 <= q50 <= 2.0
+
+    def test_overflow_answers_with_observed_max(self):
+        bounds = (1.0, 2.0)
+        counts = [0, 0, 5]
+        assert quantile_from_buckets(
+            0.99, bounds, counts, observed_max=77.0) == 77.0
+
+    def test_never_exceeds_observed_max(self):
+        h = MergeableHistogram()
+        h.observe(0.011)  # lands in a bucket reaching up to ~0.016
+        assert h.percentile(0.99) <= 0.011
+        assert not math.isinf(h.percentile(0.99))
+
+    def test_empty_is_zero(self):
+        assert quantile_from_buckets(0.5, (1.0,), [0, 0]) == 0.0

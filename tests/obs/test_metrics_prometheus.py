@@ -1,0 +1,160 @@
+"""Prometheus text-exposition rendering, parsing, and validation."""
+
+import math
+
+import pytest
+
+from repro.obs import (
+    MergeableHistogram,
+    PrometheusRenderer,
+    parse_exposition,
+    validate_exposition,
+)
+
+
+class TestRenderer:
+    def test_counter_gets_total_suffix_once(self):
+        renderer = PrometheusRenderer(namespace="repro")
+        renderer.counter("queries.total", 4)
+        renderer.counter("cache_hits", 2)
+        text = renderer.render()
+        assert "repro_queries_total 4" in text
+        assert "repro_queries_total_total" not in text
+        assert "repro_cache_hits_total 2" in text
+
+    def test_dotted_names_are_sanitized(self):
+        renderer = PrometheusRenderer(namespace="repro")
+        renderer.gauge("cache.size", 10)
+        assert "repro_cache_size 10" in renderer.render()
+
+    def test_labels_sorted_and_escaped(self):
+        renderer = PrometheusRenderer(namespace="")
+        renderer.gauge("g", 1.0, labels={"b": 'say "hi"\n', "a": "x"})
+        line = [ln for ln in renderer.render().splitlines()
+                if ln.startswith("g{")][0]
+        assert line.startswith('g{a="x",b="say \\"hi\\"\\n"}')
+
+    def test_histogram_buckets_are_cumulative(self):
+        h = MergeableHistogram(bounds=(0.01, 0.1, 1.0))
+        for v in (0.005, 0.05, 0.05, 0.5, 5.0):
+            h.observe(v)
+        renderer = PrometheusRenderer(namespace="repro")
+        renderer.histogram("latency_seconds", h.snapshot())
+        families = parse_exposition(renderer.render())
+        fam = families["repro_latency_seconds"]
+        buckets = {
+            labels["le"]: value
+            for name, labels, value in fam["samples"]
+            if name.endswith("_bucket")
+        }
+        assert buckets == {"0.01": 1, "0.1": 3, "1": 4, "+Inf": 5}
+        values = {
+            name: value for name, labels, value in fam["samples"]
+            if not name.endswith("_bucket")
+        }
+        assert values["repro_latency_seconds_count"] == 5
+        assert values["repro_latency_seconds_sum"] == \
+            pytest.approx(5.605)
+
+    def test_conflicting_family_kind_rejected(self):
+        renderer = PrometheusRenderer()
+        renderer.gauge("lat", 1.0)
+        h = MergeableHistogram()
+        h.observe(0.1)
+        with pytest.raises(ValueError):
+            renderer.histogram("lat", h.snapshot())
+
+    def test_golden_render_is_valid_exposition(self):
+        h = MergeableHistogram()
+        h.observe(0.01)
+        renderer = PrometheusRenderer(namespace="repro")
+        renderer.counter("queries.total", 7,
+                         labels={"worker": "0"},
+                         help_text="Total queries")
+        renderer.gauge("uptime_seconds", 12.5)
+        renderer.histogram("queries.latency_seconds", h.snapshot(),
+                           labels={"worker": "0"})
+        assert validate_exposition(renderer.render()) == []
+
+
+class TestParser:
+    def test_round_trip(self):
+        text = (
+            "# HELP demo_total A demo counter\n"
+            "# TYPE demo_total counter\n"
+            'demo_total{worker="1"} 42\n'
+        )
+        families = parse_exposition(text)
+        assert families["demo_total"]["type"] == "counter"
+        assert families["demo_total"]["help"] == "A demo counter"
+        (sample,) = families["demo_total"]["samples"]
+        assert sample == ("demo_total", {"worker": "1"}, 42.0)
+
+    def test_histogram_series_group_under_base_family(self):
+        text = (
+            "# TYPE lat histogram\n"
+            'lat_bucket{le="0.1"} 1\n'
+            'lat_bucket{le="+Inf"} 2\n'
+            "lat_sum 0.7\n"
+            "lat_count 2\n"
+        )
+        families = parse_exposition(text)
+        assert set(families) == {"lat"}
+        assert len(families["lat"]["samples"]) == 4
+
+    def test_inf_values_parse(self):
+        families = parse_exposition("# TYPE g gauge\ng +Inf\n")
+        assert families["g"]["samples"][0][2] == math.inf
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_exposition("not a metric line at all!\n")
+        with pytest.raises(ValueError):
+            parse_exposition("# TYPE x frobnicator\nx 1\n")
+
+
+class TestValidator:
+    def test_untyped_samples_flagged(self):
+        problems = validate_exposition("mystery 4\n")
+        assert any("without a # TYPE" in p for p in problems)
+
+    def test_negative_counter_flagged(self):
+        problems = validate_exposition(
+            "# TYPE bad_total counter\nbad_total -1\n")
+        assert any("negative" in p for p in problems)
+
+    def test_non_cumulative_buckets_flagged(self):
+        text = (
+            "# TYPE lat histogram\n"
+            'lat_bucket{le="0.1"} 5\n'
+            'lat_bucket{le="1"} 3\n'
+            'lat_bucket{le="+Inf"} 5\n'
+            "lat_sum 1.0\n"
+            "lat_count 5\n"
+        )
+        problems = validate_exposition(text)
+        assert any("cumulative" in p for p in problems)
+
+    def test_inf_bucket_must_equal_count(self):
+        text = (
+            "# TYPE lat histogram\n"
+            'lat_bucket{le="0.1"} 1\n'
+            'lat_bucket{le="+Inf"} 2\n'
+            "lat_sum 1.0\n"
+            "lat_count 3\n"
+        )
+        problems = validate_exposition(text)
+        assert any("_count" in p for p in problems)
+
+    def test_missing_sum_flagged(self):
+        text = (
+            "# TYPE lat histogram\n"
+            'lat_bucket{le="+Inf"} 1\n'
+            "lat_count 1\n"
+        )
+        problems = validate_exposition(text)
+        assert any("_sum" in p for p in problems)
+
+    def test_empty_scrape_flagged(self):
+        assert validate_exposition("") == \
+            ["no metric families in exposition"]

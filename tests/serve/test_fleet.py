@@ -32,6 +32,13 @@ def _get(address, path, timeout=15.0):
         return resp.status, json.loads(resp.read())
 
 
+def _get_text(address, path, timeout=15.0):
+    host, port = address
+    with urllib.request.urlopen(f"http://{host}:{port}{path}",
+                                timeout=timeout) as resp:
+        return resp.status, resp.read().decode("utf-8")
+
+
 def _post(address, path, payload, timeout=60.0):
     host, port = address
     request = urllib.request.Request(
@@ -311,6 +318,31 @@ class TestFleetReload:
                 (entry,) = listing["indexes"]
                 seen[listing["worker"]] = entry["generation"]
             assert seen == {0: generation, 1: generation}
+            # after reload-under-traffic, any worker's /metrics scrape
+            # is valid exposition carrying the *final* generation label
+            # and the bucket-merged fleet latency histogram
+            from repro.obs import parse_exposition, validate_exposition
+
+            deadline = time.monotonic() + 20.0
+            families = {}
+            while time.monotonic() < deadline:
+                status, text = _get_text(fleet.address, "/metrics")
+                assert status == 200
+                assert validate_exposition(text) == []
+                families = parse_exposition(text)
+                if "repro_fleet_queries_latency_seconds" in families:
+                    break
+                time.sleep(0.1)  # first stats publish may lag
+            fleet_latency = families["repro_fleet_queries_latency_seconds"]
+            assert fleet_latency["type"] == "histogram"
+            assert any(labels.get("le") == "+Inf"
+                       for _name, labels, _v in fleet_latency["samples"])
+            generations = {
+                labels["generation"]
+                for _name, labels, _v
+                in families["repro_index_generation"]["samples"]
+            }
+            assert generations == {str(generation)}
 
     def test_fleet_reload_via_parent_api(self, half_index_paths):
         paths, (lng, lat) = half_index_paths
@@ -369,7 +401,12 @@ class TestFleetReload:
 
 
 class TestAggregation:
-    def _snapshot(self, worker, total, shed, uptime, p99):
+    def _snapshot(self, worker, total, shed, uptime, samples):
+        from repro.obs import MergeableHistogram
+
+        latency = MergeableHistogram()
+        for s in samples:
+            latency.observe(s)
         return {
             "worker": worker,
             "pid": 1000 + worker,
@@ -377,22 +414,33 @@ class TestAggregation:
             "metrics": {
                 "counters": {"queries.total": total, "queries.shed": shed},
                 "histograms": {
-                    "queries.latency_seconds": {"p50": p99 / 2, "p99": p99},
+                    "queries.latency_seconds": latency.snapshot(),
                 },
             },
         }
 
     def test_aggregate_snapshots(self):
+        # worker 0 is the slow one: its samples dominate the fleet tail
         view = aggregate_snapshots({
-            0: self._snapshot(0, total=100, shed=2, uptime=10.0, p99=0.05),
-            1: self._snapshot(1, total=300, shed=0, uptime=8.0, p99=0.01),
+            0: self._snapshot(0, total=100, shed=2, uptime=10.0,
+                              samples=[0.05] * 100),
+            1: self._snapshot(1, total=300, shed=0, uptime=8.0,
+                              samples=[0.01] * 300),
         })
         assert view["workers"] == 2
         assert view["counters"]["queries.total"] == 400
         assert view["counters"]["queries.shed"] == 2
         assert view["qps"] == pytest.approx(40.0)  # 400 over max uptime
-        assert view["latency_p99_seconds"] == pytest.approx(0.05)
         assert [w["worker"] for w in view["per_worker"]] == [0, 1]
+        # bucket-merged fleet quantiles are quantiles of the union of
+        # all 400 samples: p99 lands in the slow worker's bucket (the
+        # top quarter of traffic), p50 in the fast worker's — the old
+        # worst-worker aggregation would have called p50 0.05 too
+        merged = view["histograms"]["queries.latency_seconds"]
+        assert merged["count"] == 400
+        assert view["latency_p99_seconds"] == pytest.approx(0.05, rel=0.6)
+        assert view["latency_p50_seconds"] == pytest.approx(0.01, rel=0.6)
+        assert view["latency_p50_seconds"] < view["latency_p99_seconds"]
 
     def test_aggregate_empty(self):
         view = aggregate_snapshots({})
@@ -403,14 +451,35 @@ class TestAggregation:
         from repro.serve.fleet import RETIRED_KEY
 
         view = aggregate_snapshots({
-            0: self._snapshot(0, total=50, shed=0, uptime=5.0, p99=0.01),
+            0: self._snapshot(0, total=50, shed=0, uptime=5.0,
+                              samples=[0.01] * 50),
             RETIRED_KEY: {"queries.total": 1000, "queries.shed": 7},
         })
         # crashed predecessors' counters keep the totals monotone
+        # (flat legacy shape — pre-histogram retired entries still fold)
         assert view["workers"] == 1
         assert view["counters"]["queries.total"] == 1050
         assert view["counters"]["queries.shed"] == 7
         assert view["retired_counters"]["queries.total"] == 1000
+
+    def test_aggregate_includes_retired_histograms(self):
+        from repro.serve.fleet import RETIRED_KEY
+
+        # the nested retired shape the supervisor writes when a worker
+        # dies: its counters plus its bucket-merged latency snapshot
+        dead = self._snapshot(0, total=200, shed=1, uptime=9.0,
+                              samples=[0.2] * 200)["metrics"]
+        view = aggregate_snapshots({
+            1: self._snapshot(1, total=100, shed=0, uptime=5.0,
+                              samples=[0.001] * 100),
+            RETIRED_KEY: {"counters": dead["counters"],
+                          "histograms": dead["histograms"]},
+        })
+        # a crashed worker's slow samples stay in the fleet quantiles
+        assert view["counters"]["queries.total"] == 300
+        merged = view["histograms"]["queries.latency_seconds"]
+        assert merged["count"] == 300
+        assert view["latency_p99_seconds"] == pytest.approx(0.2, rel=0.6)
 
     def test_restart_backoff_escalates_and_resets(self, fleet_registry):
         fleet = _fleet(fleet_registry)
