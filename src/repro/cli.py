@@ -146,6 +146,7 @@ def _serve_fleet(args, serve_config) -> int:
         workers=args.workers,
         host=args.host,
         port=args.port,
+        binary_port=args.binary_port,
         serve=serve_config,
     ))
     start = time.perf_counter()
@@ -158,6 +159,10 @@ def _serve_fleet(args, serve_config) -> int:
           file=sys.stderr)
     print(f"  try: curl 'http://{host}:{port}/stats' for fleet-wide "
           f"metrics", file=sys.stderr)
+    if args.binary_port is not None:
+        bhost, bport = fleet.binary_address
+        print(f"  binary data plane on {bhost}:{bport} "
+              f"(repro.serve.binproto.Client)", file=sys.stderr)
 
     def on_term(signum, frame):
         fleet.shutdown()
@@ -199,6 +204,15 @@ def cmd_serve(args) -> int:
     print(f"serving index {name!r} on http://{host}:{port}", file=sys.stderr)
     print(f"  try: curl 'http://{host}:{port}/query?index={name}"
           f"&lng=-73.97&lat=40.75'", file=sys.stderr)
+    frontend = None
+    if args.binary_port is not None:
+        from .serve.aserver import create_binary_frontend
+
+        frontend = create_binary_frontend(service, host=args.host,
+                                          port=args.binary_port)
+        bhost, bport = frontend.address
+        print(f"  binary data plane on {bhost}:{bport} "
+              f"(repro.serve.binproto.Client)", file=sys.stderr)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -206,6 +220,8 @@ def cmd_serve(args) -> int:
     finally:
         server.shutdown()
         server.server_close()
+        if frontend is not None:
+            frontend.stop()
         service.close()
     return 0
 
@@ -406,6 +422,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "(lazy cold start, page-cache sharing)")
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8080)
+    p_serve.add_argument("--binary-port", type=int, default=None,
+                         help="also serve the zero-copy binary batch "
+                              "protocol on this port (0 picks a free "
+                              "one; see repro.serve.binproto)")
     p_serve.add_argument("--workers", type=int, default=1,
                          help="serving processes; >1 runs the pre-fork "
                               "fleet (shared listening address, "

@@ -45,6 +45,43 @@ if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycle)
 #: Below it the argsort overhead exceeds any locality win.
 SORT_DESCENT_MIN_BATCH = 4096
 
+#: Candidate batches at or above this many pairs are deduplicated
+#: before refinement. Below it the unique-rows pass costs more than
+#: the duplicate PIP tests it could save.
+DEDUP_MIN_PAIRS = 64
+
+
+def dedupe_pairs(point_idx: np.ndarray, polygon_ids: np.ndarray,
+                 lngs: np.ndarray, lats: np.ndarray,
+                 ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """``(first_occurrence, inverse)`` over unique candidate pairs.
+
+    Skewed batches repeat coordinates (every taxi pickup at one
+    terminal lands in the same cell), so the candidate set re-tests
+    identical ``(point, polygon)`` work. Two pairs are duplicates only
+    when their *coordinates* are bit-equal (same ``float64`` payload
+    for lng and lat) and they name the same polygon — cell-level
+    equality is not enough, because the PIP verdict depends on the
+    actual point, not its cell. Keys are the raw coordinate bit
+    patterns, so ``-0.0``/``0.0`` and NaN payloads conservatively stay
+    distinct and the verdict scatter is exact.
+
+    Returns ``None`` when every pair is already unique (the caller
+    skips the scatter), else indices such that ``verdicts[inverse]``
+    rebuilds the full pair order from the unique refinement.
+    """
+    keys = np.empty((point_idx.shape[0], 3), dtype=np.uint64)
+    # fancy indexing materializes contiguous float64 gathers, so the
+    # uint64 view is just a reinterpret of each coordinate's bits
+    keys[:, 0] = lngs[point_idx].view(np.uint64)
+    keys[:, 1] = lats[point_idx].view(np.uint64)
+    keys[:, 2] = polygon_ids.astype(np.uint64, copy=False)
+    _, first, inverse = np.unique(keys, axis=0, return_index=True,
+                                  return_inverse=True)
+    if first.shape[0] == point_idx.shape[0]:
+        return None
+    return first, inverse.reshape(-1)
+
 
 def refine_pairs(polygons: Sequence[Polygon], point_idx: np.ndarray,
                  polygon_ids: np.ndarray, lngs: np.ndarray,
@@ -138,7 +175,23 @@ class JoinExecutor:
 
     def refine_pairs(self, point_idx: np.ndarray, polygon_ids: np.ndarray,
                      lngs: np.ndarray, lats: np.ndarray) -> np.ndarray:
-        """PIP verdict per candidate pair via the packed-edge engine."""
+        """PIP verdict per candidate pair via the packed-edge engine.
+
+        Large batches are deduplicated first (:func:`dedupe_pairs`):
+        each unique ``(coordinate bits, polygon)`` pair is refined
+        once and its verdict broadcast back, so skewed workloads stop
+        paying for identical PIP tests. Verdicts are bit-identical to
+        the undeduplicated path by construction — duplicates share the
+        exact inputs, and crossing-number evaluation is deterministic.
+        """
+        if point_idx.shape[0] >= DEDUP_MIN_PAIRS:
+            unique = dedupe_pairs(point_idx, polygon_ids, lngs, lats)
+            if unique is not None:
+                first, inverse = unique
+                inside = refine_pairs_packed(
+                    self.edge_table, self.polygons, point_idx[first],
+                    polygon_ids[first], lngs, lats)
+                return inside[inverse]
         return refine_pairs_packed(self.edge_table, self.polygons,
                                    point_idx, polygon_ids, lngs, lats)
 

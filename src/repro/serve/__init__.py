@@ -11,7 +11,10 @@ whole stack is observable — counters/gauges/mergeable histograms
 slow-query log (:mod:`repro.obs`), and a Prometheus-style ``GET
 /metrics`` exposition — and drivable over
 HTTP (:func:`create_server`, or ``repro-act serve`` from the CLI).
-For CPU-bound traffic, :class:`ServingFleet` forks the whole stack
+A second, fast data plane serves the same service over a zero-copy
+binary batch protocol (:mod:`repro.serve.binproto`) behind an asyncio
+pipelined front (:class:`BinaryFrontend`; ``repro-act serve
+--binary-port``). For CPU-bound traffic, :class:`ServingFleet` forks the whole stack
 into N supervised worker processes sharing one listening address
 (``repro-act serve --workers N``; mmap-loaded indexes share node-pool
 pages across workers through the page cache). Indexes are
@@ -34,6 +37,8 @@ Quickstart::
     result = service.query("neighborhoods", -73.97, 40.75)
 """
 
+from . import binproto
+from .aserver import BinaryFrontend, create_binary_frontend
 from .batcher import MicroBatcher
 from .budget import Budget
 from .cache import CellResultCache
@@ -55,6 +60,7 @@ __all__ = [
     "ACTHTTPServer",
     "ACTService",
     "AdminOp",
+    "BinaryFrontend",
     "Budget",
     "CellResultCache",
     "Counter",
@@ -74,6 +80,8 @@ __all__ = [
     "Tracer",
     "aggregate_snapshots",
     "apply_admin_op",
+    "binproto",
+    "create_binary_frontend",
     "create_server",
     "fleet_available",
     "handle_admin_request",

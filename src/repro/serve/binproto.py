@@ -1,0 +1,493 @@
+"""Zero-copy binary batch protocol: the serving stack's fast data plane.
+
+The JSON API costs milliseconds per batch in parsing and string
+building alone — the ACT core answers a 20k-point exact batch in a
+fraction of that. This module defines a length-prefixed, versioned,
+little-endian frame protocol whose payloads are packed ``float64``
+arrays: a request's lng/lat columns are handed to
+``numpy.frombuffer`` straight out of the receive buffer (no per-point
+Python objects, no text), and a response packs the classified results
+back as flat count/id arrays the same way.
+
+Frame layout (all integers little-endian)::
+
+    offset  size  field
+    0       4     magic  b"ACTB"
+    4       1     version (= 1)
+    5       1     op
+    6       2     flags        (bit 0: exact refinement)
+    8       8     request id   (uint64, echoed verbatim on responses)
+    16      4     payload length (uint32, bytes after the header)
+    20      4     reserved (0)
+    24      ...   payload
+
+The 24-byte header keeps every ``float64`` column inside the payload
+8-byte aligned relative to the frame start, so a frame received into
+one buffer can be decoded without re-packing.
+
+Ops: ``OP_PING``/``OP_PONG`` (liveness), ``OP_QUERY`` ->
+``OP_RESULTS`` (classified batch lookup, the ``POST /query`` analog),
+``OP_JOIN`` -> ``OP_COUNTS`` (count-per-polygon aggregation, the
+``POST /join`` analog), and ``OP_ERROR`` (status + message; statuses
+mirror the HTTP codes: 400 malformed, 404 unknown index, 503 shed,
+500 internal).
+
+The decoder is strict: bad magic, unsupported version, and frames
+whose declared payload exceeds :data:`MAX_FRAME_BYTES` are *fatal*
+(:class:`FrameError` with ``fatal=True`` — the stream cannot be
+trusted past them); a structurally sound frame whose payload is
+truncated or inconsistent (a point count that implies more bytes than
+the payload carries, a name that overruns it) is rejected with a
+per-frame error so the connection survives.
+
+:class:`Client` is the blocking-socket reference client used by the
+benchmarks, the tests, and CI smoke: one call per request/response, or
+``send_query`` / ``recv_results`` split apart to pipeline many frames
+on one connection.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..act.core import QueryResult
+from ..errors import (
+    BudgetExceededError,
+    InvalidRequestError,
+    ServeError,
+    UnknownIndexError,
+)
+
+#: Frame magic: "ACT Binary".
+MAGIC = b"ACTB"
+#: Protocol version this codec speaks.
+VERSION = 1
+#: Hard ceiling on a frame's declared payload; anything larger is a
+#: protocol violation (about 2M points per request), not a real batch.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: magic, version, op, flags, request_id, payload_len, reserved.
+HEADER = struct.Struct("<4sBBHQII")
+HEADER_SIZE = HEADER.size  # 24
+
+# Request ops.
+OP_PING = 0x01
+OP_QUERY = 0x02
+OP_JOIN = 0x03
+# Response ops (high bit set).
+OP_PONG = 0x81
+OP_RESULTS = 0x82
+OP_COUNTS = 0x83
+OP_ERROR = 0xFF
+
+#: Request flag: refine candidates (exact classification).
+FLAG_EXACT = 0x0001
+
+#: Points-request sub-header: name_len, reserved, n_points, budget_ms
+#: (NaN = no budget).
+_REQ = struct.Struct("<HHId")
+#: Results sub-header: n_points, total_true, total_candidates, reserved.
+_RES = struct.Struct("<IIII")
+#: Counts sub-header: num_entries, reserved.
+_CNT = struct.Struct("<II")
+#: Error sub-header: status, reserved (message utf-8 after).
+_ERR = struct.Struct("<HH")
+
+#: Error statuses (mirror the JSON API's HTTP codes).
+STATUS_BAD_REQUEST = 400
+STATUS_NOT_FOUND = 404
+STATUS_INTERNAL = 500
+STATUS_SHED = 503
+
+
+class FrameError(ServeError):
+    """A frame the decoder refuses.
+
+    ``fatal`` marks violations after which the byte stream cannot be
+    re-synchronized (bad magic, unsupported version, oversized declared
+    length) — the connection must close after the error frame.
+    Non-fatal errors are per-frame (the framing itself was sound), so
+    the connection stays usable.
+    """
+
+    def __init__(self, message: str, status: int = STATUS_BAD_REQUEST,
+                 fatal: bool = False):
+        super().__init__(message)
+        self.status = status
+        self.fatal = fatal
+
+
+# ----------------------------------------------------------------------
+# Header
+# ----------------------------------------------------------------------
+def encode_header(op: int, flags: int, request_id: int,
+                  payload_len: int) -> bytes:
+    return HEADER.pack(MAGIC, VERSION, op, flags, request_id,
+                       payload_len, 0)
+
+
+def try_parse_header(buf, offset: int = 0,
+                     ) -> Optional[Tuple[int, int, int, int]]:
+    """``(op, flags, request_id, payload_len)`` at ``buf[offset:]``.
+
+    Returns ``None`` when fewer than :data:`HEADER_SIZE` bytes are
+    available (wait for more). Raises a *fatal* :class:`FrameError` on
+    bad magic, unsupported version, or an oversized declared payload —
+    the caller must answer with an error frame and close.
+    """
+    if len(buf) - offset < HEADER_SIZE:
+        return None
+    magic, version, op, flags, request_id, payload_len, _ = \
+        HEADER.unpack_from(buf, offset)
+    if magic != MAGIC:
+        raise FrameError(f"bad magic {bytes(magic)!r} (want {MAGIC!r})",
+                         fatal=True)
+    if version != VERSION:
+        raise FrameError(f"unsupported protocol version {version} "
+                         f"(this server speaks {VERSION})", fatal=True)
+    if payload_len > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"declared payload of {payload_len} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame limit", fatal=True)
+    return op, flags, request_id, payload_len
+
+
+# ----------------------------------------------------------------------
+# Requests
+# ----------------------------------------------------------------------
+def encode_points_request(op: int, index: str, lngs: np.ndarray,
+                          lats: np.ndarray, exact: bool = False,
+                          budget_ms: Optional[float] = None,
+                          request_id: int = 0) -> bytes:
+    """One ``OP_QUERY``/``OP_JOIN`` frame for a point batch."""
+    lngs = np.ascontiguousarray(lngs, dtype="<f8")
+    lats = np.ascontiguousarray(lats, dtype="<f8")
+    if lngs.shape != lats.shape or lngs.ndim != 1:
+        raise InvalidRequestError(
+            f"need matching 1-D lngs/lats, got shapes {lngs.shape} "
+            f"and {lats.shape}")
+    name = index.encode("utf-8")
+    if len(name) > 0xFFFF:
+        raise InvalidRequestError("index name too long")
+    pad = (-(_REQ.size + len(name))) % 8
+    n = int(lngs.shape[0])
+    budget = float("nan") if budget_ms is None else float(budget_ms)
+    payload_len = _REQ.size + len(name) + pad + 16 * n
+    flags = FLAG_EXACT if exact else 0
+    return b"".join((
+        encode_header(op, flags, request_id, payload_len),
+        _REQ.pack(len(name), 0, n, budget),
+        name,
+        b"\x00" * pad,
+        lngs.tobytes(),
+        lats.tobytes(),
+    ))
+
+
+def decode_points_request(payload,
+                          ) -> Tuple[str, np.ndarray, np.ndarray,
+                                     Optional[float]]:
+    """``(index, lngs, lats, budget_ms)`` from a points-request payload.
+
+    ``lngs``/``lats`` are zero-copy ``numpy.frombuffer`` views into
+    ``payload`` — no per-point objects are ever created. Every length
+    is bounds-checked against the actual payload size; inconsistencies
+    raise a non-fatal :class:`FrameError` (the framing was sound, only
+    this request is bad).
+    """
+    if len(payload) < _REQ.size:
+        raise FrameError(
+            f"truncated request: payload of {len(payload)} bytes is "
+            f"shorter than the {_REQ.size}-byte request header")
+    name_len, _, n, budget = _REQ.unpack_from(payload, 0)
+    pad = (-(_REQ.size + name_len)) % 8
+    arrays_at = _REQ.size + name_len + pad
+    expect = arrays_at + 16 * n
+    if len(payload) != expect:
+        raise FrameError(
+            f"truncated request: {n} points and a {name_len}-byte name "
+            f"need a {expect}-byte payload, got {len(payload)} bytes")
+    try:
+        name = bytes(payload[_REQ.size:_REQ.size + name_len]) \
+            .decode("utf-8")
+    except UnicodeDecodeError:
+        raise FrameError("index name is not valid UTF-8") from None
+    lngs = np.frombuffer(payload, dtype="<f8", count=n, offset=arrays_at)
+    lats = np.frombuffer(payload, dtype="<f8", count=n,
+                         offset=arrays_at + 8 * n)
+    budget_ms = None if np.isnan(budget) else float(budget)
+    return name, lngs, lats, budget_ms
+
+
+# ----------------------------------------------------------------------
+# Responses
+# ----------------------------------------------------------------------
+def encode_results(results: Sequence[QueryResult],
+                   request_id: int = 0) -> bytes:
+    """An ``OP_RESULTS`` frame: per-point hit counts + flat id columns."""
+    n = len(results)
+    true_counts = np.empty(n, dtype="<u4")
+    cand_counts = np.empty(n, dtype="<u4")
+    true_parts: List[Tuple[int, ...]] = []
+    cand_parts: List[Tuple[int, ...]] = []
+    for i, result in enumerate(results):
+        true_counts[i] = len(result.true_hits)
+        cand_counts[i] = len(result.candidates)
+        true_parts.extend(result.true_hits)
+        cand_parts.extend(result.candidates)
+    true_ids = np.asarray(true_parts, dtype="<i8")
+    cand_ids = np.asarray(cand_parts, dtype="<i8")
+    payload_len = (_RES.size + 8 * n
+                   + 8 * (true_ids.shape[0] + cand_ids.shape[0]))
+    return b"".join((
+        encode_header(OP_RESULTS, 0, request_id, payload_len),
+        _RES.pack(n, true_ids.shape[0], cand_ids.shape[0], 0),
+        true_counts.tobytes(),
+        cand_counts.tobytes(),
+        true_ids.tobytes(),
+        cand_ids.tobytes(),
+    ))
+
+
+def decode_results(payload) -> List[QueryResult]:
+    """Reassemble :class:`QueryResult` per point from an ``OP_RESULTS``
+    payload (strict: every count is checked against the byte budget)."""
+    if len(payload) < _RES.size:
+        raise FrameError("truncated results payload")
+    n, total_true, total_cand, _ = _RES.unpack_from(payload, 0)
+    ids_at = _RES.size + 8 * n
+    expect = ids_at + 8 * (total_true + total_cand)
+    if len(payload) != expect:
+        raise FrameError(
+            f"results payload of {len(payload)} bytes does not match "
+            f"its declared shape ({expect} bytes)")
+    true_counts = np.frombuffer(payload, dtype="<u4", count=n,
+                                offset=_RES.size)
+    cand_counts = np.frombuffer(payload, dtype="<u4", count=n,
+                                offset=_RES.size + 4 * n)
+    if (int(true_counts.sum()) != total_true
+            or int(cand_counts.sum()) != total_cand):
+        raise FrameError("results payload counts disagree with totals")
+    true_ids = np.frombuffer(payload, dtype="<i8", count=total_true,
+                             offset=ids_at)
+    cand_ids = np.frombuffer(payload, dtype="<i8", count=total_cand,
+                             offset=ids_at + 8 * total_true)
+    out: List[QueryResult] = []
+    t_at = c_at = 0
+    true_list = true_ids.tolist()
+    cand_list = cand_ids.tolist()
+    for i in range(n):
+        t_n = int(true_counts[i])
+        c_n = int(cand_counts[i])
+        out.append(QueryResult(tuple(true_list[t_at:t_at + t_n]),
+                               tuple(cand_list[c_at:c_at + c_n])))
+        t_at += t_n
+        c_at += c_n
+    return out
+
+
+def encode_counts(polygon_ids: np.ndarray, counts: np.ndarray,
+                  request_id: int = 0) -> bytes:
+    """An ``OP_COUNTS`` frame: sparse nonzero per-polygon counts."""
+    polygon_ids = np.ascontiguousarray(polygon_ids, dtype="<i8")
+    counts = np.ascontiguousarray(counts, dtype="<i8")
+    num = int(polygon_ids.shape[0])
+    payload_len = _CNT.size + 16 * num
+    return b"".join((
+        encode_header(OP_COUNTS, 0, request_id, payload_len),
+        _CNT.pack(num, 0),
+        polygon_ids.tobytes(),
+        counts.tobytes(),
+    ))
+
+
+def decode_counts(payload) -> Dict[int, int]:
+    """``{polygon_id: count}`` from an ``OP_COUNTS`` payload."""
+    if len(payload) < _CNT.size:
+        raise FrameError("truncated counts payload")
+    num, _ = _CNT.unpack_from(payload, 0)
+    expect = _CNT.size + 16 * num
+    if len(payload) != expect:
+        raise FrameError(
+            f"counts payload of {len(payload)} bytes does not match "
+            f"its declared {num} entries ({expect} bytes)")
+    ids = np.frombuffer(payload, dtype="<i8", count=num,
+                        offset=_CNT.size)
+    counts = np.frombuffer(payload, dtype="<i8", count=num,
+                           offset=_CNT.size + 8 * num)
+    return {int(pid): int(c) for pid, c in zip(ids.tolist(),
+                                               counts.tolist())}
+
+
+def encode_error(status: int, message: str,
+                 request_id: int = 0) -> bytes:
+    text = message.encode("utf-8")[:4096]
+    return b"".join((
+        encode_header(OP_ERROR, 0, request_id, _ERR.size + len(text)),
+        _ERR.pack(status, 0),
+        text,
+    ))
+
+
+def decode_error(payload) -> Tuple[int, str]:
+    if len(payload) < _ERR.size:
+        raise FrameError("truncated error payload")
+    status, _ = _ERR.unpack_from(payload, 0)
+    message = bytes(payload[_ERR.size:]).decode("utf-8", "replace")
+    return status, message
+
+
+def encode_ping(request_id: int = 0) -> bytes:
+    return encode_header(OP_PING, 0, request_id, 0)
+
+
+def encode_pong(request_id: int = 0) -> bytes:
+    return encode_header(OP_PONG, 0, request_id, 0)
+
+
+def raise_for_error(payload) -> None:
+    """Raise the serve-layer exception an ``OP_ERROR`` payload encodes."""
+    status, message = decode_error(payload)
+    if status == STATUS_NOT_FOUND:
+        raise UnknownIndexError(message)
+    if status == STATUS_SHED:
+        raise BudgetExceededError(message)
+    if status == STATUS_BAD_REQUEST:
+        raise InvalidRequestError(message)
+    raise ServeError(f"binary server error {status}: {message}")
+
+
+# ----------------------------------------------------------------------
+# Client
+# ----------------------------------------------------------------------
+class Client:
+    """Blocking reference client for the binary protocol.
+
+    One connection, request/response or pipelined::
+
+        with Client(host, port) as client:
+            results = client.query_batch("census", lngs, lats, exact=True)
+
+        # pipelined: N requests in flight on one connection
+        ids = [client.send_query("census", lngs, lats) for _ in range(8)]
+        for rid in ids:
+            got_rid, results = client.recv_results()
+            assert got_rid == rid
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0):
+        self.sock = socket.create_connection((host, port),
+                                             timeout=timeout)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._buf = bytearray()
+        self._next_id = 1
+
+    # -- low-level ----------------------------------------------------
+    def _take_id(self, request_id: Optional[int]) -> int:
+        if request_id is None:
+            request_id = self._next_id
+            self._next_id += 1
+        return request_id
+
+    def _recv_frame(self) -> Tuple[int, int, bytes]:
+        """``(op, request_id, payload)`` for the next frame."""
+        while True:
+            header = try_parse_header(self._buf)
+            if header is not None:
+                op, _, request_id, payload_len = header
+                total = HEADER_SIZE + payload_len
+                if len(self._buf) >= total:
+                    payload = bytes(
+                        memoryview(self._buf)[HEADER_SIZE:total])
+                    del self._buf[:total]
+                    return op, request_id, payload
+            chunk = self.sock.recv(1 << 16)
+            if not chunk:
+                raise ServeError(
+                    "binary connection closed by server mid-frame")
+            self._buf += chunk
+
+    def recv(self) -> Tuple[int, int, bytes]:
+        """Next frame as ``(op, request_id, payload)``; raises the
+        mapped exception for ``OP_ERROR`` frames."""
+        op, request_id, payload = self._recv_frame()
+        if op == OP_ERROR:
+            raise_for_error(payload)
+        return op, request_id, payload
+
+    # -- pipelining ---------------------------------------------------
+    def send_query(self, index: str, lngs, lats, exact: bool = False,
+                   budget_ms: Optional[float] = None,
+                   request_id: Optional[int] = None) -> int:
+        request_id = self._take_id(request_id)
+        self.sock.sendall(encode_points_request(
+            OP_QUERY, index, np.asarray(lngs), np.asarray(lats),
+            exact=exact, budget_ms=budget_ms, request_id=request_id))
+        return request_id
+
+    def send_join(self, index: str, lngs, lats, exact: bool = False,
+                  budget_ms: Optional[float] = None,
+                  request_id: Optional[int] = None) -> int:
+        request_id = self._take_id(request_id)
+        self.sock.sendall(encode_points_request(
+            OP_JOIN, index, np.asarray(lngs), np.asarray(lats),
+            exact=exact, budget_ms=budget_ms, request_id=request_id))
+        return request_id
+
+    def recv_results(self) -> Tuple[int, List[QueryResult]]:
+        op, request_id, payload = self.recv()
+        if op != OP_RESULTS:
+            raise ServeError(f"expected OP_RESULTS, got op 0x{op:02x}")
+        return request_id, decode_results(payload)
+
+    def recv_counts(self) -> Tuple[int, Dict[int, int]]:
+        op, request_id, payload = self.recv()
+        if op != OP_COUNTS:
+            raise ServeError(f"expected OP_COUNTS, got op 0x{op:02x}")
+        return request_id, decode_counts(payload)
+
+    # -- one-shot -----------------------------------------------------
+    def ping(self) -> bool:
+        request_id = self._take_id(None)
+        self.sock.sendall(encode_ping(request_id))
+        op, got, _ = self.recv()
+        return op == OP_PONG and got == request_id
+
+    def query_batch(self, index: str, lngs, lats, exact: bool = False,
+                    budget_ms: Optional[float] = None,
+                    ) -> List[QueryResult]:
+        sent = self.send_query(index, lngs, lats, exact=exact,
+                               budget_ms=budget_ms)
+        request_id, results = self.recv_results()
+        if request_id != sent:
+            raise ServeError(
+                f"response id {request_id} does not match request "
+                f"{sent} (pipelining misuse?)")
+        return results
+
+    def join(self, index: str, lngs, lats, exact: bool = False,
+             budget_ms: Optional[float] = None) -> Dict[int, int]:
+        sent = self.send_join(index, lngs, lats, exact=exact,
+                              budget_ms=budget_ms)
+        request_id, counts = self.recv_counts()
+        if request_id != sent:
+            raise ServeError(
+                f"response id {request_id} does not match request "
+                f"{sent} (pipelining misuse?)")
+        return counts
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

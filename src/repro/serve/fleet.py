@@ -62,6 +62,7 @@ from typing import Dict, List, Optional, Tuple
 from ..errors import ServeError
 from ..join.parallel import fork_available
 from ..obs.histogram import merge_histogram_snapshots
+from .aserver import BinaryFrontend
 from .lifecycle import PARENT_IDENTITY, FleetLifecycle
 from .registry import IndexRegistry
 from .server import ACTHTTPServer
@@ -88,6 +89,11 @@ class FleetConfig:
     workers: int = 2
     host: str = "127.0.0.1"
     port: int = 0  # 0 = pick a free port (reported by ``address``)
+    #: ``None`` disables the binary data plane; a port (0 = pick free,
+    #: reported by ``binary_address``) gives every worker an async
+    #: :class:`~repro.serve.aserver.BinaryFrontend` next to its JSON
+    #: server, load-balanced the same way the HTTP sockets are.
+    binary_port: Optional[int] = None
     serve: ServeConfig = field(default_factory=ServeConfig)
     #: How often each worker publishes its stats snapshot.
     stats_interval_s: float = 0.5
@@ -127,12 +133,19 @@ _AGGREGATED_COUNTERS = (
     "queries.cache_hits",
     "joins.total",
     "http.requests",
+    "binary.connections",
+    "binary.frames",
+    "binary.requests",
+    "binary.errors",
+    "binary.bytes_in",
+    "binary.bytes_out",
 )
 
 #: The latency histograms the fleet aggregate merges bucket-wise.
 _AGGREGATED_HISTOGRAMS = (
     "queries.latency_seconds",
     "joins.latency_seconds",
+    "binary.request_seconds",
 )
 
 
@@ -237,6 +250,7 @@ class ServingFleet:
                           else bool(self.config.reuseport))
         self._ctx = multiprocessing.get_context("fork")
         self._sockets: List[socket.socket] = []
+        self._binary_sockets: List[socket.socket] = []
         self._processes: List[Optional[multiprocessing.Process]] = []
         self._spawn_times: List[float] = []
         self._backoffs: List[float] = []
@@ -306,6 +320,15 @@ class ServingFleet:
             raise ServeError("fleet is not started")
         return self._sockets[0].getsockname()[:2]
 
+    @property
+    def binary_address(self) -> Tuple[str, int]:
+        """The ``(host, port)`` of the binary data plane."""
+        if not self._binary_sockets:
+            raise ServeError(
+                "fleet has no binary port (start it with "
+                "FleetConfig(binary_port=...))")
+        return self._binary_sockets[0].getsockname()[:2]
+
     def live_workers(self) -> int:
         with self._lock:
             return sum(1 for p in self._processes
@@ -359,12 +382,13 @@ class ServingFleet:
             if process.is_alive():
                 process.kill()
                 process.join(timeout=5.0)
-        for sock in self._sockets:
+        for sock in self._sockets + self._binary_sockets:
             try:
                 sock.close()
             except OSError:
                 pass
         self._sockets = []
+        self._binary_sockets = []
         if self._manager is not None:
             self._manager.shutdown()
             self._manager = None
@@ -395,6 +419,17 @@ class ServingFleet:
             port = first.getsockname()[1]
             for _ in range(1, self.config.workers):
                 self._sockets.append(self._listen_socket(port))
+        if self.config.binary_port is None:
+            return
+        # the binary data plane mirrors the HTTP socket discipline:
+        # per-worker reuseport accept queues, or one shared socket
+        # handed to every worker through fork
+        first_bin = self._listen_socket(self.config.binary_port)
+        self._binary_sockets = [first_bin]
+        if self.reuseport:
+            port = first_bin.getsockname()[1]
+            for _ in range(1, self.config.workers):
+                self._binary_sockets.append(self._listen_socket(port))
 
     def _listen_socket(self, port: int) -> socket.socket:
         sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -416,13 +451,19 @@ class ServingFleet:
     def _worker_socket(self, slot: int) -> socket.socket:
         return self._sockets[slot if self.reuseport else 0]
 
+    def _worker_binary_socket(self, slot: int) -> Optional[socket.socket]:
+        if not self._binary_sockets:
+            return None
+        return self._binary_sockets[slot if self.reuseport else 0]
+
     def _spawn(self, slot: int) -> None:
         process = self._ctx.Process(
             target=_worker_main,
             name=f"fleet-worker-{slot}",
             args=(slot, self._worker_socket(slot), self.registry,
                   self.config, self._snapshots, os.getpid(),
-                  self._control, self._op_lock, self._artifact_dir),
+                  self._control, self._op_lock, self._artifact_dir,
+                  self._worker_binary_socket(slot)),
         )
         process.start()
         with self._lock:
@@ -579,13 +620,18 @@ def _adopt_socket(server: ACTHTTPServer, sock: socket.socket) -> None:
 def _worker_main(slot: int, sock: socket.socket, registry: IndexRegistry,
                  config: FleetConfig, snapshots,
                  parent_pid: int, control=None, op_lock=None,
-                 artifact_dir: Optional[str] = None) -> None:
+                 artifact_dir: Optional[str] = None,
+                 binary_sock: Optional[socket.socket] = None) -> None:
     """One fleet worker: a full service + HTTP server on the fleet socket.
 
     Runs in a forked child. The registry arrives materialized (the
     parent prewarmed it), so constructing the service is cheap and the
     node-pool pages of mmap-loaded indexes stay shared with every
-    sibling through the page cache.
+    sibling through the page cache. When the fleet has a binary port,
+    the worker also runs an async :class:`~repro.serve.aserver.
+    BinaryFrontend` on its inherited binary socket — both fronts share
+    this worker's one service, so ``binary.*`` telemetry lands in the
+    same snapshots the publisher ships fleet-wide.
     """
     stats_interval_s = config.stats_interval_s
     service = ACTService(registry=registry, config=config.serve)
@@ -594,6 +640,10 @@ def _worker_main(slot: int, sock: socket.socket, registry: IndexRegistry,
     _adopt_socket(server, sock)
     server.worker_id = slot
     server.keepalive_idle_timeout = config.keepalive_idle_timeout_s
+    frontend = None
+    if binary_sock is not None:
+        frontend = BinaryFrontend(service, sock=binary_sock,
+                                  worker_id=slot).start()
     lifecycle = None
     if control is not None and op_lock is not None:
         lifecycle = FleetLifecycle(
@@ -683,10 +733,15 @@ def _worker_main(slot: int, sock: socket.socket, registry: IndexRegistry,
         server.serve_forever(poll_interval=0.1)
     finally:
         stopping.set()
+        if frontend is not None:
+            frontend.stop()  # binary clients see EOF; loop thread joins
         server.server_close()  # joins in-flight request threads (drain)
         service.close()
         publish()  # final post-drain snapshot
-        try:
-            sock.close()
-        except OSError:
-            pass
+        for s in (sock, binary_sock):
+            if s is None:
+                continue
+            try:
+                s.close()
+            except OSError:
+                pass

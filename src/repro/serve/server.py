@@ -427,8 +427,20 @@ class ACTRequestHandler(BaseHTTPRequestHandler):
             raise ValueError(f"budget_ms must be a number, got {raw!r}")
 
     def _read_json_body(self) -> Optional[dict]:
+        raw_length = self.headers.get("Content-Length", "0")
         try:
-            length = int(self.headers.get("Content-Length", "0"))
+            length = int(raw_length)
+            if length < 0:
+                raise ValueError
+        except ValueError:
+            # the body cannot be located on the stream, so a keep-alive
+            # connection would misparse it as the next request (or block
+            # reading to EOF on a negative length): 400 and close
+            self._send(400, {
+                "error": f"malformed Content-Length: {raw_length!r}",
+            }, close=True)
+            return None
+        try:
             body = json.loads(self.rfile.read(length) or b"{}")
         except (ValueError, json.JSONDecodeError):
             self._send(400, {"error": "body must be JSON"})
@@ -460,11 +472,18 @@ class ACTRequestHandler(BaseHTTPRequestHandler):
             "pid": os.getpid(),
         }
 
-    def _send(self, status: int, payload: dict) -> None:
+    def _send(self, status: int, payload: dict,
+              close: bool = False) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if close:
+            # tell the client *and* the request loop: this keep-alive
+            # stream is done (used when the request body could not be
+            # located, so the next bytes would be misread as a request)
+            self.send_header("Connection", "close")
+            self.close_connection = True
         request_id = getattr(self, "request_id", None)
         if request_id:
             self.send_header("X-Request-Id", request_id)

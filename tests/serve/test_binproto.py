@@ -1,0 +1,199 @@
+"""Codec tests for the zero-copy binary batch protocol
+(:mod:`repro.serve.binproto`) — framing, strict bounds checking, and
+the fatal/non-fatal error taxonomy, all without a live server."""
+
+import numpy as np
+import pytest
+
+from repro.act.core import QueryResult
+from repro.errors import (
+    BudgetExceededError,
+    InvalidRequestError,
+    ServeError,
+    UnknownIndexError,
+)
+from repro.serve import binproto
+
+
+def _payload(frame: bytes) -> bytes:
+    return frame[binproto.HEADER_SIZE:]
+
+
+class TestHeader:
+    def test_round_trip(self):
+        frame = binproto.encode_header(binproto.OP_QUERY,
+                                       binproto.FLAG_EXACT, 77, 160)
+        assert len(frame) == binproto.HEADER_SIZE == 24
+        op, flags, request_id, payload_len = \
+            binproto.try_parse_header(frame)
+        assert op == binproto.OP_QUERY
+        assert flags == binproto.FLAG_EXACT
+        assert request_id == 77
+        assert payload_len == 160
+
+    def test_short_buffer_waits(self):
+        frame = binproto.encode_ping(1)
+        for cut in range(binproto.HEADER_SIZE):
+            assert binproto.try_parse_header(frame[:cut]) is None
+
+    def test_offset_parse(self):
+        frame = binproto.encode_ping(9)
+        buf = b"\x00" * 5 + frame
+        assert binproto.try_parse_header(buf, 5)[2] == 9
+
+    @pytest.mark.parametrize("mutate, fragment", [
+        (lambda f: b"XXXB" + f[4:], "magic"),
+        (lambda f: f[:4] + bytes([99]) + f[5:], "version"),
+    ])
+    def test_fatal_header_violations(self, mutate, fragment):
+        frame = mutate(binproto.encode_ping(1))
+        with pytest.raises(binproto.FrameError) as excinfo:
+            binproto.try_parse_header(frame)
+        assert excinfo.value.fatal
+        assert fragment in str(excinfo.value)
+
+    def test_oversized_declared_payload_is_fatal(self):
+        frame = binproto.encode_header(
+            binproto.OP_QUERY, 0, 1, binproto.MAX_FRAME_BYTES + 1)
+        with pytest.raises(binproto.FrameError) as excinfo:
+            binproto.try_parse_header(frame)
+        assert excinfo.value.fatal
+        assert "frame limit" in str(excinfo.value)
+
+    def test_max_payload_is_not_fatal(self):
+        frame = binproto.encode_header(
+            binproto.OP_QUERY, 0, 1, binproto.MAX_FRAME_BYTES)
+        assert binproto.try_parse_header(frame)[3] == \
+            binproto.MAX_FRAME_BYTES
+
+
+class TestPointsRequest:
+    def test_round_trip_zero_copy(self):
+        lngs = np.linspace(-74.1, -73.8, 33)
+        lats = np.linspace(40.6, 40.9, 33)
+        frame = binproto.encode_points_request(
+            binproto.OP_QUERY, "nyc", lngs, lats, exact=True,
+            budget_ms=12.5, request_id=5)
+        op, flags, request_id, payload_len = \
+            binproto.try_parse_header(frame)
+        assert (op, flags, request_id) == (binproto.OP_QUERY,
+                                           binproto.FLAG_EXACT, 5)
+        payload = _payload(frame)
+        assert len(payload) == payload_len
+        name, got_lngs, got_lats, budget_ms = \
+            binproto.decode_points_request(payload)
+        assert name == "nyc"
+        assert budget_ms == 12.5
+        np.testing.assert_array_equal(got_lngs, lngs)
+        np.testing.assert_array_equal(got_lats, lats)
+        # zero-copy: the decoded columns are views into the payload
+        assert got_lngs.base is not None
+        assert got_lats.base is not None
+
+    def test_columns_are_8_aligned_in_frame(self):
+        # alignment holds for any name length thanks to the pad
+        for name in ("a", "ab", "abc", "abcdefg", "x" * 13, "né"):
+            frame = binproto.encode_points_request(
+                binproto.OP_QUERY, name, np.zeros(3), np.zeros(3))
+            name_bytes = len(name.encode("utf-8"))
+            arrays_at = binproto.HEADER_SIZE + binproto._REQ.size + \
+                name_bytes + ((-(binproto._REQ.size + name_bytes)) % 8)
+            assert arrays_at % 8 == 0
+            decoded = binproto.decode_points_request(_payload(frame))
+            assert decoded[0] == name
+
+    def test_no_budget_is_none(self):
+        frame = binproto.encode_points_request(
+            binproto.OP_JOIN, "n", np.zeros(1), np.zeros(1))
+        assert binproto.decode_points_request(_payload(frame))[3] is None
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(InvalidRequestError):
+            binproto.encode_points_request(
+                binproto.OP_QUERY, "n", np.zeros(3), np.zeros(4))
+
+    def test_truncated_payload_is_non_fatal(self):
+        frame = binproto.encode_points_request(
+            binproto.OP_QUERY, "nyc", np.zeros(10), np.zeros(10))
+        with pytest.raises(binproto.FrameError) as excinfo:
+            binproto.decode_points_request(_payload(frame)[:40])
+        assert not excinfo.value.fatal
+        assert excinfo.value.status == binproto.STATUS_BAD_REQUEST
+
+    def test_overlong_name_length_is_non_fatal(self):
+        frame = binproto.encode_points_request(
+            binproto.OP_QUERY, "nyc", np.zeros(2), np.zeros(2))
+        payload = bytearray(_payload(frame))
+        payload[0:2] = (60_000).to_bytes(2, "little")  # name overruns
+        with pytest.raises(binproto.FrameError) as excinfo:
+            binproto.decode_points_request(bytes(payload))
+        assert not excinfo.value.fatal
+
+    def test_bad_utf8_name_is_non_fatal(self):
+        frame = binproto.encode_points_request(
+            binproto.OP_QUERY, "ab", np.zeros(1), np.zeros(1))
+        payload = bytearray(_payload(frame))
+        payload[binproto._REQ.size] = 0xFF  # invalid UTF-8 start byte
+        with pytest.raises(binproto.FrameError) as excinfo:
+            binproto.decode_points_request(bytes(payload))
+        assert "UTF-8" in str(excinfo.value)
+
+
+class TestResults:
+    def test_round_trip(self):
+        results = [
+            QueryResult((1, 2), (7,)),
+            QueryResult((), ()),
+            QueryResult((5,), (0, 3, 9)),
+        ]
+        frame = binproto.encode_results(results, request_id=11)
+        decoded = binproto.decode_results(_payload(frame))
+        assert decoded == results
+
+    def test_empty_batch(self):
+        assert binproto.decode_results(
+            _payload(binproto.encode_results([]))) == []
+
+    def test_byte_budget_mismatch_rejected(self):
+        frame = binproto.encode_results([QueryResult((1,), (2,))])
+        with pytest.raises(binproto.FrameError):
+            binproto.decode_results(_payload(frame)[:-8])
+
+    def test_count_total_mismatch_rejected(self):
+        frame = binproto.encode_results([QueryResult((1,), ())])
+        payload = bytearray(_payload(frame))
+        # bump the per-point true count without touching the total
+        payload[binproto._RES.size] += 1
+        with pytest.raises(binproto.FrameError) as excinfo:
+            binproto.decode_results(bytes(payload))
+        assert "disagree" in str(excinfo.value)
+
+
+class TestCountsAndErrors:
+    def test_counts_round_trip(self):
+        ids = np.array([3, 17, 250], dtype=np.int64)
+        counts = np.array([1, 40, 7], dtype=np.int64)
+        frame = binproto.encode_counts(ids, counts, request_id=2)
+        assert binproto.decode_counts(_payload(frame)) == \
+            {3: 1, 17: 40, 250: 7}
+
+    def test_counts_length_mismatch_rejected(self):
+        frame = binproto.encode_counts(np.array([1]), np.array([2]))
+        with pytest.raises(binproto.FrameError):
+            binproto.decode_counts(_payload(frame) + b"\x00" * 8)
+
+    def test_error_round_trip(self):
+        frame = binproto.encode_error(404, "no index 'x'", request_id=9)
+        status, message = binproto.decode_error(_payload(frame))
+        assert (status, message) == (404, "no index 'x'")
+
+    @pytest.mark.parametrize("status, exc", [
+        (binproto.STATUS_NOT_FOUND, UnknownIndexError),
+        (binproto.STATUS_SHED, BudgetExceededError),
+        (binproto.STATUS_BAD_REQUEST, InvalidRequestError),
+        (binproto.STATUS_INTERNAL, ServeError),
+    ])
+    def test_raise_for_error_mapping(self, status, exc):
+        frame = binproto.encode_error(status, "boom")
+        with pytest.raises(exc, match="boom"):
+            binproto.raise_for_error(_payload(frame))

@@ -108,6 +108,32 @@ class TestFleetServing:
             assert exitcodes == [0, 0], \
                 "drained workers must exit cleanly, not be killed"
 
+    def test_binary_roundtrip_against_live_fleet(
+            self, fleet_registry, nyc_index, query_points):
+        """CI smoke: one binary round-trip through ``binproto.Client``
+        against a live 2-worker fleet, with the ``binary.*`` families
+        visible in the fleet's ``/metrics`` exposition."""
+        from repro.obs import validate_exposition
+        from repro.serve import binproto
+
+        lngs, lats = query_points
+        with _fleet(fleet_registry, binary_port=0) as fleet:
+            fleet.start()
+            with binproto.Client(*fleet.binary_address,
+                                 timeout=30.0) as client:
+                assert client.ping()
+                results = client.query_batch("nyc", lngs[:32], lats[:32],
+                                             exact=True)
+            for result, lng, lat in zip(results, lngs, lats):
+                assert sorted(result.true_hits) == sorted(
+                    nyc_index.query_exact(lng, lat))
+            status, text = _get_text(fleet.address, "/metrics")
+            assert status == 200
+            assert validate_exposition(text) == []
+            assert "repro_fleet_binary_requests_total" in text
+            assert "repro_fleet_binary_request_seconds_bucket" in text
+            fleet.shutdown()
+
     def test_shared_socket_fallback_serves(self, fleet_registry, nyc_index):
         # reuseport=False forces the classic one-socket pre-fork model
         with _fleet(fleet_registry, reuseport=False) as fleet:

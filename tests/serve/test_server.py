@@ -1,6 +1,7 @@
 """HTTP smoke tests: the JSON API served by ``repro-act serve``."""
 
 import json
+import socket
 import threading
 import urllib.error
 import urllib.request
@@ -202,6 +203,70 @@ class TestErrorMapping:
                   {"index": "nyc", "points": [[-73.97, 40.75]],
                    "budget_ms": -1})
         assert exc.value.code == 503
+
+
+class TestKeepAliveContentLength:
+    """A malformed Content-Length means the request body cannot be
+    located on the stream; the server must answer 400 and close the
+    connection, not silently misparse the body as the next request."""
+
+    def _raw(self, http_server):
+        port = http_server.server_address[1]
+        sock = socket.create_connection(("127.0.0.1", port),
+                                        timeout=10.0)
+        sock.settimeout(10.0)
+        return sock
+
+    @staticmethod
+    def _request(content_length) -> bytes:
+        body = b'{"index": "nyc", "points": [[0.0, 0.0]]}'
+        return (b"POST /query HTTP/1.1\r\n"
+                b"Host: 127.0.0.1\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Content-Length: " + content_length + b"\r\n"
+                b"\r\n" + body)
+
+    @staticmethod
+    def _read_response(sock) -> bytes:
+        """Read until the server closes (EOF) — asserts no hang."""
+        chunks = []
+        while True:
+            chunk = sock.recv(1 << 16)
+            if not chunk:
+                return b"".join(chunks)
+            chunks.append(chunk)
+
+    @pytest.mark.parametrize("bad", [b"abc", b"-7"],
+                             ids=["non-numeric", "negative"])
+    def test_malformed_content_length_400_and_close(self, http_server,
+                                                    bad):
+        sock = self._raw(http_server)
+        try:
+            sock.sendall(self._request(bad))
+            response = self._read_response(sock)
+        finally:
+            sock.close()
+        head, _, payload = response.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 400")
+        assert b"connection: close" in head.lower()
+        assert b"malformed Content-Length" in payload
+        # _read_response returning proves EOF: the unread body was not
+        # silently consumed as a second pipelined request
+
+    def test_valid_keep_alive_still_pipelines(self, http_server):
+        """Control: two well-formed requests on one connection both get
+        answers (the close is for malformed framing only)."""
+        sock = self._raw(http_server)
+        try:
+            request = self._request(b"40")
+            sock.sendall(request + request)
+            seen = b""
+            while seen.count(b"HTTP/1.1 200") < 2:
+                chunk = sock.recv(1 << 16)
+                assert chunk, "connection closed before both responses"
+                seen += chunk
+        finally:
+            sock.close()
 
 
 class TestConcurrentClients:

@@ -78,6 +78,22 @@ class TestValidateDocument:
         doc = _valid_doc(config={"workers": 4, "9": 1.0})
         assert check_bench_json.validate_document(doc, "fleet") == []
 
+    def test_transport_labelled_metrics_accepted(self):
+        # the fleet snapshot labels qps per transport arm; string-keyed
+        # metric objects are plain records (never trajectory-checked)
+        # and their numbers only need to be finite
+        doc = _valid_doc(
+            transport_qps={"json": 25.9, "binary": 1032.7},
+            binary_speedup=39.9,
+        )
+        assert check_bench_json.validate_document(doc, "fleet") == []
+
+    def test_transport_labelled_non_finite_rejected(self):
+        doc = _valid_doc(transport_qps={"json": 0.0,
+                                        "binary": float("inf")})
+        problems = check_bench_json.validate_document(doc, "fleet")
+        assert any("non-finite" in p and "binary" in p for p in problems)
+
     def test_scale_must_be_positive_finite(self):
         for bad in (0, -1.0, float("nan"), "big", None, True):
             problems = check_bench_json.validate_document(
