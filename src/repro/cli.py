@@ -117,7 +117,8 @@ def _serve_registry(args):
     if args.index_file:
         registry.register_path(
             name, args.index_file,
-            mmap_mode="r" if args.mmap else None)
+            mmap_mode="r" if args.mmap else None,
+            verify=getattr(args, "verify", "header"))
     else:
         dataset, size, precision = args.dataset, args.size, args.precision
 
@@ -420,6 +421,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--mmap", action="store_true",
                          help="memory-map the node pool from --index-file "
                               "(lazy cold start, page-cache sharing)")
+    p_serve.add_argument("--verify", default="header",
+                         choices=("off", "header", "full"),
+                         help="artifact integrity checking on every load "
+                              "of --index-file: header = manifest + "
+                              "metadata checksums (default, mmap-cheap); "
+                              "full = checksum every byte including the "
+                              "node pool; off = trust the file")
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8080)
     p_serve.add_argument("--binary-port", type=int, default=None,

@@ -49,6 +49,17 @@ class BuildError(ACTError):
     """Index construction failed (conflicting cells, exhausted levels)."""
 
 
+class ArtifactCorruptError(ACTError):
+    """A serialized index artifact failed an integrity check.
+
+    Raised by :func:`repro.act.serialize.load_index` (and the standalone
+    :func:`repro.act.serialize.verify_artifact`) when an ``.npz`` is
+    truncated, a member's checksum disagrees with the embedded manifest,
+    or the archive structure itself is unreadable. The serving lifecycle
+    treats it as a NACK: the artifact is quarantined and the fleet keeps
+    (or rolls back to) the previous generation."""
+
+
 class CapacityError(ACTError):
     """A payload or structure exceeded its encodable capacity
     (e.g. more than 2**30 polygons, lookup table offset overflow)."""
@@ -78,6 +89,15 @@ class InvalidRequestError(ServeError):
 
 class BudgetExceededError(ServeError):
     """A request's latency budget ran out before it could be served."""
+
+
+class ConnectionLostError(ServeError):
+    """A binary-protocol connection died (EOF, reset, or a timeout
+    mid-frame) and the receive buffer cannot be trusted past the break.
+
+    Raised by :class:`repro.serve.binproto.Client` once its reconnect
+    budget is exhausted (or reconnecting is disabled); the partial frame
+    is discarded, so a later call can never misparse stale bytes."""
 
 
 class DatasetError(ReproError):

@@ -37,7 +37,7 @@ Quickstart::
     result = service.query("neighborhoods", -73.97, 40.75)
 """
 
-from . import binproto
+from . import binproto, chaos
 from .aserver import BinaryFrontend, create_binary_frontend
 from .batcher import MicroBatcher
 from .budget import Budget
@@ -81,6 +81,7 @@ __all__ = [
     "aggregate_snapshots",
     "apply_admin_op",
     "binproto",
+    "chaos",
     "create_binary_frontend",
     "create_server",
     "fleet_available",

@@ -46,7 +46,7 @@ from ..errors import (
     UnknownIndexError,
 )
 from ..obs import mint_request_id
-from . import binproto
+from . import binproto, chaos
 from .budget import Budget
 from .service import ACTService
 
@@ -165,6 +165,15 @@ class _BinaryProtocol(asyncio.Protocol):
     def _handle(self, op: int, flags: int, request_id: int,
                 payload) -> None:
         self.frontend.c_frames.inc()
+        try:
+            # chaos seam: armed tests cut connections mid-pipeline here
+            # to exercise the client's reconnect-and-retry discipline
+            chaos.fault("binary.request", self.service.metrics)
+        except ConnectionResetError:
+            self._closing = True
+            if self.transport is not None:
+                self.transport.abort()
+            return
         if op == binproto.OP_PING:
             self._write(binproto.encode_pong(request_id))
             return

@@ -48,8 +48,10 @@ on one connection.
 
 from __future__ import annotations
 
+import random
 import socket
 import struct
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -57,6 +59,7 @@ import numpy as np
 from ..act.core import QueryResult
 from ..errors import (
     BudgetExceededError,
+    ConnectionLostError,
     InvalidRequestError,
     ServeError,
     UnknownIndexError,
@@ -377,14 +380,106 @@ class Client:
         for rid in ids:
             got_rid, results = client.recv_results()
             assert got_rid == rid
+
+    **Fault tolerance.** Every request frame is held in a pending table
+    until its response (matched by echoed request id) arrives. If the
+    connection dies — reset, EOF, or a receive timeout, after which the
+    byte stream can no longer be framed — the client closes it, drops
+    the (now untrustworthy) receive buffer, and reconnects with
+    exponential backoff plus jitter, bounded by ``timeout`` per call
+    and ``retries`` attempts per reconnection round. On reconnect it
+    replays every pending frame oldest-first: the server answers
+    strictly in submission order and queries/joins are idempotent
+    reads, so replay returns exactly the answers the dead connection
+    owed, in the order the pipelining caller expects. ``retries=0``
+    disables reconnection entirely — failures then surface as
+    :class:`~repro.errors.ConnectionLostError` (a
+    :class:`~repro.errors.ServeError`) and the client refuses further
+    use of the broken stream rather than desynchronize.
     """
 
-    def __init__(self, host: str, port: int, timeout: float = 60.0):
-        self.sock = socket.create_connection((host, port),
-                                             timeout=timeout)
-        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    def __init__(self, host: str, port: int, timeout: float = 60.0,
+                 retries: int = 2, backoff_s: float = 0.05,
+                 backoff_max_s: float = 2.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retries = int(retries)
+        self.backoff_s = float(backoff_s)
+        self.backoff_max_s = float(backoff_max_s)
         self._buf = bytearray()
         self._next_id = 1
+        #: Unacknowledged request frames by id, in submission order.
+        self._pending: Dict[int, bytes] = {}
+        self._dead = False
+        self._death_reason = ""
+        self._closed = False
+        self.reconnects = 0
+        self.sock: Optional[socket.socket] = self._connect(timeout)
+
+    def _connect(self, timeout: float) -> socket.socket:
+        sock = socket.create_connection((self.host, self.port),
+                                        timeout=timeout)
+        sock.settimeout(self.timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+
+    # -- connection state ---------------------------------------------
+    def _mark_dead(self, reason: str) -> None:
+        """The stream cannot be trusted past this point: drop the
+        receive buffer (it may hold a partial frame) and the socket."""
+        self._dead = True
+        self._death_reason = reason
+        self._buf.clear()
+        if self.sock is not None:
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+
+    def _ensure_connected(self, deadline: float) -> None:
+        """Reconnect (and replay pending frames) if the connection died.
+
+        Exponential backoff with jitter between attempts, bounded by
+        ``retries`` per round and the caller's ``deadline`` overall.
+        """
+        if self.sock is not None and not self._dead:
+            return
+        if self._closed:
+            raise ConnectionLostError("binary client is closed")
+        if self.retries <= 0:
+            raise ConnectionLostError(
+                f"binary connection to {self.host}:{self.port} is dead "
+                f"({self._death_reason}) and reconnection is disabled")
+        attempts = 0
+        backoff = self.backoff_s
+        last = self._death_reason
+        while True:
+            remaining = deadline - time.monotonic()
+            if attempts >= self.retries or remaining <= 0:
+                raise ConnectionLostError(
+                    f"could not reconnect to {self.host}:{self.port} "
+                    f"after {attempts} attempt(s) "
+                    f"(last error: {last or 'deadline exceeded'})")
+            attempts += 1
+            try:
+                sock = self._connect(min(self.timeout, remaining))
+                self.sock = sock
+                self._buf.clear()
+                self._dead = False
+                self.reconnects += 1
+                # replay every unacknowledged frame oldest-first: the
+                # server answers strictly in order, so the new stream
+                # owes exactly the responses the dead one did
+                for frame in list(self._pending.values()):
+                    sock.sendall(frame)
+                return
+            except OSError as exc:
+                last = f"{type(exc).__name__}: {exc}"
+                self._mark_dead(last)
+            time.sleep(min(max(deadline - time.monotonic(), 0.0),
+                           backoff * (0.5 + random.random())))
+            backoff = min(backoff * 2.0, self.backoff_max_s)
 
     # -- low-level ----------------------------------------------------
     def _take_id(self, request_id: Optional[int]) -> int:
@@ -394,9 +489,19 @@ class Client:
         return request_id
 
     def _recv_frame(self) -> Tuple[int, int, bytes]:
-        """``(op, request_id, payload)`` for the next frame."""
+        """``(op, request_id, payload)`` for the next frame.
+
+        Any receive failure — EOF, reset, or a timeout that may have
+        left a *partial frame* in the buffer — marks the connection
+        dead and clears the buffer before raising, so a later call can
+        never misparse the tail of an abandoned frame as a new header.
+        """
         while True:
-            header = try_parse_header(self._buf)
+            try:
+                header = try_parse_header(self._buf)
+            except FrameError:
+                self._mark_dead("fatal frame error from server")
+                raise
             if header is not None:
                 op, _, request_id, payload_len = header
                 total = HEADER_SIZE + payload_len
@@ -405,37 +510,92 @@ class Client:
                         memoryview(self._buf)[HEADER_SIZE:total])
                     del self._buf[:total]
                     return op, request_id, payload
-            chunk = self.sock.recv(1 << 16)
+            try:
+                chunk = self.sock.recv(1 << 16)
+            except socket.timeout as exc:
+                mid = len(self._buf) > 0
+                self._mark_dead("receive timeout"
+                                + (" mid-frame" if mid else ""))
+                raise ConnectionLostError(
+                    f"binary receive timed out"
+                    f"{' with a partial frame buffered' if mid else ''}; "
+                    f"the stream can no longer be framed and the "
+                    f"connection was closed") from exc
+            except OSError as exc:
+                self._mark_dead(f"{type(exc).__name__}: {exc}")
+                raise ConnectionLostError(
+                    f"binary connection to {self.host}:{self.port} "
+                    f"died mid-receive: {exc}") from exc
             if not chunk:
-                raise ServeError(
+                self._mark_dead("server closed the connection")
+                raise ConnectionLostError(
                     "binary connection closed by server mid-frame")
             self._buf += chunk
 
     def recv(self) -> Tuple[int, int, bytes]:
         """Next frame as ``(op, request_id, payload)``; raises the
-        mapped exception for ``OP_ERROR`` frames."""
-        op, request_id, payload = self._recv_frame()
-        if op == OP_ERROR:
-            raise_for_error(payload)
-        return op, request_id, payload
+        mapped exception for ``OP_ERROR`` frames.
+
+        Reconnects and replays pending frames on a dead connection
+        (see the class docstring) until the response arrives or the
+        per-call deadline (``timeout``) passes.
+        """
+        deadline = time.monotonic() + self.timeout
+        while True:
+            try:
+                self._ensure_connected(deadline)
+                op, request_id, payload = self._recv_frame()
+            except ConnectionLostError:
+                if self.retries <= 0 or time.monotonic() >= deadline:
+                    raise
+                continue
+            self._pending.pop(request_id, None)
+            if op == OP_ERROR:
+                raise_for_error(payload)
+            return op, request_id, payload
+
+    def _send(self, frame: bytes, request_id: int) -> None:
+        """Record ``frame`` as pending, then put it on the wire —
+        through a reconnect (which replays it) if the connection died."""
+        if self._closed:
+            raise ConnectionLostError("binary client is closed")
+        self._pending[request_id] = frame
+        deadline = time.monotonic() + self.timeout
+        while True:
+            if self.sock is None or self._dead:
+                # reconnecting replays every pending frame, this one
+                # included — nothing further to send
+                self._ensure_connected(deadline)
+                return
+            try:
+                self.sock.sendall(frame)
+                return
+            except OSError as exc:
+                self._mark_dead(f"send failed: {exc}")
+                if self.retries <= 0 or time.monotonic() >= deadline:
+                    raise ConnectionLostError(
+                        f"binary send to {self.host}:{self.port} "
+                        f"failed: {exc}") from exc
 
     # -- pipelining ---------------------------------------------------
     def send_query(self, index: str, lngs, lats, exact: bool = False,
                    budget_ms: Optional[float] = None,
                    request_id: Optional[int] = None) -> int:
         request_id = self._take_id(request_id)
-        self.sock.sendall(encode_points_request(
+        self._send(encode_points_request(
             OP_QUERY, index, np.asarray(lngs), np.asarray(lats),
-            exact=exact, budget_ms=budget_ms, request_id=request_id))
+            exact=exact, budget_ms=budget_ms, request_id=request_id),
+            request_id)
         return request_id
 
     def send_join(self, index: str, lngs, lats, exact: bool = False,
                   budget_ms: Optional[float] = None,
                   request_id: Optional[int] = None) -> int:
         request_id = self._take_id(request_id)
-        self.sock.sendall(encode_points_request(
+        self._send(encode_points_request(
             OP_JOIN, index, np.asarray(lngs), np.asarray(lats),
-            exact=exact, budget_ms=budget_ms, request_id=request_id))
+            exact=exact, budget_ms=budget_ms, request_id=request_id),
+            request_id)
         return request_id
 
     def recv_results(self) -> Tuple[int, List[QueryResult]]:
@@ -453,7 +613,7 @@ class Client:
     # -- one-shot -----------------------------------------------------
     def ping(self) -> bool:
         request_id = self._take_id(None)
-        self.sock.sendall(encode_ping(request_id))
+        self._send(encode_ping(request_id), request_id)
         op, got, _ = self.recv()
         return op == OP_PONG and got == request_id
 
@@ -481,10 +641,17 @@ class Client:
         return counts
 
     def close(self) -> None:
-        try:
-            self.sock.close()
-        except OSError:
-            pass
+        if self.sock is not None:
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+        self.sock = None
+        self._dead = True
+        self._closed = True
+        self._death_reason = "closed by caller"
+        self._pending.clear()
+        self._buf.clear()
 
     def __enter__(self) -> "Client":
         return self

@@ -139,6 +139,12 @@ _AGGREGATED_COUNTERS = (
     "binary.errors",
     "binary.bytes_in",
     "binary.bytes_out",
+    "faults.chaos_injections",
+    "faults.apply_failures",
+    "faults.artifact_corrupt",
+    "faults.quarantined",
+    "faults.reload_rollbacks",
+    "lifecycle.artifacts_gcd",
 )
 
 #: The latency histograms the fleet aggregate merges bucket-wise.
@@ -659,6 +665,10 @@ def _worker_main(slot: int, sock: socket.socket, registry: IndexRegistry,
         # admin mutations arriving over HTTP at this worker coordinate
         # the whole fleet
         server.admin_hook = lifecycle.submit
+        # /readyz reflects this worker's lifecycle convergence: a
+        # reload that ended split (NACK without a clean rollback)
+        # makes the worker not-ready until the next clean operation
+        server.ready_extra = lifecycle.status
     stopping = threading.Event()
 
     def publish(snap: Optional[dict] = None) -> None:

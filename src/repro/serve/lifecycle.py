@@ -34,6 +34,27 @@ Application is **idempotent** (a reload to a generation a registry has
 already reached is a no-op), which is what makes crash-recovery free: a
 worker respawned mid-reload forks from the parent's already-updated
 registry, re-applies the pending operation as a no-op, and acks.
+
+**Failure is a first-class outcome.** A worker that cannot apply a
+reload — corrupt side artifact, unreadable file, wrong generation —
+writes a *NACK* (``ok: false`` with the error) instead of hanging the
+barrier. The coordinator then aborts the reload fleet-wide: the failed
+artifact is moved into a ``*.quarantine/`` directory next to where it
+lived (so a retry cannot trip over the same bytes), the *previous*
+generation is re-published under a **fresh, higher** generation number
+(idempotency compares ``>=``, so re-publishing the old number would
+no-op on every worker that already advanced), and a second ack barrier
+confirms every process is back on the old data. Requests never stop
+being answered from the pinned old generation throughout. The admin
+response reports ``complete: false`` with the NACKing identities, the
+quarantine location, and the rollback barrier's outcome — it never
+hangs and never leaves the fleet split across generations silently;
+:attr:`FleetLifecycle.converged` / ``last_error`` feed ``/readyz``.
+
+Superseded side artifacts are garbage-collected after each successful
+reload barrier: only the newest two generations of ``{name}.gen*.npz``
+are kept (the current one, plus one for in-flight requests and
+stragglers — and POSIX keeps memory-mapped inodes alive regardless).
 """
 
 from __future__ import annotations
@@ -47,7 +68,8 @@ from pathlib import Path
 from typing import Callable, Dict, Optional
 
 from ..act import serialize
-from ..errors import InvalidRequestError, ServeError, UnknownIndexError
+from ..errors import (ArtifactCorruptError, InvalidRequestError, ServeError,
+                      UnknownIndexError)
 from .registry import _UNSET, IndexRegistry
 from .service import ACTService
 
@@ -166,6 +188,11 @@ def apply_admin_op(op: AdminOp, service: Optional[ACTService] = None,
                 raise InvalidRequestError(
                     "register needs a path to a serialized index"
                 )
+            # same escalation the reload path gets: operator-shipped
+            # bytes are fully hashed before any process registers them
+            # (the registration itself keeps the cheap "header" mode
+            # for every later re-materialization of known-good data)
+            serialize.verify_artifact(path, full=True)
             mmap_mode = (None if op.source_mmap_mode is _UNSET
                          else op.source_mmap_mode)
             if service is not None:
@@ -192,6 +219,13 @@ def apply_admin_op(op: AdminOp, service: Optional[ACTService] = None,
             artifact_path=op.artifact_path,
             artifact_mmap_mode=op.artifact_mmap_mode,
             generation=op.generation,
+            # operator-shipped bytes are hashed in full before the
+            # fleet ever serves them: the lazy "header" mode never
+            # touches an mmap-ed node pool, so without this a bit flip
+            # deep in the pool would reload cleanly. Side artifacts
+            # (artifact_path) were just written by a coordinator that
+            # passed this check, so followers keep the cheap mode.
+            verify="full" if op.artifact_path is None else None,
         )
         record = (service.reload_index(op.name, **kwargs) if service
                   else registry.reload(op.name, **kwargs))
@@ -257,11 +291,40 @@ def handle_admin_request(service: ACTService, request: dict) -> dict:
     multi-process analog with the same request/response shapes.
     """
     op = request_to_op(request)
-    result = apply_admin_op(op, service=service)
+    try:
+        result = apply_admin_op(op, service=service)
+    except ArtifactCorruptError:
+        service.metrics.counter("faults.artifact_corrupt").inc()
+        quarantined = _quarantine_artifact(
+            op.source_path or _registered_path(service.registry, op.name))
+        if quarantined is not None:
+            service.metrics.counter("faults.quarantined").inc()
+        raise
     if op.kind != OP_UNREGISTER:
         result["index"] = service.registry.describe(op.name)
     result["complete"] = True
     return result
+
+
+def _registered_path(registry: Optional[IndexRegistry],
+                     name: str) -> Optional[str]:
+    """The on-disk source a registration loads from, if any."""
+    if registry is None:
+        return None
+    try:
+        return registry.describe(name).get("path")
+    except UnknownIndexError:
+        return None
+
+
+def _quarantine_artifact(path: Optional[str]) -> Optional[str]:
+    """Move ``path`` into its ``*.quarantine/`` sibling, best-effort."""
+    if not path or not os.path.exists(path):
+        return None
+    try:
+        return str(serialize.quarantine_artifact(path))
+    except OSError:  # pragma: no cover - fs race; nothing to do
+        return None
 
 
 class FleetLifecycle:
@@ -295,6 +358,26 @@ class FleetLifecycle:
         # never races its own publisher thread re-applying the same op
         self._apply_lock = threading.Lock()
         self._last_seen = 0
+        #: This process's convergence view, feeding ``/readyz``: True
+        #: while the last lifecycle operation this process saw applied
+        #: cleanly (including a clean rollback), False after a failed
+        #: apply or a reload barrier that left the fleet split.
+        self.converged = True
+        #: The last apply/barrier failure, kept for observability even
+        #: after a successful rollback restores convergence.
+        self.last_error: Optional[str] = None
+
+    def status(self) -> dict:
+        """The ``/readyz`` view of this process's lifecycle state."""
+        return {"converged": self.converged, "last_error": self.last_error}
+
+    def _count(self, name: str, n: int = 1) -> None:
+        """Increment a fault counter when this process has a service."""
+        if self._service is not None:
+            try:
+                self._service.metrics.counter(name).inc(n)
+            except Exception:  # pragma: no cover - metrics best-effort
+                pass
 
     # ------------------------------------------------------------------
     # Follower side
@@ -323,9 +406,20 @@ class FleetLifecycle:
                     op, service=self._service, registry=self._registry,
                     strict=False))
                 result["ok"] = True
+                self.converged = True
+                self.last_error = None
             except Exception as exc:
-                result = {"ok": False, "op": op.kind, "name": op.name,
+                # NACK: the coordinator's barrier sees this and aborts
+                # the reload fleet-wide; this process keeps serving the
+                # generation it already has pinned
+                result = {"ok": False, "nack": True, "op": op.kind,
+                          "name": op.name,
                           "error": f"{type(exc).__name__}: {exc}"}
+                self._count("faults.apply_failures")
+                if isinstance(exc, ArtifactCorruptError):
+                    self._count("faults.artifact_corrupt")
+                self.converged = False
+                self.last_error = result["error"]
             self._write_ack(seq, result)
             return result
 
@@ -342,6 +436,17 @@ class FleetLifecycle:
         process to ack. The response carries per-process acks and
         ``complete`` (all acked ok), and for reload/register the
         fleet-agreed ``generation``.
+
+        A reload barrier aborts early on the first NACK: the failed
+        artifact is quarantined and the previous generation re-published
+        fleet-wide under a fresh generation number (see
+        :meth:`_rollback`); the response then reports ``complete:
+        false`` with ``failed``, ``quarantined``, ``rolled_back`` and
+        the rollback barrier's acks instead of hanging or leaving the
+        fleet split. A coordinator-local
+        :class:`~repro.errors.ArtifactCorruptError` aborts before
+        anything is published: nothing fleet-wide changed, the corrupt
+        source is quarantined, and the structured failure comes back.
         """
         op = request_to_op(request)
         if not self._op_lock.acquire(True, self.timeout_s):
@@ -349,6 +454,17 @@ class FleetLifecycle:
                 "another admin operation is in progress fleet-wide"
             )
         try:
+            # pre-op state, in case a failed reload has to be rolled
+            # back: the pinned record carries the data, the description
+            # carries the registration's source path/mode (a reload
+            # with source_path repoints it before materializing)
+            previous = prev_desc = None
+            if op.kind == OP_RELOAD and self._registry is not None:
+                previous = self._registry.materialized.get(op.name)
+                try:
+                    prev_desc = self._registry.describe(op.name)
+                except UnknownIndexError:
+                    prev_desc = None
             with self._apply_lock:
                 try:
                     seq = int(self._control.get(SEQ_KEY) or 0) + 1
@@ -364,25 +480,48 @@ class FleetLifecycle:
                             del self._control[key]
                 except (KeyError, OSError, EOFError, BrokenPipeError):
                     pass
-                op, local = self._coordinate(op, seq)
+                try:
+                    op, local = self._coordinate(op, seq)
+                except ArtifactCorruptError as exc:
+                    return self._abort_corrupt(op, seq, prev_desc, exc)
                 self._control[OP_KEY] = op.to_wire()
                 self._control[SEQ_KEY] = seq
                 self._last_seen = seq
                 local = dict(local)
                 local["ok"] = True
                 self._write_ack(seq, local)
-            acks = self._wait_for_acks(seq)
+            acks = self._wait_for_acks(
+                seq, abort_on_nack=(op.kind == OP_RELOAD))
+            response = {
+                "op": op.kind,
+                "name": op.name,
+                "seq": seq,
+                "acks": acks,
+                "complete": all(a.get("ok") for a in acks.values()),
+            }
+            if op.generation is not None:
+                response["generation"] = op.generation
+            failed = sorted(i for i, a in acks.items() if a.get("nack"))
+            if op.kind == OP_RELOAD:
+                if failed:
+                    response = self._rollback(
+                        op, seq, previous, prev_desc, failed, response)
+                elif response["complete"]:
+                    self.converged = True
+                    self.last_error = None
+                    self._gc_artifacts(op.name)
+                else:
+                    # stragglers timed out without NACKing — a dead
+                    # worker respawns from the parent's updated registry
+                    # and converges on its own; a stuck one shows here
+                    self.converged = False
+                    self.last_error = "; ".join(
+                        str(a.get("error")) for a in acks.values()
+                        if not a.get("ok"))
+            elif response["complete"]:
+                self.last_error = None
         finally:
             self._op_lock.release()
-        response = {
-            "op": op.kind,
-            "name": op.name,
-            "seq": seq,
-            "acks": acks,
-            "complete": all(a.get("ok") for a in acks.values()),
-        }
-        if op.generation is not None:
-            response["generation"] = op.generation
         if self._registry is not None and op.kind != OP_UNREGISTER:
             try:
                 response["index"] = self._registry.describe(op.name)
@@ -437,11 +576,166 @@ class FleetLifecycle:
         )
         return op, local
 
-    def _wait_for_acks(self, seq: int) -> Dict[str, dict]:
+    def _abort_corrupt(self, op: AdminOp, seq: int,
+                       prev_desc: Optional[dict],
+                       exc: ArtifactCorruptError) -> dict:
+        """Coordinator-local reload failure on a corrupt artifact.
+
+        Nothing was published — the fleet never saw the operation and
+        every process (this one included: a failed materialization never
+        swaps the pinned record) keeps serving the old generation. The
+        corrupt source is quarantined so a blind retry cannot re-read
+        the same bytes, and if the failed reload had repointed the
+        registration's source, it is pointed back.
+        """
+        self._count("faults.artifact_corrupt")
+        error = f"{type(exc).__name__}: {exc}"
+        source = op.source_path or _registered_path(self._registry, op.name)
+        quarantined = _quarantine_artifact(source)
+        if quarantined is not None:
+            self._count("faults.quarantined")
+        if (op.source_path is not None and prev_desc is not None
+                and prev_desc.get("path")
+                and self._registry is not None):
+            self._registry.repoint(op.name, prev_desc["path"],
+                                   prev_desc.get("mmap_mode"))
+        self.last_error = error
+        return {
+            "op": op.kind, "name": op.name, "seq": seq,
+            "acks": {}, "complete": False, "rolled_back": False,
+            "error": error, "quarantined": quarantined,
+        }
+
+    def _rollback(self, op: AdminOp, seq: int,
+                  previous, prev_desc: Optional[dict],
+                  failed: list, response: dict) -> dict:
+        """Abort a fleet reload some process NACKed.
+
+        Quarantines the side artifact the fleet was told to load, then
+        re-publishes the *previous* generation's data under a fresh,
+        higher generation number — re-publishing the old number would
+        no-op on every process that already advanced past it (idempotent
+        application compares ``>=``). Requests were never interrupted:
+        processes that NACKed never swapped, and processes that had
+        swapped go back to the old data on the rollback barrier.
+        """
+        self._count("faults.reload_rollbacks")
+        quarantined = _quarantine_artifact(op.artifact_path)
+        if quarantined is not None:
+            self._count("faults.quarantined")
+        error = "; ".join(
+            f"{identity}: {response['acks'][identity].get('error')}"
+            for identity in failed)
+        response.update({
+            "complete": False,
+            "failed": failed,
+            "error": f"reload rejected by {len(failed)} process(es): "
+                     f"{error}",
+            "quarantined": quarantined,
+            "rolled_back": False,
+        })
+        self.converged = False
+        self.last_error = response["error"]
+        if previous is None:
+            # nothing to roll back to — the name had never materialized;
+            # NACKing processes simply stay unmaterialized
+            return response
+        try:
+            rollback_gen = int(self._registry.generation(op.name)) + 1
+            side = serialize.generation_path(
+                Path(self.artifact_dir or ".") / f"{op.name}.npz",
+                rollback_gen)
+            serialize.save_index_atomic(previous.index, side)
+            rb_source = None
+            rb_source_mode = _UNSET
+            if (op.source_path is not None and prev_desc is not None
+                    and prev_desc.get("path")):
+                # the failed op repointed every registration's source;
+                # point them all back at the pre-op source
+                rb_source = prev_desc["path"]
+                rb_source_mode = prev_desc.get("mmap_mode")
+            rb_op = AdminOp(
+                kind=OP_RELOAD, name=op.name, seq=seq + 1,
+                generation=rollback_gen,
+                source_path=rb_source, source_mmap_mode=rb_source_mode,
+                artifact_path=str(side), artifact_mmap_mode="r",
+            )
+            with self._apply_lock:
+                local = apply_admin_op(
+                    rb_op, service=self._service, registry=self._registry)
+                self._control[OP_KEY] = rb_op.to_wire()
+                self._control[SEQ_KEY] = seq + 1
+                self._last_seen = seq + 1
+                local = dict(local)
+                local["ok"] = True
+                self._write_ack(seq + 1, local)
+            rb_acks = self._wait_for_acks(seq + 1)
+            rb_ok = all(a.get("ok") for a in rb_acks.values())
+            response["rolled_back"] = rb_ok
+            response["generation"] = rollback_gen
+            response["rollback"] = {
+                "seq": seq + 1, "generation": rollback_gen,
+                "acks": rb_acks, "complete": rb_ok,
+            }
+            # a clean rollback restores convergence (everyone on the
+            # old data under the new number); last_error keeps the
+            # original failure for observability
+            self.converged = rb_ok
+        except Exception as exc:  # pragma: no cover - double failure
+            response["rollback_error"] = f"{type(exc).__name__}: {exc}"
+            self.converged = False
+            self.last_error = response["rollback_error"]
+        return response
+
+    #: Side artifacts written by coordinators (see
+    #: :func:`repro.act.serialize.generation_path`).
+    _GEN_ARTIFACT_RE = re.compile(r"\.gen(\d{6,})\.npz\Z")
+
+    def _gc_artifacts(self, name: str) -> int:
+        """Delete superseded generation side artifacts for ``name``.
+
+        Runs after a fully-acked reload barrier: every process is on the
+        current generation, so only the newest two side files are kept —
+        the current one plus its predecessor (stragglers respawning
+        mid-barrier re-apply from it; in-flight requests are safe
+        regardless, POSIX keeps memory-mapped inodes alive after
+        unlink). Returns the number of files removed.
+        """
+        if self.artifact_dir is None or self._registry is None:
+            return 0
+        try:
+            current = int(self._registry.generation(name))
+        except UnknownIndexError:
+            return 0
+        prefix = f"{name}.gen"
+        removed = 0
+        try:
+            entries = list(Path(self.artifact_dir).iterdir())
+        except OSError:
+            return 0
+        for entry in entries:
+            if not entry.name.startswith(prefix):
+                continue
+            match = self._GEN_ARTIFACT_RE.search(entry.name)
+            if match is None or entry.name[:match.start()] != name:
+                continue
+            if int(match.group(1)) <= current - 2 and entry.is_file():
+                try:
+                    entry.unlink()
+                except OSError:  # pragma: no cover - fs race
+                    continue
+                removed += 1
+        if removed:
+            self._count("lifecycle.artifacts_gcd", removed)
+        return removed
+
+    def _wait_for_acks(self, seq: int,
+                       abort_on_nack: bool = False) -> Dict[str, dict]:
         expected = {str(slot) for slot in range(self.workers)}
         expected.add(PARENT_IDENTITY)
         acks: Dict[str, dict] = {}
         deadline = time.monotonic() + self.timeout_s
+        aborted = False
         while True:
             for identity in expected - set(acks):
                 try:
@@ -450,14 +744,27 @@ class FleetLifecycle:
                     ack = None
                 if ack is not None:
                     acks[identity] = dict(ack)
+            if abort_on_nack and any(a.get("nack") for a in acks.values()):
+                # a reload someone rejected can never complete: abort
+                # the barrier now and let the coordinator roll back
+                # instead of waiting out the stragglers' timeout
+                aborted = len(acks) < len(expected)
+                break
             if len(acks) == len(expected) or time.monotonic() >= deadline:
                 break
             time.sleep(self.poll_interval_s)
         for identity in expected - set(acks):
-            acks[identity] = {
-                "ok": False,
-                "error": f"no ack from {identity!r} before timeout",
-            }
+            if aborted:
+                acks[identity] = {
+                    "ok": False, "aborted": True,
+                    "error": f"barrier aborted after a sibling NACK "
+                             f"before {identity!r} acked",
+                }
+            else:
+                acks[identity] = {
+                    "ok": False,
+                    "error": f"no ack from {identity!r} before timeout",
+                }
         # best-effort cleanup: the barrier is over, drop the ack keys
         for identity in expected:
             try:

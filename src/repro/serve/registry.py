@@ -35,6 +35,7 @@ from typing import Callable, Dict, List, Optional, Union
 from ..act import serialize
 from ..act.index import ACTIndex
 from ..errors import ServeError, UnknownIndexError
+from . import chaos
 
 #: Distinguishes "argument not passed" from an explicit ``None``.
 _UNSET = object()
@@ -99,6 +100,8 @@ class _Registration:
     builder: Optional[Callable[[], ACTIndex]] = None
     path: Optional[Path] = None
     mmap_mode: Optional[str] = None
+    #: Integrity mode path loads use (see serialize.load_index).
+    verify: str = "header"
     index: Optional[ACTIndex] = None
     #: Generations handed out so far; survives evict() so a name's
     #: generation numbers never repeat within a registry.
@@ -137,15 +140,21 @@ class IndexRegistry:
         self._add(_Registration(name=name, builder=builder))
 
     def register_path(self, name: str, path: Union[str, Path],
-                      mmap_mode: Optional[str] = None) -> None:
+                      mmap_mode: Optional[str] = None,
+                      verify: str = "header") -> None:
         """Register ``name`` to be loaded from a serialized index file.
 
         ``mmap_mode="r"`` memory-maps the node pool from the archive on
         materialization (lazy cold start, page-cache sharing across
         forked workers; see :func:`repro.act.serialize.load_index`).
+        ``verify`` is the integrity mode every materialization of this
+        name loads under (``"header"``, ``"full"``, or ``"off"``); a
+        failed check raises
+        :class:`~repro.errors.ArtifactCorruptError` out of the
+        materializing request or admin call.
         """
         self._add(_Registration(name=name, path=Path(path),
-                                mmap_mode=mmap_mode))
+                                mmap_mode=mmap_mode, verify=verify))
 
     def register_index(self, name: str, index: ACTIndex) -> None:
         """Register an already-built index (pinned immediately)."""
@@ -232,7 +241,8 @@ class IndexRegistry:
                source_mmap_mode=_UNSET,
                artifact_path: Optional[Union[str, Path]] = None,
                artifact_mmap_mode=_UNSET,
-               generation: Optional[int] = None) -> IndexGeneration:
+               generation: Optional[int] = None,
+               verify: Optional[str] = None) -> IndexGeneration:
         """Materialize a fresh generation and atomically swap it in.
 
         * default: re-run the registration's own source (builder or
@@ -248,7 +258,13 @@ class IndexRegistry:
           (fleet workers adopt the coordinator-assigned one). A reload
           to a generation the registration already reached is a no-op
           returning the current record, which makes fleet command
-          application idempotent.
+          application idempotent;
+        * ``verify`` overrides the registration's integrity mode for
+          *this* materialization only — the admin layer escalates to
+          ``"full"`` when loading operator-shipped bytes, so a bit flip
+          deep in an mmap-ed node pool (which the lazy ``"header"``
+          mode deliberately never hashes) is rejected before the fleet
+          ever serves it.
 
         The swap is one dict assignment: requests pin either the old
         record or the new one, never a mix, and the old record lives on
@@ -270,22 +286,32 @@ class IndexRegistry:
                 artifact_path=artifact_path,
                 artifact_mmap_mode=artifact_mmap_mode,
                 generation=generation,
+                verify=verify,
             )
             return registration.record
 
     def _materialize_locked(self, registration: _Registration, *,
                             artifact_path=None, artifact_mmap_mode=_UNSET,
-                            generation: Optional[int] = None) -> None:
+                            generation: Optional[int] = None,
+                            verify: Optional[str] = None) -> None:
         """Build/load a new generation; caller holds the registration lock."""
         start = time.perf_counter()
         mmap_mode = (registration.mmap_mode
                      if artifact_mmap_mode is _UNSET else artifact_mmap_mode)
+        verify_mode = registration.verify if verify is None else verify
+        if artifact_path is not None or registration.path is not None:
+            # chaos seam: armed tests inject slow/failing artifact I/O
+            # here; the error propagates exactly like a real load
+            # failure (reload NACK, materialization 500)
+            chaos.fault("artifact.load")
         if artifact_path is not None:
             path = Path(artifact_path)
-            index = serialize.load_index(path, mmap_mode=mmap_mode)
+            index = serialize.load_index(path, mmap_mode=mmap_mode,
+                                         verify=verify_mode)
         elif registration.path is not None:
             path = registration.path
-            index = serialize.load_index(path, mmap_mode=mmap_mode)
+            index = serialize.load_index(path, mmap_mode=mmap_mode,
+                                         verify=verify_mode)
         elif registration.builder is not None:
             path = None
             index = registration.builder()
@@ -317,6 +343,22 @@ class IndexRegistry:
             materialize_seconds=time.perf_counter() - start,
         )
         self.materialized[registration.name] = registration.record
+
+    def repoint(self, name: str, path: Union[str, Path],
+                mmap_mode: Optional[str] = None) -> None:
+        """Repoint a registration's source path without materializing.
+
+        Reload-abort cleanup: a failed ``reload(source_path=...)`` has
+        already repointed the registration at a source that turned out
+        to be bad (and is now quarantined); this points it back at the
+        pre-op source so later default reloads keep working. The pinned
+        record is untouched.
+        """
+        registration = self._registration(name)
+        with registration.lock:
+            registration.path = Path(path)
+            registration.builder = None
+            registration.mmap_mode = mmap_mode
 
     def restore(self, record: IndexGeneration) -> IndexGeneration:
         """Re-pin a previously current record (reload rollback).

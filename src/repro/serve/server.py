@@ -5,6 +5,9 @@ the service is drivable with ``curl`` (no web framework in the
 reproduction environment):
 
 * ``GET  /healthz`` — liveness plus registered index names;
+* ``GET  /readyz`` — readiness: 200 only when every registered index is
+  materialized and the last lifecycle operation converged (503
+  otherwise, so load balancers gate on the status code);
 * ``GET  /query?index=NAME&lng=X&lat=Y[&exact=1][&budget_ms=N]`` —
   one point lookup through cache + batcher;
 * ``POST /query`` — body ``{"index": NAME, "points": [[lng, lat], ...],
@@ -42,7 +45,9 @@ non-loopback peer get 403 regardless of the bind address:
   response returns after every worker acked);
 * ``DELETE /admin/index/NAME`` — retire an index;
 * ``GET    /admin/slowlog`` — the worker's slow-query ring (full
-  per-stage traces for sampled requests, bare envelopes otherwise).
+  per-stage traces for sampled requests, bare envelopes otherwise);
+* ``GET/POST /admin/chaos`` — inspect / re-arm this process's fault
+  injection (see :mod:`repro.serve.chaos`); ``{"spec": ""}`` disarms.
 
 Budget overruns surface as HTTP 503 (shed), unknown indexes as 404,
 malformed requests as 400, and conflicting admin requests (duplicate
@@ -65,7 +70,7 @@ from ..errors import (
     UnknownIndexError,
 )
 from ..obs import Trace, mint_request_id
-from . import lifecycle
+from . import chaos, lifecycle
 from .budget import Budget
 from .service import ACTService
 
@@ -138,6 +143,8 @@ class ACTRequestHandler(BaseHTTPRequestHandler):
                 if worker_id is not None:
                     payload["worker"] = worker_id
                 self._send(200, payload)
+            elif parsed.path == "/readyz":
+                self._handle_readyz()
             elif parsed.path == "/stats":
                 payload = self.service.stats()
                 extra = getattr(self.server, "stats_extra", None)
@@ -158,6 +165,13 @@ class ACTRequestHandler(BaseHTTPRequestHandler):
                         "indexes": self.service.admin_indexes(),
                         "pid": os.getpid(),
                         "worker": getattr(self.server, "worker_id", None),
+                    })
+            elif parsed.path == "/admin/chaos":
+                if self._admin_allowed():
+                    self._send(200, {
+                        "spec": chaos.spec(),
+                        "active": chaos.is_active(),
+                        "pid": os.getpid(),
                     })
             elif parsed.path == "/admin/slowlog":
                 if self._admin_allowed():
@@ -184,6 +198,8 @@ class ACTRequestHandler(BaseHTTPRequestHandler):
                 self._handle_admin_body(lifecycle.OP_REGISTER)
             elif parsed.path == "/admin/reload":
                 self._handle_admin_body(lifecycle.OP_RELOAD)
+            elif parsed.path == "/admin/chaos":
+                self._handle_chaos()
             else:
                 self._send(404, {"error": f"no route {parsed.path!r}"})
         except Exception as exc:  # pragma: no cover - last-resort guard
@@ -329,6 +345,60 @@ class ACTRequestHandler(BaseHTTPRequestHandler):
             self.send_header("X-Request-Id", request_id)
         self.end_headers()
         self.wfile.write(body)
+
+    def _handle_readyz(self) -> None:
+        """``GET /readyz``: readiness, as distinct from liveness.
+
+        Ready means every registered index is materialized (no request
+        will pay — or fail — a cold load) *and* the last lifecycle
+        operation this process saw converged (a reload that ended in a
+        NACK without a clean rollback leaves the process not-ready
+        until the next successful operation). Not-ready answers 503 so
+        load balancers and the fleet smoke can gate on the status code
+        alone.
+        """
+        names = self.service.registry.names()
+        indexes = {name: self.service.registry.is_materialized(name)
+                   for name in names}
+        ready_extra = getattr(self.server, "ready_extra", None)
+        lifecycle_state = (ready_extra() if ready_extra is not None
+                           else {"converged": True, "last_error": None})
+        ready = (all(indexes.values())
+                 and bool(lifecycle_state.get("converged", True)))
+        payload = {
+            "ready": ready,
+            "indexes": indexes,
+            "pid": os.getpid(),
+        }
+        payload.update(lifecycle_state)
+        worker_id = getattr(self.server, "worker_id", None)
+        if worker_id is not None:
+            payload["worker"] = worker_id
+        self._send(200 if ready else 503, payload)
+
+    def _handle_chaos(self) -> None:
+        """``POST /admin/chaos``: (re-)arm this process's fault
+        injection from ``{"spec": "..."}``; an empty spec disarms."""
+        if not self._admin_allowed():
+            return
+        body = self._read_json_body()
+        if body is None:
+            return
+        spec = body.get("spec", "")
+        if not isinstance(spec, str):
+            self._send(400, {"error": "chaos spec must be a string"})
+            return
+        try:
+            chaos.configure(spec)
+        except InvalidRequestError as exc:
+            self._send(400, {"error": str(exc)})
+            return
+        self.service.metrics.counter("admin.requests").inc()
+        self._send(200, {
+            "spec": chaos.spec(),
+            "active": chaos.is_active(),
+            "pid": os.getpid(),
+        })
 
     # ------------------------------------------------------------------
     # Admin surface
@@ -517,6 +587,11 @@ class ACTHTTPServer(ThreadingHTTPServer):
     #: FleetLifecycle.submit` here so admin mutations coordinate
     #: fleet-wide; ``None`` applies them to this process's service only.
     admin_hook: Optional[Callable[[dict], dict]] = None
+    #: Zero-arg callable returning this process's lifecycle convergence
+    #: state for ``/readyz`` (see :meth:`repro.serve.lifecycle.
+    #: FleetLifecycle.status`); ``None`` means no fleet — always
+    #: converged.
+    ready_extra: Optional[Callable[[], dict]] = None
 
     def __init__(self, address: Tuple[str, int], service: ACTService,
                  bind_and_activate: bool = True):

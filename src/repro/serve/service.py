@@ -45,6 +45,7 @@ from ..act.index import ACTIndex, QueryResult
 from ..errors import BudgetExceededError, InvalidRequestError, ServeError
 from ..grid.base import INVALID_KEY
 from ..obs import PrometheusRenderer, SlowQueryLog, Trace, Tracer
+from . import chaos
 from .batcher import MicroBatcher
 from .budget import Budget
 from .cache import CellResultCache
@@ -379,6 +380,8 @@ class ACTService:
                 f"{lngs.shape} and {lats.shape}"
             )
         n = int(lngs.shape[0])
+        # chaos seam: armed tests kill/stall workers mid-request here
+        chaos.fault("query", self.metrics)
         self._queries_total.inc(n)
         budget = self._effective_budget(budget)
         if trace is None:
@@ -496,6 +499,7 @@ class ACTService:
              request_id: Optional[str] = None) -> np.ndarray:
         """Count points per polygon (the paper's aggregation workload)."""
         start = time.perf_counter()
+        chaos.fault("query", self.metrics)
         if trace is None:
             trace = self.tracer.sample(request_id=request_id, kind="join")
         if budget is not None:
@@ -530,7 +534,8 @@ class ACTService:
     def reload_index(self, name: str, *,
                      source_path=None, source_mmap_mode=_UNSET,
                      artifact_path=None, artifact_mmap_mode=_UNSET,
-                     generation: Optional[int] = None) -> IndexGeneration:
+                     generation: Optional[int] = None,
+                     verify: Optional[str] = None) -> IndexGeneration:
         """Materialize a fresh generation and adopt it atomically.
 
         Thin wrapper over :meth:`~repro.serve.registry.IndexRegistry.
@@ -544,6 +549,7 @@ class ACTService:
             name, source_path=source_path, source_mmap_mode=source_mmap_mode,
             artifact_path=artifact_path,
             artifact_mmap_mode=artifact_mmap_mode, generation=generation,
+            verify=verify,
         )
         self._adopt_record(record)
         self.metrics.counter("admin.reloads").inc()

@@ -1,11 +1,17 @@
 """Tests for index persistence (save/load roundtrip)."""
 
+import json
+import shutil
+import struct
+import zipfile
+
 import numpy as np
 import pytest
 
 from repro import ACTIndex
-from repro.act.serialize import load_index, save_index
-from repro.errors import ACTError
+from repro.act.serialize import (load_index, quarantine_artifact, save_index,
+                                 verify_artifact)
+from repro.errors import ACTError, ArtifactCorruptError
 from repro.geometry import regular_polygon
 from repro.grid.s2like import S2LikeGrid
 
@@ -273,3 +279,139 @@ class TestAtomicWrites:
         assert fresh.num_polygons == replacement.num_polygons
         assert fresh.count_points(lngs, lats).tolist() == \
             replacement.count_points(lngs, lats).tolist()
+
+
+def _member_data_span(path, member):
+    """(data_offset, payload_size) of one member's bytes in the zip."""
+    with zipfile.ZipFile(path) as archive:
+        info = archive.getinfo(member)
+    with open(path, "rb") as fp:
+        fp.seek(info.header_offset + 26)
+        name_len, extra_len = struct.unpack("<HH", fp.read(4))
+    start = info.header_offset + 30 + name_len + extra_len
+    return start, info.compress_size
+
+
+def _flip_byte(path, offset):
+    with open(path, "r+b") as fp:
+        fp.seek(offset)
+        byte = fp.read(1)[0]
+        fp.seek(offset)
+        fp.write(bytes([byte ^ 0xFF]))
+
+
+class TestIntegrity:
+    """The embedded integrity manifest: verification on load,
+    standalone audits, and quarantine of artifacts that flunk."""
+
+    @pytest.fixture
+    def copy(self, saved, tmp_path):
+        _, path = saved
+        target = tmp_path / "copy.npz"
+        shutil.copyfile(path, target)
+        return target
+
+    def test_manifest_covers_every_member(self, saved):
+        _, path = saved
+        with np.load(path) as data:
+            manifest = json.loads(bytes(data["manifest"].tobytes()))
+        assert manifest["algo"] == "crc32"
+        assert set(manifest["members"]) == {
+            "nodes", "roots", "lookup", "grid_params", "meta", "polygons"}
+        for entry in manifest["members"].values():
+            assert set(entry) == {"crc32", "bytes", "dtype", "shape"}
+
+    def test_full_verify_roundtrip(self, saved, taxi_batch):
+        original, path = saved
+        lngs, lats = taxi_batch
+        for mmap_mode in (None, "r"):
+            loaded = load_index(path, mmap_mode=mmap_mode, verify="full")
+            assert np.array_equal(original.lookup_batch(lngs, lats),
+                                  loaded.lookup_batch(lngs, lats))
+
+    def test_node_pool_bitflip_caught_by_full_verify(self, copy):
+        start, size = _member_data_span(copy, "nodes.npy")
+        _flip_byte(copy, start + size - 4)  # inside the array data
+        with pytest.raises(ArtifactCorruptError, match="checksum"):
+            load_index(copy, mmap_mode="r", verify="full")
+        # header mode deliberately never touches the mapped pool's
+        # bytes (that is what keeps cold loads lazy) — documented gap
+        load_index(copy, mmap_mode="r", verify="header")
+
+    def test_node_pool_bitflip_caught_eagerly(self, copy):
+        # an eager (non-mmap) read goes through the zip layer, whose
+        # own CRC catches the flip even in header mode
+        start, size = _member_data_span(copy, "nodes.npy")
+        _flip_byte(copy, start + size - 4)
+        with pytest.raises(ArtifactCorruptError):
+            load_index(copy, verify="header")
+
+    def test_small_member_bitflip_caught_in_header_mode(self, copy):
+        # small members are checksummed in every mode, mmap included
+        start, size = _member_data_span(copy, "roots.npy")
+        _flip_byte(copy, start + size // 2)
+        with pytest.raises(ArtifactCorruptError):
+            load_index(copy, mmap_mode="r", verify="header")
+
+    def test_truncated_archive_rejected(self, copy):
+        size = copy.stat().st_size
+        with open(copy, "r+b") as fp:
+            fp.truncate(int(size * 0.6))
+        with pytest.raises(ArtifactCorruptError):
+            load_index(copy, verify="header")
+        with pytest.raises(ArtifactCorruptError):
+            load_index(copy, mmap_mode="r", verify="full")
+
+    def test_verify_off_skips_the_manifest(self, copy, taxi_batch):
+        # corruption in the pool goes unnoticed when asked not to look
+        start, size = _member_data_span(copy, "nodes.npy")
+        _flip_byte(copy, start + size - 4)
+        loaded = load_index(copy, mmap_mode="r", verify="off")
+        lngs, lats = taxi_batch
+        loaded.lookup_batch(lngs, lats)  # serves (possibly garbage)
+
+    def test_invalid_verify_mode_rejected(self, saved):
+        _, path = saved
+        with pytest.raises(ACTError, match="verify"):
+            load_index(path, verify="paranoid")
+
+    def test_pre_manifest_archive(self, copy, tmp_path):
+        # archives written before the manifest existed: tolerated in
+        # header mode, refused under verify="full" and verify_artifact
+        legacy = tmp_path / "legacy.npz"
+        with zipfile.ZipFile(copy) as src, \
+                zipfile.ZipFile(legacy, "w", allowZip64=True) as dst:
+            for info in src.infolist():
+                if info.filename == "manifest.npy":
+                    continue
+                out = zipfile.ZipInfo(info.filename,
+                                      date_time=(1980, 1, 1, 0, 0, 0))
+                out.compress_type = info.compress_type
+                with dst.open(out, "w") as fp:
+                    fp.write(src.read(info.filename))
+        load_index(legacy, mmap_mode="r", verify="header")
+        with pytest.raises(ArtifactCorruptError, match="pre-manifest"):
+            load_index(legacy, verify="full")
+        with pytest.raises(ArtifactCorruptError, match="pre-manifest"):
+            verify_artifact(legacy)
+
+    def test_verify_artifact_returns_manifest_and_raises(self, copy):
+        manifest = verify_artifact(copy, full=True)
+        assert set(manifest["members"]) >= {"nodes", "meta"}
+        start, size = _member_data_span(copy, "nodes.npy")
+        _flip_byte(copy, start + size - 4)
+        # header-level audit never reads the pool's bytes...
+        verify_artifact(copy, full=False)
+        # ...the full audit does (the zip layer's own CRC trips first)
+        with pytest.raises(ArtifactCorruptError):
+            verify_artifact(copy, full=True)
+
+    def test_quarantine_layout_and_collisions(self, copy, tmp_path):
+        first = quarantine_artifact(copy)
+        assert first == tmp_path / "copy.npz.quarantine" / "copy.npz"
+        assert first.exists() and not copy.exists()
+        copy.write_bytes(b"second failure")
+        second = quarantine_artifact(copy)
+        assert second.name == "copy.npz.1"
+        assert second.parent == first.parent
+        assert not copy.exists()

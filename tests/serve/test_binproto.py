@@ -197,3 +197,205 @@ class TestCountsAndErrors:
         frame = binproto.encode_error(status, "boom")
         with pytest.raises(exc, match="boom"):
             binproto.raise_for_error(_payload(frame))
+
+
+# ---------------------------------------------------------------------
+# Client fault tolerance against a scripted raw-socket server
+# ---------------------------------------------------------------------
+
+import socket
+import threading
+
+from repro.errors import ConnectionLostError
+
+
+class _ConnReader:
+    """Incremental frame reader for scripted server connections."""
+
+    def __init__(self, conn):
+        self.conn = conn
+        self.buf = bytearray()
+
+    def frame(self):
+        """``(op, request_id)`` of the next request, or ``None`` on
+        EOF. Handles several pipelined frames per ``recv``."""
+        while True:
+            header = binproto.try_parse_header(self.buf)
+            if header is not None:
+                op, _, request_id, payload_len = header
+                total = binproto.HEADER_SIZE + payload_len
+                if len(self.buf) >= total:
+                    del self.buf[:total]
+                    return op, request_id
+            try:
+                chunk = self.conn.recv(1 << 16)
+            except OSError:
+                return None
+            if not chunk:
+                return None
+            self.buf += chunk
+
+
+class _ScriptedServer:
+    """Raw-socket server whose per-connection behavior is scripted.
+
+    Connection *k* runs ``scripts[k]`` (the last script repeats), which
+    lets a test express "drop the first connection mid-pipeline, serve
+    the second normally" deterministically.
+    """
+
+    def __init__(self, scripts):
+        self.scripts = list(scripts)
+        self.connections = 0
+        self._sock = socket.socket()
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self._sock.settimeout(0.1)
+        self.port = self._sock.getsockname()[1]
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            script = self.scripts[
+                min(self.connections, len(self.scripts) - 1)]
+            self.connections += 1
+            try:
+                script(conn, self._stop)
+            except OSError:
+                pass
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self._stop.set()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._thread.join(timeout=5.0)
+
+
+def _stall_mid_frame(conn, stop):
+    """Answer with *half* a pong header, then go silent."""
+    got = _ConnReader(conn).frame()
+    if got is not None:
+        pong = binproto.encode_header(binproto.OP_PONG, 0, got[1], 0)
+        conn.sendall(pong[:10])
+        stop.wait(30.0)
+
+
+def _drop_after_read(conn, stop):
+    """Read one request and close without answering."""
+    _ConnReader(conn).frame()
+
+
+def _echo_pongs(conn, stop):
+    reader = _ConnReader(conn)
+    while True:
+        got = reader.frame()
+        if got is None:
+            return
+        conn.sendall(binproto.encode_header(
+            binproto.OP_PONG, 0, got[1], 0))
+
+
+def _answer_one_query_then_drop(conn, stop):
+    got = _ConnReader(conn).frame()
+    if got is not None:
+        conn.sendall(_canned_results(got[1]))
+
+
+def _echo_query_results(conn, stop):
+    reader = _ConnReader(conn)
+    while True:
+        got = reader.frame()
+        if got is None:
+            return
+        conn.sendall(_canned_results(got[1]))
+
+
+def _canned_results(request_id):
+    # a per-request-id payload so tests can prove which answer is whose
+    return binproto.encode_results(
+        [QueryResult((int(request_id),), ())], request_id=request_id)
+
+
+class TestClientResilience:
+    def test_timeout_mid_frame_never_desyncs(self):
+        # regression: a receive timeout used to leave the half-received
+        # frame in the buffer, desynchronizing every later response
+        with _ScriptedServer([_stall_mid_frame]) as server:
+            client = binproto.Client("127.0.0.1", server.port,
+                                     timeout=0.4, retries=0)
+            with pytest.raises(ConnectionLostError,
+                               match="partial frame") as excinfo:
+                client.ping()
+            # typed (a ServeError subclass) so existing handlers catch it
+            assert isinstance(excinfo.value, ServeError)
+            # the untrustworthy tail was dropped with the connection …
+            assert client._buf == bytearray()
+            # … and with reconnection disabled the broken stream
+            # refuses further use rather than misframe
+            with pytest.raises(ConnectionLostError, match="disabled"):
+                client.ping()
+
+    def test_reconnect_replays_unacknowledged_ping(self):
+        with _ScriptedServer([_drop_after_read, _echo_pongs]) as server:
+            client = binproto.Client("127.0.0.1", server.port,
+                                     timeout=10.0, retries=3,
+                                     backoff_s=0.01)
+            assert client.ping() is True  # survives the dropped conn
+            assert client.reconnects == 1
+            assert client._pending == {}
+            assert client.ping() is True  # the new stream is healthy
+            client.close()
+
+    def test_reconnect_replays_pipeline_in_order(self):
+        lngs, lats = [0.0], [0.0]
+        with _ScriptedServer([_answer_one_query_then_drop,
+                              _echo_query_results]) as server:
+            client = binproto.Client("127.0.0.1", server.port,
+                                     timeout=10.0, retries=3,
+                                     backoff_s=0.01)
+            sent = [client.send_query("idx", lngs, lats)
+                    for _ in range(3)]
+            got = [client.recv_results() for _ in range(3)]
+            client.close()
+        # the dead connection owed responses 2 and 3; replay produced
+        # exactly those, in pipeline order, each with its own answer
+        assert [rid for rid, _ in got] == sent
+        for rid, results in got:
+            assert results == [QueryResult((rid,), ())]
+        assert client.reconnects == 1
+
+    def test_closed_client_refuses_reconnect(self):
+        with _ScriptedServer([_echo_pongs]) as server:
+            client = binproto.Client("127.0.0.1", server.port,
+                                     timeout=5.0, retries=2)
+            assert client.ping() is True
+            client.close()
+            with pytest.raises(ConnectionLostError, match="closed"):
+                client.ping()
+        assert client._pending == {}
+
+    def test_retries_zero_send_failure_is_typed(self):
+        with _ScriptedServer([_drop_after_read]) as server:
+            client = binproto.Client("127.0.0.1", server.port,
+                                     timeout=0.5, retries=0)
+            with pytest.raises(ConnectionLostError):
+                client.ping()
+            client.close()

@@ -205,7 +205,10 @@ class TestFleetServing:
             "points": [[float(a), float(b)] for a, b in zip(lngs, lats)],
             "exact": True,
         }
-        with _fleet(fleet_registry) as fleet:
+        # a 200k-point exact answer is a multi-MB JSON write; on a
+        # loaded machine that can outlive the default 10 s drain
+        # window, degrading the drain to a kill and flaking the test.
+        with _fleet(fleet_registry, drain_timeout_s=30.0) as fleet:
             fleet.start()
             outcome = {}
 
@@ -219,7 +222,17 @@ class TestFleetServing:
 
             thread = threading.Thread(target=client)
             thread.start()
-            time.sleep(0.4)  # accepted and mid-computation
+            # wait for *admission*, not a fixed sleep: queries.total
+            # counts points when the batch is admitted and workers
+            # publish every 0.1 s, so this triggers the drain while the
+            # request is genuinely in flight. (A fixed sleep raced the
+            # client's multi-MB JSON upload on slow machines and shut
+            # the listener down before the request was ever accepted.)
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline and thread.is_alive():
+                if fleet.stats()["counters"]["queries.total"] >= len(lngs):
+                    break
+                time.sleep(0.05)
             fleet.shutdown()
             thread.join(timeout=60.0)
             assert outcome.get("error") is None, \
@@ -519,4 +532,25 @@ class TestAggregation:
         assert fleet._backoffs[0] == fleet.config.restart_backoff_max_s
         # slot 1 ran for a minute before dying: back to the base pause
         assert fleet._next_backoff(1) == pytest.approx(
+            fleet.config.restart_backoff_s)
+
+    def test_restart_backoff_young_threshold_scales(self, fleet_registry):
+        # "died young" is judged against the *current* backoff
+        # (max(1.0, 2·backoff)), so an escalated slot demands a longer
+        # clean run before it forgives
+        fleet = _fleet(fleet_registry, restart_backoff_max_s=5.0)
+        fleet._backoffs = [2.0, 2.0]
+        # 3 s of uptime < 2·2.0 s: still young, keeps escalating
+        fleet._spawn_times = [time.monotonic() - 3.0,
+                              time.monotonic() - 4.5]
+        assert fleet._next_backoff(0) == pytest.approx(4.0)
+        # 4.5 s of uptime > 2·2.0 s: survived the probation, resets
+        assert fleet._next_backoff(1) == pytest.approx(
+            fleet.config.restart_backoff_s)
+        # a sub-second base still uses the 1 s floor for "young"
+        fleet._backoffs = [0.05, 0.05]
+        fleet._spawn_times = [time.monotonic() - 0.5,
+                              time.monotonic() - 1.5]
+        assert fleet._next_backoff(0) == pytest.approx(0.1)   # young
+        assert fleet._next_backoff(1) == pytest.approx(       # not
             fleet.config.restart_backoff_s)

@@ -579,3 +579,168 @@ class TestReloadUnderTraffic:
             stats = service.cache.stats()
             assert stats["invalidations"] > 0, \
                 "reloads must sweep the dead generations' entries"
+
+
+class _FlakyRegistry:
+    """Follower registry rigged to flunk the apply of one generation,
+    standing in for a worker whose copy of the side artifact is bad."""
+
+    def __new__(cls, fail_generation):
+        from repro.serve import IndexRegistry
+
+        class _Rigged(IndexRegistry):
+            def reload(self, name, **kwargs):
+                if kwargs.get("generation") == fail_generation:
+                    from repro.errors import ArtifactCorruptError
+                    raise ArtifactCorruptError(
+                        "rigged: side artifact flunked its checksum")
+                return super().reload(name, **kwargs)
+
+        return _Rigged()
+
+
+class TestReloadRollback:
+    """A NACKed fleet reload must abort, quarantine the artifact, and
+    re-publish the previous data under a fresh generation — never hang
+    or leave the fleet split."""
+
+    @staticmethod
+    @contextlib.contextmanager
+    def _polling(follower):
+        stop = threading.Event()
+
+        def loop():
+            while not stop.wait(0.02):
+                follower.poll()
+
+        thread = threading.Thread(target=loop, daemon=True)
+        thread.start()
+        try:
+            yield
+        finally:
+            stop.set()
+            thread.join(timeout=5.0)
+
+    def test_follower_nack_rolls_the_fleet_back(self, index_pair,
+                                                tmp_path):
+        import os
+
+        from repro.serve import FleetLifecycle
+        from repro.serve.lifecycle import PARENT_IDENTITY
+
+        west_path, east_path = index_pair
+        control, op_lock = {}, threading.Lock()
+        flaky = _FlakyRegistry(fail_generation=2)
+        flaky.register_path("n", west_path)
+        follower = FleetLifecycle(
+            control=control, op_lock=op_lock, identity=PARENT_IDENTITY,
+            workers=1, registry=flaky, artifact_dir=str(tmp_path),
+            timeout_s=5.0)
+        service = ACTService()
+        with service, self._polling(follower):
+            service.register_index_path("n", west_path)
+            coord = FleetLifecycle(
+                control=control, op_lock=op_lock, identity="0",
+                workers=1, service=service, artifact_dir=str(tmp_path),
+                timeout_s=5.0)
+            result = coord.submit({"op": "reload", "name": "n",
+                                   "path": str(east_path)})
+            # structured failure, not an exception and not a hang
+            assert result["complete"] is False
+            assert result["failed"] == [PARENT_IDENTITY]
+            assert "rigged" in result["error"]
+            # the rejected side artifact is quarantined for forensics
+            assert result["quarantined"] is not None
+            assert ".quarantine" in result["quarantined"]
+            assert os.path.exists(result["quarantined"])
+            # the failed generation (2) is burned; the old data came
+            # back fleet-wide under a fresh number
+            assert result["rolled_back"] is True, result
+            assert result["rollback"]["complete"] is True
+            assert result["generation"] == 3
+            assert service.registry.pin("n").generation == 3
+            assert flaky.pin("n").generation == 3
+            # everyone serves the pre-reload (west) answers
+            assert service.query("n", *PROBE, exact=True).true_hits == ()
+            assert flaky.pin("n").index.query_exact(*PROBE) == ()
+            # a clean rollback restores convergence on both sides;
+            # the original failure stays visible on the coordinator
+            assert coord.status()["converged"] is True
+            assert "rigged" in coord.status()["last_error"]
+            assert follower.status() == {"converged": True,
+                                         "last_error": None}
+            counters = service.metrics.snapshot()["counters"]
+            assert counters["faults.reload_rollbacks"] == 1
+            assert counters["faults.quarantined"] >= 1
+            # the fleet is healthy: the same reload, retried, lands
+            flaky_retry = coord.submit({"op": "reload", "name": "n",
+                                        "path": str(east_path)})
+            assert flaky_retry["complete"] is True, flaky_retry
+            assert flaky_retry["generation"] == 4
+            assert service.query("n", *PROBE, exact=True).true_hits \
+                == (0,)
+
+    def test_coordinator_local_corruption_aborts_before_publish(
+            self, index_pair, tmp_path):
+        import os
+        import shutil
+
+        from repro.serve import FleetLifecycle, IndexRegistry
+        from repro.serve.lifecycle import PARENT_IDENTITY, SEQ_KEY
+
+        west_path, east_path = index_pair
+        bad = tmp_path / "bad.npz"
+        shutil.copyfile(east_path, bad)
+        with open(bad, "r+b") as fp:
+            fp.truncate(bad.stat().st_size // 2)
+
+        control, op_lock = {}, threading.Lock()
+        registry = IndexRegistry()
+        registry.register_path("n", west_path)
+        coord = FleetLifecycle(
+            control=control, op_lock=op_lock, identity=PARENT_IDENTITY,
+            workers=0, registry=registry, artifact_dir=str(tmp_path),
+            timeout_s=5.0)
+        result = coord.submit({"op": "reload", "name": "n",
+                               "path": str(bad)})
+        assert result["complete"] is False
+        assert result["rolled_back"] is False
+        assert result["acks"] == {}
+        assert "corrupt" in result["error"]
+        # nothing was published: the fleet never saw the op
+        assert SEQ_KEY not in control
+        # the corrupt source is quarantined so a blind retry cannot
+        # re-read the same bytes …
+        assert os.path.exists(result["quarantined"])
+        assert not bad.exists()
+        # … and the registration's source points back at the pre-op
+        # path, so a plain reload recovers
+        assert registry.describe("n")["path"] == str(west_path)
+        retry = coord.submit({"op": "reload", "name": "n"})
+        assert retry["complete"] is True, retry
+        assert registry.pin("n").index.query_exact(*PROBE) == ()
+
+    def test_gc_keeps_newest_two_side_artifacts(self, index_pair,
+                                                tmp_path):
+        from repro.serve import FleetLifecycle, IndexRegistry
+        from repro.serve.lifecycle import PARENT_IDENTITY
+
+        west_path, _ = index_pair
+        registry = IndexRegistry()
+        registry.register_path("n", west_path)
+        assert registry.pin("n").generation == 1  # materialize lazily
+        decoy = tmp_path / "m.gen000001.npz"
+        decoy.write_bytes(b"someone else's artifact")
+        coord = FleetLifecycle(
+            control={}, op_lock=threading.Lock(),
+            identity=PARENT_IDENTITY, workers=0, registry=registry,
+            artifact_dir=str(tmp_path), timeout_s=5.0)
+        for expected_gen in (2, 3, 4, 5):
+            result = coord.submit({"op": "reload", "name": "n"})
+            assert result["complete"] is True, result
+            assert result["generation"] == expected_gen
+        kept = sorted(p.name for p in tmp_path.iterdir()
+                      if p.name.startswith("n.gen"))
+        # dead generations' files are gone, current + predecessor stay
+        assert kept == ["n.gen000004.npz", "n.gen000005.npz"]
+        assert decoy.exists()  # other names are never touched
