@@ -50,7 +50,7 @@ import struct
 import zipfile
 import zlib
 from pathlib import Path
-from typing import Optional, Union
+from typing import Any, Optional, Union
 
 import numpy as np
 
@@ -217,7 +217,7 @@ def _npy_payload(raw: bytes) -> bytes:
     return raw[offset:]
 
 
-def _read_manifest(data, path) -> Optional[dict]:
+def _read_manifest(data: Any, path: Union[str, Path]) -> Optional[dict]:
     """The parsed integrity manifest, or ``None`` for pre-manifest
     archives (written before this format carried one)."""
     if "manifest" not in getattr(data, "files", ()):
@@ -241,8 +241,8 @@ def _read_manifest(data, path) -> Optional[dict]:
     return manifest
 
 
-def _check_member(path, members: dict, name: str, array,
-                  data: bool = True) -> None:
+def _check_member(path: Union[str, Path], members: dict, name: str,
+                  array: np.ndarray, data: bool = True) -> None:
     """One member against its manifest entry; ``data=False`` checks only
     the decoded geometry (dtype/shape/bytes), never touching the data —
     that is what keeps the mmap cold-load path lazy."""
@@ -359,6 +359,7 @@ def load_index(path: Union[str, Path],
             f"{type(exc).__name__}: {exc}"
         ) from exc
 
+    grid: Union[PlanarGrid, S2LikeGrid]
     if meta["grid_kind"] == "planar":
         bounds = Rect(*grid_params[:4])
         grid = PlanarGrid(bounds, max_level=int(grid_params[4]))
@@ -427,8 +428,10 @@ def _mmap_npz_member(path: Union[str, Path], member: str,
             raise ArtifactCorruptError(
                 f"{path}: member {member!r} is truncated (needs bytes "
                 f"up to offset {end}, file ends at {fp.tell()})")
-    return np.memmap(path, dtype=dtype, mode=mmap_mode, offset=data_offset,
-                     shape=shape, order="F" if fortran else "C")
+    return np.memmap(path, dtype=dtype,
+                     mode=mmap_mode,  # type: ignore[arg-type]
+                     offset=data_offset, shape=shape,
+                     order="F" if fortran else "C")
 
 
 def verify_artifact(path: Union[str, Path], full: bool = False) -> dict:

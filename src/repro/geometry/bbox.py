@@ -42,7 +42,8 @@ class Rect:
         try:
             x0, y0 = next(it)
         except StopIteration:
-            raise GeometryError("Rect.from_points: empty point sequence")
+            raise GeometryError(
+                "Rect.from_points: empty point sequence") from None
         min_x = max_x = x0
         min_y = max_y = y0
         for x, y in it:

@@ -1,0 +1,16 @@
+"""repro.lint — AST-based invariant checker for the serving stack.
+
+Run as ``python -m repro.lint src/``; programmatic entry point is
+:func:`repro.lint.engine.run`. See the README "Static analysis"
+section for the rule catalog and the pragma/baseline workflow.
+"""
+
+from .baseline import Baseline
+from .engine import LintResult, rule_catalog_key, run
+from .findings import Finding, summarize
+from .rules import all_rules
+
+__all__ = [
+    "Baseline", "Finding", "LintResult", "all_rules",
+    "rule_catalog_key", "run", "summarize",
+]

@@ -1,0 +1,96 @@
+"""CLI: ``python -m repro.lint src/ [--format=json] [--strict] ...``.
+
+Exit codes: 0 — gate clean (no unbaselined errors; warnings too, under
+``--strict``); 1 — gate failures; 2 — usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .baseline import Baseline
+from .engine import rule_catalog_key, run
+from .rules import all_rules
+
+DEFAULT_BASELINE = Path(".repro-lint-baseline.json")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-based invariant checker for the serving stack.")
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files or directories to check")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    parser.add_argument("--baseline", type=Path,
+                        default=DEFAULT_BASELINE,
+                        help="baseline file of grandfathered findings "
+                             "(default: %(default)s; missing = empty)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="snapshot current findings into the "
+                             "baseline file and exit 0")
+    parser.add_argument("--strict", action="store_true",
+                        help="warnings also fail the gate")
+    parser.add_argument("--root", type=Path, default=None,
+                        help="root for repo-relative paths "
+                             "(default: cwd)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    parser.add_argument("--catalog-key", action="store_true",
+                        help="print the id=version cache key and exit")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            kind = "cross-file" if rule.cross_file else "per-file"
+            print(f"{rule.id}  {rule.name}  [{kind}, {rule.severity}, "
+                  f"v{rule.version}]")
+            print(f"       {rule.description}")
+        return 0
+    if args.catalog_key:
+        print(rule_catalog_key())
+        return 0
+    if not args.paths:
+        print("error: no paths given (try: python -m repro.lint src/)",
+              file=sys.stderr)
+        return 2
+
+    baseline = Baseline.load(args.baseline)
+    result = run(args.paths, root=args.root, baseline=baseline)
+
+    if args.write_baseline:
+        Baseline.from_findings(result.findings).save(args.baseline)
+        print(f"wrote {len(result.findings)} fingerprint(s) to "
+              f"{args.baseline}")
+        return 0
+
+    failures = result.gate_failures(strict=args.strict)
+    if args.format == "json":
+        print(json.dumps({
+            "files_checked": result.files_checked,
+            "summary": result.summary,
+            "gate_failures": len(failures),
+            "catalog_key": rule_catalog_key(result.rules),
+            "findings": [f.to_json() for f in result.findings],
+        }, indent=2, sort_keys=True))
+    else:
+        for finding in result.findings:
+            print(finding.render())
+        s = result.summary
+        print(f"checked {result.files_checked} file(s): "
+              f"{s['errors']} error(s), {s['warnings']} warning(s), "
+              f"{s['baselined']} baselined")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

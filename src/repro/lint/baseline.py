@@ -1,0 +1,82 @@
+"""Baseline file: grandfathered findings.
+
+The baseline is a checked-in JSON file listing finding fingerprints
+(``rule``/``path``/``message`` — deliberately line-number free, see
+:meth:`repro.lint.findings.Finding.fingerprint`) that are known and
+accepted. Findings matching a baseline entry are still reported, but
+marked ``baselined`` and excluded from the gate's exit code.
+
+The intended workflow when adopting a new rule over a large codebase
+is: run with ``--write-baseline`` to snapshot the existing debt, commit
+the file, and burn it down over time. For this repo the acceptance bar
+is stricter — the shipped baseline stays empty for error-severity
+rules; genuine violations get fixed, not grandfathered.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Set, Tuple
+
+from .findings import Finding
+
+_FORMAT_VERSION = 1
+
+Fingerprint = Tuple[str, str, str]  # (rule, path, message)
+
+
+def _key(finding: Finding) -> Fingerprint:
+    fp = finding.fingerprint()
+    return (fp["rule"], fp["path"], fp["message"])
+
+
+class Baseline:
+    """A set of grandfathered finding fingerprints."""
+
+    def __init__(self, entries: Set[Fingerprint] = frozenset()) -> None:
+        self._entries: Set[Fingerprint] = set(entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, finding: Finding) -> bool:
+        return _key(finding) in self._entries
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Load from ``path``; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        entries = {
+            (e["rule"], e["path"], e["message"])
+            for e in data.get("findings", [])
+        }
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        return cls({_key(f) for f in findings})
+
+    def save(self, path: Path) -> None:
+        entries = [
+            {"rule": rule, "path": rel, "message": message}
+            for rule, rel, message in sorted(self._entries)
+        ]
+        payload = {"version": _FORMAT_VERSION, "findings": entries}
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                        + "\n", encoding="utf-8")
+
+    def apply(self, findings: List[Finding]) -> List[Finding]:
+        """Return ``findings`` with matching ones marked baselined."""
+        out: List[Finding] = []
+        for finding in findings:
+            if finding in self:
+                out.append(Finding(
+                    rule=finding.rule, path=finding.path,
+                    line=finding.line, severity=finding.severity,
+                    message=finding.message, baselined=True))
+            else:
+                out.append(finding)
+        return out

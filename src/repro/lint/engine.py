@@ -1,0 +1,136 @@
+"""The lint engine: collect files, run rules, filter, report.
+
+Orchestration order matters and is fixed:
+
+1. parse every ``.py`` file under the given paths into a
+   :class:`FileContext` (a file that fails to parse becomes a single
+   ``PARSE`` error finding — the gate should fail loudly, not skip);
+2. run per-file rules on each context, then cross-file rules on the
+   whole list;
+3. drop findings suppressed by a same-line
+   ``# repro-lint: ignore[rule-id]`` pragma;
+4. mark findings matching the baseline as grandfathered;
+5. sort by location.
+
+Exit-code policy (see :func:`LintResult.gate_failures`): unbaselined
+*error*-severity findings fail the gate; warnings only fail under
+``--strict``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from .baseline import Baseline
+from .findings import SEVERITY_ERROR, Finding, summarize
+from .rules import CrossFileRule, FileContext, Rule, all_rules
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules"})
+
+
+def collect_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Every ``.py`` file under ``paths``, sorted, hidden dirs skipped."""
+    seen = set()
+    for path in paths:
+        if path.is_file() and path.suffix == ".py":
+            candidates: Iterable[Path] = [path]
+        elif path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            candidates = []
+        for candidate in candidates:
+            parts = candidate.parts
+            if any(p in _SKIP_DIRS or p.startswith(".") for p in parts
+                   if p not in (".", "..")):
+                continue
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        rel = path.resolve().relative_to(root.resolve())
+    except ValueError:
+        rel = path
+    return rel.as_posix()
+
+
+@dataclass
+class LintResult:
+    findings: List[Finding]
+    files_checked: int
+    rules: List[Rule]
+
+    @property
+    def summary(self) -> Dict[str, int]:
+        return summarize(self.findings)
+
+    def gate_failures(self, strict: bool = False) -> List[Finding]:
+        """Findings that should fail the gate."""
+        out = []
+        for finding in self.findings:
+            if finding.baselined:
+                continue
+            if finding.severity == SEVERITY_ERROR or strict:
+                out.append(finding)
+        return out
+
+
+def run(paths: Sequence[Path], *, root: Optional[Path] = None,
+        baseline: Optional[Baseline] = None,
+        rules: Optional[Sequence[Rule]] = None) -> LintResult:
+    """Run the engine over ``paths``.
+
+    ``root`` anchors repo-relative finding paths (defaults to the
+    current working directory — run from the repo root); ``rules``
+    defaults to the full shipped catalog.
+    """
+    root = root or Path.cwd()
+    active: List[Rule] = list(rules) if rules is not None else all_rules()
+    per_file = [r for r in active if not r.cross_file]
+    cross = [r for r in active if isinstance(r, CrossFileRule)]
+
+    ctxs: List[FileContext] = []
+    findings: List[Finding] = []
+    files_checked = 0
+    for path in collect_files(paths):
+        files_checked += 1
+        rel = _relpath(path, root)
+        try:
+            ctxs.append(FileContext.parse(path, rel))
+        except SyntaxError as exc:
+            findings.append(Finding(
+                rule="PARSE", path=rel, line=exc.lineno or 1,
+                severity=SEVERITY_ERROR,
+                message=f"file does not parse: {exc.msg}"))
+
+    for ctx in ctxs:
+        for rule in per_file:
+            for finding in rule.check_file(ctx):
+                if not ctx.is_suppressed(finding.rule, finding.line):
+                    findings.append(finding)
+
+    ctx_by_path = {ctx.relpath: ctx for ctx in ctxs}
+    for rule in cross:
+        for finding in rule.check_project(ctxs):
+            ctx = ctx_by_path.get(finding.path)
+            if ctx and ctx.is_suppressed(finding.rule, finding.line):
+                continue
+            findings.append(finding)
+
+    if baseline is not None:
+        findings = baseline.apply(findings)
+    findings.sort()
+    return LintResult(findings=findings, files_checked=files_checked,
+                      rules=active)
+
+
+def rule_catalog_key(rules: Optional[Sequence[Rule]] = None) -> str:
+    """Stable ``id=version`` key for CI cache invalidation."""
+    active = list(rules) if rules is not None else all_rules()
+    return ",".join(f"{r.id}={r.version}"
+                    for r in sorted(active, key=lambda r: r.id))

@@ -1,0 +1,81 @@
+"""The finding model: what a rule reports and how it is rendered.
+
+A :class:`Finding` is one violation at one source location. Findings
+are value objects — hashable, ordered by location — so the engine can
+de-duplicate, sort, baseline-match, and render them without knowing
+which rule produced them.
+
+Severities: ``error`` findings fail the gate (CI, the pytest gate, and
+``python -m repro.lint``'s exit code); ``warning`` findings are printed
+but do not fail unless ``--strict``. Rules pick the severity per
+finding — e.g. the hot-path rule reports ``time.time()`` as a warning
+(``perf_counter`` preferred) but eager formatting as an error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+SEVERITIES = (SEVERITY_ERROR, SEVERITY_WARNING)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one location.
+
+    ``path`` is repo-relative with forward slashes (stable across
+    machines — it is the baseline fingerprint's key); ``line`` is
+    1-based. ``message`` states the invariant broken and, where
+    practical, the offending expression.
+    """
+
+    path: str
+    line: int
+    rule: str = field(compare=False)
+    severity: str = field(compare=False)
+    message: str = field(compare=False)
+    #: Whether a checked-in baseline entry grandfathers this finding
+    #: (set by the engine, never by rules).
+    baselined: bool = field(default=False, compare=False)
+
+    def fingerprint(self) -> Dict[str, str]:
+        """The location-independent identity used by the baseline file.
+
+        Line numbers shift on every edit, so the baseline matches on
+        ``(rule, path, message)`` — a grandfathered finding stays
+        grandfathered until its code (and therefore its message) moves
+        or changes.
+        """
+        return {"rule": self.rule, "path": self.path,
+                "message": self.message}
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "severity": self.severity,
+            "message": self.message,
+            "baselined": self.baselined,
+        }
+
+    def render(self) -> str:
+        suffix = "  (baselined)" if self.baselined else ""
+        return (f"{self.path}:{self.line}: {self.rule} "
+                f"{self.severity}: {self.message}{suffix}")
+
+
+def summarize(findings: List[Finding]) -> Dict[str, int]:
+    """Counts by severity, split by baselined status."""
+    out = {"errors": 0, "warnings": 0, "baselined": 0}
+    for finding in findings:
+        if finding.baselined:
+            out["baselined"] += 1
+        elif finding.severity == SEVERITY_ERROR:
+            out["errors"] += 1
+        else:
+            out["warnings"] += 1
+    return out

@@ -1,0 +1,30 @@
+"""The rule catalog. New rules: subclass Rule/CrossFileRule, add here."""
+
+from typing import List
+
+from .base import CrossFileRule, FileContext, Rule
+from .async_purity import AsyncPurityRule
+from .error_taxonomy import ErrorTaxonomyRule
+from .fork_safety import ForkSafetyRule
+from .hot_path import HotPathRule
+from .lock_discipline import LockDisciplineRule
+from .telemetry import TelemetryRegistrationRule
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every shipped rule, in id order."""
+    return [
+        LockDisciplineRule(),
+        AsyncPurityRule(),
+        HotPathRule(),
+        TelemetryRegistrationRule(),
+        ErrorTaxonomyRule(),
+        ForkSafetyRule(),
+    ]
+
+
+__all__ = [
+    "Rule", "CrossFileRule", "FileContext", "all_rules",
+    "LockDisciplineRule", "AsyncPurityRule", "HotPathRule",
+    "TelemetryRegistrationRule", "ErrorTaxonomyRule", "ForkSafetyRule",
+]

@@ -1,0 +1,87 @@
+"""RL002 — no blocking calls inside ``async def``.
+
+Origin bug: PR 7's asyncio front had its event loop shared by every
+connection; one synchronous sleep or blocking socket read inside a
+coroutine stalls all of them (the keep-alive desync audit traced to
+exactly this shape). The invariant: coroutine bodies never call the
+blocking stdlib surface — ``time.sleep``, synchronous socket ops, file
+I/O, ``Lock.acquire`` — they delegate to executors or the ``await``-
+native equivalents.
+
+Nested *sync* ``def``s inside a coroutine are not flagged: they run
+when somebody calls them, which is a call-site question, not a
+definition-site one.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from ..findings import Finding
+from .base import FileContext, Rule, body_nodes, dotted_name
+
+#: Fully dotted calls that block the event loop.
+_BLOCKING_DOTTED = frozenset({
+    "time.sleep",
+    "socket.socket", "socket.create_connection",
+    "socket.getaddrinfo", "socket.gethostbyname",
+    "subprocess.run", "subprocess.check_output", "subprocess.check_call",
+    "os.system", "os.waitpid",
+})
+
+#: Bare names (``from time import sleep``; builtin ``open``).
+_BLOCKING_NAMES = frozenset({"sleep", "open"})
+
+#: Method names whose receivers are (in this codebase) sockets, locks,
+#: or file handles — all blocking when called synchronously.
+_BLOCKING_METHODS = frozenset({
+    "acquire",                              # Lock/Semaphore
+    "recv", "recv_into", "sendall", "accept",  # socket
+    "read_text", "write_text", "read_bytes", "write_bytes",  # Path I/O
+})
+
+
+class AsyncPurityRule(Rule):
+    id = "RL002"
+    name = "async-purity"
+    description = (
+        "`async def` bodies must not make blocking calls (time.sleep, "
+        "sync socket ops, file I/O, Lock.acquire); use the awaitable "
+        "equivalent or an executor.")
+    version = 1
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_coroutine(ctx, node)
+
+    def _check_coroutine(self, ctx: FileContext,
+                         func: ast.AsyncFunctionDef,
+                         ) -> Iterable[Finding]:
+        for node in body_nodes(func):
+            if not isinstance(node, ast.Call):
+                continue
+            label = self._blocking_label(node)
+            if label is None:
+                continue
+            yield self.finding(
+                ctx, node,
+                f"blocking call `{label}` inside `async def "
+                f"{func.name}`; await the async equivalent or move it "
+                f"to an executor")
+
+    @staticmethod
+    def _blocking_label(call: ast.Call) -> Optional[str]:
+        dn = dotted_name(call.func)
+        if dn is not None:
+            if dn in _BLOCKING_DOTTED:
+                return dn
+            if dn in _BLOCKING_NAMES:
+                return dn
+        if isinstance(call.func, ast.Attribute):
+            if call.func.attr in _BLOCKING_METHODS:
+                receiver = dotted_name(call.func.value)
+                return (f"{receiver}.{call.func.attr}" if receiver
+                        else f"<expr>.{call.func.attr}")
+        return None

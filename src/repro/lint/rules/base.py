@@ -1,0 +1,207 @@
+"""Rule framework: file contexts, the rule base classes, AST helpers.
+
+Rules come in two shapes:
+
+* :class:`Rule` — per-file: ``check_file(ctx)`` sees one parsed module
+  at a time and yields findings for it;
+* :class:`CrossFileRule` — whole-project: ``check_project(ctxs)`` sees
+  every parsed module at once, for invariants that live *between*
+  files (e.g. "every lazily-incremented metric family has an eager
+  registration site somewhere").
+
+Every rule carries a ``version``; bump it whenever the rule's logic
+changes so CI caches keyed on rule versions invalidate (see the
+``lint-deep`` job).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..findings import SEVERITY_ERROR, Finding
+
+#: Inline suppression: ``# repro-lint: ignore[RL001]`` (or a comma
+#: list) on the line a finding is reported at.
+_PRAGMA_RE = re.compile(
+    r"#\s*repro-lint:\s*ignore\[([A-Za-z0-9_,\s]+)\]")
+
+
+def parse_pragmas(source: str) -> Dict[int, Set[str]]:
+    """``{line: {rule ids ignored on it}}`` from inline pragmas."""
+    pragmas: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA_RE.search(line)
+        if match:
+            pragmas[lineno] = {
+                rule.strip() for rule in match.group(1).split(",")
+                if rule.strip()
+            }
+    return pragmas
+
+
+@dataclass
+class FileContext:
+    """One parsed source file, shared by every rule."""
+
+    path: Path
+    relpath: str  # repo-relative, forward slashes
+    source: str
+    tree: ast.AST
+    pragmas: Dict[int, Set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: Path, relpath: str) -> "FileContext":
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        return cls(path=path, relpath=relpath, source=source, tree=tree,
+                   pragmas=parse_pragmas(source))
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        return rule_id in self.pragmas.get(line, ())
+
+
+class Rule:
+    """Base class: one invariant, checked per file."""
+
+    id: str = ""
+    name: str = ""
+    description: str = ""
+    severity: str = SEVERITY_ERROR
+    #: Bumped on logic changes; CI caches key on the catalog of
+    #: ``(id, version)`` pairs.
+    version: int = 1
+    cross_file: bool = False
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str,
+                severity: Optional[str] = None) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=ctx.relpath,
+            line=getattr(node, "lineno", 1),
+            severity=self.severity if severity is None else severity,
+            message=message,
+        )
+
+
+class CrossFileRule(Rule):
+    """Base class: one invariant, checked over the whole project."""
+
+    cross_file = True
+
+    def check_project(self, ctxs: List[FileContext],
+                      ) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        return ()
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers
+# ----------------------------------------------------------------------
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def iter_functions(tree: ast.AST,
+                   ) -> Iterator[Tuple[ast.AST, Optional[str]]]:
+    """Every (async) function definition with its enclosing class name."""
+    class _Visitor(ast.NodeVisitor):
+        def __init__(self) -> None:
+            self.found: List[Tuple[ast.AST, Optional[str]]] = []
+            self._class: List[str] = []
+
+        def visit_ClassDef(self, node: ast.ClassDef) -> None:
+            self._class.append(node.name)
+            self.generic_visit(node)
+            self._class.pop()
+
+        def _function(self, node: ast.AST) -> None:
+            self.found.append(
+                (node, self._class[-1] if self._class else None))
+            self.generic_visit(node)
+
+        visit_FunctionDef = _function
+        visit_AsyncFunctionDef = _function
+
+    visitor = _Visitor()
+    visitor.visit(tree)
+    return iter(visitor.found)
+
+
+def body_nodes(func: ast.AST, *, skip_nested: bool = True,
+               ) -> Iterator[ast.AST]:
+    """Every node lexically inside ``func``'s own body.
+
+    ``skip_nested`` stops at nested function/class definitions: a
+    closure defined on the hot path runs on somebody else's schedule,
+    and its body is visited when the walker reaches *it*.
+    """
+    stack: List[ast.AST] = list(getattr(func, "body", []))
+    nested = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+              ast.Lambda)
+    while stack:
+        node = stack.pop()
+        yield node
+        # a nested definition is yielded (its decorators/name are part
+        # of this body) but never descended into
+        if skip_nested and isinstance(node, nested):
+            continue
+        for child in ast.iter_child_nodes(node):
+            stack.append(child)
+
+
+def with_lock_lines(func: ast.AST) -> Set[int]:
+    """Line numbers lexically covered by a ``with <...lock...>:`` block.
+
+    The context expression is matched textually — any ``with`` whose
+    item mentions ``lock`` (``self._lock``, ``registration.lock``,
+    ``self._apply_lock.acquire``-style wrappers) counts. Lexical
+    coverage is what the lock-discipline rule enforces: holding the
+    lock somewhere up the call stack is invisible here by design —
+    helpers that rely on a caller's lock must say so with the
+    ``_locked`` naming convention.
+    """
+    covered: Set[int] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, (ast.With, ast.AsyncWith)):
+            continue
+        guarded = any(
+            "lock" in ast.dump(item.context_expr).lower()
+            for item in node.items
+        )
+        if not guarded:
+            continue
+        end = getattr(node, "end_lineno", node.lineno)
+        covered.update(range(node.lineno, (end or node.lineno) + 1))
+    return covered
+
+
+def param_names(func: ast.AST) -> Set[str]:
+    args = getattr(func, "args", None)
+    if args is None:
+        return set()
+    names = {a.arg for a in (args.posonlyargs + args.args
+                             + args.kwonlyargs)}
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    names.discard("self")
+    names.discard("cls")
+    return names

@@ -1,0 +1,153 @@
+"""RL001 — lock discipline for registry/lifecycle shared state.
+
+Origin bug: PR 4's audit found ``register_index`` publishing a
+half-built registration (non-atomic insert), and PR 8's fleet reloads
+racing ``converged``/``last_error`` between the apply thread and the
+poller. The invariant: inside the classes that own fleet-visible
+mutable state (``IndexRegistry``, ``FleetLifecycle``), every write to
+an instance attribute established in ``__init__`` must happen lexically
+under a ``with <...lock...>:`` block.
+
+Two escapes, both deliberate conventions of this codebase:
+
+* ``__init__`` itself — no other thread can hold a reference yet;
+* methods named ``*_locked`` — the documented "caller holds the lock"
+  convention (``_materialize_locked`` et al.). The rule trusts the
+  name; reviewers enforce the call sites.
+
+Attributes whose own name mentions ``lock`` are exempt (assigning the
+lock is how you get one).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..findings import Finding
+from .base import FileContext, Rule, with_lock_lines
+
+#: Classes whose instance state is shared across threads.
+GUARDED_CLASSES = frozenset({"IndexRegistry", "FleetLifecycle"})
+
+#: Method calls that mutate a container in place.
+_MUTATORS = frozenset({
+    "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+    "update", "add", "discard", "setdefault", "appendleft", "sort",
+})
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``X`` if ``node`` is ``self.X``, else ``None``."""
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+def _written_attrs(stmt: ast.AST) -> List[ast.AST]:
+    """Targets of ``stmt`` that write through ``self.<attr>``."""
+    targets: List[ast.AST] = []
+    if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+        raw = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        for target in raw:
+            for node in ast.walk(target):
+                if isinstance(node, (ast.Attribute, ast.Subscript)):
+                    targets.append(node)
+    elif isinstance(stmt, ast.Delete):
+        for target in stmt.targets:
+            for node in ast.walk(target):
+                if isinstance(node, (ast.Attribute, ast.Subscript)):
+                    targets.append(node)
+    return targets
+
+
+def _target_attr(node: ast.AST) -> Optional[str]:
+    """Shared-attr name written by a target node, unwrapping subscripts."""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    return _self_attr(node)
+
+
+class LockDisciplineRule(Rule):
+    id = "RL001"
+    name = "lock-discipline"
+    description = (
+        "Writes to IndexRegistry/FleetLifecycle instance state must be "
+        "lexically under `with <lock>:`; `__init__` and `*_locked` "
+        "methods (caller-holds-lock convention) are exempt.")
+    version = 1
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if (isinstance(node, ast.ClassDef)
+                    and node.name in GUARDED_CLASSES):
+                yield from self._check_class(ctx, node)
+
+    # -- per class ------------------------------------------------------
+    def _check_class(self, ctx: FileContext,
+                     cls: ast.ClassDef) -> Iterable[Finding]:
+        shared = self._shared_attrs(cls)
+        if not shared:
+            return
+        for item in cls.body:
+            if not isinstance(item, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            if item.name == "__init__" or item.name.endswith("_locked"):
+                continue
+            yield from self._check_method(ctx, cls, item, shared)
+
+    @staticmethod
+    def _shared_attrs(cls: ast.ClassDef) -> Set[str]:
+        shared: Set[str] = set()
+        for item in cls.body:
+            if (isinstance(item, ast.FunctionDef)
+                    and item.name == "__init__"):
+                for stmt in ast.walk(item):
+                    if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                        targets = (stmt.targets
+                                   if isinstance(stmt, ast.Assign)
+                                   else [stmt.target])
+                        for target in targets:
+                            attr = _self_attr(target)
+                            if attr and "lock" not in attr.lower():
+                                shared.add(attr)
+        return shared
+
+    def _check_method(self, ctx: FileContext, cls: ast.ClassDef,
+                      func: ast.AST, shared: Set[str],
+                      ) -> Iterable[Finding]:
+        locked = with_lock_lines(func)
+        seen: Dict[int, Set[str]] = {}
+        for node in ast.walk(func):
+            attr: Optional[str] = None
+            # Direct writes: self.X = / self.X[...] = / del self.X[...]
+            for target in _written_attrs(node):
+                cand = _target_attr(target)
+                if cand in shared:
+                    attr = cand
+                    break
+            # In-place mutators: self.X.append(...) etc.
+            if attr is None and isinstance(node, ast.Call):
+                func_node = node.func
+                if (isinstance(func_node, ast.Attribute)
+                        and func_node.attr in _MUTATORS):
+                    cand = _self_attr(func_node.value)
+                    if cand in shared:
+                        attr = cand
+            if attr is None:
+                continue
+            line = node.lineno
+            if line in locked:
+                continue
+            if attr in seen.get(line, set()):
+                continue
+            seen.setdefault(line, set()).add(attr)
+            yield self.finding(
+                ctx, node,
+                f"{cls.name}.{getattr(func, 'name', '?')} writes shared "
+                f"attribute `self.{attr}` outside `with <lock>:`; hold "
+                f"the instance lock or rename the method `*_locked` if "
+                f"the caller holds it")

@@ -1,0 +1,120 @@
+"""RL004 — telemetry families must be registered eagerly (cross-file).
+
+Origin bug: PR 7's audit — counter families created lazily on first
+``.inc()`` don't exist at scrape time until traffic arrives, so
+dashboards see series appear mid-incident and rate() windows start
+broken. The invariant since then: every counter/histogram *name* that
+is used via a chained ``metrics.counter("x").inc()`` /
+``metrics.histogram("x").observe()`` must also have an eager
+registration site somewhere in the project — a non-chained
+``metrics.counter("x")`` / ``metrics.histogram("x")`` (typically in
+``set_telemetry`` / frontend ``__init__``) or a
+``metrics.register(counters=(...), histograms=(...))`` call.
+
+Scope notes:
+
+* only receivers whose expression ends in ``metrics`` count (so the
+  Prometheus renderer, which *iterates* families, is out of scope);
+* non-constant names (``metrics.counter(name_var)``) are skipped —
+  dynamic families are the aggregator's business, not this rule's.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..findings import Finding
+from .base import CrossFileRule, FileContext, dotted_name
+
+_FAMILY_FACTORIES = frozenset({"counter", "histogram"})
+_USE_METHODS = frozenset({"inc", "observe"})
+
+
+def _is_metrics_receiver(node: ast.AST) -> bool:
+    dn = dotted_name(node)
+    return dn is not None and (dn == "metrics"
+                               or dn.endswith(".metrics")
+                               or dn.endswith("_metrics"))
+
+
+def _family_call(node: ast.AST) -> Optional[Tuple[str, ast.Call]]:
+    """``(name, call)`` if ``node`` is ``<metrics>.counter("name")``."""
+    if (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _FAMILY_FACTORIES
+            and _is_metrics_receiver(node.func.value)
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)):
+        return node.args[0].value, node
+    return None
+
+
+class TelemetryRegistrationRule(CrossFileRule):
+    id = "RL004"
+    name = "telemetry-registration"
+    description = (
+        "Every counter/histogram name used via chained "
+        "`metrics.counter(name).inc()` / `.histogram(name).observe()` "
+        "must have an eager registration site (non-chained factory "
+        "call or `metrics.register(...)`) so families exist "
+        "pre-traffic.")
+    version = 1
+
+    def check_project(self, ctxs: List[FileContext],
+                      ) -> Iterable[Finding]:
+        registered: Set[str] = set()
+        # (name, ctx, node) per lazy chained use.
+        uses: List[Tuple[str, FileContext, ast.Call]] = []
+
+        for ctx in ctxs:
+            chained: Dict[int, bool] = {}
+            # First pass: mark factory calls that are the inner link of
+            # a `.inc()` / `.observe()` chain.
+            for node in ast.walk(ctx.tree):
+                if (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr in _USE_METHODS):
+                    inner = _family_call(node.func.value)
+                    if inner is not None:
+                        name, call = inner
+                        chained[id(call)] = True
+                        uses.append((name, ctx, node))
+            # Second pass: every other factory call (plus explicit
+            # register()) is an eager registration site.
+            for node in ast.walk(ctx.tree):
+                fam = _family_call(node)
+                if fam is not None and not chained.get(id(fam[1])):
+                    registered.add(fam[0])
+                    continue
+                registered.update(self._register_call_names(node))
+
+        for name, ctx, node in uses:
+            if name in registered:
+                continue
+            yield self.finding(
+                ctx, node,
+                f"metric family `{name}` is used lazily but never "
+                f"registered eagerly; families must exist pre-traffic "
+                f"— add it to a `metrics.register(...)` /"
+                f" `set_telemetry` registration site")
+
+    @staticmethod
+    def _register_call_names(node: ast.AST) -> Set[str]:
+        """Names in ``metrics.register(counters=..., histograms=...)``."""
+        names: Set[str] = set()
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "register"
+                and _is_metrics_receiver(node.func.value)):
+            return names
+        literal_args: List[ast.AST] = list(node.args)
+        literal_args.extend(kw.value for kw in node.keywords
+                            if kw.arg in ("counters", "histograms"))
+        for arg in literal_args:
+            for sub in ast.walk(arg):
+                if (isinstance(sub, ast.Constant)
+                        and isinstance(sub.value, str)):
+                    names.add(sub.value)
+        return names

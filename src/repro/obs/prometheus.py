@@ -231,7 +231,8 @@ def parse_exposition(text: str) -> Dict[str, Dict]:
                 value = float(value_text)
         except ValueError:
             raise ValueError(
-                f"line {lineno}: bad sample value {value_text!r}")
+                f"line {lineno}: bad sample value {value_text!r}",
+            ) from None
         base = name
         for suffix in ("_bucket", "_sum", "_count"):
             if name.endswith(suffix) and name[:-len(suffix)] \

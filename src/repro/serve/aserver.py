@@ -51,6 +51,17 @@ from .budget import Budget
 from .service import ACTService
 
 
+def _bin_request_id(request_id: int) -> str:
+    """Trace id for a binary frame.
+
+    Deterministic from the wire request id when the client sent one
+    (so client and server logs correlate), freshly minted otherwise.
+    Minting is intrinsic per-request work, kept out of the frame
+    handler itself so the handler stays formatting-free.
+    """
+    return f"bin-{request_id:x}" if request_id else mint_request_id()
+
+
 def _release(view: memoryview) -> None:
     """Release a view over an immutable frame buffer (hygiene only —
     the buffers are ``bytes``, so a still-exported view is harmless)."""
@@ -177,12 +188,10 @@ class _BinaryProtocol(asyncio.Protocol):
         if op == binproto.OP_PING:
             self._write(binproto.encode_pong(request_id))
             return
-        if op not in (binproto.OP_QUERY, binproto.OP_JOIN):
-            self._send_error(binproto.STATUS_BAD_REQUEST,
-                             f"unknown op 0x{op:02x}", request_id)
-            return
         start = time.perf_counter()
         try:
+            if op not in (binproto.OP_QUERY, binproto.OP_JOIN):
+                raise binproto.FrameError(f"unknown op 0x{op:02x}")
             name, lngs, lats, budget_ms = \
                 binproto.decode_points_request(payload)
         except binproto.FrameError as exc:
@@ -190,8 +199,7 @@ class _BinaryProtocol(asyncio.Protocol):
             return
         exact = bool(flags & binproto.FLAG_EXACT)
         budget = None if budget_ms is None else Budget.from_ms(budget_ms)
-        service_id = (f"bin-{request_id:x}" if request_id
-                      else mint_request_id())
+        service_id = _bin_request_id(request_id)
         try:
             if op == binproto.OP_QUERY:
                 results = self.service.query_batch(

@@ -92,6 +92,14 @@ class MicroBatcher:
         self.max_wait = max_wait
         self.name = name
         self._metrics = metrics if metrics is not None else MetricsRegistry()
+        # families exist pre-traffic (the PR 7 invariant, checked by
+        # lint rule RL004); batch_size must be created here so its
+        # custom bucket ladder is the one that sticks
+        self._metrics.register(
+            counters=("batcher.shed", "batcher.batches",
+                      "batcher.queries"))
+        self._metrics.histogram("batcher.batch_size",
+                                bounds=_BATCH_SIZE_BOUNDS)
         self._queue: "queue.Queue" = queue.Queue()
         self._worker: Optional[threading.Thread] = None
         self._lock = threading.Lock()

@@ -52,7 +52,7 @@ import random
 import socket
 import struct
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -64,6 +64,11 @@ from ..errors import (
     ServeError,
     UnknownIndexError,
 )
+
+#: Anything the decoders accept as a frame or payload byte buffer.
+Buffer = Union[bytes, bytearray, memoryview]
+#: Point columns: an ndarray or anything ``np.asarray`` turns into one.
+PointArray = Union[np.ndarray, Sequence[float]]
 
 #: Frame magic: "ACT Binary".
 MAGIC = b"ACTB"
@@ -118,7 +123,7 @@ class FrameError(ServeError):
     """
 
     def __init__(self, message: str, status: int = STATUS_BAD_REQUEST,
-                 fatal: bool = False):
+                 fatal: bool = False) -> None:
         super().__init__(message)
         self.status = status
         self.fatal = fatal
@@ -133,7 +138,7 @@ def encode_header(op: int, flags: int, request_id: int,
                        payload_len, 0)
 
 
-def try_parse_header(buf, offset: int = 0,
+def try_parse_header(buf: Buffer, offset: int = 0,
                      ) -> Optional[Tuple[int, int, int, int]]:
     """``(op, flags, request_id, payload_len)`` at ``buf[offset:]``.
 
@@ -191,7 +196,7 @@ def encode_points_request(op: int, index: str, lngs: np.ndarray,
     ))
 
 
-def decode_points_request(payload,
+def decode_points_request(payload: Buffer,
                           ) -> Tuple[str, np.ndarray, np.ndarray,
                                      Optional[float]]:
     """``(index, lngs, lats, budget_ms)`` from a points-request payload.
@@ -235,8 +240,8 @@ def encode_results(results: Sequence[QueryResult],
     n = len(results)
     true_counts = np.empty(n, dtype="<u4")
     cand_counts = np.empty(n, dtype="<u4")
-    true_parts: List[Tuple[int, ...]] = []
-    cand_parts: List[Tuple[int, ...]] = []
+    true_parts: List[int] = []
+    cand_parts: List[int] = []
     for i, result in enumerate(results):
         true_counts[i] = len(result.true_hits)
         cand_counts[i] = len(result.candidates)
@@ -256,7 +261,7 @@ def encode_results(results: Sequence[QueryResult],
     ))
 
 
-def decode_results(payload) -> List[QueryResult]:
+def decode_results(payload: Buffer) -> List[QueryResult]:
     """Reassemble :class:`QueryResult` per point from an ``OP_RESULTS``
     payload (strict: every count is checked against the byte budget)."""
     if len(payload) < _RES.size:
@@ -308,7 +313,7 @@ def encode_counts(polygon_ids: np.ndarray, counts: np.ndarray,
     ))
 
 
-def decode_counts(payload) -> Dict[int, int]:
+def decode_counts(payload: Buffer) -> Dict[int, int]:
     """``{polygon_id: count}`` from an ``OP_COUNTS`` payload."""
     if len(payload) < _CNT.size:
         raise FrameError("truncated counts payload")
@@ -336,7 +341,7 @@ def encode_error(status: int, message: str,
     ))
 
 
-def decode_error(payload) -> Tuple[int, str]:
+def decode_error(payload: Buffer) -> Tuple[int, str]:
     if len(payload) < _ERR.size:
         raise FrameError("truncated error payload")
     status, _ = _ERR.unpack_from(payload, 0)
@@ -352,7 +357,7 @@ def encode_pong(request_id: int = 0) -> bytes:
     return encode_header(OP_PONG, 0, request_id, 0)
 
 
-def raise_for_error(payload) -> None:
+def raise_for_error(payload: Buffer) -> None:
     """Raise the serve-layer exception an ``OP_ERROR`` payload encodes."""
     status, message = decode_error(payload)
     if status == STATUS_NOT_FOUND:
@@ -400,7 +405,7 @@ class Client:
 
     def __init__(self, host: str, port: int, timeout: float = 60.0,
                  retries: int = 2, backoff_s: float = 0.05,
-                 backoff_max_s: float = 2.0):
+                 backoff_max_s: float = 2.0) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
@@ -496,6 +501,9 @@ class Client:
         dead and clears the buffer before raising, so a later call can
         never misparse the tail of an abandoned frame as a new header.
         """
+        sock = self.sock
+        if sock is None:
+            raise ConnectionLostError("binary client has no connection")
         while True:
             try:
                 header = try_parse_header(self._buf)
@@ -511,7 +519,7 @@ class Client:
                     del self._buf[:total]
                     return op, request_id, payload
             try:
-                chunk = self.sock.recv(1 << 16)
+                chunk = sock.recv(1 << 16)
             except socket.timeout as exc:
                 mid = len(self._buf) > 0
                 self._mark_dead("receive timeout"
@@ -578,7 +586,8 @@ class Client:
                         f"failed: {exc}") from exc
 
     # -- pipelining ---------------------------------------------------
-    def send_query(self, index: str, lngs, lats, exact: bool = False,
+    def send_query(self, index: str, lngs: PointArray, lats: PointArray,
+                   exact: bool = False,
                    budget_ms: Optional[float] = None,
                    request_id: Optional[int] = None) -> int:
         request_id = self._take_id(request_id)
@@ -588,7 +597,8 @@ class Client:
             request_id)
         return request_id
 
-    def send_join(self, index: str, lngs, lats, exact: bool = False,
+    def send_join(self, index: str, lngs: PointArray, lats: PointArray,
+                  exact: bool = False,
                   budget_ms: Optional[float] = None,
                   request_id: Optional[int] = None) -> int:
         request_id = self._take_id(request_id)
@@ -617,7 +627,8 @@ class Client:
         op, got, _ = self.recv()
         return op == OP_PONG and got == request_id
 
-    def query_batch(self, index: str, lngs, lats, exact: bool = False,
+    def query_batch(self, index: str, lngs: PointArray, lats: PointArray,
+                    exact: bool = False,
                     budget_ms: Optional[float] = None,
                     ) -> List[QueryResult]:
         sent = self.send_query(index, lngs, lats, exact=exact,
@@ -629,7 +640,8 @@ class Client:
                 f"{sent} (pipelining misuse?)")
         return results
 
-    def join(self, index: str, lngs, lats, exact: bool = False,
+    def join(self, index: str, lngs: PointArray, lats: PointArray,
+             exact: bool = False,
              budget_ms: Optional[float] = None) -> Dict[int, int]:
         sent = self.send_join(index, lngs, lats, exact=exact,
                               budget_ms=budget_ms)
@@ -656,5 +668,5 @@ class Client:
     def __enter__(self) -> "Client":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()

@@ -150,14 +150,18 @@ def fault(point: str, metrics=None) -> None:
                 metrics.counter("faults.chaos_injections").inc()
             except Exception:
                 pass
+        # The builtin raises below are the *product*: the harness
+        # impersonates the OS/network failing, so the exception types
+        # must be exactly what real I/O would raise — not taxonomy
+        # classes the production handlers would treat as typed errors.
         if armed.action == "slow":
             time.sleep(armed.arg)
         elif armed.action == "fail":
-            raise OSError(f"chaos: injected I/O failure at {point}")
+            raise OSError(f"chaos: injected I/O failure at {point}")  # repro-lint: ignore[RL005]
         elif armed.action == "kill":
             os.kill(os.getpid(), signal.SIGKILL)
         elif armed.action == "reset":
-            raise ConnectionResetError(
+            raise ConnectionResetError(  # repro-lint: ignore[RL005]
                 f"chaos: injected connection reset at {point}")
 
 
@@ -194,4 +198,4 @@ def corrupt_artifact(path, mode: str = "bitflip",
         with open(path, "r+b") as fp:
             fp.truncate(size // 2 if offset is None else offset)
     else:
-        raise ValueError(f"unknown corruption mode {mode!r}")
+        raise InvalidRequestError(f"unknown corruption mode {mode!r}")

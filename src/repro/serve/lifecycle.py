@@ -213,20 +213,20 @@ def apply_admin_op(op: AdminOp, service: Optional[ACTService] = None,
                 op.name, op.source_path or op.artifact_path,
                 mmap_mode=(None if op.artifact_mmap_mode is _UNSET
                            else op.artifact_mmap_mode))
-        kwargs = dict(
-            source_path=op.source_path,
-            source_mmap_mode=op.source_mmap_mode,
-            artifact_path=op.artifact_path,
-            artifact_mmap_mode=op.artifact_mmap_mode,
-            generation=op.generation,
+        kwargs = {
+            "source_path": op.source_path,
+            "source_mmap_mode": op.source_mmap_mode,
+            "artifact_path": op.artifact_path,
+            "artifact_mmap_mode": op.artifact_mmap_mode,
+            "generation": op.generation,
             # operator-shipped bytes are hashed in full before the
             # fleet ever serves them: the lazy "header" mode never
             # touches an mmap-ed node pool, so without this a bit flip
             # deep in the pool would reload cleanly. Side artifacts
             # (artifact_path) were just written by a coordinator that
             # passed this check, so followers keep the cheap mode.
-            verify="full" if op.artifact_path is None else None,
-        )
+            "verify": "full" if op.artifact_path is None else None,
+        }
         record = (service.reload_index(op.name, **kwargs) if service
                   else registry.reload(op.name, **kwargs))
         result["generation"] = record.generation
@@ -366,6 +366,13 @@ class FleetLifecycle:
         #: The last apply/barrier failure, kept for observability even
         #: after a successful rollback restores convergence.
         self.last_error: Optional[str] = None
+        # fault families exist pre-traffic (RL004): a scrape taken
+        # before the first failure must show them at zero
+        if self._service is not None:
+            self._service.metrics.register(counters=(
+                "faults.artifact_corrupt", "faults.quarantined",
+                "faults.reload_rollbacks", "faults.apply_failures",
+            ))
 
     def status(self) -> dict:
         """The ``/readyz`` view of this process's lifecycle state."""
@@ -469,7 +476,8 @@ class FleetLifecycle:
                 try:
                     seq = int(self._control.get(SEQ_KEY) or 0) + 1
                 except (OSError, EOFError, BrokenPipeError):
-                    raise ServeError("fleet control channel is down")
+                    raise ServeError(
+                        "fleet control channel is down") from None
                 # every ack key present belongs to a finished barrier
                 # (submits are serialized by the op lock we hold):
                 # sweep them so straggler and respawn re-acks cannot
@@ -483,7 +491,8 @@ class FleetLifecycle:
                 try:
                     op, local = self._coordinate(op, seq)
                 except ArtifactCorruptError as exc:
-                    return self._abort_corrupt(op, seq, prev_desc, exc)
+                    return self._abort_corrupt_locked(
+                        op, seq, prev_desc, exc)
                 self._control[OP_KEY] = op.to_wire()
                 self._control[SEQ_KEY] = seq
                 self._last_seen = seq
@@ -507,19 +516,22 @@ class FleetLifecycle:
                     response = self._rollback(
                         op, seq, previous, prev_desc, failed, response)
                 elif response["complete"]:
-                    self.converged = True
-                    self.last_error = None
+                    with self._apply_lock:
+                        self.converged = True
+                        self.last_error = None
                     self._gc_artifacts(op.name)
                 else:
                     # stragglers timed out without NACKing — a dead
                     # worker respawns from the parent's updated registry
                     # and converges on its own; a stuck one shows here
-                    self.converged = False
-                    self.last_error = "; ".join(
-                        str(a.get("error")) for a in acks.values()
-                        if not a.get("ok"))
+                    with self._apply_lock:
+                        self.converged = False
+                        self.last_error = "; ".join(
+                            str(a.get("error")) for a in acks.values()
+                            if not a.get("ok"))
             elif response["complete"]:
-                self.last_error = None
+                with self._apply_lock:
+                    self.last_error = None
         finally:
             self._op_lock.release()
         if self._registry is not None and op.kind != OP_UNREGISTER:
@@ -576,11 +588,13 @@ class FleetLifecycle:
         )
         return op, local
 
-    def _abort_corrupt(self, op: AdminOp, seq: int,
-                       prev_desc: Optional[dict],
-                       exc: ArtifactCorruptError) -> dict:
+    def _abort_corrupt_locked(self, op: AdminOp, seq: int,
+                              prev_desc: Optional[dict],
+                              exc: ArtifactCorruptError) -> dict:
         """Coordinator-local reload failure on a corrupt artifact.
 
+        Caller holds ``_apply_lock`` (the ``_locked`` convention —
+        :meth:`submit` calls this from inside its publish block).
         Nothing was published — the fleet never saw the operation and
         every process (this one included: a failed materialization never
         swaps the pinned record) keeps serving the old generation. The
@@ -634,8 +648,9 @@ class FleetLifecycle:
             "quarantined": quarantined,
             "rolled_back": False,
         })
-        self.converged = False
-        self.last_error = response["error"]
+        with self._apply_lock:
+            self.converged = False
+            self.last_error = response["error"]
         if previous is None:
             # nothing to roll back to — the name had never materialized;
             # NACKing processes simply stay unmaterialized
@@ -680,11 +695,13 @@ class FleetLifecycle:
             # a clean rollback restores convergence (everyone on the
             # old data under the new number); last_error keeps the
             # original failure for observability
-            self.converged = rb_ok
+            with self._apply_lock:
+                self.converged = rb_ok
         except Exception as exc:  # pragma: no cover - double failure
             response["rollback_error"] = f"{type(exc).__name__}: {exc}"
-            self.converged = False
-            self.last_error = response["rollback_error"]
+            with self._apply_lock:
+                self.converged = False
+                self.last_error = response["rollback_error"]
         return response
 
     #: Side artifacts written by coordinators (see
@@ -765,17 +782,23 @@ class FleetLifecycle:
                     "ok": False,
                     "error": f"no ack from {identity!r} before timeout",
                 }
-        # best-effort cleanup: the barrier is over, drop the ack keys
+        # best-effort cleanup: the barrier is over, drop the ack keys.
+        # `_control` is a Manager proxy — every access is serialized by
+        # the manager server process, so the in-process apply lock is
+        # the wrong tool here (and in workers it is a post-fork copy).
         for identity in expected:
             try:
-                del self._control[ack_key(seq, identity)]
+                del self._control[ack_key(seq, identity)]  # repro-lint: ignore[RL001]
             except (KeyError, OSError, EOFError, BrokenPipeError):
                 pass
         return acks
 
     def _write_ack(self, seq: int, result: dict) -> None:
+        # Manager-proxy write: serialized by the manager server, and
+        # called from worker processes where the parent's apply lock
+        # would be a meaningless post-fork copy anyway.
         try:
-            self._control[ack_key(seq, self.identity)] = result
+            self._control[ack_key(seq, self.identity)] = result  # repro-lint: ignore[RL001]
         except (OSError, EOFError, BrokenPipeError):
             pass  # manager gone; the fleet is shutting down
 

@@ -148,6 +148,23 @@ class MetricsRegistry:
                     MergeableHistogram(bounds)
             return histogram
 
+    def register(self, counters: Sequence[str] = (),
+                 histograms: Sequence[str] = ()) -> None:
+        """Eagerly create metric families by name.
+
+        The PR 7 invariant: every family a component will ever
+        increment must exist *before* traffic arrives, so scrapes and
+        ``/stats`` show zeros instead of families popping into
+        existence mid-incident (which breaks ``rate()`` windows).
+        Components call this once where they first hold a registry —
+        the RL004 lint rule cross-checks that every lazily used name
+        has a registration site like this one.
+        """
+        for name in counters:
+            self.counter(name)
+        for name in histograms:
+            self.histogram(name)
+
     def ratio(self, numerator: str, denominator: str) -> Optional[float]:
         """``numerator / denominator`` counter ratio, or ``None`` when the
         denominator is still zero."""

@@ -238,8 +238,8 @@ class ACTRequestHandler(BaseHTTPRequestHandler):
         exact = params.get("exact", ["0"])[0] not in ("0", "false", "")
         try:
             budget = self._parse_budget(params.get("budget_ms", [None])[0])
-        except ValueError:
-            self._send(400, {"error": "budget_ms must be a number"})
+        except InvalidRequestError as exc:
+            self._send(400, self._error_payload(exc))
             return
         trace = self._forced_trace(params=params, kind="query")
         try:
@@ -481,28 +481,30 @@ class ACTRequestHandler(BaseHTTPRequestHandler):
         exact = bool(body.get("exact", False))
         try:
             budget = self._parse_budget(body.get("budget_ms"))
-        except ValueError:
-            self._send(400, {"error": "budget_ms must be a number"})
+        except InvalidRequestError as exc:
+            self._send(400, self._error_payload(exc))
             return None
         trace = self._forced_trace(body=body, kind=kind)
         return index_name, lngs, lats, exact, budget, trace
 
     def _parse_budget(self, raw) -> Optional[Budget]:
-        """``None`` -> no budget; malformed values raise ``ValueError``."""
+        """``None`` -> no budget; malformed values raise
+        :class:`~repro.errors.InvalidRequestError` (HTTP 400)."""
         if raw is None:
             return None
         try:
             return Budget.from_ms(float(raw))
         except (TypeError, ValueError):
-            raise ValueError(f"budget_ms must be a number, got {raw!r}")
+            raise InvalidRequestError(
+                f"budget_ms must be a number, got {raw!r}") from None
 
     def _read_json_body(self) -> Optional[dict]:
         raw_length = self.headers.get("Content-Length", "0")
         try:
             length = int(raw_length)
-            if length < 0:
-                raise ValueError
         except ValueError:
+            length = -1
+        if length < 0:
             # the body cannot be located on the stream, so a keep-alive
             # connection would misparse it as the next request (or block
             # reading to EOF on a negative length): 400 and close
@@ -598,6 +600,10 @@ class ACTHTTPServer(ThreadingHTTPServer):
         super().__init__(address, ACTRequestHandler,
                          bind_and_activate=bind_and_activate)
         self.service = service
+        # the HTTP front's families exist as soon as the server does,
+        # not on the first request (RL004)
+        service.metrics.register(
+            counters=("http.requests", "admin.requests"))
 
 
 def create_server(service: ACTService, host: str = "127.0.0.1",

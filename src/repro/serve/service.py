@@ -151,6 +151,20 @@ class ACTService:
         self._fast_path = self.metrics.counter("queries.fast_path")
         self._inline_miss = self.metrics.counter("queries.inline_miss")
         self._latency = self.metrics.histogram("queries.latency_seconds")
+        # the remaining service-adjacent families are used lazily on
+        # cold paths, but must exist pre-traffic so scrapes show zeros
+        # instead of families appearing mid-incident (RL004);
+        # faults.chaos_injections is included because every chaos seam
+        # counts against this service's registry
+        self.metrics.register(
+            counters=(
+                "queries.invalid", "queries.batched_misses",
+                "joins.total", "joins.points",
+                "admin.reloads", "admin.registers", "admin.unregisters",
+                "faults.chaos_injections",
+            ),
+            histograms=("joins.latency_seconds",),
+        )
 
     # ------------------------------------------------------------------
     # Point queries

@@ -15,14 +15,14 @@ from ..geometry.bbox import Rect
 from ..geometry.polygon import Polygon
 
 #: Figure-1 palette: covering cells blue, interior cells green.
-COVERING_STYLE = dict(fill="#4a90d9", fill_opacity=0.45,
-                      stroke="#2b6cb0", stroke_width=0.15)
-INTERIOR_STYLE = dict(fill="#48a868", fill_opacity=0.55,
-                      stroke="#2f855a", stroke_width=0.15)
-POLYGON_STYLE = dict(fill="none", fill_opacity=1.0,
-                     stroke="#1a202c", stroke_width=0.6)
-POINT_STYLE = dict(fill="#e53e3e", fill_opacity=0.9,
-                   stroke="none", stroke_width=0.0)
+COVERING_STYLE = {"fill": "#4a90d9", "fill_opacity": 0.45,
+                  "stroke": "#2b6cb0", "stroke_width": 0.15}
+INTERIOR_STYLE = {"fill": "#48a868", "fill_opacity": 0.55,
+                  "stroke": "#2f855a", "stroke_width": 0.15}
+POLYGON_STYLE = {"fill": "none", "fill_opacity": 1.0,
+                 "stroke": "#1a202c", "stroke_width": 0.6}
+POINT_STYLE = {"fill": "#e53e3e", "fill_opacity": 0.9,
+               "stroke": "none", "stroke_width": 0.0}
 
 
 class SvgCanvas:

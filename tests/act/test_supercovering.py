@@ -119,7 +119,7 @@ class TestMassConservation:
                 1 if interior else 0].append(cell)
         # skip inputs where the same polygon overlaps itself (coverer
         # never produces that; merge may legally drop duplicated claims)
-        for pid, group in per_polygon.items():
+        for group in per_polygon.values():
             own = group[0] + group[1]
             own_sorted = sorted(own, key=cellid.range_min)
             for a, b in zip(own_sorted, own_sorted[1:]):

@@ -42,10 +42,10 @@ class TestLeafCells:
     def test_all_faces_reachable(self, rng):
         lng_arr = rng.uniform(-180, 180, 4000)
         lat_arr = rng.uniform(-90, 90, 4000)
-        faces = set(
+        faces = {
             (int(c) >> cellid.POS_BITS)
             for c in GRID.leaf_cells_batch(lng_arr, lat_arr)
-        )
+        }
         assert faces == {0, 1, 2, 3, 4, 5}
 
 

@@ -1,0 +1,32 @@
+"""RL001 fixture: every shared write is locked or conventionally exempt."""
+import threading
+
+
+class IndexRegistry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}
+        self.generation = 0
+
+    def add(self, name, value):
+        with self._lock:
+            self._entries[name] = value
+            self.generation += 1
+
+    def _replace_locked(self, name, value):
+        # caller-holds-lock convention: the `_locked` suffix exempts it
+        self._entries[name] = value
+
+    def swap(self, name, value):
+        with self._lock:
+            self._replace_locked(name, value)
+
+
+class Unguarded:
+    """Not a guarded class: writes here are out of RL001's scope."""
+
+    def __init__(self):
+        self.state = {}
+
+    def poke(self, key):
+        self.state[key] = True

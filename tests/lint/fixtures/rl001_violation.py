@@ -1,0 +1,20 @@
+"""RL001 fixture: unlocked writes to guarded shared state."""
+import threading
+
+
+class IndexRegistry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}
+        self.generation = 0
+
+    def add(self, name, value):
+        self._entries[name] = value      # line 12: unlocked write
+
+    def bump(self):
+        self.generation += 1             # line 15: unlocked write
+
+    def drop(self, name):
+        with self._lock:
+            del self._entries[name]      # locked: clean
+        self._entries.pop(name, None)    # line 20: mutator outside lock

@@ -1,0 +1,20 @@
+"""RL002 fixture: coroutines that stay on the event loop."""
+import asyncio
+import time
+
+
+async def tick(loop, path):
+    await asyncio.sleep(0.1)
+    return await loop.run_in_executor(None, _read, path)
+
+
+def _read(path):
+    # sync helper: blocking here is fine, it runs on the executor
+    with open(path) as fp:
+        return fp.read()
+
+
+async def nested_sync_def_is_exempt():
+    def warmup():
+        time.sleep(0.01)  # runs when *called*, a call-site question
+    return warmup

@@ -1,0 +1,16 @@
+"""RL002 fixture: blocking calls inside coroutines."""
+import socket
+import time
+
+
+async def tick(lock, path):
+    time.sleep(0.1)                      # line 7: blocking sleep
+    lock.acquire()                       # line 8: blocking acquire
+    with open(path) as fp:               # line 9: blocking file I/O
+        return fp.read()
+
+
+async def dial(host):
+    sock = socket.create_connection((host, 80))   # line 14: sync socket
+    sock.sendall(b"ping")                         # line 15: sync send
+    return sock

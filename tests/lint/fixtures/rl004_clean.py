@@ -1,0 +1,17 @@
+"""RL004 fixture: lazy uses backed by eager registration sites."""
+
+
+class Front:
+    def __init__(self, metrics):
+        self._metrics = metrics
+        # eager sites: a register() call and a non-chained factory call
+        self._metrics.register(counters=("fixture.hits",))
+        self._metrics.histogram("fixture.latency")
+
+    def record_hit(self):
+        self._metrics.counter("fixture.hits").inc()
+        self._metrics.histogram("fixture.latency").observe(0.001)
+
+    def record_dynamic(self, name):
+        # non-constant names are out of scope (aggregator's business)
+        self._metrics.counter(name).inc()

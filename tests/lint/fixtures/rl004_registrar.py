@@ -1,0 +1,11 @@
+"""RL004 fixture: a registration site in a *different* file.
+
+Paired with ``rl004_violation.py`` in the cross-file test: the lazy
+uses there are satisfied by the eager sites here, proving the pass
+looks project-wide rather than per-file.
+"""
+
+
+def set_telemetry(metrics):
+    metrics.register(counters=("fixture.hits",),
+                     histograms=("fixture.latency",))

@@ -1,0 +1,6 @@
+"""RL004 fixture: lazy metric uses with no registration site."""
+
+
+def record_hit(metrics):
+    metrics.counter("fixture.hits").inc()                    # line 5
+    metrics.histogram("fixture.latency").observe(0.001)      # line 6

@@ -1,0 +1,12 @@
+"""RL006 fixture: import-time thread/socket/Manager construction."""
+import multiprocessing
+import socket
+import threading
+
+_WATCHER = threading.Thread(target=print, daemon=True)   # line 6
+_SOCKET = socket.socket()                                 # line 7
+
+
+class Shared:
+    # class bodies evaluate at import time too
+    manager = multiprocessing.Manager()                   # line 12

@@ -1,0 +1,22 @@
+"""RL005 fixture: taxonomy raises and exempt shapes in serve/ scope."""
+
+from repro.errors import InvalidRequestError, ServeError
+
+
+class FrameError(ServeError):
+    """A local subclass of a taxonomy class is fine."""
+
+
+def parse(raw):
+    if raw is None:
+        raise InvalidRequestError("raw must not be None")
+    if not isinstance(raw, str):
+        raise FrameError("raw must be a string")
+    try:
+        return int(raw)
+    except ValueError:
+        raise   # bare re-raise is fine
+
+
+def todo():
+    raise NotImplementedError("programmer error, not a wire failure")

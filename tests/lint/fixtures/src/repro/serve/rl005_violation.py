@@ -1,0 +1,17 @@
+"""RL005 fixture: builtin raises in (a path shaped like) the serving
+layer — the fixture root makes this file's relpath
+``src/repro/serve/rl005_violation.py``, inside the rule's scope."""
+
+
+def parse(raw):
+    if raw is None:
+        raise ValueError("raw must not be None")        # line 8
+    if not isinstance(raw, str):
+        raise Exception("raw must be a string")         # line 10
+    return raw
+
+
+def read(path):
+    if not path:
+        raise OSError("no path")                        # line 16
+    return path

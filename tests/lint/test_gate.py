@@ -1,0 +1,28 @@
+"""The repo gate: ``src/`` must lint clean, with an empty baseline.
+
+This is the pytest face of the CI ``lint-deep`` job — the suite fails
+the moment a change re-introduces any of the invariant classes the
+rules encode, without waiting for CI.
+"""
+
+from pathlib import Path
+
+from repro.lint.baseline import Baseline
+from repro.lint.engine import run
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE_PATH = REPO_ROOT / ".repro-lint-baseline.json"
+
+
+def test_src_lints_clean():
+    result = run([REPO_ROOT / "src"], root=REPO_ROOT,
+                 baseline=Baseline.load(BASELINE_PATH))
+    failures = result.gate_failures()
+    assert failures == [], "\n".join(f.render() for f in failures)
+
+
+def test_shipped_baseline_is_empty():
+    # the acceptance bar for this repo: genuine violations get fixed,
+    # not grandfathered — a non-empty baseline needs a written-down
+    # reason, at which point this assertion is the review prompt
+    assert len(Baseline.load(BASELINE_PATH)) == 0

@@ -144,7 +144,8 @@ class TestCorruptArtifactHelper:
             from repro.errors import ArtifactCorruptError
             with pytest.raises(ArtifactCorruptError):
                 load_index(bad, mmap_mode="r", verify="full")
-        with pytest.raises(ValueError):
+        from repro.errors import InvalidRequestError
+        with pytest.raises(InvalidRequestError):
             chaos.corrupt_artifact(good, mode="arson")
 
 

@@ -1,0 +1,115 @@
+"""Regression tests for the violations the lint rules surfaced (PR 9).
+
+Each test pins the *behavioral* fix, independent of the lint gate that
+now guards its shape: telemetry families exist pre-traffic (RL004),
+malformed budgets raise taxonomy errors (RL005), and the lifecycle's
+convergence flags stay coherent under the apply lock (RL001).
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import InvalidRequestError
+from repro.serve import ACTService, ServeConfig, create_server
+from repro.serve.batcher import MicroBatcher
+from repro.serve.lifecycle import FleetLifecycle
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.server import ACTRequestHandler
+
+
+class TestFamiliesExistPreTraffic:
+    """RL004: a scrape taken before the first request shows every
+    family at zero instead of families appearing mid-incident."""
+
+    def test_service_registers_cold_path_families(self):
+        svc = ACTService()
+        snap = svc.metrics.snapshot()
+        for name in ("queries.total", "queries.invalid",
+                     "queries.batched_misses", "joins.total",
+                     "joins.points", "admin.reloads", "admin.registers",
+                     "admin.unregisters", "faults.chaos_injections"):
+            assert snap["counters"].get(name) == 0, name
+        for name in ("queries.latency_seconds", "joins.latency_seconds"):
+            assert name in snap["histograms"], name
+        svc.close()
+
+    def test_batcher_registers_families_at_construction(self, nyc_index):
+        metrics = MetricsRegistry()
+        MicroBatcher(nyc_index, metrics=metrics)  # never started
+        snap = metrics.snapshot()
+        for name in ("batcher.shed", "batcher.batches",
+                     "batcher.queries"):
+            assert snap["counters"].get(name) == 0, name
+        assert "batcher.batch_size" in snap["histograms"]
+
+    def test_http_server_registers_families_at_bind(self):
+        svc = ACTService()
+        server = create_server(svc, port=0)
+        try:
+            snap = svc.metrics.snapshot()
+            assert snap["counters"].get("http.requests") == 0
+            assert snap["counters"].get("admin.requests") == 0
+        finally:
+            server.server_close()
+            svc.close()
+
+    def test_lifecycle_registers_fault_families(self):
+        svc = ACTService()
+        FleetLifecycle(control={}, op_lock=threading.Lock(),
+                       identity="t", workers=1, service=svc)
+        snap = svc.metrics.snapshot()
+        for name in ("faults.artifact_corrupt", "faults.quarantined",
+                     "faults.reload_rollbacks", "faults.apply_failures"):
+            assert snap["counters"].get(name) == 0, name
+        svc.close()
+
+    def test_register_is_idempotent_and_keeps_values(self):
+        metrics = MetricsRegistry()
+        metrics.counter("x.total").inc(3)
+        metrics.register(counters=("x.total",), histograms=("x.lat",))
+        assert metrics.counter("x.total").value == 3
+        assert "x.lat" in metrics.snapshot()["histograms"]
+
+
+class TestBudgetParseTaxonomy:
+    """RL005: malformed budgets raise the typed 400-mapped error, not a
+    bare ValueError that would surface as an opaque 500."""
+
+    def test_malformed_budget_raises_invalid_request(self):
+        with pytest.raises(InvalidRequestError):
+            ACTRequestHandler._parse_budget(None, "fifty")
+
+    def test_none_budget_passes_through(self):
+        assert ACTRequestHandler._parse_budget(None, None) is None
+
+    def test_valid_budget_parses(self):
+        budget = ACTRequestHandler._parse_budget(None, "25")
+        assert budget is not None
+
+
+class TestLifecycleConvergenceUnderLock:
+    """RL001: convergence flags are written under the apply lock; a
+    status() reader never sees a torn converged/last_error pair after
+    a coordinator-local corrupt abort (the `_locked` path)."""
+
+    def test_abort_corrupt_is_locked_convention(self):
+        # the caller-holds-lock convention is load-bearing for RL001:
+        # the helper writes last_error and must advertise it
+        assert hasattr(FleetLifecycle, "_abort_corrupt_locked")
+        assert not hasattr(FleetLifecycle, "_abort_corrupt")
+
+    def test_status_reflects_submit_outcome(self, nyc_index, tmp_path):
+        svc = ACTService(config=ServeConfig(max_wait_ms=1.0))
+        svc.registry.register_index("nyc", nyc_index)
+        # identity "parent", workers=0: the coordinator's own ack is
+        # the whole barrier, so submit converges without a fleet
+        lc = FleetLifecycle(control={}, op_lock=threading.Lock(),
+                            identity="parent", workers=0, service=svc,
+                            artifact_dir=str(tmp_path), timeout_s=5.0)
+        response = lc.submit({"op": "reload", "name": "nyc"})
+        assert response["complete"] is True
+        status = lc.status()
+        assert status["converged"] is True
+        assert status["last_error"] is None
+        svc.close()
