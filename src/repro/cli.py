@@ -149,21 +149,27 @@ def _serve_fleet(args, serve_config) -> int:
         port=args.port,
         binary_port=args.binary_port,
         serve=serve_config,
+        shards=args.workers if args.shards else 0,
     ))
     start = time.perf_counter()
     fleet.start()
     host, port = fleet.address
     mode = "SO_REUSEPORT" if fleet.reuseport else "shared socket"
-    print(f"fleet of {args.workers} workers ({mode}) serving index "
-          f"{name!r} on http://{host}:{port} "
+    sharded = f", {args.workers} shards" if args.shards else ""
+    print(f"fleet of {args.workers} workers ({mode}{sharded}) serving "
+          f"index {name!r} on http://{host}:{port} "
           f"(prewarmed in {time.perf_counter() - start:.1f} s)",
           file=sys.stderr)
     print(f"  try: curl 'http://{host}:{port}/stats' for fleet-wide "
           f"metrics", file=sys.stderr)
-    if args.binary_port is not None:
+    if fleet.config.binary_port is not None:
         bhost, bport = fleet.binary_address
         print(f"  binary data plane on {bhost}:{bport} "
               f"(repro.serve.binproto.Client)", file=sys.stderr)
+    if args.shards:
+        addrs = ", ".join(f"{slot}={h}:{p}" for slot, (h, p)
+                          in sorted(fleet.shard_addresses.items()))
+        print(f"  shard binary sockets: {addrs}", file=sys.stderr)
 
     def on_term(signum, frame):
         fleet.shutdown()
@@ -191,7 +197,7 @@ def cmd_serve(args) -> int:
         trace_sample_interval=args.trace_sample_interval,
         slow_query_ms=args.slow_query_ms,
     )
-    if args.workers > 1:
+    if args.workers > 1 or args.shards:
         return _serve_fleet(args, serve_config)
     registry, name = _serve_registry(args)
     service = ACTService(registry=registry, config=serve_config)
@@ -438,6 +444,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="serving processes; >1 runs the pre-fork "
                               "fleet (shared listening address, "
                               "supervised restart, aggregated /stats)")
+    p_serve.add_argument("--shards", action="store_true",
+                         help="shard the fleet: one keyspace slice per "
+                              "worker, cross-shard requests forwarded "
+                              "over the binary protocol (implies a "
+                              "binary data plane; see docs/"
+                              "ARCHITECTURE.md)")
     p_serve.add_argument("--max-batch", type=int, default=512,
                          help="micro-batch size cap (default 512)")
     p_serve.add_argument("--max-wait-ms", type=float, default=0.0,

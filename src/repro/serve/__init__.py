@@ -21,7 +21,13 @@ pages across workers through the page cache). Indexes are
 generation-tagged (:class:`IndexGeneration`) and operable at runtime
 through the loopback-only admin API (:mod:`repro.serve.lifecycle`,
 ``repro-act admin``): register, reload, and retire indexes on a live
-server — or a whole fleet — with zero downtime.
+server — or a whole fleet — with zero downtime. Fleets can run
+**sharded** (``repro-act serve --shards``): a generation-tagged
+:class:`ShardMap` partitions the boundary-level cell-id keyspace
+across worker slots, each worker resides only its slice
+(:class:`~repro.serve.router.ShardedACTService`), and cross-shard
+requests scatter/gather over the binary protocol with fleet-aware
+admission control.
 
 Quickstart::
 
@@ -53,8 +59,11 @@ from ..obs import SlowQueryLog, Trace, Tracer, mint_request_id
 from .fleet import aggregate_snapshots
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .registry import IndexGeneration, IndexRegistry, prewarm_index
+from .router import ShardedACTService
 from .server import ACTHTTPServer, create_server
 from .service import TELEMETRY_MODES, ACTService, ServeConfig
+from .shard import (ShardMap, ShardRange, plan_shard_map, shard_keys,
+                    slice_index)
 
 __all__ = [
     "ACTHTTPServer",
@@ -74,6 +83,9 @@ __all__ = [
     "MicroBatcher",
     "ServeConfig",
     "ServingFleet",
+    "ShardMap",
+    "ShardRange",
+    "ShardedACTService",
     "SlowQueryLog",
     "TELEMETRY_MODES",
     "Trace",
@@ -87,5 +99,8 @@ __all__ = [
     "fleet_available",
     "handle_admin_request",
     "mint_request_id",
+    "plan_shard_map",
     "prewarm_index",
+    "shard_keys",
+    "slice_index",
 ]

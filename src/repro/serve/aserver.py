@@ -37,6 +37,7 @@ import asyncio
 import socket
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from typing import Optional, Set, Tuple
 
 from ..errors import (
@@ -72,10 +73,18 @@ def _release(view: memoryview) -> None:
 
 
 class _BinaryProtocol(asyncio.Protocol):
-    """One binary connection: buffer, frame, dispatch, respond in order.
+    """One binary connection: buffer, frame, dispatch, respond.
 
-    Frames are processed synchronously in arrival order, which is what
-    makes pipelining safe: responses can never overtake each other.
+    Frames are processed in arrival order on the event loop; behind an
+    unsharded service responses can therefore never overtake each
+    other. Behind a sharded router, plain query/join ops may *block on
+    the network* mid-scatter, so they execute on the frontend's
+    scatter pool and reply as they finish — responses may reorder, and
+    clients correlate by the echoed request id (the reference client
+    does). Forwarded ops always stay on the loop: they touch only the
+    local slice, so the loop can keep draining sibling scatters even
+    while every pool thread is waiting, which is what makes
+    router-to-router traffic deadlock-free.
     The receive path has a zero-copy fast lane — when a complete frame
     sits inside the ``bytes`` object the transport delivered, headers
     and payload are decoded from memoryviews of it directly; only a
@@ -190,7 +199,9 @@ class _BinaryProtocol(asyncio.Protocol):
             return
         start = time.perf_counter()
         try:
-            if op not in (binproto.OP_QUERY, binproto.OP_JOIN):
+            if op not in (binproto.OP_QUERY, binproto.OP_JOIN,
+                          binproto.OP_FORWARD_QUERY,
+                          binproto.OP_FORWARD_JOIN):
                 raise binproto.FrameError(f"unknown op 0x{op:02x}")
             name, lngs, lats, budget_ms = \
                 binproto.decode_points_request(payload)
@@ -200,42 +211,97 @@ class _BinaryProtocol(asyncio.Protocol):
         exact = bool(flags & binproto.FLAG_EXACT)
         budget = None if budget_ms is None else Budget.from_ms(budget_ms)
         service_id = _bin_request_id(request_id)
+        pool = self.frontend.scatter_pool
+        if pool is not None and op in (binproto.OP_QUERY,
+                                       binproto.OP_JOIN):
+            # a sharded router may block on the network scattering
+            # this batch to sibling shards; that wait must never park
+            # the event loop (two mutually-scattering workers would
+            # deadlock until the forward timeout). Copy the point
+            # columns out of the receive buffer — the zero-copy views
+            # die with this frame — and execute + reply from the pool.
+            self._dispatch_scatter(pool, op, name, lngs.copy(),
+                                   lats.copy(), exact, budget,
+                                   service_id, request_id, start)
+            return
+        self._write(self._execute(op, name, lngs, lats, exact, budget,
+                                  service_id, request_id, start))
+
+    def _dispatch_scatter(self, pool, op, name, lngs, lats, exact,
+                          budget, service_id, request_id, start) -> None:
+        loop = asyncio.get_running_loop()
+
+        def job() -> None:
+            frame = self._execute(op, name, lngs, lats, exact, budget,
+                                  service_id, request_id, start)
+            try:
+                loop.call_soon_threadsafe(self._write, frame)
+            except RuntimeError:  # loop already closed at shutdown
+                pass
+
+        pool.submit(job)
+
+    def _execute(self, op, name, lngs, lats, exact, budget,
+                 service_id, request_id, start) -> bytes:
+        """Run one decoded request down to a ready-to-send reply frame.
+
+        Called on the event loop for loop-safe work and from the
+        scatter pool for requests that may wait on sibling shards;
+        everything it touches (service, registry, metrics) is already
+        thread-safe for the HTTP front's thread-per-request model.
+        """
         try:
-            if op == binproto.OP_QUERY:
-                results = self.service.query_batch(
+            if op in (binproto.OP_QUERY, binproto.OP_FORWARD_QUERY):
+                # forwarded frames answer from the local shard slice
+                # (never re-routed — routing loops are structurally
+                # impossible); plain services have no local_* methods
+                # and serve forwards like any other query
+                if op == binproto.OP_FORWARD_QUERY:
+                    query = getattr(self.service, "local_query_batch",
+                                    self.service.query_batch)
+                else:
+                    query = self.service.query_batch
+                results = query(
                     name, lngs, lats, exact=exact, budget=budget,
                     request_id=service_id)
                 frame = binproto.encode_results(results, request_id)
             else:
-                counts = self.service.join(
+                if op == binproto.OP_FORWARD_JOIN:
+                    join = getattr(self.service, "local_join",
+                                   self.service.join)
+                else:
+                    join = self.service.join
+                counts = join(
                     name, lngs, lats, exact=exact, budget=budget,
                     request_id=service_id)
                 nonzero = counts.nonzero()[0]
                 frame = binproto.encode_counts(nonzero, counts[nonzero],
                                                request_id)
         except UnknownIndexError as exc:
-            self._send_error(binproto.STATUS_NOT_FOUND, str(exc),
-                             request_id)
-            return
+            self.frontend.c_errors.inc()
+            return binproto.encode_error(binproto.STATUS_NOT_FOUND,
+                                         str(exc), request_id)
         except BudgetExceededError as exc:
-            self._send_error(binproto.STATUS_SHED, str(exc), request_id)
-            return
+            self.frontend.c_errors.inc()
+            return binproto.encode_error(binproto.STATUS_SHED,
+                                         str(exc), request_id)
         except (InvalidRequestError, ServeError) as exc:
+            self.frontend.c_errors.inc()
             status = (binproto.STATUS_BAD_REQUEST
                       if isinstance(exc, InvalidRequestError)
                       else binproto.STATUS_INTERNAL)
-            self._send_error(status, str(exc), request_id)
-            return
+            return binproto.encode_error(status, str(exc), request_id)
         except Exception as exc:  # pragma: no cover - last-resort guard
-            self._send_error(binproto.STATUS_INTERNAL,
-                             f"{type(exc).__name__}: {exc}", request_id)
-            return
+            self.frontend.c_errors.inc()
+            return binproto.encode_error(
+                binproto.STATUS_INTERNAL,
+                f"{type(exc).__name__}: {exc}", request_id)
         # count before writing: a client that already holds the
         # response must observe the counters it caused
         self.frontend.c_requests.inc()
         self.frontend.h_request_seconds.observe(
             time.perf_counter() - start)
-        self._write(frame)
+        return frame
 
     # -- send path ----------------------------------------------------
     def _write(self, frame: bytes) -> None:
@@ -283,6 +349,12 @@ class BinaryFrontend:
         self._thread: Optional[threading.Thread] = None
         self._ready = threading.Event()
         self._startup_error: Optional[BaseException] = None
+        #: Execution pool for requests that may *wait on the network*
+        #: (a sharded router scattering to sibling slots). Created in
+        #: :meth:`start` — never at import or construction time — and
+        #: only when the attached service actually routes; ``None``
+        #: keeps plain services on the zero-thread fast path.
+        self._scatter_pool: Optional[ThreadPoolExecutor] = None
         # created eagerly so the binary.* families exist in /stats and
         # /metrics from boot, not from first traffic
         metrics = service.metrics
@@ -300,6 +372,9 @@ class BinaryFrontend:
         if self._thread is not None or self._loop is not None:
             raise ServeError("binary frontend already started "
                              "(frontends are single-use)")
+        if hasattr(self.service, "local_query_batch"):
+            self._scatter_pool = ThreadPoolExecutor(
+                max_workers=16, thread_name_prefix="binary-scatter")
         self._thread = threading.Thread(
             target=self._run, name="binary-frontend", daemon=True)
         self._thread.start()
@@ -342,6 +417,11 @@ class BinaryFrontend:
             loop.run_until_complete(asyncio.sleep(0))
             loop.close()
 
+    @property
+    def scatter_pool(self) -> Optional[ThreadPoolExecutor]:
+        """The routing pool, or ``None`` behind an unsharded service."""
+        return self._scatter_pool
+
     def stop(self) -> None:
         """Stop accepting, drop connections, and join the loop thread
         (idempotent)."""
@@ -356,6 +436,12 @@ class BinaryFrontend:
                 pass  # loop already closed
             thread.join(timeout=10.0)
         self._thread = None
+        pool = self._scatter_pool
+        if pool is not None:
+            self._scatter_pool = None
+            # in-flight scatters abort with their connections; don't
+            # wait on forwards that may be riding a sibling's respawn
+            pool.shutdown(wait=False)
 
     def __enter__(self) -> "BinaryFrontend":
         return self

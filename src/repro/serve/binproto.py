@@ -28,9 +28,12 @@ one buffer can be decoded without re-packing.
 Ops: ``OP_PING``/``OP_PONG`` (liveness), ``OP_QUERY`` ->
 ``OP_RESULTS`` (classified batch lookup, the ``POST /query`` analog),
 ``OP_JOIN`` -> ``OP_COUNTS`` (count-per-polygon aggregation, the
-``POST /join`` analog), and ``OP_ERROR`` (status + message; statuses
-mirror the HTTP codes: 400 malformed, 404 unknown index, 503 shed,
-500 internal).
+``POST /join`` analog), ``OP_FORWARD_QUERY``/``OP_FORWARD_JOIN``
+(shard-router fan-out: identical payloads, answered from the
+receiver's local shard slice without re-routing), and ``OP_ERROR``
+(status + message; statuses mirror the HTTP codes: 400 malformed,
+404 unknown index, 503 shed, 500 internal). The full spec lives in
+``docs/PROTOCOL.md``.
 
 The decoder is strict: bad magic, unsupported version, and frames
 whose declared payload exceeds :data:`MAX_FRAME_BYTES` are *fatal*
@@ -86,6 +89,13 @@ HEADER_SIZE = HEADER.size  # 24
 OP_PING = 0x01
 OP_QUERY = 0x02
 OP_JOIN = 0x03
+# Shard-routing forward ops (bit 4 set): same payload as their plain
+# counterparts, but the receiving worker answers from its *local*
+# shard slice without re-routing — a forwarded frame never forwards
+# again, so routing loops are impossible by construction. Responses
+# reuse OP_RESULTS/OP_COUNTS.
+OP_FORWARD_QUERY = 0x12
+OP_FORWARD_JOIN = 0x13
 # Response ops (high bit set).
 OP_PONG = 0x81
 OP_RESULTS = 0x82
@@ -604,6 +614,31 @@ class Client:
         request_id = self._take_id(request_id)
         self._send(encode_points_request(
             OP_JOIN, index, np.asarray(lngs), np.asarray(lats),
+            exact=exact, budget_ms=budget_ms, request_id=request_id),
+            request_id)
+        return request_id
+
+    def send_forward_query(self, index: str, lngs: PointArray,
+                           lats: PointArray, exact: bool = False,
+                           budget_ms: Optional[float] = None,
+                           request_id: Optional[int] = None) -> int:
+        """Shard-router fan-out: answered from the receiver's local
+        slice, never re-routed (see ``OP_FORWARD_QUERY``)."""
+        request_id = self._take_id(request_id)
+        self._send(encode_points_request(
+            OP_FORWARD_QUERY, index, np.asarray(lngs), np.asarray(lats),
+            exact=exact, budget_ms=budget_ms, request_id=request_id),
+            request_id)
+        return request_id
+
+    def send_forward_join(self, index: str, lngs: PointArray,
+                          lats: PointArray, exact: bool = False,
+                          budget_ms: Optional[float] = None,
+                          request_id: Optional[int] = None) -> int:
+        """Shard-router join fan-out (see ``OP_FORWARD_JOIN``)."""
+        request_id = self._take_id(request_id)
+        self._send(encode_points_request(
+            OP_FORWARD_JOIN, index, np.asarray(lngs), np.asarray(lats),
             exact=exact, budget_ms=budget_ms, request_id=request_id),
             request_id)
         return request_id

@@ -26,8 +26,11 @@ entries::
 
 Points: ``artifact.load`` (registry materialization — every register/
 reload/first-use load of a serialized index), ``query`` (service batch
-admission, both fronts), and ``binary.request`` (asyncio front
-dispatch). Actions: ``slow`` (sleep
+admission, both fronts), ``binary.request`` (asyncio front
+dispatch), and ``shard.forward`` (the sharded router's scatter path,
+fired once per remote owner — ``kill`` here is the kill-one-shard
+drill: the forwarding worker dies mid-scatter and the fleet must
+respawn it while its peers' backlogs hold). Actions: ``slow`` (sleep
 ``arg`` seconds, default 0.05), ``fail`` (raise ``OSError``), ``kill``
 (``SIGKILL`` this process), ``reset`` (raise ``ConnectionResetError``;
 the binary front aborts the transport). Every firing increments the
@@ -55,7 +58,7 @@ from ..errors import InvalidRequestError
 ENV_VAR = "REPRO_CHAOS"
 
 #: Known injection points (a spec naming anything else is rejected).
-POINTS = ("artifact.load", "query", "binary.request")
+POINTS = ("artifact.load", "query", "binary.request", "shard.forward")
 
 #: Known actions.
 ACTIONS = ("slow", "fail", "kill", "reset")

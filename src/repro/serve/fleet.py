@@ -44,10 +44,31 @@ the new generation once, writes it to a side ``.npz``, and every other
 process mmaps it, swaps its hot view, invalidates its cell cache, and
 acks — the admin response returns only after the whole fleet converged,
 and no query fails or mixes generations while it happens.
+
+Shard mode (``FleetConfig(shards=N)``): instead of every worker
+serving every index, the parent plans a
+:class:`~repro.serve.shard.ShardMap` over the prewarmed indexes
+(contiguous boundary-level cell-id ranges, weighted by coverage),
+publishes it on the control channel, and each worker slot materializes
+only its slice (:func:`~repro.serve.shard.slice_index`) behind a
+:class:`~repro.serve.router.ShardedACTService`. The binary data plane
+then binds one *distinct* socket per slot — shard routing needs
+per-worker addressing, which a kernel-balanced ``SO_REUSEPORT`` group
+cannot provide — with the parent holding every listening socket, so a
+killed worker's forwards queue in its backlog until the supervisor
+respawns the slot (the router's reconnect-and-replay rides this).
+Any worker answers any request: non-owned keys forward shard-wise over
+``OP_FORWARD_QUERY``/``OP_FORWARD_JOIN`` and gather back. Workers
+publish ``admission: {inflight, ts}`` next to their stats snapshots;
+the router sheds at admission only when every owning slot reports a
+fresh saturated snapshot. Rebalancing (:meth:`ServingFleet.rebalance`)
+republishes a higher-generation map; workers adopt and re-slice on
+their next publisher tick — placement is just another generation swap.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import os
 import shutil
@@ -65,8 +86,11 @@ from ..obs.histogram import merge_histogram_snapshots
 from .aserver import BinaryFrontend
 from .lifecycle import PARENT_IDENTITY, FleetLifecycle
 from .registry import IndexRegistry
+from .router import ShardedACTService
 from .server import ACTHTTPServer
 from .service import ACTService, ServeConfig
+from .shard import (ShardMap, plan_shard_map, publish_shard_map,
+                    read_shard_map)
 
 #: Listen backlog per socket; generous because a crashed worker's queue
 #: buffers connections until the supervisor respawns it.
@@ -117,6 +141,18 @@ class FleetConfig:
     #: Where reload coordinators write side ``.npz`` artifacts; ``None``
     #: creates (and cleans up) a private temp directory.
     artifact_dir: Optional[str] = None
+    #: ``0`` disables sharding (every worker serves every index).
+    #: ``N > 0`` runs the fleet sharded: must equal ``workers`` (one
+    #: shard slot per worker), requires the binary data plane (a
+    #: ``binary_port`` of ``None`` is auto-promoted to ``0``), and
+    #: binds one distinct binary socket per slot.
+    shards: int = 0
+    #: Admission control: a worker is saturated at this many in-flight
+    #: batches; the router sheds only when EVERY owning slot is
+    #: saturated per a fresh snapshot. ``0`` disables shedding.
+    shed_inflight: int = 64
+    #: Snapshots older than this fail open for admission decisions.
+    shed_staleness_s: float = 2.0
 
 
 #: Reserved snapshot-channel key: counters and histogram buckets
@@ -145,6 +181,10 @@ _AGGREGATED_COUNTERS = (
     "faults.quarantined",
     "faults.reload_rollbacks",
     "lifecycle.artifacts_gcd",
+    "shard.forwarded",
+    "shard.local",
+    "shard.shed",
+    "shard.forward_errors",
 )
 
 #: The latency histograms the fleet aggregate merges bucket-wise.
@@ -202,7 +242,7 @@ def aggregate_snapshots(snapshots: Dict[object, dict]) -> dict:
         for name in _AGGREGATED_HISTOGRAMS:
             if name in histograms:
                 merge_inputs[name].append(histograms[name])
-        per_worker.append({
+        entry = {
             "worker": snap.get("worker", worker_id),
             "pid": snap.get("pid"),
             "uptime_seconds": uptime,
@@ -210,7 +250,14 @@ def aggregate_snapshots(snapshots: Dict[object, dict]) -> dict:
             "qps": (counters.get("queries.total", 0) / uptime
                     if uptime else 0.0),
             "latency_p99_seconds": float(latency.get("p99", 0.0)),
-        })
+        }
+        # sharded workers carry their slot view + admission depth so the
+        # fleet aggregate (and /metrics) can render per-shard series
+        if "shard" in snap:
+            entry["shard"] = snap["shard"]
+        if "admission" in snap:
+            entry["admission"] = snap["admission"]
+        per_worker.append(entry)
     merged: Dict[str, dict] = {}
     for name, inputs in merge_inputs.items():
         snap = merge_histogram_snapshots(inputs)
@@ -251,6 +298,18 @@ class ServingFleet:
                 f"fleet needs at least one worker, got "
                 f"{self.config.workers}"
             )
+        if self.config.shards:
+            if self.config.shards != self.config.workers:
+                raise ServeError(
+                    f"shard mode needs one worker per shard slot: got "
+                    f"shards={self.config.shards} but "
+                    f"workers={self.config.workers}"
+                )
+            if self.config.binary_port is None:
+                # shard forwarding rides the binary protocol; promote to
+                # an ephemeral port rather than refusing to start
+                self.config = dataclasses.replace(self.config,
+                                                  binary_port=0)
         self.reuseport = (reuseport_available()
                           if self.config.reuseport is None
                           else bool(self.config.reuseport))
@@ -272,6 +331,8 @@ class ServingFleet:
         self._own_artifact_dir = False
         self._started = False
         self.restarts = 0
+        #: The active placement in shard mode (``None`` otherwise).
+        self.shard_map: Optional[ShardMap] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -308,6 +369,15 @@ class ServingFleet:
             artifact_dir=self._artifact_dir,
             timeout_s=self.config.admin_timeout_s,
         )
+        if self.config.shards:
+            # plan placement over the prewarmed (full) indexes and
+            # publish it on the control channel before any worker forks;
+            # each worker slices its own slot from the map it inherits
+            self.shard_map = plan_shard_map(
+                {name: record.index
+                 for name, record in self.registry.materialized.items()},
+                self.config.shards)
+            publish_shard_map(self._control, self.shard_map)
         self._bind_sockets()
         self._processes = [None] * self.config.workers
         self._spawn_times = [0.0] * self.config.workers
@@ -334,6 +404,37 @@ class ServingFleet:
                 "fleet has no binary port (start it with "
                 "FleetConfig(binary_port=...))")
         return self._binary_sockets[0].getsockname()[:2]
+
+    @property
+    def shard_addresses(self) -> Dict[int, Tuple[str, int]]:
+        """Per-slot ``(host, port)`` of the binary plane in shard mode."""
+        if not self.config.shards:
+            raise ServeError(
+                "fleet is not sharded (start it with "
+                "FleetConfig(shards=N))")
+        if not self._binary_sockets:
+            raise ServeError("fleet is not started")
+        return {slot: sock.getsockname()[:2]
+                for slot, sock in enumerate(self._binary_sockets)}
+
+    def rebalance(self) -> ShardMap:
+        """Re-plan placement and publish it as the next map generation.
+
+        Workers adopt the new map (and re-slice their resident
+        node-pool view) on their next publisher tick; queries keep
+        flowing throughout — a key briefly routed by the old map is
+        still answered, because forwarded frames execute locally on
+        whichever slot receives them.
+        """
+        if self.shard_map is None or self._control is None:
+            raise ServeError("fleet is not running in shard mode")
+        self.shard_map = plan_shard_map(
+            {name: record.index
+             for name, record in self.registry.materialized.items()},
+            self.config.shards,
+            generation=self.shard_map.generation + 1)
+        publish_shard_map(self._control, self.shard_map)
+        return self.shard_map
 
     def live_workers(self) -> int:
         with self._lock:
@@ -427,6 +528,19 @@ class ServingFleet:
                 self._sockets.append(self._listen_socket(port))
         if self.config.binary_port is None:
             return
+        if self.config.shards:
+            # shard routing must address a SPECIFIC slot, which a
+            # kernel-balanced reuseport group cannot do: bind one
+            # distinct socket per slot instead (slot 0 on the
+            # configured port, the rest ephemeral). The parent holds
+            # every socket, so a killed worker's forwards queue in its
+            # backlog until the supervisor respawns the slot.
+            self._binary_sockets = [
+                self._listen_socket(self.config.binary_port
+                                    if slot == 0 else 0)
+                for slot in range(self.config.workers)
+            ]
+            return
         # the binary data plane mirrors the HTTP socket discipline:
         # per-worker reuseport accept queues, or one shared socket
         # handed to every worker through fork
@@ -460,6 +574,8 @@ class ServingFleet:
     def _worker_binary_socket(self, slot: int) -> Optional[socket.socket]:
         if not self._binary_sockets:
             return None
+        if self.config.shards:
+            return self._binary_sockets[slot]  # one distinct socket/slot
         return self._binary_sockets[slot if self.reuseport else 0]
 
     def _spawn(self, slot: int) -> None:
@@ -469,7 +585,11 @@ class ServingFleet:
             args=(slot, self._worker_socket(slot), self.registry,
                   self.config, self._snapshots, os.getpid(),
                   self._control, self._op_lock, self._artifact_dir,
-                  self._worker_binary_socket(slot)),
+                  self._worker_binary_socket(slot),
+                  (self.shard_map.to_wire()
+                   if self.shard_map is not None else None),
+                  (self.shard_addresses
+                   if self.config.shards else None)),
         )
         process.start()
         with self._lock:
@@ -627,7 +747,10 @@ def _worker_main(slot: int, sock: socket.socket, registry: IndexRegistry,
                  config: FleetConfig, snapshots,
                  parent_pid: int, control=None, op_lock=None,
                  artifact_dir: Optional[str] = None,
-                 binary_sock: Optional[socket.socket] = None) -> None:
+                 binary_sock: Optional[socket.socket] = None,
+                 shard_wire: Optional[dict] = None,
+                 shard_addresses: Optional[Dict[int, Tuple[str, int]]]
+                 = None) -> None:
     """One fleet worker: a full service + HTTP server on the fleet socket.
 
     Runs in a forked child. The registry arrives materialized (the
@@ -638,9 +761,24 @@ def _worker_main(slot: int, sock: socket.socket, registry: IndexRegistry,
     BinaryFrontend` on its inherited binary socket — both fronts share
     this worker's one service, so ``binary.*`` telemetry lands in the
     same snapshots the publisher ships fleet-wide.
+
+    In shard mode (``shard_wire`` given) the worker runs a
+    :class:`~repro.serve.router.ShardedACTService` instead: its
+    constructor re-slices this fork's registry copy down to the slot's
+    keyspace ranges, dropping the resident node-pool footprint to
+    roughly ``1/num_slots`` of the full build.
     """
     stats_interval_s = config.stats_interval_s
-    service = ACTService(registry=registry, config=config.serve)
+    if shard_wire is not None:
+        service: ACTService = ShardedACTService(
+            registry=registry, config=config.serve,
+            shard_map=ShardMap.from_wire(shard_wire), slot=slot,
+            addresses=shard_addresses, snapshots=snapshots,
+            shed_inflight=config.shed_inflight,
+            shed_staleness_s=config.shed_staleness_s,
+        )
+    else:
+        service = ACTService(registry=registry, config=config.serve)
     server = _DrainingHTTPServer(sock.getsockname()[:2], service,
                                  bind_and_activate=False)
     _adopt_socket(server, sock)
@@ -679,6 +817,11 @@ def _worker_main(slot: int, sock: socket.socket, registry: IndexRegistry,
         snap = dict(snap)
         snap["worker"] = slot
         snap["pid"] = os.getpid()
+        admission_info = getattr(service, "admission_info", None)
+        if admission_info is not None:
+            # the router on every slot reads sibling inflight depths
+            # from these snapshots for fleet-aware admission control
+            snap["admission"] = admission_info()
         try:
             snapshots[slot] = snap
         except (OSError, EOFError, BrokenPipeError):
@@ -731,6 +874,16 @@ def _worker_main(slot: int, sock: socket.socket, registry: IndexRegistry,
                     lifecycle.poll()
                 except Exception:
                     pass  # an op failure must never kill the publisher
+            if shard_wire is not None and control is not None:
+                try:
+                    # adopt a rebalanced (higher-generation) placement;
+                    # adopt_shard_map is monotonic, so re-reading the
+                    # current map every tick is a no-op
+                    latest = read_shard_map(control)
+                    if latest is not None:
+                        service.adopt_shard_map(latest)
+                except Exception:
+                    pass  # a bad map must never kill the publisher
             publish()
             if os.getppid() != parent_pid:
                 # orphaned (parent died without drain): stop serving

@@ -55,6 +55,16 @@ Superseded side artifacts are garbage-collected after each successful
 reload barrier: only the newest two generations of ``{name}.gen*.npz``
 are kept (the current one, plus one for in-flight requests and
 stragglers — and POSIX keeps memory-mapped inodes alive regardless).
+
+The same control dict also carries the fleet's **shard placement**
+under :data:`repro.serve.shard.SHARD_KEY`: a generation-tagged wire
+:class:`~repro.serve.shard.ShardMap` published by the parent (at start
+and on :meth:`~repro.serve.fleet.ServingFleet.rebalance`) and adopted
+by sharded workers on their publisher tick. It deliberately reuses
+this channel's discipline — monotonic generations, idempotent
+adoption, respawned workers pick up the current value on their first
+poll — but not its ack barrier: placement convergence is eventual,
+because any slot answers any request by forwarding.
 """
 
 from __future__ import annotations
@@ -372,6 +382,7 @@ class FleetLifecycle:
             self._service.metrics.register(counters=(
                 "faults.artifact_corrupt", "faults.quarantined",
                 "faults.reload_rollbacks", "faults.apply_failures",
+                "lifecycle.artifacts_gcd",
             ))
 
     def status(self) -> dict:
@@ -468,6 +479,11 @@ class FleetLifecycle:
             previous = prev_desc = None
             if op.kind == OP_RELOAD and self._registry is not None:
                 previous = self._registry.materialized.get(op.name)
+                # sharded worker: the pinned record is this slot's
+                # slice; roll back from the full generation instead
+                full_record = getattr(self._service, "full_record", None)
+                if full_record is not None:
+                    previous = full_record(op.name) or previous
                 try:
                     prev_desc = self._registry.describe(op.name)
                 except UnknownIndexError:
@@ -546,11 +562,19 @@ class FleetLifecycle:
         publish (reload ops are rewritten to point siblings at the side
         artifact) and the local ack payload."""
         if op.kind == OP_RELOAD:
+            # on a sharded worker the registry pins only this slot's
+            # slice; the fleet-wide artifact (and the rollback target)
+            # must be the full generation the router keeps on the side
+            full_record = getattr(self._service, "full_record", None)
             previous = self._registry.materialized.get(op.name)
+            if full_record is not None:
+                previous = full_record(op.name) or previous
             local = apply_admin_op(
                 op, service=self._service, registry=self._registry)
             generation = local["generation"]
             record = self._registry.pin(op.name)
+            if full_record is not None:
+                record = full_record(op.name) or record
             # one materialization fleet-wide: siblings mmap the side
             # artifact (atomic write-temp + rename; generation-suffixed
             # so workers still mapping an older file are untouched)

@@ -1,0 +1,562 @@
+"""Shard-aware routing service: scatter/gather over the binary plane.
+
+:class:`ShardedACTService` is a drop-in :class:`~repro.serve.service.
+ACTService` for one worker slot of a sharded fleet. It answers the keys
+its slot owns from the local shard slice (the registry holds
+:func:`~repro.serve.shard.slice_index` sub-indexes, swapped in via
+``registry.restore`` so the service's hot-view identity check pins the
+slice) and forwards everything else shard-wise over the
+:mod:`~repro.serve.binproto` data plane:
+
+* **routing** — a batch's keys come from the same boundary-level
+  ``point_keys`` pass the unsharded service uses for its cache keys;
+  :meth:`~repro.serve.shard.ShardMap.route` turns them into owner
+  slots with one ``searchsorted``. Every front routes: the HTTP
+  ``/query``, the JSON batch, and plain binary ``OP_QUERY`` frames all
+  hit the overridden entry points, so a client may talk to *any*
+  worker.
+* **scatter/gather** — remote sub-batches go out first as pipelined
+  ``OP_FORWARD_QUERY``/``OP_FORWARD_JOIN`` frames (one per owner
+  slot), the local sub-batch computes while they fly, then responses
+  gather back into request order. Forwarded frames dispatch to
+  :meth:`local_query_batch`/:meth:`local_join` on the receiving
+  worker — never re-routed, so routing loops are structurally
+  impossible. Connections come from a per-slot pool (a blocking
+  :class:`~repro.serve.binproto.Client` is single-stream; pooling
+  keeps concurrent request threads off each other's frames) and
+  inherit the client's reconnect-and-replay discipline: a forward
+  raced against a worker respawn queues in the parent-held listening
+  socket's backlog and is answered by the replacement.
+* **fleet-aware admission control** — workers publish
+  ``admission: {inflight, ts}`` into the shared stats channel; the
+  router sheds a batch at admission (``BudgetExceededError`` → HTTP
+  503 / binproto ``STATUS_SHED``, counted under ``queries.shed`` and
+  ``shard.shed``) only when *every* owning slot reports a fresh,
+  saturated snapshot. Missing or stale snapshots fail open — a quiet
+  stats channel must never turn into an outage.
+* **rebalancing** — :meth:`adopt_shard_map` swaps in a
+  higher-generation :class:`~repro.serve.shard.ShardMap` (published on
+  the lifecycle control dict under
+  :data:`~repro.serve.shard.SHARD_KEY`) and re-slices the registry
+  from the retained full-generation records; lower generations are
+  ignored, mirroring reload idempotency. :meth:`reload_index`
+  materializes the full new generation, re-slices it, and adopts the
+  slice, so a fleet-wide reload barrier leaves every slot serving its
+  shard of the new data.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..act.core import QueryResult
+from ..errors import (
+    BudgetExceededError,
+    ConnectionLostError,
+    InvalidRequestError,
+    ServeError,
+)
+from ..obs import Trace
+from . import binproto, chaos
+from .budget import Budget
+from .registry import _UNSET, IndexGeneration, IndexRegistry
+from .service import ACTService, ServeConfig
+from .shard import ShardMap, shard_keys, slice_record
+
+__all__ = ["ShardedACTService"]
+
+#: How long a cached copy of the fleet snapshot dict is trusted for
+#: admission decisions (bounds Manager IPC to a few reads per second).
+_SNAPSHOT_CACHE_S = 0.2
+
+
+class ShardedACTService(ACTService):
+    """One shard worker's service: local slice + forwarding router."""
+
+    def __init__(self, registry: Optional[IndexRegistry] = None,
+                 config: Optional[ServeConfig] = None, *,
+                 shard_map: ShardMap, slot: int,
+                 addresses: Optional[Dict[int, Tuple[str, int]]] = None,
+                 snapshots=None,
+                 shed_inflight: int = 64,
+                 shed_staleness_s: float = 2.0,
+                 forward_timeout_s: float = 30.0,
+                 forward_retries: int = 6):
+        self._map = shard_map
+        self.slot = int(slot)
+        super().__init__(registry=registry, config=config)
+        self._addresses: Dict[int, Tuple[str, int]] = dict(addresses or {})
+        self._fleet_snapshots = snapshots
+        self._shed_inflight = int(shed_inflight)
+        self._shed_staleness_s = float(shed_staleness_s)
+        self._forward_timeout_s = float(forward_timeout_s)
+        self._forward_retries = int(forward_retries)
+        # free-list pool per slot: a blocking binproto.Client carries
+        # one pipelined stream, so concurrent request threads must not
+        # share one (responses would interleave across threads)
+        self._pool: Dict[int, List[binproto.Client]] = {}
+        self._pool_lock = threading.Lock()
+        self._inflight = 0
+        # full-generation records survive slicing so a rebalance can
+        # re-slice without re-materializing (mmap-backed: holding the
+        # reference costs address space, not resident bytes)
+        self._full_records: Dict[str, IndexGeneration] = {}
+        self._snap_cache: Tuple[float, dict] = (0.0, {})
+        self._slice_all()
+
+    def set_telemetry(self, telemetry: str) -> None:
+        super().set_telemetry(telemetry)
+        # pre-bound shard families, rebound on every telemetry switch
+        # like the superclass's; created here (reached from __init__)
+        # so the shard.* families exist pre-traffic
+        metrics = self.metrics
+        self._shard_forwarded = metrics.counter("shard.forwarded")
+        self._shard_local = metrics.counter("shard.local")
+        self._shard_shed = metrics.counter("shard.shed")
+        self._shard_forward_errors = metrics.counter(
+            "shard.forward_errors")
+        self._shard_forward_seconds = metrics.histogram(
+            "shard.forward_seconds")
+
+    # ------------------------------------------------------------------
+    # Shard map / slices
+    # ------------------------------------------------------------------
+    @property
+    def shard_map(self) -> ShardMap:
+        return self._map
+
+    def _slice_all(self) -> None:
+        """Re-pin every mapped, materialized record to this slot's slice."""
+        for name in self.registry.names():
+            record = self._full_records.get(name)
+            if record is None:
+                record = self.registry.materialized.get(name)
+            if record is None or name not in self._map.ranges:
+                continue
+            self._full_records[name] = record
+            sliced = slice_record(
+                record, self._map.ranges_for_slot(name, self.slot))
+            self.registry.restore(sliced)
+            self._adopt_record(sliced)
+
+    def adopt_shard_map(self, shard_map: ShardMap) -> bool:
+        """Swap in a rebalanced map; ignore non-advancing generations."""
+        if shard_map.generation <= self._map.generation:
+            return False
+        self._map = shard_map
+        self._slice_all()
+        return True
+
+    def reload_index(self, name: str, *,
+                     source_path=None, source_mmap_mode=_UNSET,
+                     artifact_path=None, artifact_mmap_mode=_UNSET,
+                     generation: Optional[int] = None,
+                     verify: Optional[str] = None) -> IndexGeneration:
+        """Materialize the full new generation, then adopt its slice.
+
+        The fleet reload barrier is unchanged — same registry call,
+        same ack discipline — but what this slot ends up serving (and
+        what the registry's materialized record pins) is the slice, so
+        resident bytes stay proportional to the shard count across
+        reloads.
+        """
+        record = self.registry.reload(
+            name, source_path=source_path,
+            source_mmap_mode=source_mmap_mode,
+            artifact_path=artifact_path,
+            artifact_mmap_mode=artifact_mmap_mode, generation=generation,
+            verify=verify,
+        )
+        if name in self._map.ranges:
+            self._full_records[name] = record
+            record = slice_record(
+                record, self._map.ranges_for_slot(name, self.slot))
+            self.registry.restore(record)
+        self._adopt_record(record)
+        self.metrics.counter("admin.reloads").inc()
+        return record
+
+    def restore_index(self, record: IndexGeneration) -> IndexGeneration:
+        """Roll back to ``record``, re-slicing it for this slot first."""
+        if record.name in self._map.ranges:
+            self._full_records[record.name] = record
+            record = slice_record(
+                record, self._map.ranges_for_slot(record.name, self.slot))
+        return ACTService.restore_index(self, record)
+
+    def full_record(self, name: str) -> Optional[IndexGeneration]:
+        """The latest full (unsliced) generation behind a mapped name.
+
+        The reload coordinator writes the fleet-wide side artifact from
+        this — the registry's pinned record is only this slot's slice,
+        and shipping a slice as the next generation would starve every
+        other shard of its keys.
+        """
+        return self._full_records.get(name)
+
+    # ------------------------------------------------------------------
+    # Local execution (forwarded frames land here; never re-routed)
+    # ------------------------------------------------------------------
+    def local_query_batch(self, index_name: str, lngs: Sequence[float],
+                          lats: Sequence[float], exact: bool = False,
+                          budget: Optional[Budget] = None,
+                          trace: Optional[Trace] = None,
+                          request_id: Optional[str] = None,
+                          ) -> List[QueryResult]:
+        self._inflight += 1
+        try:
+            return ACTService.query_batch(
+                self, index_name, lngs, lats, exact=exact, budget=budget,
+                trace=trace, request_id=request_id)
+        finally:
+            self._inflight -= 1
+
+    def local_join(self, index_name: str, lngs: Sequence[float],
+                   lats: Sequence[float], exact: bool = False,
+                   budget: Optional[Budget] = None,
+                   trace: Optional[Trace] = None,
+                   request_id: Optional[str] = None) -> np.ndarray:
+        self._inflight += 1
+        try:
+            return ACTService.join(
+                self, index_name, lngs, lats, exact=exact, budget=budget,
+                trace=trace, request_id=request_id)
+        finally:
+            self._inflight -= 1
+
+    # ------------------------------------------------------------------
+    # Routed entry points
+    # ------------------------------------------------------------------
+    def query(self, index_name: str, lng: float, lat: float,
+              exact: bool = False, budget: Optional[Budget] = None,
+              trace: Optional[Trace] = None,
+              request_id: Optional[str] = None) -> QueryResult:
+        if index_name not in self._map.ranges:
+            return ACTService.query(self, index_name, lng, lat,
+                                    exact=exact, budget=budget,
+                                    trace=trace, request_id=request_id)
+        record, boundary_level = self._hot_view(index_name)
+        key = shard_keys(record.index.grid, (lng,), (lat,),
+                         boundary_level)
+        owner = int(self._map.route(index_name, key)[0])
+        if owner == self.slot:
+            self._shard_local.inc()
+            return ACTService.query(self, index_name, lng, lat,
+                                    exact=exact, budget=budget,
+                                    trace=trace, request_id=request_id)
+        if self._fleet_saturated((owner,)):
+            self._shard_shed.inc()
+            self._queries_shed.inc()
+            raise BudgetExceededError(
+                "owning shard saturated; shedding at admission")
+        lng_arr = np.asarray((lng,), dtype=np.float64)
+        lat_arr = np.asarray((lat,), dtype=np.float64)
+        results = self._forward_query(owner, index_name, lng_arr,
+                                      lat_arr, exact)
+        return results[0]
+
+    def query_batch(self, index_name: str, lngs: Sequence[float],
+                    lats: Sequence[float], exact: bool = False,
+                    budget: Optional[Budget] = None,
+                    trace: Optional[Trace] = None,
+                    request_id: Optional[str] = None,
+                    ) -> List[QueryResult]:
+        if index_name not in self._map.ranges:
+            return ACTService.query_batch(
+                self, index_name, lngs, lats, exact=exact, budget=budget,
+                trace=trace, request_id=request_id)
+        lngs = np.asarray(lngs, dtype=np.float64)
+        lats = np.asarray(lats, dtype=np.float64)
+        if lngs.shape != lats.shape or lngs.ndim != 1:
+            self.metrics.counter("queries.invalid").inc()
+            raise InvalidRequestError(
+                f"query_batch needs matching 1-D lngs/lats, got shapes "
+                f"{lngs.shape} and {lats.shape}")
+        n = int(lngs.shape[0])
+        record, boundary_level = self._hot_view(index_name)
+        keys = shard_keys(record.index.grid, lngs, lats, boundary_level)
+        slots = self._map.route(index_name, keys)
+        owners = np.unique(slots).tolist()
+        if owners == [self.slot]:
+            self._shard_local.inc(n)
+            return self.local_query_batch(
+                index_name, lngs, lats, exact=exact, budget=budget,
+                trace=trace, request_id=request_id)
+        if self._fleet_saturated(owners):
+            self._shard_shed.inc(n)
+            self._queries_shed.inc(n)
+            raise BudgetExceededError(
+                "all owning shards saturated; shedding at admission")
+        start = time.perf_counter()
+        out: List[Optional[QueryResult]] = [None] * n
+        pending: List[Tuple[int, binproto.Client, np.ndarray]] = []
+        local_pos: Optional[np.ndarray] = None
+        try:
+            # phase 1: pipelined fan-out to every remote owner
+            for owner in owners:
+                pos = np.nonzero(slots == owner)[0]
+                if owner == self.slot:
+                    local_pos = pos
+                    continue
+                chaos.fault("shard.forward", self.metrics)
+                client = self._acquire_client(owner)
+                try:
+                    client.send_forward_query(
+                        index_name, lngs[pos], lats[pos], exact=exact)
+                except ServeError:
+                    self._release_client(owner, client)
+                    raise
+                pending.append((owner, client, pos))
+                self._shard_forwarded.inc(int(pos.shape[0]))
+            # phase 2: the local sub-batch computes while frames fly
+            if local_pos is not None and local_pos.shape[0]:
+                local_results = self.local_query_batch(
+                    index_name, lngs[local_pos], lats[local_pos],
+                    exact=exact, budget=budget, trace=trace,
+                    request_id=request_id)
+                for k, result in zip(local_pos.tolist(), local_results):
+                    out[k] = result
+                self._shard_local.inc(int(local_pos.shape[0]))
+            # phase 3: gather into request order
+            while pending:
+                owner, client, pos = pending.pop(0)
+                _rid, sub = client.recv_results()
+                self._release_client(owner, client)
+                for k, result in zip(pos.tolist(), sub):
+                    out[k] = result
+        except BudgetExceededError:
+            # already counted where it shed (locally by the superclass,
+            # remotely by the owning worker) — just abandon the fan-out
+            self._drop_pending(pending)
+            raise
+        except ServeError:
+            self._drop_pending(pending)
+            self._shard_forward_errors.inc()
+            self._queries_errors.inc(n)
+            raise
+        except Exception:
+            self._drop_pending(pending)
+            self._queries_errors.inc(n)
+            raise
+        self._shard_forward_seconds.observe(time.perf_counter() - start)
+        return out  # type: ignore[return-value]
+
+    def join(self, index_name: str, lngs: Sequence[float],
+             lats: Sequence[float], exact: bool = False,
+             budget: Optional[Budget] = None,
+             trace: Optional[Trace] = None,
+             request_id: Optional[str] = None) -> np.ndarray:
+        if index_name not in self._map.ranges:
+            return ACTService.join(self, index_name, lngs, lats,
+                                   exact=exact, budget=budget,
+                                   trace=trace, request_id=request_id)
+        lngs = np.asarray(lngs, dtype=np.float64)
+        lats = np.asarray(lats, dtype=np.float64)
+        record, boundary_level = self._hot_view(index_name)
+        keys = shard_keys(record.index.grid, lngs, lats, boundary_level)
+        slots = self._map.route(index_name, keys)
+        owners = np.unique(slots).tolist()
+        if owners == [self.slot]:
+            self._shard_local.inc(int(lngs.shape[0]))
+            return self.local_join(index_name, lngs, lats, exact=exact,
+                                   budget=budget, trace=trace,
+                                   request_id=request_id)
+        if self._fleet_saturated(owners):
+            self._shard_shed.inc(int(lngs.shape[0]))
+            self._queries_shed.inc(int(lngs.shape[0]))
+            raise BudgetExceededError(
+                "all owning shards saturated; shedding at admission")
+        counts = np.zeros(record.index.num_polygons, dtype=np.int64)
+        pending: List[Tuple[int, binproto.Client]] = []
+        try:
+            local_pos: Optional[np.ndarray] = None
+            for owner in owners:
+                pos = np.nonzero(slots == owner)[0]
+                if owner == self.slot:
+                    local_pos = pos
+                    continue
+                chaos.fault("shard.forward", self.metrics)
+                client = self._acquire_client(owner)
+                try:
+                    client.send_forward_join(
+                        index_name, lngs[pos], lats[pos], exact=exact)
+                except ServeError:
+                    self._release_client(owner, client)
+                    raise
+                pending.append((owner, client))
+                self._shard_forwarded.inc(int(pos.shape[0]))
+            if local_pos is not None and local_pos.shape[0]:
+                local = self.local_join(
+                    index_name, lngs[local_pos], lats[local_pos],
+                    exact=exact, budget=budget, trace=trace,
+                    request_id=request_id)
+                counts[:local.shape[0]] += local
+                self._shard_local.inc(int(local_pos.shape[0]))
+            while pending:
+                owner, client = pending.pop(0)
+                _rid, sub = client.recv_counts()
+                self._release_client(owner, client)
+                for pid, count in sub.items():
+                    counts[pid] += count
+        except ServeError:
+            self._drop_pending(pending)
+            self._shard_forward_errors.inc()
+            raise
+        except Exception:
+            self._drop_pending(pending)
+            raise
+        return counts
+
+    # ------------------------------------------------------------------
+    # Forward plumbing
+    # ------------------------------------------------------------------
+    def _forward_query(self, owner: int, index_name: str,
+                       lngs: np.ndarray, lats: np.ndarray,
+                       exact: bool) -> List[QueryResult]:
+        chaos.fault("shard.forward", self.metrics)
+        client = self._acquire_client(owner)
+        try:
+            client.send_forward_query(index_name, lngs, lats,
+                                      exact=exact)
+            _rid, results = client.recv_results()
+        except ServeError:
+            self._shard_forward_errors.inc()
+            self._discard_client(client)
+            raise
+        self._release_client(owner, client)
+        self._shard_forwarded.inc(int(lngs.shape[0]))
+        return results
+
+    def _acquire_client(self, slot: int) -> binproto.Client:
+        with self._pool_lock:
+            free = self._pool.get(slot)
+            if free:
+                return free.pop()
+        address = self._addresses.get(slot)
+        if address is None:
+            raise ServeError(
+                f"no binary address for shard slot {slot} "
+                f"(addresses cover {sorted(self._addresses)})")
+        try:
+            return binproto.Client(
+                address[0], address[1], timeout=self._forward_timeout_s,
+                retries=self._forward_retries)
+        except OSError as exc:
+            raise ConnectionLostError(
+                f"cannot reach shard slot {slot} at "
+                f"{address[0]}:{address[1]}: {exc}") from exc
+
+    def _release_client(self, slot: int,
+                        client: binproto.Client) -> None:
+        with self._pool_lock:
+            self._pool.setdefault(slot, []).append(client)
+
+    @staticmethod
+    def _discard_client(client: binproto.Client) -> None:
+        try:
+            client.close()
+        except ServeError:  # pragma: no cover - close never raises
+            pass
+
+    def _drop_pending(self, pending: List) -> None:
+        """Close clients whose in-flight forwards we abandoned (their
+        streams owe responses a future borrower must not receive)."""
+        for item in pending:
+            self._discard_client(item[1])
+        pending.clear()
+
+    # ------------------------------------------------------------------
+    # Fleet-aware admission control
+    # ------------------------------------------------------------------
+    def admission_info(self) -> dict:
+        """What this worker publishes into the shared stats channel."""
+        return {"inflight": int(self._inflight), "ts": time.time()}
+
+    def shard_info(self) -> dict:
+        """Per-shard snapshot block for fleet aggregation/metrics."""
+        resident = 0
+        owned = 0
+        for name in self.registry.names():
+            record = self.registry.materialized.get(name)
+            if record is not None:
+                resident += int(record.index.core.total_bytes)
+            if name in self._map.ranges:
+                owned += len(self._map.ranges_for_slot(name, self.slot))
+        return {
+            "slot": self.slot,
+            "map_generation": self._map.generation,
+            "inflight": int(self._inflight),
+            "node_pool_bytes": resident,
+            "ranges": owned,
+            "forwarded": self._shard_forwarded.value,
+            "local": self._shard_local.value,
+            "shed": self._shard_shed.value,
+            "forward_errors": self._shard_forward_errors.value,
+        }
+
+    def _snapshot_view(self) -> dict:
+        """A briefly cached copy of the fleet snapshot dict (bounds the
+        Manager IPC cost of per-batch admission checks)."""
+        now = time.monotonic()
+        expires, view = self._snap_cache
+        if now < expires:
+            return view
+        snapshots = self._fleet_snapshots
+        if snapshots is None:
+            view = {}
+        else:
+            try:
+                view = dict(snapshots)
+            except (OSError, EOFError, BrokenPipeError):
+                view = {}
+        self._snap_cache = (now + _SNAPSHOT_CACHE_S, view)
+        return view
+
+    def _fleet_saturated(self, owners: Sequence[int]) -> bool:
+        """True only when EVERY owning slot is verifiably saturated.
+
+        This slot's own depth is read directly; remote depths come from
+        the published snapshots. Any missing, stale, or under-threshold
+        report fails open — shedding needs positive evidence from the
+        whole owner set.
+        """
+        if self._shed_inflight <= 0 or not owners:
+            return False
+        view: Optional[dict] = None
+        for owner in owners:
+            if owner == self.slot:
+                if self._inflight < self._shed_inflight:
+                    return False
+                continue
+            if view is None:
+                view = self._snapshot_view()
+            snap = view.get(owner)
+            if snap is None:
+                snap = view.get(str(owner))
+            admission = (snap or {}).get("admission")
+            if not admission:
+                return False
+            age = time.time() - float(admission.get("ts", 0.0))
+            if age > self._shed_staleness_s:
+                return False
+            if int(admission.get("inflight", 0)) < self._shed_inflight:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        out = super().stats()
+        out["shard"] = self.shard_info()
+        return out
+
+    def close(self) -> None:
+        with self._pool_lock:
+            clients = [c for free in self._pool.values() for c in free]
+            self._pool.clear()
+        for client in clients:
+            self._discard_client(client)
+        super().close()

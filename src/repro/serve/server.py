@@ -47,7 +47,10 @@ non-loopback peer get 403 regardless of the bind address:
 * ``GET    /admin/slowlog`` — the worker's slow-query ring (full
   per-stage traces for sampled requests, bare envelopes otherwise);
 * ``GET/POST /admin/chaos`` — inspect / re-arm this process's fault
-  injection (see :mod:`repro.serve.chaos`); ``{"spec": ""}`` disarms.
+  injection (see :mod:`repro.serve.chaos`); ``{"spec": ""}`` disarms;
+* ``GET    /admin/shards`` — this worker's shard view (slot, map
+  generation, resident node-pool bytes, forward/local/shed counters)
+  when the fleet runs sharded (404 otherwise).
 
 Budget overruns surface as HTTP 503 (shed), unknown indexes as 404,
 malformed requests as 400, and conflicting admin requests (duplicate
@@ -181,6 +184,21 @@ class ACTRequestHandler(BaseHTTPRequestHandler):
                         "pid": os.getpid(),
                         "worker": getattr(self.server, "worker_id", None),
                     })
+            elif parsed.path == "/admin/shards":
+                if self._admin_allowed():
+                    shard_info = getattr(self.service, "shard_info", None)
+                    if shard_info is None:
+                        self._send(404, {
+                            "error": "this worker is not sharded "
+                                     "(start the fleet with --shards)",
+                        })
+                    else:
+                        self._send(200, {
+                            "shard": shard_info(),
+                            "pid": os.getpid(),
+                            "worker": getattr(self.server, "worker_id",
+                                              None),
+                        })
             else:
                 self._send(404, {"error": f"no route {parsed.path!r}"})
         except Exception as exc:  # pragma: no cover - last-resort guard

@@ -710,6 +710,32 @@ class ACTService:
             renderer.histogram(
                 f"fleet.{name}", snap,
                 help_text="Bucket-merged across all fleet workers")
+        # sharded fleets: per-shard families labelled {shard="<slot>"}
+        # from each worker's published shard block, so dashboards see
+        # slice skew (resident bytes, routing split, shed) per shard
+        for entry in view.get("per_worker", []):
+            shard = entry.get("shard")
+            if not shard:
+                continue
+            labels = {"shard": str(shard.get("slot", entry.get("worker")))}
+            renderer.gauge("fleet_shard_inflight",
+                           float(shard.get("inflight", 0)),
+                           labels=dict(labels),
+                           help_text="In-flight batches per shard worker")
+            renderer.gauge("fleet_shard_node_pool_bytes",
+                           float(shard.get("node_pool_bytes", 0)),
+                           labels=dict(labels),
+                           help_text="Resident index slice bytes per "
+                                     "shard worker")
+            renderer.gauge("fleet_shard_ranges",
+                           float(shard.get("ranges", 0)),
+                           labels=dict(labels),
+                           help_text="Owned keyspace ranges per shard "
+                                     "worker")
+            for key in ("forwarded", "local", "shed", "forward_errors"):
+                if key in shard:
+                    renderer.counter(f"fleet_shard_{key}", shard[key],
+                                     labels=dict(labels))
 
     def close(self) -> None:
         """Stop all batcher workers (idempotent)."""

@@ -1,0 +1,404 @@
+"""Shard planning for the serving fleet: keyspace, map, and slicing.
+
+A sharded fleet partitions work twice: **by index name** (each name's
+keyspace is assigned to worker slots independently, offset so distinct
+names spread across distinct slots) and, within one index, **by
+boundary-level cell-id range**. The grid's space-filling order makes a
+contiguous cell-id range spatially coherent, so a worker that owns one
+owns a compact region — and materializes only that region's node-pool
+slice (see :func:`slice_index`).
+
+Three layers live here:
+
+* the **shard keyspace** — :func:`shard_keys` computes one ``uint64``
+  key per probe point. It deliberately pins the *base-class*
+  :meth:`~repro.grid.base.HierarchicalGrid.point_keys` implementation
+  (boundary-level cell ids via ``cellid.parent_batch``) rather than a
+  grid's override: the planar grid overrides ``point_keys`` with a
+  packed ``(i, j)`` encoding that is *not* a cell id and is not
+  contiguous per cell, which would break range routing. Cell-id order
+  is the one total order every grid shares.
+* the **shard map** — :class:`ShardMap` is a generation-tagged,
+  immutable assignment ``name -> ((cell_lo, cell_hi, slot), ...)``
+  whose ranges cover the full ``uint64`` keyspace (out-of-domain
+  points hash to ``INVALID_KEY`` = all-ones and land in the last
+  range like any other key). It is published on the fleet's lifecycle
+  control channel under :data:`SHARD_KEY`, so rebalancing is just
+  another generation swap: publish a higher-generation map, workers
+  adopt it on their next poll tick and re-slice.
+* the **planner and slicer** — :func:`plan_shard_map` weighs each
+  indexed cell by the number of boundary-level cells it covers and
+  cuts the sorted, disjoint intervals into contiguous equal-weight
+  parts (never splitting a cell, so each indexed cell has exactly one
+  owner); :func:`slice_index` rebuilds a genuine sub-index — fresh
+  trie, fresh lookup table with only the referenced sets re-interned —
+  so per-worker resident bytes shrink with the shard count instead of
+  every worker holding every node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..act import entry as entry_codec
+from ..act.core import ACTCore
+from ..act.index import ACTIndex
+from ..act.lookup_table import LookupTable
+from ..act.trie import AdaptiveCellTrie
+from ..errors import InvalidRequestError, ServeError, UnknownIndexError
+from ..grid import cellid
+from ..grid.base import HierarchicalGrid
+from .registry import IndexGeneration, IndexRegistry
+
+__all__ = [
+    "SHARD_KEY", "KEY_MAX", "ShardRange", "ShardMap", "shard_keys",
+    "plan_shard_map", "slice_index", "slice_record",
+    "publish_shard_map", "read_shard_map",
+]
+
+#: Control-dict key the current :class:`ShardMap` is published under
+#: (sibling of :data:`repro.serve.lifecycle.SEQ_KEY` on the same
+#: Manager dict — shard placement rides the existing channel).
+SHARD_KEY = "shard_map"
+
+#: Largest value in the shard keyspace (``INVALID_KEY`` lands here).
+KEY_MAX = (1 << 64) - 1
+
+
+def shard_keys(grid: HierarchicalGrid, lngs: np.ndarray,
+               lats: np.ndarray, level: int) -> np.ndarray:
+    """Boundary-level cell-id key per point (the routing keyspace).
+
+    Always the base-class cell-id path — never a grid's packed-key
+    override — so keys order identically to the cell-id intervals the
+    planner cuts. Out-of-domain points map to all-ones.
+    """
+    return HierarchicalGrid.point_keys(
+        grid,
+        np.asarray(lngs, dtype=np.float64),
+        np.asarray(lats, dtype=np.float64),
+        level,
+    )
+
+
+@dataclass(frozen=True)
+class ShardRange:
+    """One owned keyspace interval: ``cell_lo <= key <= cell_hi``."""
+
+    cell_lo: int
+    cell_hi: int
+    slot: int
+
+
+class ShardMap:
+    """Immutable, generation-tagged shard assignment for a fleet.
+
+    ``ranges`` maps index name to a tuple of :class:`ShardRange`
+    sorted by ``cell_lo``, disjoint, and covering ``[0, 2**64 - 1]``
+    exactly — every key has exactly one owning slot.
+    """
+
+    def __init__(self, generation: int,
+                 ranges: Mapping[str, Sequence[ShardRange]],
+                 num_slots: int):
+        self.generation = int(generation)
+        self.num_slots = int(num_slots)
+        self.ranges: Dict[str, Tuple[ShardRange, ...]] = {
+            name: tuple(sorted(rs, key=lambda r: r.cell_lo))
+            for name, rs in ranges.items()
+        }
+        self._validate()
+        # searchsorted tables: per name, the range los and owner slots.
+        self._los: Dict[str, np.ndarray] = {}
+        self._slots: Dict[str, np.ndarray] = {}
+        for name, rs in self.ranges.items():
+            self._los[name] = np.array(
+                [r.cell_lo for r in rs], dtype=np.uint64)
+            self._slots[name] = np.array(
+                [r.slot for r in rs], dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        for name, rs in self.ranges.items():
+            if not rs:
+                raise ServeError(
+                    f"shard map has no ranges for index {name!r}")
+            if rs[0].cell_lo != 0:
+                raise ServeError(
+                    f"shard ranges for {name!r} do not start at 0")
+            if rs[-1].cell_hi != KEY_MAX:
+                raise ServeError(
+                    f"shard ranges for {name!r} do not end at 2**64-1")
+            for prev, cur in zip(rs, rs[1:]):
+                if cur.cell_lo != prev.cell_hi + 1:
+                    raise ServeError(
+                        f"shard ranges for {name!r} have a gap or "
+                        f"overlap at {cur.cell_lo:#x}")
+            for r in rs:
+                if r.cell_lo > r.cell_hi:
+                    raise ServeError(
+                        f"inverted shard range for {name!r}: "
+                        f"{r.cell_lo:#x} > {r.cell_hi:#x}")
+                if not 0 <= r.slot < self.num_slots:
+                    raise ServeError(
+                        f"shard range for {name!r} names slot "
+                        f"{r.slot}, fleet has {self.num_slots}")
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        return sorted(self.ranges)
+
+    def route(self, name: str, keys: np.ndarray) -> np.ndarray:
+        """Owning slot per key (int64 array, same length as ``keys``).
+
+        Total: every ``uint64`` key routes somewhere, including the
+        all-ones out-of-domain key (owned by the last range, whose
+        worker answers it with the usual empty result).
+        """
+        los = self._los.get(name)
+        if los is None:
+            raise UnknownIndexError(f"no shard ranges for index {name!r}")
+        idx = np.searchsorted(los, np.asarray(keys, dtype=np.uint64),
+                              side="right") - 1
+        return self._slots[name][idx]
+
+    def route_one(self, name: str, key: int) -> int:
+        """Owning slot for a single key (scalar convenience)."""
+        return int(self.route(name, np.array([key], dtype=np.uint64))[0])
+
+    def slots_for(self, name: str) -> Tuple[int, ...]:
+        """Every slot owning some range of ``name`` (sorted, unique)."""
+        rs = self.ranges.get(name)
+        if rs is None:
+            raise UnknownIndexError(f"no shard ranges for index {name!r}")
+        return tuple(sorted({r.slot for r in rs}))
+
+    def ranges_for_slot(self, name: str, slot: int,
+                        ) -> Tuple[Tuple[int, int], ...]:
+        """The ``(lo, hi)`` intervals of ``name`` owned by ``slot``."""
+        rs = self.ranges.get(name)
+        if rs is None:
+            raise UnknownIndexError(f"no shard ranges for index {name!r}")
+        return tuple((r.cell_lo, r.cell_hi) for r in rs
+                     if r.slot == slot)
+
+    # ------------------------------------------------------------------
+    # Wire form (Manager control dict / JSON admin surface)
+    # ------------------------------------------------------------------
+    def to_wire(self) -> dict:
+        return {
+            "generation": self.generation,
+            "num_slots": self.num_slots,
+            "ranges": {
+                name: [[r.cell_lo, r.cell_hi, r.slot] for r in rs]
+                for name, rs in self.ranges.items()
+            },
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "ShardMap":
+        return cls(
+            generation=int(wire["generation"]),
+            num_slots=int(wire["num_slots"]),
+            ranges={
+                name: [ShardRange(int(lo), int(hi), int(slot))
+                       for lo, hi, slot in rows]
+                for name, rows in wire["ranges"].items()
+            },
+        )
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}:{len(rs)}r" for name, rs in sorted(
+                self.ranges.items()))
+        return (f"ShardMap(gen={self.generation}, "
+                f"slots={self.num_slots}, {parts})")
+
+
+# ----------------------------------------------------------------------
+# Planning
+# ----------------------------------------------------------------------
+def _cell_interval(cell: int, boundary_level: int) -> Tuple[int, int, int]:
+    """``(lo, hi, weight)`` of one indexed cell in the shard keyspace.
+
+    ``lo``/``hi`` are the boundary-level cell ids of the cell's first
+    and last leaf; ``weight`` approximates load by the number of
+    boundary-level cells covered. Disjoint cells produce disjoint
+    intervals (cell-id ranges nest), except that several cells *deeper*
+    than the boundary level under one boundary cell collapse to the
+    same single-key interval — the planner merges those.
+    """
+    level = cellid.level(cell)
+    lo = cellid.parent(cellid.range_min(cell), boundary_level)
+    hi = cellid.parent(cellid.range_max(cell), boundary_level)
+    weight = 4 ** (boundary_level - level) if level <= boundary_level else 1
+    return lo, hi, weight
+
+
+def _plan_one(index: ACTIndex, parts: int) -> List[Tuple[int, int]]:
+    """Cut one index's keyspace into ``<= parts`` contiguous spans.
+
+    Spans are split points only — callers attach slots. Always covers
+    ``[0, KEY_MAX]``; never splits an indexed cell's interval.
+    """
+    bl = index.boundary_level
+    intervals: Dict[int, Tuple[int, int]] = {}
+    for cell, _entry in index.core.iter_cells():
+        lo, hi, weight = _cell_interval(cell, bl)
+        prev = intervals.get(lo)
+        intervals[lo] = (hi, weight + (prev[1] if prev else 0))
+    ordered = sorted(
+        (lo, hi, weight) for lo, (hi, weight) in intervals.items())
+    if not ordered or parts <= 1:
+        return [(0, KEY_MAX)]
+
+    total = sum(weight for _, _, weight in ordered)
+    cuts: List[int] = []  # first lo of parts 1..k
+    acc = 0
+    for lo, _hi, weight in ordered:
+        # cut *before* this interval once the previous parts hold
+        # their fair share; an interval is never split
+        target = (len(cuts) + 1) * total / parts
+        if acc >= target and len(cuts) < parts - 1:
+            cuts.append(lo)
+        acc += weight
+    spans: List[Tuple[int, int]] = []
+    start = 0
+    for cut in cuts:
+        spans.append((start, cut - 1))
+        start = cut
+    spans.append((start, KEY_MAX))
+    return spans
+
+
+def plan_shard_map(indexes: Mapping[str, ACTIndex], num_slots: int,
+                   generation: int = 1) -> ShardMap:
+    """Plan a :class:`ShardMap` over materialized indexes.
+
+    Each index is cut into up to ``num_slots`` contiguous equal-weight
+    keyspace spans (weight = boundary-cell coverage, so dense regions
+    split finer). Span *k* of the name at position *i* in sorted name
+    order goes to slot ``(i + k) % num_slots`` — the offset spreads
+    single-span (small) indexes across distinct slots.
+    """
+    if num_slots < 1:
+        raise InvalidRequestError("shard planning needs >= 1 slot")
+    ranges: Dict[str, List[ShardRange]] = {}
+    for pos, name in enumerate(sorted(indexes)):
+        spans = _plan_one(indexes[name], num_slots)
+        ranges[name] = [
+            ShardRange(lo, hi, (pos + k) % num_slots)
+            for k, (lo, hi) in enumerate(spans)
+        ]
+    return ShardMap(generation=generation, ranges=ranges,
+                    num_slots=num_slots)
+
+
+# ----------------------------------------------------------------------
+# Slicing
+# ----------------------------------------------------------------------
+def _spans_intersect(spans: Sequence[Tuple[int, int]], lo: int,
+                     hi: int) -> bool:
+    """Whether ``[lo, hi]`` overlaps any owned ``(lo, hi)`` span."""
+    for span_lo, span_hi in spans:
+        if lo <= span_hi and hi >= span_lo:
+            return True
+    return False
+
+
+def slice_index(index: ACTIndex,
+                spans: Iterable[Tuple[int, int]]) -> ACTIndex:
+    """Rebuild the sub-index owning the given keyspace spans.
+
+    Walks every indexed cell, keeps the ones whose boundary-level key
+    interval intersects ``spans``, and re-inserts them into a fresh
+    trie with a fresh lookup table (``TAG_OFFSET`` entries re-interned
+    so only referenced polygon sets survive; inline payload entries
+    copied verbatim). Polygons and stats are shared with the parent
+    index — the polygon list is read-only at serve time and refinement
+    needs all of it for the ids a slice can still emit.
+
+    Because :meth:`~repro.act.core.ACTCore.iter_cells` yields the
+    post-denormalization disjoint cells and the planner never splits a
+    cell's interval, slices over a partition of the keyspace partition
+    the entries exactly: ``sum(slice.num_entries) == full.num_entries``.
+    """
+    owned = sorted((int(lo), int(hi)) for lo, hi in spans)
+    core = index.core
+    bl = index.boundary_level
+    trie = AdaptiveCellTrie(fanout=core.fanout,
+                            num_faces=len(core.roots))
+    table = LookupTable()
+    tag = entry_codec.tag
+    for cell, entry in core.iter_cells():
+        lo, hi, _weight = _cell_interval(cell, bl)
+        if not _spans_intersect(owned, lo, hi):
+            continue
+        if tag(entry) == entry_codec.TAG_OFFSET:
+            true_ids, cand_ids = core.lookup_table.get(
+                entry_codec.offset_value(entry))
+            entry = entry_codec.make_offset(
+                table.intern(true_ids, cand_ids))
+        trie.insert(cell, entry)
+    sliced_core = ACTCore.from_trie(trie, table)
+    return ACTIndex(index.grid, sliced_core, index.polygons,
+                    index.stats, index.boundary_level)
+
+
+def slice_record(record: IndexGeneration,
+                 spans: Iterable[Tuple[int, int]]) -> IndexGeneration:
+    """A generation record re-pointed at its shard slice.
+
+    Same name/generation/source metadata — the slice *is* that
+    generation, as seen by one slot. Swap it into a registry with
+    :meth:`~repro.serve.registry.IndexRegistry.restore` so the
+    service's hot-view identity check pins the slice, not the full
+    index.
+    """
+    return replace(record, index=slice_index(record.index, spans))
+
+
+def slice_registry(registry: IndexRegistry, shard_map: ShardMap,
+                   slot: int) -> List[str]:
+    """Re-pin every materialized record to this slot's slice.
+
+    Returns the names sliced. Called in a freshly forked worker (and
+    again on shard-map adoption): the full-index pages the child
+    inherited copy-on-write stay untouched in the parent; the child's
+    working set becomes its slice.
+    """
+    sliced: List[str] = []
+    for name in registry.names():
+        record = registry.materialized.get(name)
+        if record is None:
+            continue
+        spans = shard_map.ranges_for_slot(name, slot)
+        registry.restore(slice_record(record, spans))
+        sliced.append(name)
+    return sliced
+
+
+# ----------------------------------------------------------------------
+# Control-channel publication
+# ----------------------------------------------------------------------
+def publish_shard_map(control, shard_map: ShardMap) -> None:
+    """Publish ``shard_map`` on the fleet control dict.
+
+    Rebalancing is republishing with a higher generation; workers
+    adopt on their next lifecycle poll tick (monotonic: a lower or
+    equal generation is ignored, mirroring reload idempotency).
+    """
+    control[SHARD_KEY] = shard_map.to_wire()
+
+
+def read_shard_map(control) -> Optional[ShardMap]:
+    """The currently published :class:`ShardMap`, if any."""
+    wire = control.get(SHARD_KEY)
+    if wire is None:
+        return None
+    return ShardMap.from_wire(wire)

@@ -1,0 +1,259 @@
+"""Shard map planning, slicing, and routing — no fork required.
+
+Covers the keyspace invariants (contiguous cover of the full uint64
+cell-id space, boundary-cell routing), the slice/partition guarantees
+(every entry lands in exactly one slice, resident bytes shrink), and
+the in-process router: two :class:`ShardedACTService` instances wired
+to each other over real binary frontends must answer exactly like one
+unsharded service, and admission control must shed only on positive
+fleet-wide evidence.
+"""
+
+import socket
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import (BudgetExceededError, ServeError,
+                          UnknownIndexError)
+from repro.serve import ACTService, IndexRegistry
+from repro.serve.aserver import BinaryFrontend
+from repro.serve.router import ShardedACTService
+from repro.serve.shard import (KEY_MAX, ShardMap, ShardRange,
+                               plan_shard_map, publish_shard_map,
+                               read_shard_map, shard_keys, slice_index)
+
+
+@pytest.fixture(scope="module")
+def shard_map4(nyc_index):
+    return plan_shard_map({"nyc": nyc_index}, 4)
+
+
+@pytest.fixture(scope="module")
+def point_keys(nyc_index, query_points):
+    lngs, lats = query_points
+    return shard_keys(nyc_index.grid, lngs, lats,
+                      nyc_index.boundary_level)
+
+
+class TestShardMap:
+    def test_plan_covers_keyspace(self, shard_map4):
+        ranges = shard_map4.ranges["nyc"]
+        assert len(ranges) == 4
+        assert ranges[0].cell_lo == 0
+        assert ranges[-1].cell_hi == KEY_MAX
+        for prev, cur in zip(ranges, ranges[1:]):
+            assert cur.cell_lo == prev.cell_hi + 1
+        assert sorted(r.slot for r in ranges) == [0, 1, 2, 3]
+
+    def test_boundary_cell_probe(self, shard_map4):
+        """Keys on either side of every cut land on the right slot."""
+        ranges = shard_map4.ranges["nyc"]
+        for rng in ranges:
+            assert shard_map4.route_one("nyc", rng.cell_lo) == rng.slot
+            assert shard_map4.route_one("nyc", rng.cell_hi) == rng.slot
+        for prev, cur in zip(ranges, ranges[1:]):
+            assert shard_map4.route_one("nyc", prev.cell_hi + 1) == cur.slot
+        assert shard_map4.route_one("nyc", 0) == ranges[0].slot
+        assert shard_map4.route_one("nyc", KEY_MAX) == ranges[-1].slot
+
+    def test_route_vector_matches_scalar(self, shard_map4, point_keys):
+        slots = shard_map4.route("nyc", point_keys)
+        for key, slot in zip(point_keys.tolist(), slots.tolist()):
+            assert shard_map4.route_one("nyc", key) == slot
+
+    def test_route_unknown_index(self, shard_map4, point_keys):
+        with pytest.raises(UnknownIndexError):
+            shard_map4.route("nope", point_keys)
+
+    def test_wire_round_trip(self, shard_map4, point_keys):
+        clone = ShardMap.from_wire(shard_map4.to_wire())
+        assert clone.generation == shard_map4.generation
+        assert clone.num_slots == shard_map4.num_slots
+        assert np.array_equal(clone.route("nyc", point_keys),
+                              shard_map4.route("nyc", point_keys))
+
+    def test_invalid_maps_rejected(self):
+        with pytest.raises(ServeError):
+            ShardMap(1, {"x": [ShardRange(1, KEY_MAX, 0)]}, 1)  # gap at 0
+        with pytest.raises(ServeError):
+            ShardMap(1, {"x": [ShardRange(0, 10, 0)]}, 1)  # short cover
+        with pytest.raises(ServeError):
+            ShardMap(1, {"x": [ShardRange(0, 10, 0),
+                               ShardRange(12, KEY_MAX, 0)]}, 1)  # hole
+        with pytest.raises(ServeError):
+            ShardMap(1, {"x": [ShardRange(0, KEY_MAX, 3)]}, 2)  # bad slot
+
+    def test_control_channel_round_trip(self, shard_map4, nyc_index):
+        control = {}
+        assert read_shard_map(control) is None
+        publish_shard_map(control, shard_map4)
+        got = read_shard_map(control)
+        assert got is not None and got.generation == shard_map4.generation
+        newer = plan_shard_map({"nyc": nyc_index}, 4, generation=7)
+        publish_shard_map(control, newer)
+        assert read_shard_map(control).generation == 7
+
+
+class TestSlicing:
+    def test_slices_partition_entries(self, nyc_index, shard_map4):
+        slices = [
+            slice_index(nyc_index,
+                        shard_map4.ranges_for_slot("nyc", slot))
+            for slot in range(4)
+        ]
+        assert (sum(s.core.num_entries for s in slices)
+                == nyc_index.core.num_entries)
+        # per-slot resident node-pool bytes shrink roughly with the
+        # slot count (the planner balances by coverage weight, so allow
+        # slack — but no slice may approach the full footprint)
+        full = nyc_index.core.total_bytes
+        for sliced in slices:
+            assert sliced.core.total_bytes < 0.6 * full
+
+    def test_owned_points_answer_identically(self, nyc_index, shard_map4,
+                                             query_points, point_keys):
+        lngs, lats = query_points
+        truth = nyc_index.lookup_batch(lngs, lats)
+        slots = shard_map4.route("nyc", point_keys)
+        seen = 0
+        for slot in range(4):
+            own = slots == slot
+            if not own.any():
+                continue
+            sliced = slice_index(
+                nyc_index, shard_map4.ranges_for_slot("nyc", slot))
+            got = sliced.lookup_batch(lngs[own], lats[own])
+            assert np.array_equal(got, truth[own])
+            seen += int(own.sum())
+        assert seen == len(lngs)
+
+
+@pytest.fixture()
+def sharded_pair(nyc_index):
+    """Two cross-wired sharded services over real binary frontends."""
+    shard_map = plan_shard_map({"nyc": nyc_index}, 2)
+    socks = []
+    for _ in range(2):
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.bind(("127.0.0.1", 0))
+        sock.listen(8)
+        sock.setblocking(False)
+        socks.append(sock)
+    addresses = {slot: sock.getsockname()[:2]
+                 for slot, sock in enumerate(socks)}
+    services, frontends = [], []
+    try:
+        for slot in range(2):
+            registry = IndexRegistry()
+            registry.register_index("nyc", nyc_index)
+            service = ShardedACTService(
+                registry=registry, shard_map=shard_map, slot=slot,
+                addresses=addresses, forward_timeout_s=30.0)
+            services.append(service)
+            frontends.append(
+                BinaryFrontend(service, sock=socks[slot],
+                               worker_id=slot).start())
+        yield services
+    finally:
+        for frontend in frontends:
+            frontend.stop()
+        for service in services:
+            service.close()
+        for sock in socks:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+class TestShardedServiceInProcess:
+    def test_batch_spanning_all_shards(self, sharded_pair, nyc_index,
+                                       query_points):
+        lngs, lats = query_points
+        plain_registry = IndexRegistry()
+        plain_registry.register_index("nyc", nyc_index)
+        plain = ACTService(registry=plain_registry)
+        truth = plain.query_batch("nyc", lngs, lats)
+        truth_counts = plain.join("nyc", lngs, lats, exact=True)
+        plain.close()
+        for service in sharded_pair:
+            assert service.query_batch("nyc", lngs, lats) == truth
+            assert np.array_equal(service.join("nyc", lngs, lats,
+                                               exact=True), truth_counts)
+        infos = [service.shard_info() for service in sharded_pair]
+        assert sum(i["forwarded"] for i in infos) > 0
+        assert sum(i["local"] for i in infos) > 0
+        full = nyc_index.core.total_bytes
+        for info in infos:
+            assert info["node_pool_bytes"] < 0.75 * full
+
+    def test_scalar_query_routes(self, sharded_pair, nyc_index,
+                                 query_points):
+        lngs, lats = query_points
+        for lng, lat in zip(lngs[:20], lats[:20]):
+            expected = nyc_index.query(lng, lat)
+            for service in sharded_pair:
+                assert service.query("nyc", lng, lat) == expected
+
+    def test_shed_needs_whole_owner_set(self, nyc_index, query_points):
+        """Admission sheds only on fresh saturation of EVERY owner."""
+        shard_map = plan_shard_map({"nyc": nyc_index}, 2)
+        registry = IndexRegistry()
+        registry.register_index("nyc", nyc_index)
+        snapshots = {}
+        service = ShardedACTService(
+            registry=registry, shard_map=shard_map, slot=0,
+            snapshots=snapshots, shed_inflight=1, shed_staleness_s=5.0)
+        try:
+            lngs, lats = query_points
+            # no snapshot from the remote owner: fail open on the
+            # admission check (the forward itself then fails — there is
+            # no address — which is the error path, not the shed path)
+            assert service._fleet_saturated([0, 1]) is False
+            service._inflight = 3  # own slot saturated
+            assert service._fleet_saturated([0, 1]) is False
+            snapshots[1] = {"admission": {"inflight": 99,
+                                          "ts": time.time()}}
+            service._snap_cache = (0.0, {})  # drop the cached view
+            assert service._fleet_saturated([0, 1]) is True
+            shed_before = service.metrics.counter("shard.shed").value
+            with pytest.raises(BudgetExceededError):
+                service.query_batch("nyc", lngs, lats)
+            assert (service.metrics.counter("shard.shed").value
+                    > shed_before)
+            # a stale saturation report fails open again
+            snapshots[1] = {"admission": {"inflight": 99,
+                                          "ts": time.time() - 60.0}}
+            service._snap_cache = (0.0, {})
+            assert service._fleet_saturated([0, 1]) is False
+        finally:
+            service._inflight = 0
+            service.close()
+
+    def test_rebalance_reslices(self, nyc_index, query_points):
+        """Adopting a higher-generation map changes the resident slice
+        without touching correctness for locally-owned keys."""
+        registry = IndexRegistry()
+        registry.register_index("nyc", nyc_index)
+        map1 = plan_shard_map({"nyc": nyc_index}, 2)
+        service = ShardedACTService(registry=registry, shard_map=map1,
+                                    slot=0)
+        try:
+            assert service.adopt_shard_map(map1) is False  # not newer
+            map2 = plan_shard_map({"nyc": nyc_index}, 2, generation=2)
+            assert service.adopt_shard_map(map2) is True
+            assert service.shard_info()["map_generation"] == 2
+            lngs, lats = query_points
+            keys = shard_keys(nyc_index.grid, lngs, lats,
+                              nyc_index.boundary_level)
+            own = map2.route("nyc", keys) == 0
+            truth = nyc_index.lookup_batch(lngs[own], lats[own])
+            record = registry.materialized["nyc"]
+            got = record.index.lookup_batch(lngs[own], lats[own])
+            assert np.array_equal(got, truth)
+            assert (record.index.core.total_bytes
+                    < nyc_index.core.total_bytes)
+        finally:
+            service.close()

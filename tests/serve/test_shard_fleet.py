@@ -1,0 +1,279 @@
+"""Sharded fleet integration: real forks, real sockets, real kills.
+
+The sharded fleet must be indistinguishable from an unsharded service
+to any client at any shard socket (forwarding is an implementation
+detail), survive losing a shard worker mid-scatter (the parent-held
+listening socket buffers forwards until the respawn), and reload a
+single index under traffic without wrong or failed answers.
+
+Everything forks, so the module skips where ``fork`` is unavailable.
+"""
+
+import json
+import os
+import signal
+import threading
+import time
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.serve import (ACTService, FleetConfig, IndexRegistry,
+                         ServingFleet, binproto)
+from repro.serve.fleet import fleet_available
+
+pytestmark = pytest.mark.skipif(
+    not fleet_available(),
+    reason="fleet needs the 'fork' start method",
+)
+
+
+def _get(address, path, timeout=15.0):
+    host, port = address
+    with urllib.request.urlopen(f"http://{host}:{port}{path}",
+                                timeout=timeout) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def _post(address, path, payload, timeout=90.0):
+    host, port = address
+    request = urllib.request.Request(
+        f"http://{host}:{port}{path}",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def _shard_fleet(registry, **overrides):
+    config = FleetConfig(workers=2, shards=2, stats_interval_s=0.1,
+                         restart_backoff_s=0.05, **overrides)
+    return ServingFleet(registry, config)
+
+
+def _poll_shard_snapshots(fleet, deadline_s=15.0, extra=None):
+    """Wait until both workers published shard-annotated snapshots.
+
+    ``extra`` is an optional predicate over the per-worker list for
+    waiting out snapshot lag (workers publish on their stats interval,
+    so counters trail traffic by up to one tick).
+    """
+    deadline = time.monotonic() + deadline_s
+    per_worker = []
+    while time.monotonic() < deadline:
+        per_worker = fleet.stats().get("per_worker", [])
+        if (len(per_worker) == 2
+                and all("shard" in e and "admission" in e
+                        for e in per_worker)
+                and (extra is None or extra(per_worker))):
+            return per_worker
+        time.sleep(0.1)
+    raise AssertionError(
+        f"workers never published shard snapshots: {per_worker}")
+
+
+@pytest.fixture(scope="module")
+def ground_truth(nyc_index, query_points):
+    lngs, lats = query_points
+    registry = IndexRegistry()
+    registry.register_index("nyc", nyc_index)
+    service = ACTService(registry=registry)
+    truth = service.query_batch("nyc", lngs, lats)
+    counts = service.join("nyc", lngs, lats, exact=True)
+    service.close()
+    return truth, counts
+
+
+class TestShardedFleet:
+    def test_any_shard_socket_answers_spanning_batch(
+            self, nyc_index, query_points, ground_truth):
+        lngs, lats = query_points
+        truth, truth_counts = ground_truth
+        registry = IndexRegistry()
+        registry.register_index("nyc", nyc_index)
+        with _shard_fleet(registry) as fleet:
+            fleet.start()
+            # binary_port=None is promoted: shard mode always has a
+            # binary plane, one distinct socket per slot
+            assert fleet.config.binary_port is not None
+            addresses = fleet.shard_addresses
+            assert sorted(addresses) == [0, 1]
+            assert addresses[0][1] != addresses[1][1]
+            for slot, (host, port) in sorted(addresses.items()):
+                client = binproto.Client(host, port, timeout=30.0)
+                assert client.query_batch("nyc", lngs, lats) == truth
+                counts = client.join("nyc", lngs, lats, exact=True)
+                got = np.zeros_like(truth_counts)
+                for pid, count in counts.items():
+                    got[pid] = count
+                assert np.array_equal(got, truth_counts)
+                client.close()
+            per_worker = _poll_shard_snapshots(
+                fleet,
+                extra=lambda pw: (
+                    sum(e["shard"]["forwarded"] for e in pw) > 0
+                    and sum(e["shard"]["local"] for e in pw) > 0))
+            full = nyc_index.core.total_bytes
+            for entry in per_worker:
+                assert entry["shard"]["node_pool_bytes"] < 0.75 * full
+                assert entry["shard"]["map_generation"] == 1
+            # the fleet aggregate carries the shard counters, and the
+            # Prometheus exposition renders the per-shard families
+            counters = fleet.stats()["counters"]
+            assert counters["shard.forwarded"] > 0
+            status, text = _get_text(fleet.address, "/metrics")
+            assert status == 200
+            for needle in ("repro_fleet_shard_inflight",
+                           "repro_fleet_shard_forwarded",
+                           "repro_fleet_shard_node_pool_bytes"):
+                assert needle in text
+            status, body = _get(fleet.address, "/admin/shards")
+            assert status == 200
+            assert body["shard"]["slot"] in (0, 1)
+
+    def test_rebalance_is_a_generation_swap(self, nyc_index,
+                                            query_points, ground_truth):
+        lngs, lats = query_points
+        truth, _ = ground_truth
+        registry = IndexRegistry()
+        registry.register_index("nyc", nyc_index)
+        with _shard_fleet(registry) as fleet:
+            fleet.start()
+            _poll_shard_snapshots(fleet)
+            new_map = fleet.rebalance()
+            assert new_map.generation == 2
+            deadline = time.monotonic() + 15.0
+            while time.monotonic() < deadline:
+                per_worker = fleet.stats().get("per_worker", [])
+                if per_worker and all(
+                        e.get("shard", {}).get("map_generation") == 2
+                        for e in per_worker):
+                    break
+                time.sleep(0.1)
+            else:
+                raise AssertionError("workers never adopted generation 2")
+            host, port = fleet.shard_addresses[0]
+            client = binproto.Client(host, port, timeout=30.0)
+            assert client.query_batch("nyc", lngs, lats) == truth
+            client.close()
+
+    def test_single_index_reload_under_traffic(self, nyc_index, tmp_path,
+                                               query_points, ground_truth):
+        from repro.act.serialize import save_index
+
+        lngs, lats = query_points
+        truth, _ = ground_truth
+        path = tmp_path / "nyc.npz"
+        save_index(nyc_index, path)
+        registry = IndexRegistry()
+        registry.register_path("nyc", str(path), mmap_mode="r")
+        failures = []
+        stop = threading.Event()
+
+        with _shard_fleet(registry, admin_timeout_s=60.0) as fleet:
+            fleet.start()
+            host, port = fleet.shard_addresses[0]
+
+            def hammer():
+                client = binproto.Client(host, port, timeout=30.0)
+                try:
+                    while not stop.is_set():
+                        got = client.query_batch("nyc", lngs[:100],
+                                                 lats[:100])
+                        if got != truth[:100]:
+                            failures.append("wrong answer during reload")
+                finally:
+                    client.close()
+
+            thread = threading.Thread(target=hammer, daemon=True)
+            thread.start()
+            try:
+                time.sleep(0.3)
+                status, body = _post(fleet.address, "/admin/reload", {
+                    "name": "nyc", "path": str(path), "mmap_mode": "r",
+                })
+                assert status == 200
+                assert body.get("complete", False), body
+                time.sleep(0.3)
+            finally:
+                stop.set()
+                thread.join(timeout=30.0)
+            assert not failures, failures[:3]
+            # every worker serves the new generation — and still only
+            # its slice of it
+            per_worker = _poll_shard_snapshots(fleet)
+            full = nyc_index.core.total_bytes
+            for entry in per_worker:
+                assert entry["shard"]["node_pool_bytes"] < 0.75 * full
+            client = binproto.Client(host, port, timeout=30.0)
+            assert client.query_batch("nyc", lngs, lats) == truth
+            client.close()
+
+    def test_router_retry_rides_a_respawn(self, nyc_index, query_points,
+                                          ground_truth):
+        """SIGKILL one shard worker, then immediately drive a spanning
+        batch through the surviving one: its forwards to the dead slot
+        queue in the parent-held listening socket's backlog until the
+        supervisor respawns the slot, and the resilient client replays.
+        """
+        lngs, lats = query_points
+        truth, _ = ground_truth
+        registry = IndexRegistry()
+        registry.register_index("nyc", nyc_index)
+        with _shard_fleet(registry) as fleet:
+            fleet.start()
+            _poll_shard_snapshots(fleet)
+            victim = fleet._processes[0]
+            os.kill(victim.pid, signal.SIGKILL)
+            host, port = fleet.shard_addresses[1]
+            client = binproto.Client(host, port, timeout=60.0, retries=8)
+            assert client.query_batch("nyc", lngs, lats) == truth
+            client.close()
+            deadline = time.monotonic() + 15.0
+            while time.monotonic() < deadline and fleet.restarts < 1:
+                time.sleep(0.1)
+            assert fleet.restarts >= 1
+            # the respawned slot answers on the same address
+            host0, port0 = fleet.shard_addresses[0]
+            client = binproto.Client(host0, port0, timeout=60.0, retries=8)
+            assert client.query_batch("nyc", lngs, lats) == truth
+            client.close()
+
+    def test_chaos_kill_one_shard_drill(self, nyc_index, query_points,
+                                        ground_truth):
+        """The kill-one-shard drill: arm ``shard.forward=kill`` on one
+        worker, make it scatter, and require the fleet to heal — the
+        armed worker dies mid-forward, its replacement forks disarmed
+        from the parent, and the client's replay lands correctly.
+        """
+        lngs, lats = query_points
+        truth, _ = ground_truth
+        registry = IndexRegistry()
+        registry.register_index("nyc", nyc_index)
+        with _shard_fleet(registry) as fleet:
+            fleet.start()
+            per_worker = _poll_shard_snapshots(fleet)
+            status, body = _post(fleet.address, "/admin/chaos",
+                                 {"spec": "shard.forward=kill:1.0"})
+            assert status == 200
+            armed_pid = body["pid"]
+            armed_slot = next(e["shard"]["slot"] for e in per_worker
+                              if e["pid"] == armed_pid)
+            host, port = fleet.shard_addresses[armed_slot]
+            client = binproto.Client(host, port, timeout=60.0, retries=8)
+            # a spanning batch forces the armed worker to forward → die
+            assert client.query_batch("nyc", lngs, lats) == truth
+            client.close()
+            deadline = time.monotonic() + 15.0
+            while time.monotonic() < deadline and fleet.restarts < 1:
+                time.sleep(0.1)
+            assert fleet.restarts >= 1
+
+
+def _get_text(address, path, timeout=15.0):
+    host, port = address
+    with urllib.request.urlopen(f"http://{host}:{port}{path}",
+                                timeout=timeout) as resp:
+        return resp.status, resp.read().decode("utf-8")
